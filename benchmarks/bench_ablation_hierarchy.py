@@ -1,0 +1,106 @@
+"""Ablation B -- hierarchical (behavioural-model) vs flat system optimisation.
+
+The paper's motivation (sections 1-2): evaluating the whole system at
+transistor level for every optimiser candidate is computationally
+prohibitive, which is why the sub-blocks are abstracted into behavioural
+performance + variation models first.
+
+This ablation quantifies the speed-up on this reproduction's own engines by
+timing one system-level candidate evaluation along both paths:
+
+* **hierarchical** -- behavioural PLL whose VCO is the interpolated table
+  model (the paper's approach; what the system-level NSGA-II actually calls);
+* **flat** -- the same candidate evaluated by re-running the circuit-level
+  VCO evaluator for the candidate's transistor sizes and then the
+  behavioural PLL (no model reuse), i.e. the cost every candidate would pay
+  without the extracted model.  A transistor-level (MNA) data point is also
+  reported to show the cost the paper avoided by not calling SPICE in the
+  system loop.
+"""
+
+import time
+
+from benchmarks.conftest import print_header
+from repro.behavioural import BehaviouralPll, BehaviouralVco, PllDesign, VcoVariationTables
+from repro.circuits import RingVcoSpiceEvaluator
+from repro.core.system_stage import PllSystemProblem
+from repro.process import TECH_012UM
+
+
+def _candidate(combined_model):
+    point = combined_model.performance.point(0)
+    return {
+        "kvco": point["kvco"],
+        "ivco": point["current"],
+        "c1": 3e-12,
+        "c2": 0.6e-12,
+        "r1": 2e3,
+    }
+
+
+def _flat_evaluation(combined_model, evaluator, values):
+    """Re-simulate the VCO for the candidate instead of using the model."""
+    design = combined_model.design_parameters_for(values["kvco"], values["ivco"])
+    performance = evaluator.evaluate(design)
+    vco = BehaviouralVco(
+        kvco=max(performance.kvco, 1e6),
+        ivco=max(performance.current, 1e-6),
+        jvco=performance.jitter,
+        fmin=performance.fmin,
+        fmax=max(performance.fmax, performance.fmin * 1.05),
+        variation=VcoVariationTables.constant(0.0, 0.0, 0.0, 0.0, 0.0),
+    )
+    pll = BehaviouralPll(vco, PllDesign(c1=values["c1"], c2=values["c2"], r1=values["r1"]))
+    return pll.evaluate(max_time=3e-6)
+
+
+def test_ablation_hierarchical_evaluation_cost(benchmark, combined_model, evaluator):
+    """Time the hierarchical (table-model) candidate evaluation."""
+    problem = PllSystemProblem(combined_model, simulation_time=3e-6)
+    values = _candidate(combined_model)
+    evaluation = benchmark(problem.evaluate, values)
+    assert evaluation.objectives["current"] > 0.0
+
+
+def test_ablation_flat_evaluation_cost(benchmark, combined_model, evaluator):
+    """Time the flat candidate evaluation (circuit evaluator inside the loop)."""
+    values = _candidate(combined_model)
+    performance = benchmark(_flat_evaluation, combined_model, evaluator, values)
+    assert performance.current > 0.0
+
+
+def test_ablation_hierarchy_speedup_report(benchmark, combined_model, evaluator, settings):
+    """Print the full cost comparison, including one transistor-level point."""
+    problem = PllSystemProblem(combined_model, simulation_time=3e-6)
+    values = _candidate(combined_model)
+
+    def measure(function, repeats=5):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            function()
+        return (time.perf_counter() - start) / repeats
+
+    hierarchical = measure(lambda: problem.evaluate(values))
+    flat = measure(lambda: _flat_evaluation(combined_model, evaluator, values))
+    benchmark(lambda: problem.evaluate(values))
+    # One transistor-level VCO characterisation (the cost the paper avoided).
+    spice = RingVcoSpiceEvaluator(TECH_012UM, dt=8e-12, sim_cycles=5)
+    design = combined_model.design_parameters_for(values["kvco"], values["ivco"])
+    start = time.perf_counter()
+    spice_perf = spice.evaluate(design)
+    spice_cost = time.perf_counter() - start
+    total_candidates = settings["system_population"] * (settings["system_generations"] + 1)
+    print_header("Ablation B: hierarchical vs flat system-level evaluation cost")
+    print(f"hierarchical (table model) evaluation : {hierarchical * 1e3:9.2f} ms / candidate")
+    print(f"flat (analytical circuit evaluator)   : {flat * 1e3:9.2f} ms / candidate")
+    print(f"transistor-level (MNA) evaluation     : {spice_cost * 1e3:9.2f} ms / candidate")
+    print(f"system-level candidates per run       : {total_candidates}")
+    print(
+        "projected system-stage cost            : "
+        f"{hierarchical * total_candidates:8.2f} s (hierarchical) vs "
+        f"{spice_cost * total_candidates:8.2f} s (transistor level)"
+    )
+    assert spice_perf.fmax > 0.0
+    # The paper's premise: the hierarchical path is dramatically cheaper than
+    # re-running transistor-level characterisation inside the system loop.
+    assert spice_cost > 20.0 * hierarchical

@@ -1,0 +1,72 @@
+"""Ablation A -- interpolation order of the table models (section 2.2).
+
+The paper chooses cubic-spline interpolation for the ``$table_model``
+look-ups, arguing that "the choice of interpolation is a trade off between
+accuracy and complexity.  Cubic spline interpolation has been employed in
+this work to maximise accuracy."
+
+This ablation quantifies that trade-off on the extracted variation model
+data and on a dense analytic reference: maximum interpolation error of the
+linear, quadratic and cubic table models built from the same sparse sample
+set, plus the relative evaluation cost of each order.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_header
+from repro.tablemodel import Table1D
+
+
+def _reference(x):
+    """Smooth analytic stand-in for a performance curve (jitter vs gain)."""
+    return 0.1 + 0.05 * np.sin(3.0 * x) + 0.02 * x**2
+
+
+def test_ablation_interpolation_accuracy(benchmark, combined_model):
+    """Compare the accuracy of the three interpolation orders."""
+    # Analytic reference sampled at 9 points over [0, 2].
+    xs = np.linspace(0.0, 2.0, 9)
+    ys = _reference(xs)
+    orders = {"1E (linear)": "1E", "2E (quadratic)": "2E", "3E (cubic)": "3E"}
+    errors = {}
+    for label, control in orders.items():
+        table = Table1D(xs, ys, control=control)
+        errors[label] = table.max_interpolation_error(_reference, n_points=401)
+    benchmark(lambda: Table1D(xs, ys, control="3E")(np.linspace(0.0, 2.0, 401)))
+    print_header("Ablation A: interpolation order of the table models")
+    print("maximum absolute error against the analytic reference (9 samples):")
+    for label, error in errors.items():
+        print(f"  {label:>16}: {error:.3e}")
+    # Also report the error of re-interpolating the extracted jitter data at
+    # left-out sample points (leave-one-out on the variation model).
+    variation = combined_model.variation
+    nominal = variation.nominal_column("jitter")
+    spread = variation.spread_column("jitter")
+    order = np.argsort(nominal)
+    nominal, spread = nominal[order], spread[order]
+    loo_errors = {}
+    if nominal.size >= 5:
+        for label, control in orders.items():
+            residuals = []
+            for k in range(1, nominal.size - 1):
+                keep = np.ones(nominal.size, dtype=bool)
+                keep[k] = False
+                table = Table1D(nominal[keep], spread[keep], control=control)
+                residuals.append(abs(table(nominal[k]) - spread[k]))
+            loo_errors[label] = float(np.mean(residuals))
+        print("\nleave-one-out error on the extracted jitter-spread table (%):")
+        for label, error in loo_errors.items():
+            print(f"  {label:>16}: {error:.3f}")
+    # The paper's choice: cubic is at least as accurate as linear on smooth data.
+    assert errors["3E (cubic)"] <= errors["1E (linear)"]
+    assert errors["3E (cubic)"] <= errors["2E (quadratic)"] * 1.5
+
+
+def test_ablation_interpolation_cost(benchmark):
+    """Time the cubic table model evaluation (the cost side of the trade-off)."""
+    xs = np.linspace(0.0, 2.0, 40)
+    ys = _reference(xs)
+    table = Table1D(xs, ys, control="3E")
+    queries = np.linspace(0.0, 2.0, 1000)
+    result = benchmark(table, queries)
+    assert len(result) == 1000

@@ -1,0 +1,48 @@
+"""Bottom-up verification -- behavioural model vs transistor-level simulation.
+
+The paper closes its evaluation by stating that "the behaviour has been
+verified with transistor level simulations" and that the hierarchical
+benefits come "without a corresponding drop in accuracy".
+
+This benchmark quantifies that statement for the reproduction: selected
+operating points of the extracted combined model are mapped back to
+transistor sizes and re-simulated with the from-scratch MNA engine
+(transistor-level transients of the full 22-transistor ring VCO), and the
+relative error of every modelled performance is reported.  Because every
+pure-Python transient costs several seconds, only a couple of points are
+verified; the kernel that is timed is one transistor-level characterisation.
+"""
+
+from benchmarks.conftest import print_header
+from repro.circuits import RingVcoSpiceEvaluator
+from repro.core.verification import BottomUpVerification
+from repro.process import TECH_012UM
+
+
+def test_bottom_up_verification_against_mna_engine(benchmark, combined_model):
+    """Verify model points at transistor level and report the errors."""
+    spice = RingVcoSpiceEvaluator(TECH_012UM, dt=8e-12, sim_cycles=5)
+    verifier = BottomUpVerification(combined_model, reference_evaluator=spice)
+
+    report = benchmark.pedantic(verifier.verify_model_points, args=(2,), rounds=1, iterations=1)
+    print_header("Bottom-up verification: behavioural model vs MNA transistor level")
+    print(f"{'point':>5} {'perf':>8} {'model':>12} {'transistor':>12} {'rel. error':>11}")
+    for index, point in enumerate(report.points):
+        for name in ("kvco", "jitter", "current", "fmin", "fmax"):
+            predicted = point.predicted[name]
+            measured = point.measured[name]
+            error = point.relative_errors()[name]
+            print(f"{index:>5d} {name:>8} {predicted:12.4e} {measured:12.4e} {error:11.2%}")
+    summary = report.summary()
+    print("\nmean relative error per performance:")
+    for name in ("kvco", "jitter", "current", "fmin", "fmax"):
+        print(f"  {name:>8}: {summary[f'mean_error_{name}']:.2%}")
+    print(f"  worst case: {summary['worst_error']:.2%}")
+    # The transistor-level VCO must actually oscillate at every verified point
+    # and the calibrated model must stay within a small factor of it.  The
+    # analytical evaluator is calibrated at a mid-range design, so Pareto
+    # points near the design-rule corners can deviate by a factor of 2-3;
+    # EXPERIMENTS.md discusses this accuracy gap against the paper's claim.
+    assert all(point.measured["fmax"] > 0.0 for point in report.points)
+    assert summary["mean_error_fmax"] < 3.0
+    assert summary["mean_error_current"] < 3.0

@@ -1,0 +1,83 @@
+"""Figure 7 -- 3-D Pareto front of the VCO (jitter, current, gain).
+
+The paper runs NSGA-II on the 5-stage ring-oscillator VCO with seven
+designable W/L parameters and five performance functions and plots the
+resulting Pareto-optimal front in the (jitter, current, gain) space.
+
+This benchmark regenerates that data series: it prints the Pareto points
+projected onto the three plotted objectives (plus the frequency limits) and
+times the evaluation kernel that dominates the optimisation cost.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.circuits import VcoDesign
+from repro.core.circuit_stage import VcoSizingProblem
+from repro.optim import NSGA2, NSGA2Config
+
+
+def test_fig7_pareto_front_series(benchmark, circuit_stage, settings):
+    """Print the figure-7 data series and sanity-check its shape."""
+    front = circuit_stage.optimisation.front
+    benchmark(front.to_records)
+    print_header(
+        "Figure 7: VCO Pareto-optimal front "
+        f"({len(front)} points, {circuit_stage.evaluations} evaluations, "
+        f"pop={settings['circuit_population']}, gen={settings['circuit_generations']})"
+    )
+    print(f"{'jitter [ps]':>12} {'current [mA]':>13} {'gain [MHz/V]':>13} "
+          f"{'fmin [GHz]':>11} {'fmax [GHz]':>11}")
+    jitter = front.raw_objective("jitter") * 1e12
+    current = front.raw_objective("current") * 1e3
+    gain = front.raw_objective("kvco") / 1e6
+    fmin = front.raw_objective("fmin") / 1e9
+    fmax = front.raw_objective("fmax") / 1e9
+    order = np.argsort(gain)
+    for index in order:
+        print(
+            f"{jitter[index]:12.3f} {current[index]:13.3f} {gain[index]:13.1f} "
+            f"{fmin[index]:11.3f} {fmax[index]:11.3f}"
+        )
+    # Shape checks against the paper's axes: jitter of a few tenths of ps,
+    # currents of a few mA, gains of hundreds to thousands of MHz/V.
+    assert len(front) >= 10
+    assert 0.01 < np.median(jitter) < 5.0
+    assert 1.0 < np.median(current) < 20.0
+    assert 100.0 < np.median(gain) < 5000.0
+    # The front must expose a genuine trade-off: the lowest-current design
+    # is not also the highest-gain design.
+    assert int(np.argmin(current)) != int(np.argmax(gain))
+
+
+def test_fig7_front_is_mutually_non_dominated(benchmark, circuit_stage):
+    """Every printed point is Pareto-optimal (no point dominates another)."""
+    objectives = benchmark(lambda: circuit_stage.optimisation.front.objectives)
+    n = objectives.shape[0]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            assert not (
+                np.all(objectives[j] <= objectives[i]) and np.any(objectives[j] < objectives[i])
+            )
+
+
+def bench_generation_kernel(evaluator):
+    """One reduced NSGA-II run -- the repeated kernel behind figure 7."""
+    problem = VcoSizingProblem(evaluator)
+    return NSGA2(problem, NSGA2Config(population_size=20, generations=3, seed=1)).run()
+
+
+def test_fig7_benchmark_nsga2_kernel(benchmark, evaluator):
+    """Time a reduced NSGA-II run of the VCO sizing problem."""
+    result = benchmark(bench_generation_kernel, evaluator)
+    assert len(result.front) >= 1
+
+
+def test_fig7_benchmark_single_evaluation(benchmark, evaluator):
+    """Time one VCO performance evaluation (the paper's single SPICE run)."""
+    design = VcoDesign()
+    performance = benchmark(evaluator.evaluate, design)
+    assert performance.fmax > 0.0

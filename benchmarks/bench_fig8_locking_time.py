@@ -1,0 +1,68 @@
+"""Figure 8 -- PLL locking-time transient of the selected design.
+
+The paper shows the transistor-level locking transient of the optimised PLL
+(control-voltage / output-frequency settling within the specified 1 us).
+This benchmark regenerates the same series with the behavioural PLL built
+around the combined VCO model: the output frequency and control voltage
+versus time, the measured lock time, and a comparison against the linear
+loop-analysis estimate.  The simulation kernel is timed.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_header
+from repro.behavioural import BehaviouralPll, LinearPllAnalysis, PllDesign
+from repro.core.specification import PLL_SPECIFICATIONS
+
+
+def _build_selected_pll(system_stage, combined_model):
+    values = system_stage.selected_values
+    design = PllDesign(c1=values["c1"], c2=values["c2"], r1=values["r1"])
+    vco = combined_model.behavioural_vco(values["kvco"], values["ivco"])
+    return BehaviouralPll(vco, design), design, values
+
+
+def test_fig8_locking_transient(benchmark, system_stage, combined_model):
+    """Print the locking transient series and check the lock-time spec."""
+    pll, design, values = _build_selected_pll(system_stage, combined_model)
+    transient = benchmark(pll.simulate, max_time=3e-6)
+    lock_time = pll.lock_time(transient)
+    linear_estimate = LinearPllAnalysis(design, kvco=values["kvco"]).lock_time_estimate()
+    print_header("Figure 8: PLL locking-time transient (selected design)")
+    print(f"target output frequency : {design.target_frequency / 1e9:.3f} GHz")
+    print(f"measured lock time      : {lock_time * 1e6:.3f} us")
+    print(f"linear-model estimate   : {linear_estimate * 1e6:.3f} us")
+    print(f"specification           : < {PLL_SPECIFICATIONS['lock_time'].upper * 1e6:.1f} us")
+    print()
+    print(f"{'time [us]':>10} {'vctrl [V]':>10} {'f_vco [GHz]':>12} {'phase err [ps]':>15}")
+    # Down-sample the trajectory to ~25 printed rows.
+    step = max(len(transient.time) // 25, 1)
+    for index in range(0, len(transient.time), step):
+        print(
+            f"{transient.time[index] * 1e6:10.3f} {transient.control_voltage[index]:10.4f} "
+            f"{transient.frequency[index] / 1e9:12.4f} {transient.phase_error[index] * 1e12:15.2f}"
+        )
+    # The loop locks, within the specification, like the paper's figure 8.
+    assert np.isfinite(lock_time)
+    assert lock_time <= PLL_SPECIFICATIONS["lock_time"].upper
+    assert abs(transient.frequency[-1] - design.target_frequency) < 0.01 * design.target_frequency
+    # Acquisition behaviour: the frequency starts away from the target and converges.
+    assert abs(transient.frequency[0] - design.target_frequency) > abs(
+        transient.frequency[-1] - design.target_frequency
+    )
+    # Linear estimate and time-domain measurement agree within an order of magnitude.
+    assert 0.05 < lock_time / linear_estimate < 20.0
+
+
+def test_fig8_variation_variants_still_lock(benchmark, system_stage, combined_model):
+    """The min/max variation variants of the selected design also lock."""
+    pll, design, _ = _build_selected_pll(system_stage, combined_model)
+    results = benchmark(pll.evaluate_all_variants, max_time=3e-6)
+    print_header("Figure 8 (companion): lock behaviour of the variation variants")
+    for variant, performance in results.items():
+        lock = performance.lock_time * 1e6 if np.isfinite(performance.lock_time) else float("inf")
+        print(
+            f"  {variant:>8}: lock = {lock:7.3f} us, jitter = {performance.jitter * 1e12:6.3f} ps, "
+            f"current = {performance.current * 1e3:6.2f} mA, locked = {performance.locked}"
+        )
+    assert all(performance.locked for performance in results.values())

@@ -1,0 +1,100 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper's evaluation
+(section 4).  The shared artefacts -- the circuit-level Pareto front with
+its Monte Carlo variation model and the system-level optimisation result --
+are built once per session here.
+
+Benchmark scale
+---------------
+The paper used 30 generations x 100 individuals (3,000 SPICE simulations)
+for the circuit stage and 100/500-sample Monte Carlo runs.  By default the
+benchmarks run a reduced but faithful configuration so the whole harness
+finishes in a few minutes; set the environment variable ``REPRO_FULL=1`` to
+use the paper's original sample counts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.circuits import RingVcoAnalyticalEvaluator
+from repro.core.circuit_stage import CircuitLevelOptimisation
+from repro.core.system_stage import SystemLevelOptimisation
+from repro.optim import NSGA2Config
+from repro.process import TECH_012UM
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+#: Benchmark configuration (reduced vs paper-scale).
+SETTINGS = {
+    "circuit_population": 100 if FULL_SCALE else 60,
+    "circuit_generations": 30 if FULL_SCALE else 16,
+    "mc_samples_per_point": 100 if FULL_SCALE else 40,
+    "model_points": 30 if FULL_SCALE else 18,
+    "system_population": 40 if FULL_SCALE else 20,
+    "system_generations": 15 if FULL_SCALE else 8,
+    "yield_samples": 500 if FULL_SCALE else 120,
+    "seed": 2009,
+}
+
+
+def print_header(title: str) -> None:
+    """Uniform banner used by every benchmark's report output."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture(scope="session")
+def settings():
+    """The active benchmark settings (reduced or paper-scale)."""
+    return dict(SETTINGS)
+
+
+@pytest.fixture(scope="session")
+def evaluator():
+    """The calibrated analytical VCO evaluator shared by all benchmarks."""
+    return RingVcoAnalyticalEvaluator(TECH_012UM)
+
+
+@pytest.fixture(scope="session")
+def circuit_stage(evaluator):
+    """Circuit-level NSGA-II run plus combined model (figures 7, table 1)."""
+    stage = CircuitLevelOptimisation(
+        evaluator=evaluator,
+        technology=TECH_012UM,
+        config=NSGA2Config(
+            population_size=SETTINGS["circuit_population"],
+            generations=SETTINGS["circuit_generations"],
+            seed=SETTINGS["seed"],
+        ),
+        mc_samples=SETTINGS["mc_samples_per_point"],
+        mc_seed=SETTINGS["seed"],
+        max_model_points=SETTINGS["model_points"],
+    )
+    return stage.run()
+
+
+@pytest.fixture(scope="session")
+def combined_model(circuit_stage):
+    """The extracted combined performance + variation model."""
+    return circuit_stage.model
+
+
+@pytest.fixture(scope="session")
+def system_stage(combined_model):
+    """System-level PLL optimisation result (table 2, figure 8, yield)."""
+    stage = SystemLevelOptimisation(
+        combined_model,
+        config=NSGA2Config(
+            population_size=SETTINGS["system_population"],
+            generations=SETTINGS["system_generations"],
+            seed=SETTINGS["seed"],
+        ),
+        simulation_time=3e-6,
+    )
+    return stage.run()

@@ -1,0 +1,58 @@
+"""Charge-pump behavioural model.
+
+Converts the PFD pulse widths into packets of charge delivered to the loop
+filter.  Up/down current mismatch and leakage are modelled because they
+set the static phase offset and the reference spur level of a real PLL;
+the supply-current draw is reported so the system-level current budget can
+include the charge pump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.behavioural.pfd import PhaseError
+
+__all__ = ["ChargePump"]
+
+
+@dataclass
+class ChargePump:
+    """Ideal-switch charge pump with optional mismatch and leakage."""
+
+    #: Nominal pump current (A).
+    current: float = 100e-6
+    #: Relative mismatch between the up and down current sources.
+    mismatch: float = 0.0
+    #: Constant leakage current out of the loop filter (A).
+    leakage: float = 0.0
+    #: Static supply current of the pump and its bias (A), for power budgets.
+    quiescent_current: float = 150e-6
+
+    def __post_init__(self) -> None:
+        if self.current <= 0.0:
+            raise ValueError("charge-pump current must be positive")
+
+    @property
+    def up_current(self) -> float:
+        """Source (UP) current including mismatch."""
+        return self.current * (1.0 + 0.5 * self.mismatch)
+
+    @property
+    def down_current(self) -> float:
+        """Sink (DOWN) current including mismatch."""
+        return self.current * (1.0 - 0.5 * self.mismatch)
+
+    def charge(self, phase_error: PhaseError, comparison_period: float) -> float:
+        """Net charge (C) delivered to the loop filter in one comparison cycle."""
+        if comparison_period <= 0.0:
+            raise ValueError("comparison period must be positive")
+        delivered = self.up_current * phase_error.up_width
+        delivered -= self.down_current * phase_error.down_width
+        delivered -= self.leakage * comparison_period
+        return delivered
+
+    def supply_current(self, phase_error: PhaseError, comparison_period: float) -> float:
+        """Average supply current drawn during one comparison cycle (A)."""
+        active = self.up_current * phase_error.up_width + self.down_current * phase_error.down_width
+        return self.quiescent_current + active / comparison_period

@@ -1,0 +1,57 @@
+"""Feedback divider behavioural model.
+
+An integer divide-by-``ratio`` counter: one feedback edge is produced for
+every ``ratio`` VCO edges.  Divider jitter is modelled as an additive
+random timing error per output edge, which is small compared with the VCO
+contribution but included for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Divider"]
+
+
+@dataclass
+class Divider:
+    """Integer feedback divider."""
+
+    ratio: int = 24
+    #: RMS jitter added to each divided output edge (s).
+    edge_jitter: float = 0.0
+    #: Supply current of the divider logic (A), for the power budget.
+    supply_current: float = 400e-6
+
+    def __post_init__(self) -> None:
+        if self.ratio < 1:
+            raise ValueError("divide ratio must be at least 1")
+        if self.edge_jitter < 0.0:
+            raise ValueError("edge jitter must be non-negative")
+
+    def output_period(self, vco_period: float) -> float:
+        """Nominal divided output period."""
+        if vco_period <= 0.0:
+            raise ValueError("VCO period must be positive")
+        return self.ratio * vco_period
+
+    def output_edge(
+        self,
+        last_edge: float,
+        vco_period: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Time of the next divided output edge, including divider jitter."""
+        edge = last_edge + self.output_period(vco_period)
+        if self.edge_jitter > 0.0 and rng is not None:
+            edge += float(rng.normal(0.0, self.edge_jitter))
+        return edge
+
+    def output_frequency(self, vco_frequency: float) -> float:
+        """Divided output frequency."""
+        if vco_frequency <= 0.0:
+            raise ValueError("VCO frequency must be positive")
+        return vco_frequency / self.ratio

@@ -1,0 +1,62 @@
+"""Jitter arithmetic used by the behavioural models.
+
+The formulas follow Kundert's behavioural PLL modelling notes (reference
+[13] of the paper).  The key relation used in Listing 2 of the paper is
+
+    delta = jvco * sqrt(2 * ratio)
+
+which converts the VCO period jitter ``jvco`` into the jitter of one output
+period of a divide-by-``ratio`` feedback path: the variance of a sum of
+``ratio`` independent period errors grows linearly, and the factor two
+accounts for both edges contributing to a period measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["jitter_sum", "accumulated_jitter", "period_jitter_from_phase_noise"]
+
+
+def jitter_sum(vco_period_jitter: float, divide_ratio: float) -> float:
+    """Jitter accumulated over one divided output period.
+
+    This is the ``delta = jvco * sqrt(2 * ratio)`` expression of the
+    paper's Listing 2: independent per-cycle jitter accumulates in variance
+    over ``ratio`` VCO cycles.
+    """
+    if vco_period_jitter < 0.0:
+        raise ValueError("jitter must be non-negative")
+    if divide_ratio <= 0.0:
+        raise ValueError("the divide ratio must be positive")
+    return vco_period_jitter * math.sqrt(2.0 * divide_ratio)
+
+
+def accumulated_jitter(per_cycle_jitters: Sequence[float]) -> float:
+    """RSS accumulation of independent per-cycle jitter contributions."""
+    total = 0.0
+    for value in per_cycle_jitters:
+        if value < 0.0:
+            raise ValueError("jitter contributions must be non-negative")
+        total += value * value
+    return math.sqrt(total)
+
+
+def period_jitter_from_phase_noise(
+    phase_noise_dbc_hz: float, offset_frequency: float, carrier_frequency: float
+) -> float:
+    """Convert a single-point phase-noise figure to RMS period jitter.
+
+    Assumes a -20 dB/decade region around ``offset_frequency`` (white FM
+    noise, the dominant behaviour of a ring oscillator): the period jitter
+    of a free-running oscillator is then
+
+        sigma = sqrt(L(f_off)) * f_off / f_c^1.5  (per sqrt cycle)
+
+    where ``L`` is the single-sideband phase-noise power ratio.
+    """
+    if offset_frequency <= 0.0 or carrier_frequency <= 0.0:
+        raise ValueError("frequencies must be positive")
+    l_linear = 10.0 ** (phase_noise_dbc_hz / 10.0)
+    return math.sqrt(l_linear) * offset_frequency / carrier_frequency**1.5

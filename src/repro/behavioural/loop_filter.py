@@ -1,0 +1,119 @@
+"""Passive loop-filter behavioural model.
+
+The paper's PLL uses the classic second-order passive filter: ``R1`` in
+series with ``C1`` to ground, in parallel with a ripple capacitor ``C2``
+(designable parameters C1, C2 and R1 in Table 2).  The model integrates the
+charge-pump current exactly over one comparison interval (treating the
+pump as a charge packet followed by a hold interval), which is accurate for
+the narrow pulses produced near lock and robust for the large pulses during
+acquisition.
+
+The transfer function ``Z(s)`` used by the linear loop analysis is also
+provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LoopFilterState", "LoopFilter"]
+
+
+@dataclass
+class LoopFilterState:
+    """Voltages of the two filter capacitors."""
+
+    v_c1: float = 0.0
+    v_c2: float = 0.0
+
+    def copy(self) -> "LoopFilterState":
+        """Independent copy of the state."""
+        return LoopFilterState(self.v_c1, self.v_c2)
+
+
+@dataclass
+class LoopFilter:
+    """Second-order passive charge-pump loop filter (R1 + C1) || C2."""
+
+    c1: float = 2.0e-12
+    c2: float = 0.5e-12
+    r1: float = 2.0e3
+
+    def __post_init__(self) -> None:
+        if self.c1 <= 0.0 or self.r1 <= 0.0:
+            raise ValueError("C1 and R1 must be positive")
+        if self.c2 < 0.0:
+            raise ValueError("C2 must be non-negative")
+
+    # -- small-signal description -----------------------------------------------------
+
+    def impedance(self, s: complex) -> complex:
+        """Transimpedance ``Vctrl(s) / Icp(s)`` of the filter."""
+        z1 = self.r1 + 1.0 / (s * self.c1)
+        if self.c2 == 0.0:
+            return z1
+        z2 = 1.0 / (s * self.c2)
+        return z1 * z2 / (z1 + z2)
+
+    @property
+    def zero_frequency(self) -> float:
+        """Stabilising zero ``1 / (2 pi R1 C1)`` in Hz."""
+        from math import pi
+
+        return 1.0 / (2.0 * pi * self.r1 * self.c1)
+
+    @property
+    def pole_frequency(self) -> float:
+        """Parasitic pole ``1 / (2 pi R1 (C1 || C2))`` in Hz (inf when C2=0)."""
+        from math import pi
+
+        if self.c2 == 0.0:
+            return float("inf")
+        c_series = self.c1 * self.c2 / (self.c1 + self.c2)
+        return 1.0 / (2.0 * pi * self.r1 * c_series)
+
+    # -- time-domain update --------------------------------------------------------------
+
+    def apply_charge(
+        self, state: LoopFilterState, charge: float, interval: float
+    ) -> LoopFilterState:
+        """Advance the filter by one comparison interval.
+
+        The charge packet is deposited at the start of the interval (split
+        between C2 and the R1+C1 branch according to their instantaneous
+        impedance, i.e. all of it initially lands on C2 when C2 > 0), after
+        which the two capacitors relax towards each other through R1 for the
+        remainder of the interval.
+        """
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        new_state = state.copy()
+        if self.c2 > 0.0:
+            # The narrow pump pulse charges the ripple capacitor first.
+            new_state.v_c2 += charge / self.c2
+        else:
+            new_state.v_c1 += charge / self.c1
+        # Relaxation of C2 towards C1 through R1 (exact single-pole solution).
+        if self.c2 > 0.0:
+            from math import exp
+
+            c_series = self.c1 * self.c2 / (self.c1 + self.c2)
+            tau = self.r1 * c_series
+            decay = exp(-interval / tau) if tau > 0.0 else 0.0
+            difference = new_state.v_c2 - new_state.v_c1
+            settled_difference = difference * decay
+            # Total charge is conserved while the difference decays.
+            total_charge = self.c1 * new_state.v_c1 + self.c2 * new_state.v_c2
+            new_state.v_c2 = (
+                total_charge + self.c1 * settled_difference
+            ) / (self.c1 + self.c2)
+            new_state.v_c1 = new_state.v_c2 - settled_difference
+        return new_state
+
+    def output_voltage(self, state: LoopFilterState) -> float:
+        """Control voltage seen by the VCO (the voltage on C2, or C1 if C2=0)."""
+        return state.v_c2 if self.c2 > 0.0 else state.v_c1
+
+    def initialise(self, control_voltage: float) -> LoopFilterState:
+        """State with both capacitors pre-charged to ``control_voltage``."""
+        return LoopFilterState(v_c1=control_voltage, v_c2=control_voltage)

@@ -1,0 +1,63 @@
+"""Phase-frequency detector behavioural model.
+
+A tri-state PFD compares the arrival times of the reference edge and the
+feedback (divider) edge in each comparison cycle and produces an UP or
+DOWN pulse whose width equals the time difference.  Non-idealities that
+matter for lock behaviour -- a dead zone and a minimum (reset) pulse width
+-- are modelled because they bound the achievable static phase error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhaseError", "PhaseFrequencyDetector"]
+
+
+@dataclass(frozen=True)
+class PhaseError:
+    """Result of one phase comparison."""
+
+    #: Signed timing error (s); positive when the feedback edge is late,
+    #: i.e. the VCO must speed up (UP pulse).
+    timing_error: float
+    #: Width of the UP pulse driving the charge pump (s).
+    up_width: float
+    #: Width of the DOWN pulse driving the charge pump (s).
+    down_width: float
+
+    @property
+    def net_width(self) -> float:
+        """Net charge-pump drive ``up - down`` (s)."""
+        return self.up_width - self.down_width
+
+
+@dataclass
+class PhaseFrequencyDetector:
+    """Tri-state PFD with dead zone and reset pulse width."""
+
+    #: Phase errors smaller than this produce no net output (s).
+    dead_zone: float = 0.0
+    #: Both outputs stay high for at least this long each cycle (s); the
+    #: anti-backlash pulse of a real PFD.
+    reset_pulse: float = 20e-12
+    #: Maximum pulse width, bounded by the reference period in a real PFD (s).
+    max_pulse: float = 1e-6
+
+    def compare(self, reference_edge: float, feedback_edge: float) -> PhaseError:
+        """Compare one pair of edges and return the pulse widths."""
+        error = feedback_edge - reference_edge
+        magnitude = abs(error)
+        if magnitude <= self.dead_zone:
+            effective = 0.0
+        else:
+            effective = magnitude - self.dead_zone
+        effective = min(effective, self.max_pulse)
+        up = self.reset_pulse
+        down = self.reset_pulse
+        if error > 0.0:
+            # Feedback late: VCO too slow, pump charge in (UP).
+            up += effective
+        elif error < 0.0:
+            down += effective
+        return PhaseError(timing_error=error, up_width=up, down_width=down)

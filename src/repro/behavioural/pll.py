@@ -1,0 +1,236 @@
+"""Time-domain behavioural PLL simulator.
+
+The paper's system-level example is a charge-pump PLL (figure 5): PFD,
+charge pump, passive loop filter, VCO and feedback divider.  The simulator
+here advances the loop one reference cycle at a time, exactly like the
+behavioural Verilog-A models of reference [13]:
+
+1. the PFD compares the reference edge with the divider edge,
+2. the charge pump converts the pulse widths to a charge packet,
+3. the loop filter integrates the packet and relaxes for the rest of the
+   comparison interval,
+4. the VCO runs at the frequency given by the new control voltage (with
+   per-cycle jitter injection when a random generator is supplied), and
+5. the divider produces the next feedback edge.
+
+Every quantity can be evaluated for the ``nominal``, ``min`` or ``max``
+variant of the VCO block, which is how the combined performance +
+variation model propagates block-level spread to the system performances
+(lock time, jitter, current) -- the central mechanism of section 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.behavioural.charge_pump import ChargePump
+from repro.behavioural.divider import Divider
+from repro.behavioural.loop_filter import LoopFilter
+from repro.behavioural.pfd import PhaseFrequencyDetector
+from repro.behavioural.vco import VARIANTS, BehaviouralVco
+from repro.spice.waveform import Waveform
+
+__all__ = ["PllDesign", "PllPerformance", "PllTransient", "BehaviouralPll"]
+
+
+@dataclass(frozen=True)
+class PllDesign:
+    """System-level design point of the PLL.
+
+    The designable parameters of the paper's system-level optimisation are
+    the VCO gain and current (carried by the :class:`BehaviouralVco`) plus
+    the loop-filter components ``c1``, ``c2`` and ``r1``; the remaining
+    fields configure the fixed parts of the architecture.
+    """
+
+    c1: float = 2.0e-12
+    c2: float = 0.5e-12
+    r1: float = 2.0e3
+    charge_pump_current: float = 100e-6
+    divide_ratio: int = 24
+    reference_frequency: float = 40e6
+    #: Supply current of the non-VCO blocks (PFD, CP bias, divider, buffers).
+    peripheral_current: float = 10e-3
+
+    @property
+    def target_frequency(self) -> float:
+        """Locked output frequency ``N * f_ref``."""
+        return self.divide_ratio * self.reference_frequency
+
+    def loop_filter(self) -> LoopFilter:
+        """Loop filter built from the designable components."""
+        return LoopFilter(c1=self.c1, c2=self.c2, r1=self.r1)
+
+
+@dataclass
+class PllPerformance:
+    """System performances of one PLL evaluation variant."""
+
+    lock_time: float
+    jitter: float
+    current: float
+    locked: bool
+    final_frequency: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for optimiser / reporting use."""
+        return {
+            "lock_time": self.lock_time,
+            "jitter": self.jitter,
+            "current": self.current,
+            "locked": float(self.locked),
+            "final_frequency": self.final_frequency,
+        }
+
+
+@dataclass
+class PllTransient:
+    """Recorded loop trajectory of one simulation run."""
+
+    time: np.ndarray
+    control_voltage: np.ndarray
+    frequency: np.ndarray
+    phase_error: np.ndarray
+
+    def control_waveform(self) -> Waveform:
+        """Control voltage as a waveform (the paper's figure-8 style plot)."""
+        return Waveform(self.time, self.control_voltage, "vctrl")
+
+    def frequency_waveform(self) -> Waveform:
+        """Instantaneous VCO frequency as a waveform."""
+        return Waveform(self.time, self.frequency, "fvco")
+
+
+class BehaviouralPll:
+    """Cycle-by-cycle behavioural simulation of the charge-pump PLL."""
+
+    def __init__(
+        self,
+        vco: BehaviouralVco,
+        design: PllDesign,
+        pfd: Optional[PhaseFrequencyDetector] = None,
+        charge_pump: Optional[ChargePump] = None,
+        divider: Optional[Divider] = None,
+        lock_tolerance: float = 0.005,
+    ) -> None:
+        self.vco = vco
+        self.design = design
+        self.pfd = pfd or PhaseFrequencyDetector()
+        self.charge_pump = charge_pump or ChargePump(current=design.charge_pump_current)
+        self.divider = divider or Divider(ratio=design.divide_ratio)
+        if self.divider.ratio != design.divide_ratio:
+            raise ValueError("divider ratio must match the design's divide_ratio")
+        self.lock_tolerance = lock_tolerance
+
+    # -- simulation ----------------------------------------------------------------------
+
+    def simulate(
+        self,
+        variant: str = "nominal",
+        max_time: float = 3e-6,
+        seed: Optional[int] = None,
+        initial_control_voltage: Optional[float] = None,
+    ) -> PllTransient:
+        """Run the loop until ``max_time`` and record its trajectory."""
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}")
+        rng = np.random.default_rng(seed) if seed is not None else None
+        loop_filter = self.design.loop_filter()
+        t_ref = 1.0 / self.design.reference_frequency
+        vctrl0 = (
+            self.vco.vctrl_min if initial_control_voltage is None else initial_control_voltage
+        )
+        state = loop_filter.initialise(vctrl0)
+        times: List[float] = []
+        vctrls: List[float] = []
+        frequencies: List[float] = []
+        errors: List[float] = []
+        fb_edge = 0.0
+        time = 0.0
+        n_cycles = max(int(np.ceil(max_time / t_ref)), 2)
+        for cycle in range(n_cycles):
+            ref_edge = cycle * t_ref
+            error = self.pfd.compare(ref_edge, fb_edge)
+            charge = self.charge_pump.charge(error, t_ref)
+            state = loop_filter.apply_charge(state, charge, t_ref)
+            vctrl = loop_filter.output_voltage(state)
+            vctrl = min(max(vctrl, self.vco.vctrl_min), self.vco.vctrl_max)
+            frequency = self.vco.frequency(vctrl, variant)
+            vco_period = 1.0 / frequency
+            if rng is not None:
+                sigma = self.vco.period_jitter(variant) * np.sqrt(self.divider.ratio)
+                fb_period = self.divider.ratio * vco_period + float(rng.normal(0.0, sigma))
+            else:
+                fb_period = self.divider.ratio * vco_period
+            # The next feedback edge follows one divided period after the
+            # later of the previous edge and its comparison instant (keeps
+            # the loop causal during frequency acquisition).
+            fb_edge = max(fb_edge, ref_edge) + fb_period
+            time = ref_edge + t_ref
+            times.append(time)
+            vctrls.append(vctrl)
+            frequencies.append(frequency)
+            errors.append(error.timing_error)
+        return PllTransient(
+            time=np.asarray(times),
+            control_voltage=np.asarray(vctrls),
+            frequency=np.asarray(frequencies),
+            phase_error=np.asarray(errors),
+        )
+
+    # -- measurements ----------------------------------------------------------------------
+
+    def lock_time(self, transient: PllTransient) -> float:
+        """Time after which the output frequency stays within tolerance."""
+        target = self.design.target_frequency
+        tolerance = self.lock_tolerance * target
+        outside = np.abs(transient.frequency - target) > tolerance
+        if not np.any(outside):
+            return float(transient.time[0])
+        if outside[-1]:
+            return float("inf")
+        last_outside = int(np.max(np.flatnonzero(outside)))
+        return float(transient.time[last_outside + 1])
+
+    def output_jitter(self, variant: str = "nominal") -> float:
+        """PLL output jitter from the VCO jitter accumulated over one
+        divided period (``jvco * sqrt(2 * ratio)``, paper Listing 2)."""
+        return self.vco.output_edge_jitter(self.divider.ratio, variant)
+
+    def supply_current(self, variant: str = "nominal") -> float:
+        """Total PLL supply current: VCO variant plus the fixed peripherals."""
+        return self.vco.current(variant) + self.design.peripheral_current
+
+    def evaluate(
+        self,
+        variant: str = "nominal",
+        max_time: float = 3e-6,
+        seed: Optional[int] = None,
+    ) -> PllPerformance:
+        """Simulate one variant and return its system performances."""
+        transient = self.simulate(variant=variant, max_time=max_time, seed=seed)
+        lock = self.lock_time(transient)
+        return PllPerformance(
+            lock_time=lock,
+            jitter=self.output_jitter(variant),
+            current=self.supply_current(variant),
+            locked=bool(np.isfinite(lock)),
+            final_frequency=float(transient.frequency[-1]),
+        )
+
+    def evaluate_all_variants(
+        self, max_time: float = 3e-6, seed: Optional[int] = None
+    ) -> Dict[str, PllPerformance]:
+        """Evaluate the nominal, minimum and maximum variants.
+
+        This is the paper's mechanism for propagating block variation to
+        the system level: the optimiser sees nominal as well as worst-case
+        system performances for every candidate design.
+        """
+        return {
+            variant: self.evaluate(variant=variant, max_time=max_time, seed=seed)
+            for variant in VARIANTS
+        }

@@ -1,0 +1,138 @@
+"""Linear (s-domain) charge-pump PLL analysis.
+
+The continuous-time approximation of the charge-pump PLL gives closed-form
+expressions for the loop dynamics that the behavioural time-domain
+simulator can be checked against:
+
+* open-loop gain ``G(s) = (Icp / 2 pi) * Z(s) * (2 pi Kvco / s) / N``,
+* natural frequency and damping of the classic second-order approximation
+  (ignoring the ripple capacitor C2),
+* unity-gain bandwidth and phase margin found numerically on ``G(jw)``,
+* a lock-time estimate ``t_lock ~= ln(f_step / f_tol) / (zeta * w_n)``.
+
+These quantities are used by the quickstart example, by unit tests (the
+time-domain lock time must agree with the linear estimate within a factor
+of a few) and by the design-space sanity checks of the system stage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.behavioural.loop_filter import LoopFilter
+from repro.behavioural.pll import PllDesign
+
+__all__ = ["LoopDynamics", "LinearPllAnalysis"]
+
+
+@dataclass(frozen=True)
+class LoopDynamics:
+    """Closed-form second-order loop parameters."""
+
+    natural_frequency: float  # rad/s
+    damping: float
+    bandwidth: float  # Hz (unity-gain of the open loop)
+    phase_margin: float  # degrees
+    lock_time_estimate: float  # seconds
+
+
+class LinearPllAnalysis:
+    """Small-signal analysis of a charge-pump PLL design."""
+
+    def __init__(self, design: PllDesign, kvco: float) -> None:
+        if kvco <= 0.0:
+            raise ValueError("kvco must be positive")
+        self.design = design
+        self.kvco = float(kvco)
+        self.loop_filter: LoopFilter = design.loop_filter()
+
+    # -- transfer functions ------------------------------------------------------------
+
+    def open_loop_gain(self, frequency: float) -> complex:
+        """Open-loop gain ``G(j 2 pi f)`` of the phase-domain loop."""
+        if frequency <= 0.0:
+            raise ValueError("frequency must be positive")
+        s = 2j * math.pi * frequency
+        icp = self.design.charge_pump_current
+        z = self.loop_filter.impedance(s)
+        vco = 2.0 * math.pi * self.kvco / s
+        return (icp / (2.0 * math.pi)) * z * vco / self.design.divide_ratio
+
+    def closed_loop_gain(self, frequency: float) -> complex:
+        """Closed-loop input-to-output phase transfer (times N at DC)."""
+        g = self.open_loop_gain(frequency)
+        return self.design.divide_ratio * g / (1.0 + g)
+
+    # -- second-order approximations ------------------------------------------------------
+
+    @property
+    def natural_frequency(self) -> float:
+        """``w_n = sqrt(2 pi Kvco Icp / (N C1))`` in rad/s."""
+        icp = self.design.charge_pump_current
+        return math.sqrt(
+            2.0 * math.pi * self.kvco * icp / (self.design.divide_ratio * self.design.c1)
+        )
+
+    @property
+    def damping(self) -> float:
+        """``zeta = (R1 C1 / 2) w_n``."""
+        return 0.5 * self.design.r1 * self.design.c1 * self.natural_frequency
+
+    def unity_gain_bandwidth(
+        self, f_start: float = 1e3, f_stop: Optional[float] = None, points: int = 400
+    ) -> float:
+        """Frequency at which the open-loop magnitude crosses unity (Hz)."""
+        f_stop = f_stop or self.design.reference_frequency
+        grid = np.logspace(math.log10(f_start), math.log10(f_stop), points)
+        magnitude = np.array([abs(self.open_loop_gain(f)) for f in grid])
+        below = np.flatnonzero(magnitude < 1.0)
+        if below.size == 0:
+            return float(grid[-1])
+        first = int(below[0])
+        if first == 0:
+            return float(grid[0])
+        # Log-log interpolation between the bracketing samples.
+        f0, f1 = grid[first - 1], grid[first]
+        m0, m1 = magnitude[first - 1], magnitude[first]
+        if m0 == m1:
+            return float(f0)
+        frac = (math.log10(m0)) / (math.log10(m0) - math.log10(m1))
+        return float(10 ** (math.log10(f0) + frac * (math.log10(f1) - math.log10(f0))))
+
+    def phase_margin(self) -> float:
+        """Phase margin at the unity-gain frequency (degrees)."""
+        f_unity = self.unity_gain_bandwidth()
+        phase = math.degrees(np.angle(self.open_loop_gain(f_unity)))
+        return 180.0 + phase
+
+    def lock_time_estimate(
+        self, frequency_step: Optional[float] = None, tolerance: float = 0.005
+    ) -> float:
+        """Linear settling estimate of the lock time.
+
+        ``frequency_step`` defaults to half the VCO tuning range implied by
+        the loop (the acquisition from the band edge to the target); the
+        estimate is ``ln(step / (tol * f_target)) / (zeta * w_n)`` clamped
+        to at least one reference cycle.
+        """
+        target = self.design.target_frequency
+        step = frequency_step if frequency_step is not None else 0.5 * target
+        zeta = max(self.damping, 1e-3)
+        wn = self.natural_frequency
+        argument = max(step / max(tolerance * target, 1.0), math.e)
+        estimate = math.log(argument) / (zeta * wn)
+        return max(estimate, 1.0 / self.design.reference_frequency)
+
+    def dynamics(self) -> LoopDynamics:
+        """Bundle of all loop-dynamics figures."""
+        return LoopDynamics(
+            natural_frequency=self.natural_frequency,
+            damping=self.damping,
+            bandwidth=self.unity_gain_bandwidth(),
+            phase_margin=self.phase_margin(),
+            lock_time_estimate=self.lock_time_estimate(),
+        )

@@ -1,0 +1,226 @@
+"""Behavioural VCO with the combined performance and variation model.
+
+This is the Python equivalent of Listing 2 in the paper: a VCO block whose
+behaviour is driven by the table models extracted from the circuit-level
+Pareto front.
+
+* The design parameters are the VCO gain ``kvco`` and current ``ivco``
+  (the system-level designables of section 4.5).
+* A *performance model* maps ``(kvco, ivco)`` to the remaining circuit
+  performances (``jvco``, ``fmin``, ``fmax``) -- in the flow this is the
+  interpolated Pareto-front table; standalone values can be given directly.
+* A *variation model* supplies the relative spreads (``kvco_delta`` etc. in
+  percent, exactly as in Table 1) from which the minimum and maximum
+  variants of every quantity are derived:
+
+      kvco_min = kvco - (kvco_delta / 100) * kvco
+      kvco_max = kvco + (kvco_delta / 100) * kvco
+
+* Output-edge jitter follows ``delta = jvco * sqrt(2 * ratio)``, injected
+  as a Gaussian timing error per edge during time-domain simulation.
+
+All three variants (nominal / min / max), corresponding to the ``out``,
+``outmin`` and ``outmax`` ports of Listing 2, are exposed so the PLL
+simulator can evaluate the system performance under worst-case block
+variation -- the paper's key idea for yield-aware system optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.behavioural.jitter import jitter_sum
+
+__all__ = ["VcoVariationTables", "BehaviouralVco", "VARIANTS"]
+
+#: The three evaluation variants of every block quantity.
+VARIANTS = ("nominal", "min", "max")
+
+#: Type of a performance model: (kvco, ivco) -> {"jvco": ..., "fmin": ..., "fmax": ...}.
+PerformanceModel = Callable[[float, float], Mapping[str, float]]
+
+#: Type of a variation model: performance name, nominal value -> spread in percent.
+VariationModel = Callable[[str, float], float]
+
+
+@dataclass
+class VcoVariationTables:
+    """Relative spreads (percent) of each VCO performance.
+
+    Each entry is a callable ``value -> spread_percent`` (typically a
+    :class:`~repro.tablemodel.Table1D` built from the Monte Carlo results,
+    as in Listing 1 of the paper).  Constant spreads can be given with
+    :meth:`constant`.
+    """
+
+    kvco_delta: Callable[[float], float]
+    ivco_delta: Callable[[float], float]
+    jvco_delta: Callable[[float], float]
+    fmin_delta: Callable[[float], float]
+    fmax_delta: Callable[[float], float]
+
+    @classmethod
+    def constant(
+        cls,
+        kvco: float = 0.5,
+        ivco: float = 3.0,
+        jvco: float = 25.0,
+        fmin: float = 2.0,
+        fmax: float = 2.0,
+    ) -> "VcoVariationTables":
+        """Variation tables with constant spreads (percent)."""
+        return cls(
+            kvco_delta=lambda _v, s=kvco: s,
+            ivco_delta=lambda _v, s=ivco: s,
+            jvco_delta=lambda _v, s=jvco: s,
+            fmin_delta=lambda _v, s=fmin: s,
+            fmax_delta=lambda _v, s=fmax: s,
+        )
+
+    def spread(self, name: str, value: float) -> float:
+        """Spread in percent of the named performance at ``value``."""
+        table = getattr(self, f"{name}_delta", None)
+        if table is None:
+            raise KeyError(f"no variation table for performance {name!r}")
+        return float(table(value))
+
+
+class BehaviouralVco:
+    """Table-model driven behavioural VCO block (paper Listing 2)."""
+
+    def __init__(
+        self,
+        kvco: float,
+        ivco: float,
+        jvco: Optional[float] = None,
+        fmin: Optional[float] = None,
+        fmax: Optional[float] = None,
+        performance_model: Optional[PerformanceModel] = None,
+        variation: Optional[VcoVariationTables] = None,
+        vctrl_min: float = 0.5,
+        vctrl_max: float = 1.2,
+    ) -> None:
+        if kvco <= 0.0 or ivco <= 0.0:
+            raise ValueError("kvco and ivco must be positive")
+        if vctrl_max <= vctrl_min:
+            raise ValueError("vctrl_max must exceed vctrl_min")
+        self.kvco = float(kvco)
+        self.ivco = float(ivco)
+        self.vctrl_min = float(vctrl_min)
+        self.vctrl_max = float(vctrl_max)
+        self.variation = variation or VcoVariationTables.constant()
+        if performance_model is not None:
+            interpolated = performance_model(kvco, ivco)
+            self.jvco = float(interpolated["jvco"]) if jvco is None else float(jvco)
+            self.fmin = float(interpolated["fmin"]) if fmin is None else float(fmin)
+            self.fmax = float(interpolated["fmax"]) if fmax is None else float(fmax)
+        else:
+            if jvco is None or fmin is None or fmax is None:
+                raise ValueError(
+                    "either a performance_model or explicit jvco/fmin/fmax values are required"
+                )
+            self.jvco = float(jvco)
+            self.fmin = float(fmin)
+            self.fmax = float(fmax)
+        if self.fmax <= self.fmin:
+            raise ValueError("fmax must exceed fmin")
+
+    # -- variation-derived variants -------------------------------------------------------
+
+    def _bounds(self, name: str, value: float) -> Dict[str, float]:
+        spread = max(self.variation.spread(name, value), 0.0)
+        delta = (spread / 100.0) * abs(value)
+        # All modelled VCO quantities (gain, current, jitter, frequencies)
+        # are physically non-negative, so the lower bound is floored at zero.
+        return {"nominal": value, "min": max(value - delta, 0.0), "max": value + delta}
+
+    def gain(self, variant: str = "nominal") -> float:
+        """VCO gain in Hz/V for the requested variant."""
+        return self._bounds("kvco", self.kvco)[_check_variant(variant)]
+
+    def current(self, variant: str = "nominal") -> float:
+        """VCO supply current in amperes for the requested variant."""
+        return self._bounds("ivco", self.ivco)[_check_variant(variant)]
+
+    def period_jitter(self, variant: str = "nominal") -> float:
+        """Per-cycle RMS period jitter in seconds for the requested variant.
+
+        Note the worst case for jitter is the *maximum*, so the ``max``
+        variant returns the largest jitter.
+        """
+        return self._bounds("jvco", self.jvco)[_check_variant(variant)]
+
+    def frequency_bounds(self, variant: str = "nominal") -> Dict[str, float]:
+        """``fmin`` / ``fmax`` tuning limits for the requested variant."""
+        variant = _check_variant(variant)
+        return {
+            "fmin": self._bounds("fmin", self.fmin)[variant],
+            "fmax": self._bounds("fmax", self.fmax)[variant],
+        }
+
+    # -- large-signal behaviour --------------------------------------------------------------
+
+    def frequency(self, vctrl: float, variant: str = "nominal") -> float:
+        """Oscillation frequency at a control voltage (clamped tuning curve)."""
+        variant = _check_variant(variant)
+        bounds = self.frequency_bounds(variant)
+        gain = self.gain(variant)
+        vctrl_clamped = min(max(vctrl, self.vctrl_min), self.vctrl_max)
+        frequency = bounds["fmin"] + gain * (vctrl_clamped - self.vctrl_min)
+        return float(min(max(frequency, bounds["fmin"]), bounds["fmax"]))
+
+    def control_voltage_for(self, frequency: float, variant: str = "nominal") -> float:
+        """Control voltage that produces ``frequency`` (inverse tuning curve)."""
+        variant = _check_variant(variant)
+        bounds = self.frequency_bounds(variant)
+        gain = self.gain(variant)
+        if gain <= 0.0:
+            raise ValueError("VCO gain must be positive to invert the tuning curve")
+        vctrl = self.vctrl_min + (frequency - bounds["fmin"]) / gain
+        return float(min(max(vctrl, self.vctrl_min), self.vctrl_max))
+
+    def output_edge_jitter(self, divide_ratio: float, variant: str = "nominal") -> float:
+        """Jitter of one divided output period (``jvco * sqrt(2 ratio)``)."""
+        return jitter_sum(self.period_jitter(variant), divide_ratio)
+
+    def jittered_period(
+        self,
+        vctrl: float,
+        rng: Optional[np.random.Generator] = None,
+        variant: str = "nominal",
+    ) -> float:
+        """One VCO period including a Gaussian jitter sample."""
+        frequency = self.frequency(vctrl, variant)
+        period = 1.0 / frequency
+        if rng is None:
+            return period
+        sigma = self.period_jitter(variant)
+        jittered = period + float(rng.normal(0.0, sigma))
+        return max(jittered, 0.1 * period)
+
+    # -- reporting ------------------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, float]:
+        """Flat summary of the block's nominal, minimum and maximum values."""
+        summary: Dict[str, float] = {}
+        for name, value in (
+            ("kvco", self.kvco),
+            ("ivco", self.ivco),
+            ("jvco", self.jvco),
+            ("fmin", self.fmin),
+            ("fmax", self.fmax),
+        ):
+            bounds = self._bounds(name, value)
+            summary[name] = bounds["nominal"]
+            summary[f"{name}_min"] = bounds["min"]
+            summary[f"{name}_max"] = bounds["max"]
+        return summary
+
+
+def _check_variant(variant: str) -> str:
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    return variant

@@ -1,0 +1,42 @@
+"""Circuit library: the 5-stage current-starved ring-oscillator VCO.
+
+The paper's circuit-level example is a 5-stage voltage-controlled ring
+oscillator with 7 designable W/L parameters, evaluated for five
+performance functions (jitter, current, gain, minimum and maximum
+frequency).  This subpackage provides:
+
+* :class:`~repro.circuits.ring_vco.VcoDesign` -- the 7-parameter design
+  point with the paper's design-rule bounds,
+* :func:`~repro.circuits.ring_vco.build_ring_vco` -- a transistor-level
+  netlist generator for the topology (current-starved inverter stages plus
+  a control-voltage bias mirror),
+* :class:`~repro.circuits.testbench.VcoTestbench` -- the SPICE test bench
+  that sweeps the control voltage and measures the five performances with
+  the MNA engine,
+* :class:`~repro.circuits.evaluators.RingVcoAnalyticalEvaluator` -- a
+  calibrated first-order evaluator used inside the genetic-algorithm loop
+  (3,000 evaluations would be impractical with pure-Python transients), and
+* :class:`~repro.circuits.evaluators.RingVcoSpiceEvaluator` -- the
+  transistor-level evaluator used for spot checks and bottom-up
+  verification.
+"""
+
+from repro.circuits.evaluators import (
+    RingVcoAnalyticalEvaluator,
+    RingVcoSpiceEvaluator,
+    VcoEvaluator,
+)
+from repro.circuits.performance import VcoPerformance
+from repro.circuits.ring_vco import VcoDesign, build_ring_vco, vco_device_geometries
+from repro.circuits.testbench import VcoTestbench
+
+__all__ = [
+    "VcoDesign",
+    "VcoPerformance",
+    "build_ring_vco",
+    "vco_device_geometries",
+    "VcoTestbench",
+    "VcoEvaluator",
+    "RingVcoAnalyticalEvaluator",
+    "RingVcoSpiceEvaluator",
+]

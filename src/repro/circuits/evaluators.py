@@ -1,0 +1,382 @@
+"""VCO performance evaluators.
+
+Two evaluators implement the same interface (:class:`VcoEvaluator`):
+
+* :class:`RingVcoSpiceEvaluator` runs the transistor-level test bench of
+  :mod:`repro.circuits.testbench` on the MNA engine.  It is the
+  ground-truth engine used for bottom-up verification and spot checks, but
+  a single evaluation costs a few seconds of pure-Python transient
+  simulation.
+
+* :class:`RingVcoAnalyticalEvaluator` computes the same five performances
+  from first-order device physics (starving current from the shared MOSFET
+  model equations, delay = C V / I, thermal-noise jitter, dynamic +
+  crowbar supply current).  One evaluation costs microseconds, which makes
+  the paper's 3,000-sample NSGA-II run and the per-Pareto-point Monte Carlo
+  analysis laptop-scale.  Its calibration factors were fitted against the
+  SPICE evaluator so that both engines agree on trends and roughly on
+  magnitude (see ``examples/vco_characterisation.py`` and the unit tests).
+
+Both evaluators accept a technology override and a mismatch sample, which
+is how the Monte Carlo engine injects global process variation and local
+device mismatch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from repro.circuits.performance import VcoPerformance
+from repro.circuits.ring_vco import N_STAGES, VcoDesign, vco_device_geometries
+from repro.circuits.testbench import VcoTestbench
+from repro.process.mismatch import MismatchSample
+from repro.process.technology import TECH_012UM, Technology
+from repro.spice.mosfet import MOSFET
+
+__all__ = ["VcoEvaluator", "RingVcoAnalyticalEvaluator", "RingVcoSpiceEvaluator"]
+
+_BOLTZMANN = 1.380649e-23
+
+
+class VcoEvaluator:
+    """Interface shared by the analytical and the SPICE evaluator."""
+
+    technology: Technology
+
+    def evaluate(
+        self,
+        design: VcoDesign,
+        technology: Optional[Technology] = None,
+        mismatch: Optional[MismatchSample] = None,
+    ) -> VcoPerformance:
+        """Evaluate the five performances of one design point."""
+        raise NotImplementedError
+
+    def monte_carlo_evaluator(
+        self, design: VcoDesign
+    ) -> Callable[[Technology, MismatchSample], Dict[str, float]]:
+        """Adapter with the signature expected by the Monte Carlo engine."""
+
+        def _evaluate(technology: Technology, mismatch: MismatchSample) -> Dict[str, float]:
+            return self.evaluate(design, technology=technology, mismatch=mismatch).as_dict()
+
+        return _evaluate
+
+
+@dataclass
+class _StageBias:
+    """Starving current and effective load of one inverter stage."""
+
+    current: float
+    load_capacitance: float
+    overdrive: float
+
+
+class RingVcoAnalyticalEvaluator(VcoEvaluator):
+    """Calibrated first-order performance model of the current-starved ring VCO.
+
+    Parameters
+    ----------
+    technology:
+        Nominal process description.
+    vctrl_min / vctrl_max:
+        Control-voltage window over which gain and tuning range are defined
+        (matches the SPICE test bench defaults).
+    frequency_scale / current_scale / jitter_scale:
+        Calibration factors multiplying the first-order expressions.  The
+        defaults (0.42 / 0.52 / 3.0) were fitted against
+        :class:`RingVcoSpiceEvaluator` on the default design point so both
+        engines agree on magnitude; trends with respect to the designable
+        parameters agree by construction because both use the same device
+        equations.  Use :meth:`calibrate` to re-fit for a different
+        technology.
+    """
+
+    def __init__(
+        self,
+        technology: Technology = TECH_012UM,
+        vctrl_min: float = 0.5,
+        vctrl_max: float | None = None,
+        n_stages: int = N_STAGES,
+        frequency_scale: float = 0.42,
+        current_scale: float = 0.52,
+        jitter_scale: float = 3.0,
+    ) -> None:
+        self.technology = technology
+        self.vctrl_min = vctrl_min
+        self.vctrl_max = technology.vdd if vctrl_max is None else vctrl_max
+        self.n_stages = n_stages
+        self.frequency_scale = frequency_scale
+        self.current_scale = current_scale
+        self.jitter_scale = jitter_scale
+
+    # -- calibration -----------------------------------------------------------------
+
+    @classmethod
+    def calibrate(
+        cls,
+        spice_evaluator: "RingVcoSpiceEvaluator",
+        designs: Sequence[VcoDesign],
+        technology: Optional[Technology] = None,
+        **kwargs,
+    ) -> "RingVcoAnalyticalEvaluator":
+        """Fit the calibration factors against the transistor-level evaluator.
+
+        The scale factors are the geometric-mean ratios of the SPICE
+        measurements to the uncalibrated analytical predictions over the
+        given design sample.  This is how the default factors were obtained.
+        """
+        if not designs:
+            raise ValueError("calibration needs at least one design point")
+        tech = technology or spice_evaluator.technology
+        raw = cls(
+            technology=tech,
+            vctrl_min=spice_evaluator.vctrl_min,
+            vctrl_max=spice_evaluator.vctrl_max,
+            n_stages=spice_evaluator.n_stages,
+            frequency_scale=1.0,
+            current_scale=1.0,
+            jitter_scale=1.0,
+        )
+        freq_ratios, current_ratios, jitter_ratios = [], [], []
+        for design in designs:
+            reference = spice_evaluator.evaluate(design)
+            prediction = raw.evaluate(design)
+            if reference.fmax > 0.0 and prediction.fmax > 0.0:
+                freq_ratios.append(reference.fmax / prediction.fmax)
+            if reference.current > 0.0 and prediction.current > 0.0:
+                current_ratios.append(reference.current / prediction.current)
+            if (
+                math.isfinite(reference.jitter)
+                and reference.jitter > 0.0
+                and prediction.jitter > 0.0
+            ):
+                jitter_ratios.append(reference.jitter / prediction.jitter)
+
+        def geometric_mean(ratios: Sequence[float], fallback: float) -> float:
+            if not ratios:
+                return fallback
+            return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+        return cls(
+            technology=tech,
+            vctrl_min=spice_evaluator.vctrl_min,
+            vctrl_max=spice_evaluator.vctrl_max,
+            n_stages=spice_evaluator.n_stages,
+            frequency_scale=geometric_mean(freq_ratios, 0.42),
+            current_scale=geometric_mean(current_ratios, 0.52),
+            jitter_scale=geometric_mean(jitter_ratios, 3.0),
+            **kwargs,
+        )
+
+    # -- device helpers --------------------------------------------------------------
+
+    def _device(
+        self,
+        name: str,
+        polarity: str,
+        width: float,
+        length: float,
+        technology: Technology,
+        mismatch: Optional[MismatchSample],
+    ) -> MOSFET:
+        model = technology.model(polarity)
+        if mismatch is not None:
+            deltas = mismatch.for_device(name)
+            if deltas:
+                updates = {}
+                if "vth0" in deltas:
+                    updates["vth0"] = model.vth0 + deltas["vth0"]
+                if "u0_rel" in deltas:
+                    updates["u0"] = model.u0 * (1.0 + deltas["u0_rel"])
+                model = model.with_variation(**updates)
+        return MOSFET(name, "d", "g", "s", "b", model, width, length)
+
+    def _stage_bias(
+        self,
+        stage: int,
+        design: VcoDesign,
+        vctrl: float,
+        technology: Technology,
+        mismatch: Optional[MismatchSample],
+    ) -> _StageBias:
+        vdd = technology.vdd
+        half = vdd / 2.0
+        # NMOS starving transistor sets the discharge current.
+        tail_n = self._device(
+            f"mtn{stage}", "nmos", design.tail_nmos_width, design.tail_length, technology, mismatch
+        )
+        i_tail_n = tail_n.drain_current(half, vctrl, 0.0, 0.0)
+        # The PMOS starving transistor mirrors the bias branch current.
+        tail_p = self._device(
+            f"mtp{stage}", "pmos", design.tail_pmos_width, design.tail_length, technology, mismatch
+        )
+        # Mirror bias: the diode-connected PMOS carries the bias-branch
+        # current; assume the mirror output sits near |Vgs| of the diode.
+        i_tail_p = abs(tail_p.drain_current(half, half - vdd + half, vdd, vdd))
+        # The inverter devices limit the current if they are smaller than the tails.
+        inv_n = self._device(
+            f"mn{stage}", "nmos", design.nmos_width, design.nmos_length, technology, mismatch
+        )
+        i_inv_n = inv_n.drain_current(half, vdd, 0.0, 0.0)
+        inv_p = self._device(
+            f"mp{stage}", "pmos", design.pmos_width, design.pmos_length, technology, mismatch
+        )
+        i_inv_p = abs(inv_p.drain_current(half, 0.0 - 0.0, vdd, vdd))
+        pull_down = min(i_tail_n, i_inv_n)
+        pull_up = min(max(i_tail_p, 0.3 * i_tail_n), i_inv_p)
+        current = 0.5 * (pull_down + pull_up)
+        overdrive = max(vctrl - technology.nmos.vth0, 0.05)
+        return _StageBias(
+            current=max(current, 1e-9),
+            load_capacitance=self._stage_capacitance(design, technology),
+            overdrive=overdrive,
+        )
+
+    def _stage_capacitance(self, design: VcoDesign, technology: Technology) -> float:
+        nmos = technology.nmos
+        pmos = technology.pmos
+        gate = nmos.cox * design.nmos_width * design.nmos_length
+        gate += pmos.cox * design.pmos_width * design.pmos_length
+        overlap = nmos.cgso * design.nmos_width + pmos.cgso * design.pmos_width
+        junction = nmos.cj * design.nmos_width * nmos.drain_extension
+        junction += pmos.cj * design.pmos_width * pmos.drain_extension
+        junction += nmos.cj * design.tail_nmos_width * nmos.drain_extension * 0.5
+        junction += pmos.cj * design.tail_pmos_width * pmos.drain_extension * 0.5
+        return gate + overlap + junction + technology.stage_load_capacitance
+
+    # -- frequency / current / jitter ---------------------------------------------------
+
+    def _frequency(
+        self,
+        design: VcoDesign,
+        vctrl: float,
+        technology: Technology,
+        mismatch: Optional[MismatchSample],
+    ) -> float:
+        delays = []
+        for stage in range(self.n_stages):
+            bias = self._stage_bias(stage, design, vctrl, technology, mismatch)
+            # Each half period charges/discharges the load across ~Vdd/2.
+            delays.append(bias.load_capacitance * (technology.vdd / 2.0) / bias.current)
+        period = 2.0 * sum(delays)
+        if period <= 0.0:
+            return 0.0
+        return self.frequency_scale / period
+
+    def _supply_current(
+        self,
+        design: VcoDesign,
+        vctrl: float,
+        frequency: float,
+        technology: Technology,
+        mismatch: Optional[MismatchSample],
+    ) -> float:
+        biases = [
+            self._stage_bias(stage, design, vctrl, technology, mismatch)
+            for stage in range(self.n_stages)
+        ]
+        mean_current = sum(b.current for b in biases) / len(biases)
+        c_total = sum(b.load_capacitance for b in biases)
+        dynamic = c_total * technology.vdd * frequency
+        # During each transition roughly one pull-up and one pull-down path
+        # conduct simultaneously for a fraction of the period (crowbar).
+        crowbar = 0.8 * mean_current
+        bias_branch = mean_current  # the vctrl-to-vbp mirror branch
+        return self.current_scale * (dynamic + crowbar + bias_branch)
+
+    def _jitter(
+        self,
+        design: VcoDesign,
+        vctrl: float,
+        technology: Technology,
+        mismatch: Optional[MismatchSample],
+    ) -> float:
+        biases = [
+            self._stage_bias(stage, design, vctrl, technology, mismatch)
+            for stage in range(self.n_stages)
+        ]
+        kT = _BOLTZMANN * technology.temperature
+        # Thermal noise: per-edge first-crossing error accumulated over 2N edges.
+        sigma_edges = []
+        delays = []
+        for bias in biases:
+            sigma_v = math.sqrt(2.0 * kT / bias.load_capacitance)
+            slope = bias.current / bias.load_capacitance
+            sigma_edges.append(sigma_v / slope)
+            delays.append(bias.load_capacitance * (technology.vdd / 2.0) / bias.current)
+        thermal = math.sqrt(2.0 * sum(s * s for s in sigma_edges))
+        # Mismatch between stages converts into deterministic period error
+        # through the spread of the stage delays (one-sigma estimate).
+        mean_delay = sum(delays) / len(delays)
+        if len(delays) > 1:
+            variance = sum((d - mean_delay) ** 2 for d in delays) / (len(delays) - 1)
+            deterministic = math.sqrt(variance)
+        else:
+            deterministic = 0.0
+        return self.jitter_scale * math.sqrt(thermal**2 + deterministic**2)
+
+    # -- public API -----------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        design: VcoDesign,
+        technology: Optional[Technology] = None,
+        mismatch: Optional[MismatchSample] = None,
+    ) -> VcoPerformance:
+        """Evaluate the five performances of one design point analytically."""
+        tech = technology or self.technology
+        design = design.clamped(tech)
+        fmin = self._frequency(design, self.vctrl_min, tech, mismatch)
+        fmax = self._frequency(design, self.vctrl_max, tech, mismatch)
+        span = self.vctrl_max - self.vctrl_min
+        kvco = max(fmax - fmin, 0.0) / span
+        current = self._supply_current(design, self.vctrl_max, fmax, tech, mismatch)
+        jitter = self._jitter(design, self.vctrl_max, tech, mismatch)
+        return VcoPerformance(kvco=kvco, jitter=jitter, current=current, fmin=fmin, fmax=fmax)
+
+
+class RingVcoSpiceEvaluator(VcoEvaluator):
+    """Transistor-level evaluator running the MNA test bench."""
+
+    def __init__(
+        self,
+        technology: Technology = TECH_012UM,
+        vctrl_min: float = 0.5,
+        vctrl_max: float | None = None,
+        n_stages: int = N_STAGES,
+        dt: float = 4e-12,
+        sim_cycles: float = 8.0,
+    ) -> None:
+        self.technology = technology
+        self.vctrl_min = vctrl_min
+        self.vctrl_max = technology.vdd if vctrl_max is None else vctrl_max
+        self.n_stages = n_stages
+        self.dt = dt
+        self.sim_cycles = sim_cycles
+
+    def _testbench(self, technology: Technology) -> VcoTestbench:
+        return VcoTestbench(
+            technology=technology,
+            vctrl_min=self.vctrl_min,
+            vctrl_max=self.vctrl_max,
+            n_stages=self.n_stages,
+            dt=self.dt,
+            sim_cycles=self.sim_cycles,
+        )
+
+    def evaluate(
+        self,
+        design: VcoDesign,
+        technology: Optional[Technology] = None,
+        mismatch: Optional[MismatchSample] = None,
+    ) -> VcoPerformance:
+        """Evaluate the five performances with transistor-level transients."""
+        tech = technology or self.technology
+        design = design.clamped(tech)
+        overrides = None
+        if mismatch is not None and mismatch.devices():
+            overrides = {name: mismatch.for_device(name) for name in mismatch.devices()}
+        return self._testbench(tech).run(design, device_overrides=overrides)

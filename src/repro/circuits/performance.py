@@ -1,0 +1,94 @@
+"""The VCO performance record shared by all evaluators.
+
+The five performance functions of section 4.1 of the paper: jitter,
+current consumption, gain (Kvco), minimum frequency and maximum frequency.
+Values are stored in SI units; the convenience properties convert to the
+units the paper's tables use (MHz/V, ps, mA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["VcoPerformance"]
+
+
+@dataclass(frozen=True)
+class VcoPerformance:
+    """Evaluated performances of one VCO design point (SI units)."""
+
+    #: VCO gain dF/dVctrl in Hz/V.
+    kvco: float
+    #: RMS period jitter in seconds.
+    jitter: float
+    #: Supply current in amperes (average over oscillation).
+    current: float
+    #: Oscillation frequency at the minimum control voltage (Hz).
+    fmin: float
+    #: Oscillation frequency at the maximum control voltage (Hz).
+    fmax: float
+
+    # -- unit conversions matching the paper's tables -----------------------------
+
+    @property
+    def kvco_mhz_per_v(self) -> float:
+        """Gain in MHz/V (the unit used in Table 1)."""
+        return self.kvco / 1e6
+
+    @property
+    def jitter_ps(self) -> float:
+        """Jitter in picoseconds (the unit used in Table 1)."""
+        return self.jitter * 1e12
+
+    @property
+    def current_ma(self) -> float:
+        """Current in milliamperes (the unit used in Table 1)."""
+        return self.current * 1e3
+
+    @property
+    def fmin_ghz(self) -> float:
+        """Minimum frequency in GHz."""
+        return self.fmin / 1e9
+
+    @property
+    def fmax_ghz(self) -> float:
+        """Maximum frequency in GHz."""
+        return self.fmax / 1e9
+
+    @property
+    def tuning_range(self) -> float:
+        """Frequency tuning range ``fmax - fmin`` in Hz."""
+        return self.fmax - self.fmin
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to the dictionary format used by optimiser and MC engine."""
+        return {
+            "kvco": self.kvco,
+            "jitter": self.jitter,
+            "current": self.current,
+            "fmin": self.fmin,
+            "fmax": self.fmax,
+        }
+
+    @staticmethod
+    def objective_senses() -> Dict[str, str]:
+        """Optimisation sense of each performance (paper section 4.1)."""
+        return {
+            "kvco": "max",
+            "jitter": "min",
+            "current": "min",
+            "fmin": "min",
+            "fmax": "max",
+        }
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, float]) -> "VcoPerformance":
+        """Rebuild a record from a flat dictionary."""
+        return cls(
+            kvco=float(values["kvco"]),
+            jitter=float(values["jitter"]),
+            current=float(values["current"]),
+            fmin=float(values["fmin"]),
+            fmax=float(values["fmax"]),
+        )

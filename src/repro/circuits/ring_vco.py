@@ -1,0 +1,256 @@
+"""The 5-stage current-starved ring-oscillator VCO.
+
+Topology (figure 6 of the paper, reconstructed): five identical
+current-starved inverter stages in a ring.  Each stage consists of
+
+* a PMOS starving transistor from VDD (gate driven by the bias voltage
+  generated from the control voltage),
+* the PMOS/NMOS inverter pair, and
+* an NMOS starving transistor to ground (gate driven directly by the
+  control voltage ``vctrl``).
+
+A two-transistor current mirror converts the control voltage into the PMOS
+bias so that the pull-up and pull-down starving currents track each other.
+Raising ``vctrl`` increases the starving current and therefore the
+oscillation frequency, which is what gives the VCO its gain ``Kvco``.
+
+The seven designable parameters of section 4.1 are the inverter widths and
+lengths (NMOS and PMOS), the two starving-transistor widths and the shared
+starving-transistor length.  Bounds follow the paper: lengths 0.12-1 um and
+widths 10-100 um.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Sequence
+
+from repro.optim.problem import Parameter
+from repro.process.mismatch import DeviceGeometry
+from repro.process.technology import TECH_012UM, Technology
+from repro.spice.elements import Capacitor, VoltageSource
+from repro.spice.mosfet import MOSFET
+from repro.spice.netlist import Circuit
+
+__all__ = ["VcoDesign", "build_ring_vco", "vco_device_geometries", "N_STAGES"]
+
+#: Number of inverter stages in the ring (figure 6 of the paper).
+N_STAGES = 5
+
+
+@dataclass(frozen=True)
+class VcoDesign:
+    """The seven designable parameters of the ring-oscillator VCO (metres)."""
+
+    nmos_width: float = 30e-6
+    nmos_length: float = 0.24e-6
+    pmos_width: float = 60e-6
+    pmos_length: float = 0.24e-6
+    tail_nmos_width: float = 40e-6
+    tail_pmos_width: float = 80e-6
+    tail_length: float = 0.24e-6
+
+    def __post_init__(self) -> None:
+        for item in fields(self):
+            value = getattr(self, item.name)
+            if value <= 0.0:
+                raise ValueError(f"VCO design parameter {item.name!r} must be positive")
+
+    # -- conversions ----------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, float]:
+        """Parameter name -> value mapping (metres)."""
+        return {item.name: float(getattr(self, item.name)) for item in fields(self)}
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, float]) -> "VcoDesign":
+        """Build a design point from a name -> value mapping."""
+        names = {item.name for item in fields(cls)}
+        unknown = set(values) - names
+        if unknown:
+            raise KeyError(f"unknown VCO design parameter(s): {sorted(unknown)}")
+        return cls(**{name: float(values[name]) for name in names if name in values})
+
+    @classmethod
+    def parameter_names(cls) -> List[str]:
+        """The seven designable parameter names, in declaration order."""
+        return [item.name for item in fields(cls)]
+
+    @classmethod
+    def optimisation_parameters(cls, technology: Technology = TECH_012UM) -> List[Parameter]:
+        """Designable parameters with the paper's design-rule bounds."""
+        w_lo, w_hi = technology.min_width, technology.max_width
+        l_lo, l_hi = technology.min_length, technology.max_length
+        bounds = {
+            "nmos_width": (w_lo, w_hi),
+            "nmos_length": (l_lo, l_hi),
+            "pmos_width": (w_lo, w_hi),
+            "pmos_length": (l_lo, l_hi),
+            "tail_nmos_width": (w_lo, w_hi),
+            "tail_pmos_width": (w_lo, w_hi),
+            "tail_length": (l_lo, l_hi),
+        }
+        return [
+            Parameter(name, lower, upper, unit="m") for name, (lower, upper) in bounds.items()
+        ]
+
+    def clamped(self, technology: Technology = TECH_012UM) -> "VcoDesign":
+        """Return a copy with every parameter clamped into the design rules."""
+        values = self.as_dict()
+        for name in ("nmos_width", "pmos_width", "tail_nmos_width", "tail_pmos_width"):
+            values[name] = technology.clamp_width(values[name])
+        for name in ("nmos_length", "pmos_length", "tail_length"):
+            values[name] = technology.clamp_length(values[name])
+        return VcoDesign.from_dict(values)
+
+
+def vco_device_geometries(design: VcoDesign, n_stages: int = N_STAGES) -> List[DeviceGeometry]:
+    """Geometries of every matched transistor (for the mismatch model)."""
+    geometries: List[DeviceGeometry] = []
+    for stage in range(n_stages):
+        geometries.extend(
+            [
+                DeviceGeometry(f"mp{stage}", design.pmos_width, design.pmos_length, "pmos"),
+                DeviceGeometry(f"mn{stage}", design.nmos_width, design.nmos_length, "nmos"),
+                DeviceGeometry(
+                    f"mtp{stage}", design.tail_pmos_width, design.tail_length, "pmos"
+                ),
+                DeviceGeometry(
+                    f"mtn{stage}", design.tail_nmos_width, design.tail_length, "nmos"
+                ),
+            ]
+        )
+    geometries.append(DeviceGeometry("mbn", design.tail_nmos_width, design.tail_length, "nmos"))
+    geometries.append(DeviceGeometry("mbp", design.tail_pmos_width, design.tail_length, "pmos"))
+    return geometries
+
+
+def build_ring_vco(
+    design: VcoDesign,
+    technology: Technology = TECH_012UM,
+    vctrl: float = 0.8,
+    n_stages: int = N_STAGES,
+    extra_load: float | None = None,
+    device_overrides: Dict[str, Dict[str, float]] | None = None,
+) -> Circuit:
+    """Build the transistor-level netlist of the current-starved ring VCO.
+
+    Parameters
+    ----------
+    design:
+        The seven designable parameters.
+    technology:
+        Process description providing the NMOS/PMOS model cards and supply.
+    vctrl:
+        Control voltage applied by the test bench.
+    n_stages:
+        Number of ring stages (odd; the paper uses five).
+    extra_load:
+        Additional load capacitance per stage output.  Defaults to the
+        technology's ``stage_load_capacitance`` (layout parasitics).
+    device_overrides:
+        Optional per-device model-card overrides (``{"mn0": {"vth0": ...}}``)
+        used to apply Monte Carlo mismatch deltas at transistor level.
+    """
+    if n_stages < 3 or n_stages % 2 == 0:
+        raise ValueError("a ring oscillator needs an odd number of stages >= 3")
+    overrides = device_overrides or {}
+    load = technology.stage_load_capacitance if extra_load is None else float(extra_load)
+
+    def model_for(device_name: str, polarity: str):
+        base = technology.model(polarity)
+        deltas = overrides.get(device_name)
+        if not deltas:
+            return base
+        updates = {}
+        for key, delta in deltas.items():
+            if key == "u0_rel":
+                updates["u0"] = base.u0 * (1.0 + delta)
+            elif hasattr(base, key):
+                updates[key] = getattr(base, key) + delta
+        return base.with_variation(**updates) if updates else base
+
+    circuit = Circuit(f"ring_vco_{n_stages}stage")
+    circuit.add(VoltageSource("vdd", "vdd", "0", technology.vdd))
+    circuit.add(VoltageSource("vc", "vctrl", "0", vctrl))
+    # Bias mirror: NMOS converts vctrl to a current, diode-connected PMOS
+    # produces the PMOS starving bias voltage 'vbp'.
+    circuit.add(
+        MOSFET(
+            "mbn",
+            "vbp",
+            "vctrl",
+            "0",
+            "0",
+            model_for("mbn", "nmos"),
+            design.tail_nmos_width,
+            design.tail_length,
+        )
+    )
+    circuit.add(
+        MOSFET(
+            "mbp",
+            "vbp",
+            "vbp",
+            "vdd",
+            "vdd",
+            model_for("mbp", "pmos"),
+            design.tail_pmos_width,
+            design.tail_length,
+        )
+    )
+    for stage in range(n_stages):
+        node_in = f"n{stage}"
+        node_out = f"n{(stage + 1) % n_stages}"
+        node_top = f"sp{stage}"
+        node_bot = f"sn{stage}"
+        circuit.add(
+            MOSFET(
+                f"mtp{stage}",
+                node_top,
+                "vbp",
+                "vdd",
+                "vdd",
+                model_for(f"mtp{stage}", "pmos"),
+                design.tail_pmos_width,
+                design.tail_length,
+            )
+        )
+        circuit.add(
+            MOSFET(
+                f"mp{stage}",
+                node_out,
+                node_in,
+                node_top,
+                "vdd",
+                model_for(f"mp{stage}", "pmos"),
+                design.pmos_width,
+                design.pmos_length,
+            )
+        )
+        circuit.add(
+            MOSFET(
+                f"mn{stage}",
+                node_out,
+                node_in,
+                node_bot,
+                "0",
+                model_for(f"mn{stage}", "nmos"),
+                design.nmos_width,
+                design.nmos_length,
+            )
+        )
+        circuit.add(
+            MOSFET(
+                f"mtn{stage}",
+                node_bot,
+                "vctrl",
+                "0",
+                "0",
+                model_for(f"mtn{stage}", "nmos"),
+                design.tail_nmos_width,
+                design.tail_length,
+            )
+        )
+        circuit.add(Capacitor(f"cl{stage}", node_out, "0", load))
+    return circuit

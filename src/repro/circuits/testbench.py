@@ -1,0 +1,161 @@
+"""Transistor-level VCO test bench.
+
+The equivalent of the paper's SpectreRF test bench netlist: for a given
+design point the VCO is simulated at the minimum and maximum control
+voltages, the oscillation frequency and average supply current are measured
+from the transient waveforms, and the VCO gain is the frequency difference
+over the control-voltage span.  RMS period jitter is estimated from the
+device thermal noise at the oscillation operating point (the pure-Python
+engine does not run transient noise analysis; the estimator is the standard
+first-crossing approximation ``sigma_edge = sqrt(kT C_L) / I`` accumulated
+over the ``2 N`` edges of one period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuits.performance import VcoPerformance
+from repro.circuits.ring_vco import N_STAGES, VcoDesign, build_ring_vco
+from repro.process.technology import TECH_012UM, Technology
+from repro.spice.exceptions import AnalysisError, ConvergenceError
+from repro.spice.transient import TransientAnalysis
+
+__all__ = ["VcoTestbench", "VcoMeasurement"]
+
+_BOLTZMANN = 1.380649e-23
+
+
+@dataclass
+class VcoMeasurement:
+    """Raw measurements of one transient run at a fixed control voltage."""
+
+    vctrl: float
+    frequency: float
+    supply_current: float
+    oscillates: bool
+
+
+class VcoTestbench:
+    """Measure the five VCO performances with the MNA transient engine."""
+
+    def __init__(
+        self,
+        technology: Technology = TECH_012UM,
+        vctrl_min: float = 0.5,
+        vctrl_max: float | None = None,
+        n_stages: int = N_STAGES,
+        sim_cycles: float = 8.0,
+        dt: float = 4e-12,
+        max_sim_time: float = 30e-9,
+    ) -> None:
+        if vctrl_max is None:
+            vctrl_max = technology.vdd
+        if not 0.0 < vctrl_min < vctrl_max:
+            raise ValueError("control-voltage window must satisfy 0 < vctrl_min < vctrl_max")
+        self.technology = technology
+        self.vctrl_min = vctrl_min
+        self.vctrl_max = vctrl_max
+        self.n_stages = n_stages
+        self.sim_cycles = sim_cycles
+        self.dt = dt
+        self.max_sim_time = max_sim_time
+
+    # -- single-point measurement ----------------------------------------------------
+
+    def measure_at(
+        self,
+        design: VcoDesign,
+        vctrl: float,
+        device_overrides: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> VcoMeasurement:
+        """Run one transient and measure frequency and supply current."""
+        circuit = build_ring_vco(
+            design,
+            self.technology,
+            vctrl=vctrl,
+            n_stages=self.n_stages,
+            device_overrides=device_overrides,
+        )
+        vdd = self.technology.vdd
+        # Kick the ring with alternating initial conditions so oscillation
+        # starts within a couple of stage delays.
+        initial = {}
+        for stage in range(self.n_stages):
+            initial[f"n{stage}"] = vdd if stage % 2 == 0 else 0.0
+        initial[f"n{self.n_stages - 1}"] = vdd / 2.0
+        t_stop = min(self.max_sim_time, max(6e-9, self.sim_cycles * 2e-9))
+        try:
+            result = TransientAnalysis(
+                circuit,
+                t_stop=t_stop,
+                dt=self.dt,
+                initial_conditions=initial,
+                use_dc_start=False,
+            ).run()
+        except (ConvergenceError, AnalysisError):
+            return VcoMeasurement(vctrl=vctrl, frequency=0.0, supply_current=0.0, oscillates=False)
+        wave = result.voltage("n0")
+        swing = wave.peak_to_peak()
+        if swing < 0.3 * vdd:
+            return VcoMeasurement(vctrl=vctrl, frequency=0.0, supply_current=0.0, oscillates=False)
+        try:
+            frequency = wave.frequency(threshold=vdd / 2.0)
+        except ValueError:
+            return VcoMeasurement(vctrl=vctrl, frequency=0.0, supply_current=0.0, oscillates=False)
+        current = abs(result.source_current("vdd").average())
+        return VcoMeasurement(
+            vctrl=vctrl, frequency=frequency, supply_current=current, oscillates=True
+        )
+
+    # -- jitter estimate ----------------------------------------------------------------
+
+    def estimate_jitter(self, design: VcoDesign, frequency: float, supply_current: float) -> float:
+        """Thermal-noise period jitter estimate at the measured operating point.
+
+        Uses the first-crossing approximation: the voltage noise sampled on
+        the stage load capacitance is ``sqrt(kT/C)``; divided by the slew
+        rate ``I/C`` it gives a per-edge timing error ``sqrt(kT C)/I`` which
+        accumulates over the ``2 N`` edges of one period.
+        """
+        if frequency <= 0.0 or supply_current <= 0.0:
+            return float("inf")
+        c_load = self._stage_capacitance(design)
+        stage_current = supply_current  # the starving current limits each edge
+        noise_factor = 2.0  # accounts for the ~2/3 channel factor and both devices
+        sigma_edge = (noise_factor * _BOLTZMANN * self.technology.temperature * c_load) ** 0.5
+        sigma_edge /= max(stage_current / self.n_stages, 1e-9)
+        return float((2.0 * self.n_stages) ** 0.5 * sigma_edge)
+
+    def _stage_capacitance(self, design: VcoDesign) -> float:
+        nmos = self.technology.nmos
+        pmos = self.technology.pmos
+        gate_cap = (
+            nmos.cox * design.nmos_width * design.nmos_length
+            + pmos.cox * design.pmos_width * design.pmos_length
+        )
+        junction = nmos.cj * design.nmos_width * nmos.drain_extension
+        junction += pmos.cj * design.pmos_width * pmos.drain_extension
+        return gate_cap + junction + self.technology.stage_load_capacitance
+
+    # -- full characterisation ------------------------------------------------------------
+
+    def run(
+        self,
+        design: VcoDesign,
+        device_overrides: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> VcoPerformance:
+        """Measure the five performances of one design point."""
+        low = self.measure_at(design, self.vctrl_min, device_overrides)
+        high = self.measure_at(design, self.vctrl_max, device_overrides)
+        if not high.oscillates:
+            # Dead design point: return a heavily penalised performance.
+            return VcoPerformance(kvco=0.0, jitter=1e-9, current=1.0, fmin=0.0, fmax=0.0)
+        fmin = low.frequency if low.oscillates else 0.0
+        fmax = high.frequency
+        span = self.vctrl_max - self.vctrl_min
+        kvco = max(fmax - fmin, 0.0) / span
+        current = high.supply_current
+        jitter = self.estimate_jitter(design, fmax, current)
+        return VcoPerformance(kvco=kvco, jitter=jitter, current=current, fmin=fmin, fmax=fmax)

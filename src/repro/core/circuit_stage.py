@@ -1,0 +1,198 @@
+"""Circuit-level optimisation stage (steps 1-3 of figure 4).
+
+Defines the VCO sizing problem exactly as section 4.1/4.2 of the paper --
+seven designable W/L parameters bounded by the design rules, five
+performance functions (maximise gain and maximum frequency, minimise
+jitter, current and minimum frequency), tuning-range constraints derived
+from the PLL output-frequency specification -- runs NSGA-II on it, and
+turns the resulting Pareto front plus per-point Monte Carlo runs into a
+:class:`~repro.core.combined_model.CombinedPerformanceVariationModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.circuits.evaluators import RingVcoAnalyticalEvaluator, VcoEvaluator
+from repro.circuits.performance import VcoPerformance
+from repro.circuits.ring_vco import VcoDesign
+from repro.core.combined_model import CombinedPerformanceVariationModel
+from repro.core.performance_model import PerformanceModel
+from repro.core.specification import SpecificationSet, VCO_RANGE_SPECIFICATIONS
+from repro.core.variation_model import VariationModel
+from repro.optim import NSGA2, NSGA2Config, Objective, OptimisationResult, Problem
+from repro.optim.problem import Evaluation
+from repro.process.technology import TECH_012UM, Technology
+
+__all__ = ["VcoSizingProblem", "CircuitStageResult", "CircuitLevelOptimisation"]
+
+
+class VcoSizingProblem(Problem):
+    """The paper's circuit-level multi-objective VCO sizing problem."""
+
+    def __init__(
+        self,
+        evaluator: Optional[VcoEvaluator] = None,
+        technology: Technology = TECH_012UM,
+        range_specifications: SpecificationSet = VCO_RANGE_SPECIFICATIONS,
+    ) -> None:
+        self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology)
+        self.range_specifications = range_specifications
+        parameters = VcoDesign.optimisation_parameters(technology)
+        senses = VcoPerformance.objective_senses()
+        objectives = [
+            Objective("jitter", senses["jitter"], unit="s"),
+            Objective("current", senses["current"], unit="A"),
+            Objective("kvco", senses["kvco"], unit="Hz/V"),
+            Objective("fmin", senses["fmin"], unit="Hz"),
+            Objective("fmax", senses["fmax"], unit="Hz"),
+        ]
+        constraint_names = [f"range_{spec.name}" for spec in range_specifications]
+        super().__init__(parameters, objectives, constraint_names, name="vco_sizing")
+
+    def evaluate(self, values: Mapping[str, float]) -> Evaluation:
+        """Evaluate one sizing candidate with the configured evaluator."""
+        design = VcoDesign.from_dict(dict(values))
+        performance = self.evaluator.evaluate(design)
+        objectives = performance.as_dict()
+        constraints = {}
+        for spec in self.range_specifications:
+            value = objectives[spec.name]
+            # g(x) >= 0 convention: the margin to the violated side.
+            constraints[f"range_{spec.name}"] = spec.margin(value)
+        return Evaluation(objectives=objectives, constraints=constraints)
+
+
+@dataclass
+class CircuitStageResult:
+    """Everything produced by the circuit-level stage."""
+
+    optimisation: OptimisationResult
+    model: CombinedPerformanceVariationModel
+    designs: List[VcoDesign] = field(default_factory=list)
+
+    @property
+    def front_size(self) -> int:
+        """Number of Pareto-optimal design points."""
+        return len(self.optimisation.front)
+
+    @property
+    def evaluations(self) -> int:
+        """Total circuit evaluations spent by the optimiser."""
+        return self.optimisation.evaluations
+
+
+class CircuitLevelOptimisation:
+    """Run NSGA-II on the VCO and build the combined model.
+
+    Parameters
+    ----------
+    evaluator:
+        VCO evaluator used both by the optimiser and by the Monte Carlo
+        runs (the calibrated analytical evaluator by default).
+    config:
+        NSGA-II settings.  The paper used 100 individuals for 30
+        generations; the default here is smaller so tests stay fast --
+        benchmarks pass the paper's numbers explicitly.
+    mc_samples:
+        Monte Carlo samples per Pareto point (100 in the paper).
+    max_model_points:
+        Upper bound on the number of Pareto points carried into the model
+        (the densest-crowding points are kept); ``None`` keeps all.
+    """
+
+    def __init__(
+        self,
+        evaluator: Optional[VcoEvaluator] = None,
+        technology: Technology = TECH_012UM,
+        config: Optional[NSGA2Config] = None,
+        mc_samples: int = 100,
+        mc_seed: int = 2009,
+        max_model_points: Optional[int] = 24,
+        vctrl_min: float = 0.5,
+        vctrl_max: Optional[float] = None,
+    ) -> None:
+        self.technology = technology
+        self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology)
+        self.config = config or NSGA2Config(population_size=40, generations=15)
+        self.mc_samples = mc_samples
+        self.mc_seed = mc_seed
+        self.max_model_points = max_model_points
+        self.vctrl_min = vctrl_min
+        self.vctrl_max = technology.vdd if vctrl_max is None else vctrl_max
+
+    # -- pieces -------------------------------------------------------------------------
+
+    def optimise(
+        self, callback: Optional[Callable[[int, list], None]] = None
+    ) -> OptimisationResult:
+        """Run the multi-objective optimisation (steps 1-2 of figure 4)."""
+        problem = VcoSizingProblem(self.evaluator, self.technology)
+        return NSGA2(problem, self.config).run(callback=callback)
+
+    def build_model(
+        self,
+        optimisation: OptimisationResult,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> CombinedPerformanceVariationModel:
+        """Monte Carlo every Pareto point and assemble the combined model."""
+        front = optimisation.front.non_dominated()
+        if len(front) == 0:
+            raise ValueError("the optimisation produced an empty Pareto front")
+        individuals = list(front)
+        if self.max_model_points is not None and len(individuals) > self.max_model_points:
+            # Keep a diverse subset: order by crowding distance (descending).
+            individuals = sorted(individuals, key=lambda ind: -ind.crowding)[
+                : self.max_model_points
+            ]
+        designs = [
+            VcoDesign.from_dict(
+                dict(zip(front.parameter_names, individual.parameters))
+            )
+            for individual in individuals
+        ]
+        nominals = [individual.raw_objectives for individual in individuals]
+        performance_model = PerformanceModel(
+            parameters=np.vstack([ind.parameters for ind in individuals]),
+            performances=np.column_stack(
+                [
+                    [ind.raw_objectives[name] for ind in individuals]
+                    for name in ("kvco", "jitter", "current", "fmin", "fmax")
+                ]
+            ),
+            parameter_names=front.parameter_names,
+        )
+        variation_model = VariationModel.from_monte_carlo(
+            designs=designs,
+            nominal_performances=nominals,
+            evaluator=self.evaluator,
+            n_samples=self.mc_samples,
+            seed=self.mc_seed,
+            progress=progress,
+        )
+        return CombinedPerformanceVariationModel(
+            performance=performance_model,
+            variation=variation_model,
+            vctrl_min=self.vctrl_min,
+            vctrl_max=self.vctrl_max,
+        )
+
+    # -- one-shot ------------------------------------------------------------------------
+
+    def run(
+        self,
+        callback: Optional[Callable[[int, list], None]] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> CircuitStageResult:
+        """Optimise, Monte Carlo and assemble the model in one call."""
+        optimisation = self.optimise(callback=callback)
+        model = self.build_model(optimisation, progress=progress)
+        front = optimisation.front
+        designs = [
+            VcoDesign.from_dict(dict(zip(front.parameter_names, individual.parameters)))
+            for individual in front
+        ]
+        return CircuitStageResult(optimisation=optimisation, model=model, designs=designs)

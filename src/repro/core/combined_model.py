@@ -1,0 +1,132 @@
+"""The combined performance + variation behavioural model.
+
+This is the paper's headline artefact (the title's "improved performance
+and variation modelling"): one model object that couples
+
+* the Pareto-front performance model (what trade-offs are achievable and
+  with which transistor sizes), and
+* the Monte-Carlo variation model (how much each performance spreads under
+  process variation and mismatch),
+
+and exposes them in the form the system-level optimisation consumes -- a
+factory for :class:`~repro.behavioural.vco.BehaviouralVco` blocks plus
+Table-1-style reporting and ``.tbl``/Verilog-A export hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.behavioural.vco import BehaviouralVco
+from repro.circuits.ring_vco import VcoDesign
+from repro.core.performance_model import PerformanceModel
+from repro.core.variation_model import VariationModel
+
+__all__ = ["CombinedPerformanceVariationModel"]
+
+
+class CombinedPerformanceVariationModel:
+    """Performance model and variation model of one circuit block."""
+
+    def __init__(
+        self,
+        performance: PerformanceModel,
+        variation: VariationModel,
+        vctrl_min: float = 0.5,
+        vctrl_max: float = 1.2,
+        block_name: str = "vco",
+    ) -> None:
+        if performance.n_points != variation.n_points:
+            raise ValueError(
+                "performance and variation models must cover the same Pareto points "
+                f"({performance.n_points} vs {variation.n_points})"
+            )
+        self.performance = performance
+        self.variation = variation
+        self.vctrl_min = vctrl_min
+        self.vctrl_max = vctrl_max
+        self.block_name = block_name
+
+    # -- ranges -------------------------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Number of Pareto points behind the model."""
+        return self.performance.n_points
+
+    def kvco_range(self) -> tuple:
+        """Gain range covered by the Pareto front (Hz/V)."""
+        return self.performance.performance_range("kvco")
+
+    def ivco_range(self) -> tuple:
+        """Current range covered by the Pareto front (A)."""
+        return self.performance.performance_range("current")
+
+    # -- model services --------------------------------------------------------------------
+
+    def interpolate(self, kvco: float, ivco: float) -> Dict[str, float]:
+        """Nominal performances at a (gain, current) operating point."""
+        return self.performance.interpolate(kvco, ivco)
+
+    def spread(self, name: str, value: float) -> float:
+        """Relative spread (percent) of one performance at a value."""
+        return self.variation.spread(name, value)
+
+    def design_parameters_for(self, kvco: float, ivco: float) -> VcoDesign:
+        """Transistor sizes realising a (gain, current) operating point."""
+        return self.performance.design_parameters_for(kvco, ivco)
+
+    def behavioural_vco(self, kvco: float, ivco: float) -> BehaviouralVco:
+        """Instantiate the Listing-2 behavioural VCO at an operating point."""
+        return BehaviouralVco(
+            kvco=kvco,
+            ivco=ivco,
+            performance_model=lambda k, i: self.performance.interpolate(k, i),
+            variation=self.variation.as_variation_tables(),
+            vctrl_min=self.vctrl_min,
+            vctrl_max=self.vctrl_max,
+        )
+
+    # -- reporting ----------------------------------------------------------------------------
+
+    def table1_records(self, max_rows: Optional[int] = None) -> List[Dict[str, float]]:
+        """Rows in the format of the paper's Table 1.
+
+        Each row reports the design index, Kvco (MHz/V) and its spread,
+        Jvco (ps) and its spread, and Ivco (mA) and its spread.
+        """
+        kvco = self.performance.performance_column("kvco")
+        jitter = self.performance.performance_column("jitter")
+        current = self.performance.performance_column("current")
+        order = np.argsort(kvco, kind="stable")
+        rows: List[Dict[str, float]] = []
+        for rank, index in enumerate(order):
+            if max_rows is not None and rank >= max_rows:
+                break
+            rows.append(
+                {
+                    "design": int(index),
+                    "kvco_mhz_per_v": float(kvco[index] / 1e6),
+                    "kvco_delta_pct": float(self.variation.spread_column("kvco")[index]),
+                    "jvco_ps": float(jitter[index] * 1e12),
+                    "jvco_delta_pct": float(self.variation.spread_column("jitter")[index]),
+                    "ivco_ma": float(current[index] * 1e3),
+                    "ivco_delta_pct": float(self.variation.spread_column("current")[index]),
+                }
+            )
+        return rows
+
+    def describe(self) -> Dict[str, float]:
+        """Compact numeric summary used by logs and reports."""
+        kvco_lo, kvco_hi = self.kvco_range()
+        ivco_lo, ivco_hi = self.ivco_range()
+        return {
+            "n_points": float(self.n_points),
+            "kvco_min_hz_per_v": kvco_lo,
+            "kvco_max_hz_per_v": kvco_hi,
+            "ivco_min_a": ivco_lo,
+            "ivco_max_a": ivco_hi,
+            "mc_samples_per_point": float(self.variation.n_samples),
+        }

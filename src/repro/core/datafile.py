@@ -1,0 +1,173 @@
+"""``.tbl`` data-file layout of the combined model.
+
+The paper stores the behavioural model data in plain-text table files
+consumed by ``$table_model`` (Listing 1): one ``<perf>_delta.tbl`` file per
+variation table and one ``p<i>_data.tbl`` file per design parameter, plus
+the Pareto performance data itself.  This module writes and reads that
+directory layout so a model extracted once can be reused across sessions
+(the "initial time investment is high, subsequent design flows are
+significantly faster" argument of section 1).
+
+Layout of a model directory::
+
+    pareto.tbl        # columns: kvco jitter current fmin fmax  p1 ... p7
+    spreads.tbl       # per-point nominal values and spread percentages
+    kvco_delta.tbl    # columns: kvco   spread_percent
+    jvco_delta.tbl    # columns: jitter spread_percent
+    ivco_delta.tbl    # columns: current spread_percent
+    fmin_delta.tbl    # columns: fmin   spread_percent
+    fmax_delta.tbl    # columns: fmax   spread_percent
+    p1_data.tbl ...   # columns: kvco current  value-of-parameter-i
+    manifest.txt      # human-readable description
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.combined_model import CombinedPerformanceVariationModel
+from repro.core.performance_model import PerformanceModel
+from repro.core.variation_model import VariationModel
+from repro.tablemodel import read_tbl, write_tbl
+
+__all__ = ["write_model_directory", "read_model_directory"]
+
+_PERFORMANCE_NAMES = ("kvco", "jitter", "current", "fmin", "fmax")
+_DELTA_FILES = {
+    "kvco": "kvco_delta.tbl",
+    "jitter": "jvco_delta.tbl",
+    "current": "ivco_delta.tbl",
+    "fmin": "fmin_delta.tbl",
+    "fmax": "fmax_delta.tbl",
+}
+
+
+def write_model_directory(model: CombinedPerformanceVariationModel, directory: str) -> List[str]:
+    """Write a combined model to a directory of ``.tbl`` files.
+
+    Returns the list of files written (relative names).  The directory is
+    created if necessary; existing files are overwritten.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    performance = model.performance
+    variation = model.variation
+    # Pareto data: performances followed by design parameters.
+    pareto = np.hstack([performance.performances, performance.parameters])
+    header = [
+        "Pareto-front performance and design-parameter data",
+        "columns: "
+        + " ".join(performance.performance_names)
+        + " "
+        + " ".join(performance.parameter_names),
+    ]
+    write_tbl(os.path.join(directory, "pareto.tbl"), pareto, header=header)
+    written.append("pareto.tbl")
+    # Per-point spread data (one row per Pareto point, aligned with pareto.tbl).
+    spreads = np.hstack([variation.nominal, variation.spreads_percent])
+    write_tbl(
+        os.path.join(directory, "spreads.tbl"),
+        spreads,
+        header=[
+            "Monte Carlo spread data",
+            "columns: nominal "
+            + " ".join(variation.performance_names)
+            + " followed by spread_percent of the same performances",
+        ],
+    )
+    written.append("spreads.tbl")
+    # Listing-1 style <perf>_delta.tbl variation tables (deduplicated and
+    # sorted by their abscissa, ready for $table_model consumption).
+    for name, filename in _DELTA_FILES.items():
+        table = variation.table(name)
+        data = np.column_stack([table.x, table.y])
+        write_tbl(
+            os.path.join(directory, filename),
+            data,
+            header=[f"relative spread of {name} in percent vs nominal {name}"],
+        )
+        written.append(filename)
+    # Design-parameter tables keyed by (kvco, current).
+    keys = np.column_stack(
+        [performance.performance_column("kvco"), performance.performance_column("current")]
+    )
+    for index, parameter_name in enumerate(performance.parameter_names):
+        filename = f"p{index + 1}_data.tbl"
+        data = np.column_stack([keys, performance.parameters[:, index]])
+        write_tbl(
+            os.path.join(directory, filename),
+            data,
+            header=[f"design parameter {parameter_name} vs (kvco, current)"],
+        )
+        written.append(filename)
+    # Manifest.
+    manifest_path = os.path.join(directory, "manifest.txt")
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        handle.write(f"block: {model.block_name}\n")
+        handle.write(f"pareto_points: {model.n_points}\n")
+        handle.write(f"mc_samples_per_point: {variation.n_samples}\n")
+        handle.write(f"vctrl_min: {model.vctrl_min}\n")
+        handle.write(f"vctrl_max: {model.vctrl_max}\n")
+        handle.write("parameters: " + " ".join(performance.parameter_names) + "\n")
+        handle.write("performances: " + " ".join(performance.performance_names) + "\n")
+    written.append("manifest.txt")
+    return written
+
+
+def _read_manifest(path: str) -> Dict[str, str]:
+    manifest: Dict[str, str] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if ":" not in line:
+                continue
+            key, value = line.split(":", 1)
+            manifest[key.strip()] = value.strip()
+    return manifest
+
+
+def read_model_directory(directory: str) -> CombinedPerformanceVariationModel:
+    """Reload a combined model previously written by :func:`write_model_directory`."""
+    manifest_path = os.path.join(directory, "manifest.txt")
+    if not os.path.exists(manifest_path):
+        raise FileNotFoundError(f"no manifest.txt in {directory!r}; not a model directory")
+    manifest = _read_manifest(manifest_path)
+    parameter_names = manifest.get("parameters", "").split()
+    performance_names = manifest.get("performances", "").split() or list(_PERFORMANCE_NAMES)
+    pareto = read_tbl(os.path.join(directory, "pareto.tbl"))
+    n_perf = len(performance_names)
+    performances = pareto[:, :n_perf]
+    parameters = pareto[:, n_perf:]
+    if parameters.shape[1] != len(parameter_names):
+        raise ValueError(
+            f"pareto.tbl has {parameters.shape[1]} parameter column(s) but the manifest "
+            f"lists {len(parameter_names)}"
+        )
+    performance_model = PerformanceModel(
+        parameters=parameters,
+        performances=performances,
+        parameter_names=parameter_names,
+        performance_names=performance_names,
+    )
+    # Per-point spread data is aligned row-by-row with pareto.tbl.
+    spreads_data = read_tbl(os.path.join(directory, "spreads.tbl"))
+    if spreads_data.shape != (performances.shape[0], 2 * n_perf):
+        raise ValueError(
+            f"spreads.tbl has shape {spreads_data.shape}; expected "
+            f"({performances.shape[0]}, {2 * n_perf})"
+        )
+    variation_model = VariationModel(
+        nominal=spreads_data[:, :n_perf],
+        spreads_percent=spreads_data[:, n_perf:],
+        performance_names=performance_names,
+        n_samples=int(manifest.get("mc_samples_per_point", 0) or 0),
+    )
+    return CombinedPerformanceVariationModel(
+        performance=performance_model,
+        variation=variation_model,
+        vctrl_min=float(manifest.get("vctrl_min", 0.5)),
+        vctrl_max=float(manifest.get("vctrl_max", 1.2)),
+        block_name=manifest.get("block", "vco"),
+    )

@@ -1,0 +1,184 @@
+"""The end-to-end hierarchical optimisation flow (figure 4 of the paper).
+
+:class:`HierarchicalFlow` chains the circuit-level stage, the model
+extraction, the system-level stage, the yield verification and (optionally)
+the bottom-up verification into one call and collects every intermediate
+artefact in a :class:`FlowReport` so examples and benchmarks can reproduce
+the paper's tables from a single object.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.behavioural.pll import PllDesign
+from repro.circuits.evaluators import RingVcoAnalyticalEvaluator, VcoEvaluator
+from repro.core.circuit_stage import CircuitLevelOptimisation, CircuitStageResult
+from repro.core.combined_model import CombinedPerformanceVariationModel
+from repro.core.datafile import write_model_directory
+from repro.core.codegen import write_verilog_a
+from repro.core.specification import PLL_SPECIFICATIONS, SpecificationSet
+from repro.core.system_stage import SystemLevelOptimisation, SystemStageResult
+from repro.core.verification import BottomUpVerification, VerificationReport
+from repro.core.yield_analysis import YieldAnalysis, YieldReport
+from repro.optim import NSGA2Config
+from repro.process.technology import TECH_012UM, Technology
+
+__all__ = ["FlowReport", "HierarchicalFlow"]
+
+
+@dataclass
+class FlowReport:
+    """All artefacts produced by one hierarchical flow run."""
+
+    circuit_stage: CircuitStageResult
+    system_stage: SystemStageResult
+    yield_report: Optional[YieldReport] = None
+    verification: Optional[VerificationReport] = None
+    model_directory: Optional[str] = None
+    generated_files: List[str] = field(default_factory=list)
+
+    @property
+    def model(self) -> CombinedPerformanceVariationModel:
+        """The combined performance + variation model of the VCO."""
+        return self.circuit_stage.model
+
+    @property
+    def selected_values(self) -> Dict[str, float]:
+        """The selected system-level design parameters."""
+        return self.system_stage.selected_values
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers of the run (front sizes, yield, spec status)."""
+        summary: Dict[str, float] = {
+            "circuit_front_size": float(self.circuit_stage.front_size),
+            "circuit_evaluations": float(self.circuit_stage.evaluations),
+            "system_front_size": float(self.system_stage.front_size),
+        }
+        selected = self.system_stage.selected
+        if selected is not None:
+            summary["selected_lock_time_us"] = selected.raw_objectives["lock_time"] * 1e6
+            summary["selected_jitter_ps"] = selected.raw_objectives["jitter"] * 1e12
+            summary["selected_current_ma"] = selected.raw_objectives["current"] * 1e3
+            summary["selected_feasible"] = float(selected.is_feasible)
+        if self.yield_report is not None:
+            summary["yield_percent"] = self.yield_report.yield_percent
+            summary["yield_samples"] = float(self.yield_report.n_samples)
+        if self.verification is not None:
+            summary["verification_worst_error"] = self.verification.worst_error()
+        return summary
+
+
+class HierarchicalFlow:
+    """Top-down, yield-aware hierarchical optimisation of the PLL."""
+
+    def __init__(
+        self,
+        technology: Technology = TECH_012UM,
+        evaluator: Optional[VcoEvaluator] = None,
+        circuit_config: Optional[NSGA2Config] = None,
+        system_config: Optional[NSGA2Config] = None,
+        specifications: SpecificationSet = PLL_SPECIFICATIONS,
+        base_pll_design: Optional[PllDesign] = None,
+        mc_samples_per_point: int = 100,
+        yield_samples: int = 500,
+        max_model_points: Optional[int] = 24,
+        seed: int = 2009,
+    ) -> None:
+        self.technology = technology
+        self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology)
+        self.circuit_config = circuit_config or NSGA2Config(population_size=40, generations=15)
+        self.system_config = system_config or NSGA2Config(population_size=24, generations=10)
+        self.specifications = specifications
+        self.base_pll_design = base_pll_design or PllDesign()
+        self.mc_samples_per_point = mc_samples_per_point
+        self.yield_samples = yield_samples
+        self.max_model_points = max_model_points
+        self.seed = seed
+
+    # -- stages --------------------------------------------------------------------------
+
+    def circuit_stage(
+        self, progress: Optional[Callable[[int, int], None]] = None
+    ) -> CircuitStageResult:
+        """Circuit-level optimisation and combined-model extraction."""
+        stage = CircuitLevelOptimisation(
+            evaluator=self.evaluator,
+            technology=self.technology,
+            config=self.circuit_config,
+            mc_samples=self.mc_samples_per_point,
+            mc_seed=self.seed,
+            max_model_points=self.max_model_points,
+        )
+        return stage.run(progress=progress)
+
+    def system_stage(self, model: CombinedPerformanceVariationModel) -> SystemStageResult:
+        """System-level optimisation on the behavioural PLL."""
+        stage = SystemLevelOptimisation(
+            model,
+            specifications=self.specifications,
+            base_design=self.base_pll_design,
+            config=self.system_config,
+        )
+        return stage.run()
+
+    def verify_yield(
+        self,
+        model: CombinedPerformanceVariationModel,
+        selected_values: Dict[str, float],
+    ) -> YieldReport:
+        """Monte Carlo yield verification of the selected design."""
+        analysis = YieldAnalysis(
+            model,
+            evaluator=self.evaluator,
+            specifications=self.specifications,
+            n_samples=self.yield_samples,
+            seed=self.seed + 1,
+        )
+        return analysis.run(selected_values)
+
+    # -- one-shot -------------------------------------------------------------------------
+
+    def run(
+        self,
+        output_directory: Optional[str] = None,
+        run_yield: bool = True,
+        run_verification: bool = False,
+        verification_evaluator: Optional[VcoEvaluator] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> FlowReport:
+        """Execute the full flow and optionally export the model artefacts."""
+        circuit = self.circuit_stage(progress=progress)
+        system = self.system_stage(circuit.model)
+        yield_report = None
+        if run_yield and system.selected is not None:
+            yield_report = self.verify_yield(circuit.model, system.selected_values)
+        verification = None
+        if run_verification:
+            verifier = BottomUpVerification(
+                circuit.model,
+                reference_evaluator=verification_evaluator or self.evaluator,
+            )
+            verification = verifier.verify_model_points(max_points=3)
+        generated: List[str] = []
+        model_directory = None
+        if output_directory is not None:
+            model_directory = os.path.join(output_directory, "vco_model")
+            generated.extend(write_model_directory(circuit.model, model_directory))
+            generated.extend(
+                write_verilog_a(
+                    circuit.model,
+                    model_directory,
+                    divide_ratio=self.base_pll_design.divide_ratio,
+                )
+            )
+        return FlowReport(
+            circuit_stage=circuit,
+            system_stage=system,
+            yield_report=yield_report,
+            verification=verification,
+            model_directory=model_directory,
+            generated_files=generated,
+        )

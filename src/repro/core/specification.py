@@ -1,0 +1,167 @@
+"""Design specifications and top-down specification propagation.
+
+Section 2.3: "the design parameters from the previous optimisation are
+taken as the specifications for the circuit level optimisation which
+propagates the system level specification to the bottom level."
+
+A :class:`Specification` is a bounded window on one performance; a
+:class:`SpecificationSet` groups them, checks performance dictionaries
+against them and computes worst-case margins.  The module also defines the
+paper's PLL specification set (output range 500 MHz - 1.2 GHz, lock time
+below 1 us, current below 15 mA, section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["Specification", "SpecificationSet", "PLL_SPECIFICATIONS", "VCO_RANGE_SPECIFICATIONS"]
+
+
+@dataclass(frozen=True)
+class Specification:
+    """A lower/upper window on one named performance."""
+
+    name: str
+    lower: Optional[float] = None
+    upper: Optional[float] = None
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lower is None and self.upper is None:
+            raise ValueError(f"specification {self.name!r} needs at least one bound")
+        if self.lower is not None and self.upper is not None and self.lower > self.upper:
+            raise ValueError(f"specification {self.name!r} has lower bound above upper bound")
+
+    def is_met(self, value: float) -> bool:
+        """Whether ``value`` falls inside the window."""
+        if self.lower is not None and value < self.lower:
+            return False
+        if self.upper is not None and value > self.upper:
+            return False
+        return True
+
+    def margin(self, value: float) -> float:
+        """Normalised distance to the nearest violated bound.
+
+        Positive when the specification is met (distance to the closest
+        bound over the bound magnitude), negative when violated.
+        """
+        margins: List[float] = []
+        if self.lower is not None:
+            scale = abs(self.lower) if self.lower != 0.0 else 1.0
+            margins.append((value - self.lower) / scale)
+        if self.upper is not None:
+            scale = abs(self.upper) if self.upper != 0.0 else 1.0
+            margins.append((self.upper - value) / scale)
+        return min(margins)
+
+    def as_window(self) -> Tuple[Optional[float], Optional[float]]:
+        """The ``(lower, upper)`` tuple used by the yield calculators."""
+        return (self.lower, self.upper)
+
+
+class SpecificationSet:
+    """A named collection of specifications."""
+
+    def __init__(self, specifications: List[Specification], name: str = "") -> None:
+        if not specifications:
+            raise ValueError("a specification set needs at least one specification")
+        names = [spec.name for spec in specifications]
+        if len(set(names)) != len(names):
+            raise ValueError("specification names must be unique")
+        self.name = name
+        self._specs: Dict[str, Specification] = {spec.name: spec for spec in specifications}
+
+    def __iter__(self) -> Iterator[Specification]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __getitem__(self, name: str) -> Specification:
+        return self._specs[name]
+
+    @property
+    def names(self) -> List[str]:
+        """Names of the covered performances."""
+        return list(self._specs)
+
+    def is_met(self, performances: Mapping[str, float], partial: bool = False) -> bool:
+        """Whether every covered performance meets its specification.
+
+        With ``partial=True``, performances missing from the mapping are
+        ignored (useful while propagating specs down the hierarchy before
+        every block performance is known).
+        """
+        for name, spec in self._specs.items():
+            if name not in performances:
+                if partial:
+                    continue
+                raise KeyError(f"performance {name!r} missing from the evaluation")
+            if not spec.is_met(float(performances[name])):
+                return False
+        return True
+
+    def worst_margin(self, performances: Mapping[str, float]) -> float:
+        """Smallest specification margin across all covered performances."""
+        margins = []
+        for name, spec in self._specs.items():
+            if name not in performances:
+                raise KeyError(f"performance {name!r} missing from the evaluation")
+            margins.append(spec.margin(float(performances[name])))
+        return min(margins)
+
+    def violations(self, performances: Mapping[str, float]) -> Dict[str, float]:
+        """Violated specifications and their (negative) margins."""
+        result: Dict[str, float] = {}
+        for name, spec in self._specs.items():
+            if name not in performances:
+                continue
+            margin = spec.margin(float(performances[name]))
+            if margin < 0.0:
+                result[name] = margin
+        return result
+
+    def as_windows(self) -> Dict[str, Tuple[Optional[float], Optional[float]]]:
+        """Windows keyed by performance name (for the yield calculators)."""
+        return {name: spec.as_window() for name, spec in self._specs.items()}
+
+    def propagate(self, assignments: Mapping[str, float], margin: float = 0.0) -> "SpecificationSet":
+        """Top-down propagation: turn chosen block values into block specs.
+
+        For each assigned block parameter a two-sided window of +-``margin``
+        (relative) around the assigned value is created -- this is how the
+        system-level design space of the selected solution becomes the
+        "design objective for the sub-block circuit level" (section 2.3).
+        """
+        specs = []
+        for name, value in assignments.items():
+            half_window = abs(value) * margin
+            specs.append(Specification(name, lower=value - half_window, upper=value + half_window))
+        return SpecificationSet(specs, name=f"{self.name}:propagated")
+
+
+#: The paper's PLL system specifications (section 4): output frequency range
+#: 500 MHz - 1.2 GHz, lock time below 1 us, supply current below 15 mA.
+PLL_SPECIFICATIONS = SpecificationSet(
+    [
+        Specification("lock_time", upper=1.0e-6, unit="s"),
+        Specification("current", upper=15.0e-3, unit="A"),
+        Specification("final_frequency", lower=500.0e6, upper=1.2e9, unit="Hz"),
+    ],
+    name="pll_system",
+)
+
+#: Block-level tuning-range requirements derived from the PLL output range.
+VCO_RANGE_SPECIFICATIONS = SpecificationSet(
+    [
+        Specification("fmin", upper=500.0e6, unit="Hz"),
+        Specification("fmax", lower=1.2e9, unit="Hz"),
+    ],
+    name="vco_tuning_range",
+)

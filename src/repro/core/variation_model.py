@@ -1,0 +1,192 @@
+"""The Monte-Carlo-derived variation model.
+
+Section 3.3 of the paper: "during this step, a MC analysis is run for each
+of the parameter solution sets that lies on the Pareto-front.  From this
+simulation, a set of performance spreads is obtained.  The performance
+spread information is stored together with the performance model in a
+datafile."
+
+A :class:`VariationModel` therefore stores, for every Pareto point, the
+relative spread (in percent, exactly as Table 1 reports them) of each
+performance, and builds the one-dimensional ``<perf>_delta`` look-up tables
+of Listing 1 so that the behavioural VCO can interpolate the spread of any
+intermediate operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.behavioural.vco import VcoVariationTables
+from repro.circuits.evaluators import VcoEvaluator
+from repro.circuits.ring_vco import VcoDesign, vco_device_geometries
+from repro.process.montecarlo import MonteCarloEngine
+from repro.tablemodel import Table1D
+
+__all__ = ["VariationModel"]
+
+#: Performances carried by the variation model, in storage order.
+_PERFORMANCE_NAMES = ("kvco", "jitter", "current", "fmin", "fmax")
+_ALIASES = {"jvco": "jitter", "ivco": "current"}
+
+
+class VariationModel:
+    """Relative performance spreads across the Pareto front."""
+
+    def __init__(
+        self,
+        nominal: np.ndarray,
+        spreads_percent: np.ndarray,
+        performance_names: Sequence[str] = _PERFORMANCE_NAMES,
+        control: str = "3E",
+        n_samples: int = 0,
+    ) -> None:
+        nominal = np.asarray(nominal, dtype=float)
+        spreads_percent = np.asarray(spreads_percent, dtype=float)
+        if nominal.shape != spreads_percent.shape or nominal.ndim != 2:
+            raise ValueError("nominal and spread arrays must be 2-D and of identical shape")
+        if nominal.shape[0] == 0:
+            raise ValueError("a variation model needs at least one Pareto point")
+        if len(performance_names) != nominal.shape[1]:
+            raise ValueError("one name per performance column is required")
+        self.nominal = nominal
+        self.spreads_percent = spreads_percent
+        self.performance_names = list(performance_names)
+        self.control = control
+        self.n_samples = n_samples
+        self._tables: Dict[str, Table1D] = {}
+        self._build_tables()
+
+    # -- construction -------------------------------------------------------------------
+
+    @classmethod
+    def from_monte_carlo(
+        cls,
+        designs: Sequence[VcoDesign],
+        nominal_performances: Sequence[Mapping[str, float]],
+        evaluator: VcoEvaluator,
+        mc_engine_factory: Callable[[], MonteCarloEngine] | None = None,
+        n_samples: int = 100,
+        seed: int = 2009,
+        control: str = "3E",
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> "VariationModel":
+        """Run one Monte Carlo analysis per Pareto point and collect spreads.
+
+        Parameters
+        ----------
+        designs:
+            Transistor-level design points of the Pareto front.
+        nominal_performances:
+            Nominal performance dictionaries, one per design (from the
+            optimisation itself, so they are not recomputed).
+        evaluator:
+            The VCO evaluator used to re-simulate each Monte Carlo sample
+            (the paper used 100 SpectreRF Monte Carlo samples per point).
+        mc_engine_factory:
+            Optional factory returning a configured
+            :class:`~repro.process.montecarlo.MonteCarloEngine`; by default
+            one is built from the evaluator's technology with ``n_samples``
+            samples and the given ``seed``.
+        n_samples / seed / control:
+            Monte Carlo depth, seed and table-model control string.
+        progress:
+            Optional ``progress(done, total)`` callback.
+        """
+        if len(designs) != len(nominal_performances):
+            raise ValueError("one nominal performance record per design is required")
+        if not designs:
+            raise ValueError("at least one Pareto design point is required")
+        nominal_rows: List[List[float]] = []
+        spread_rows: List[List[float]] = []
+        total = len(designs)
+        for index, (design, nominal) in enumerate(zip(designs, nominal_performances)):
+            if mc_engine_factory is not None:
+                engine = mc_engine_factory()
+            else:
+                engine = MonteCarloEngine(
+                    evaluator.technology, n_samples=n_samples, seed=seed + index
+                )
+            result = engine.run(
+                evaluator.monte_carlo_evaluator(design),
+                devices=vco_device_geometries(design),
+                nominal={name: float(nominal[name]) for name in _PERFORMANCE_NAMES},
+            )
+            spreads = result.spreads()
+            nominal_rows.append([float(nominal[name]) for name in _PERFORMANCE_NAMES])
+            spread_rows.append([spreads[name].spread_percent for name in _PERFORMANCE_NAMES])
+            if progress is not None:
+                progress(index + 1, total)
+        return cls(
+            nominal=np.asarray(nominal_rows),
+            spreads_percent=np.asarray(spread_rows),
+            control=control,
+            n_samples=n_samples,
+        )
+
+    def _build_tables(self) -> None:
+        for idx, name in enumerate(self.performance_names):
+            self._tables[name] = Table1D(
+                self.nominal[:, idx],
+                self.spreads_percent[:, idx],
+                control=self.control,
+                name=f"{name}_delta",
+            )
+
+    # -- queries --------------------------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Number of Pareto points covered by the model."""
+        return int(self.nominal.shape[0])
+
+    def spread(self, name: str, value: float) -> float:
+        """Interpolated relative spread (percent) of ``name`` at ``value``.
+
+        The cubic-spline table can undershoot between samples, so the
+        result is floored at zero (a spread is non-negative by definition).
+        """
+        name = _ALIASES.get(name, name)
+        if name not in self._tables:
+            raise KeyError(f"no variation table for performance {name!r}")
+        return max(float(self._tables[name](value)), 0.0)
+
+    def table(self, name: str) -> Table1D:
+        """The underlying ``<name>_delta`` look-up table."""
+        name = _ALIASES.get(name, name)
+        return self._tables[name]
+
+    def spread_column(self, name: str) -> np.ndarray:
+        """Stored spreads (percent) of one performance across the front."""
+        name = _ALIASES.get(name, name)
+        return self.spreads_percent[:, self.performance_names.index(name)]
+
+    def nominal_column(self, name: str) -> np.ndarray:
+        """Stored nominal values of one performance across the front."""
+        name = _ALIASES.get(name, name)
+        return self.nominal[:, self.performance_names.index(name)]
+
+    # -- behavioural-model integration ------------------------------------------------------
+
+    def as_variation_tables(self) -> VcoVariationTables:
+        """Adapt the model to the behavioural VCO's variation interface."""
+        return VcoVariationTables(
+            kvco_delta=lambda value: self.spread("kvco", value),
+            ivco_delta=lambda value: self.spread("current", value),
+            jvco_delta=lambda value: self.spread("jitter", value),
+            fmin_delta=lambda value: self.spread("fmin", value),
+            fmax_delta=lambda value: self.spread("fmax", value),
+        )
+
+    def records(self) -> List[Dict[str, float]]:
+        """Per-point nominal values and spreads (Table-1 style rows)."""
+        rows: List[Dict[str, float]] = []
+        for i in range(self.n_points):
+            row: Dict[str, float] = {}
+            for j, name in enumerate(self.performance_names):
+                row[name] = float(self.nominal[i, j])
+                row[f"{name}_delta_pct"] = float(self.spreads_percent[i, j])
+            rows.append(row)
+        return rows

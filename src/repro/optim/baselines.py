@@ -1,0 +1,169 @@
+"""Baseline optimisers used by the ablation benchmarks.
+
+The paper motivates NSGA-II by the need to explore trade-offs between
+multiple competing objectives.  To quantify that motivation, two simple
+baselines are provided with the same :class:`~repro.optim.problem.Problem`
+interface and the same evaluation budget accounting:
+
+* :class:`RandomSearch` -- uniform random sampling of the parameter space,
+  keeping the non-dominated subset of everything seen.
+* :class:`WeightedSumGA` -- a single-objective genetic algorithm optimising
+  a fixed weighted sum of the (normalised) objectives, run once per weight
+  vector; the union of the per-run winners forms its "front".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.optim.individual import Individual
+from repro.optim.nsga2 import OptimisationResult
+from repro.optim.operators import PolynomialMutation, SBXCrossover
+from repro.optim.pareto import ParetoFront, pareto_filter
+from repro.optim.problem import Problem
+from repro.optim.sorting import fast_non_dominated_sort, crowding_distance
+
+__all__ = ["RandomSearch", "WeightedSumGA"]
+
+
+def _make_individual(problem: Problem, vector: np.ndarray) -> Individual:
+    evaluation = problem.evaluate_vector(vector)
+    individual = Individual(parameters=problem.clip(vector))
+    individual.objectives = problem.objective_vector(evaluation)
+    individual.constraints = problem.constraint_vector(evaluation)
+    individual.raw_objectives = dict(evaluation.objectives)
+    individual.metrics = dict(evaluation.metrics)
+    return individual
+
+
+def _front_of(problem: Problem, individuals: Sequence[Individual]) -> ParetoFront:
+    evaluated = [ind for ind in individuals if ind.is_evaluated]
+    feasible = [ind for ind in evaluated if ind.is_feasible]
+    pool = feasible if feasible else evaluated
+    if not pool:
+        return ParetoFront([], problem.parameter_names, problem.objective_names)
+    objectives = np.vstack([ind.objectives for ind in pool])
+    keep = pareto_filter(objectives)
+    return ParetoFront(
+        [pool[i] for i in keep],
+        problem.parameter_names,
+        problem.objective_names,
+        [objective.sense for objective in problem.objectives],
+    )
+
+
+@dataclass
+class RandomSearch:
+    """Uniform random search baseline with the same evaluation budget."""
+
+    problem: Problem
+    evaluations: int = 800
+    seed: Optional[int] = 2009
+
+    def run(self) -> OptimisationResult:
+        """Sample the design space uniformly and return the kept front."""
+        rng = np.random.default_rng(self.seed)
+        individuals = [
+            _make_individual(self.problem, self.problem.sample(rng))
+            for _ in range(self.evaluations)
+        ]
+        front = _front_of(self.problem, individuals)
+        return OptimisationResult(
+            front=front, population=individuals, history=[], evaluations=self.evaluations
+        )
+
+
+@dataclass
+class WeightedSumGA:
+    """Weighted-sum single-objective GA baseline.
+
+    The total evaluation budget is split evenly across ``n_weights``
+    uniformly spread weight vectors; each run is a small elitist GA on the
+    scalarised objective.  Constraints are handled with a death penalty
+    (infeasible candidates receive an infinite scalar fitness).
+    """
+
+    problem: Problem
+    evaluations: int = 800
+    n_weights: int = 8
+    population_size: int = 20
+    seed: Optional[int] = 2009
+
+    def run(self) -> OptimisationResult:
+        """Run one GA per weight vector and merge the resulting winners."""
+        rng = np.random.default_rng(self.seed)
+        crossover = SBXCrossover()
+        mutation = PolynomialMutation()
+        lower = self.problem.lower_bounds
+        upper = self.problem.upper_bounds
+        weights = self._weight_vectors()
+        budget_per_run = max(self.evaluations // max(len(weights), 1), self.population_size * 2)
+        all_individuals: List[Individual] = []
+        total_evaluations = 0
+        for weight in weights:
+            population = [
+                _make_individual(self.problem, self.problem.sample(rng))
+                for _ in range(self.population_size)
+            ]
+            total_evaluations += len(population)
+            spent = len(population)
+            while spent < budget_per_run:
+                scores = np.array([self._scalar(ind, weight, population) for ind in population])
+                order = np.argsort(scores)
+                parents = [population[i] for i in order[: max(2, self.population_size // 2)]]
+                children: List[Individual] = []
+                while len(children) < self.population_size and spent < budget_per_run:
+                    pa = parents[rng.integers(0, len(parents))]
+                    pb = parents[rng.integers(0, len(parents))]
+                    child_vec, _ = crossover(pa.parameters, pb.parameters, lower, upper, rng)
+                    child_vec = mutation(child_vec, lower, upper, rng)
+                    children.append(_make_individual(self.problem, child_vec))
+                    spent += 1
+                    total_evaluations += 1
+                merged = population + children
+                scores = np.array([self._scalar(ind, weight, merged) for ind in merged])
+                order = np.argsort(scores)
+                population = [merged[i] for i in order[: self.population_size]]
+            all_individuals.extend(population)
+        # Rank the merged set so downstream consumers see coherent ranks.
+        fronts = fast_non_dominated_sort(all_individuals)
+        for front in fronts:
+            crowding_distance(all_individuals, front)
+        front = _front_of(self.problem, all_individuals)
+        return OptimisationResult(
+            front=front,
+            population=all_individuals,
+            history=[],
+            evaluations=total_evaluations,
+        )
+
+    def _weight_vectors(self) -> List[np.ndarray]:
+        n_obj = self.problem.n_objectives
+        rng = np.random.default_rng(self.seed)
+        vectors: List[np.ndarray] = []
+        for i in range(self.n_weights):
+            if n_obj == 1:
+                vectors.append(np.array([1.0]))
+            elif i < n_obj:
+                basis = np.full(n_obj, 0.1 / max(n_obj - 1, 1))
+                basis[i] = 0.9
+                vectors.append(basis)
+            else:
+                raw = rng.dirichlet(np.ones(n_obj))
+                vectors.append(raw)
+        return vectors
+
+    def _scalar(
+        self, individual: Individual, weight: np.ndarray, population: Sequence[Individual]
+    ) -> float:
+        if not individual.is_feasible:
+            return float("inf")
+        objectives = np.vstack([ind.objectives for ind in population if ind.is_evaluated])
+        lo = objectives.min(axis=0)
+        hi = objectives.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        normalised = (individual.objectives - lo) / span
+        return float(np.dot(weight, normalised))

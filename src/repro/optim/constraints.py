@@ -1,0 +1,51 @@
+"""Constraint handling helpers.
+
+The paper's optimisation formulation (equation (1)) includes constraints of
+the form ``g_j(x) >= 0``.  NSGA-II handles these with Deb's
+constraint-domination rule, implemented on :class:`Individual`; this module
+provides the free-function equivalents used by code that works with plain
+arrays rather than individuals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["constraint_violation", "constrained_dominates"]
+
+
+def constraint_violation(constraints) -> float:
+    """Total violation of a ``g_j(x) >= 0`` constraint vector.
+
+    Feasible entries contribute nothing; each infeasible entry contributes
+    its magnitude of violation.  An empty or ``None`` vector is feasible.
+    """
+    if constraints is None:
+        return 0.0
+    arr = np.atleast_1d(np.asarray(constraints, dtype=float))
+    if arr.size == 0:
+        return 0.0
+    return float(np.sum(np.clip(-arr, 0.0, None)))
+
+
+def constrained_dominates(
+    objectives_a,
+    objectives_b,
+    constraints_a=None,
+    constraints_b=None,
+) -> bool:
+    """Deb's constraint-domination between two objective vectors.
+
+    All objectives are assumed to be in minimisation convention.
+    """
+    violation_a = constraint_violation(constraints_a)
+    violation_b = constraint_violation(constraints_b)
+    if violation_a == 0.0 and violation_b > 0.0:
+        return True
+    if violation_a > 0.0 and violation_b == 0.0:
+        return False
+    if violation_a > 0.0 and violation_b > 0.0:
+        return violation_a < violation_b
+    a = np.asarray(objectives_a, dtype=float)
+    b = np.asarray(objectives_b, dtype=float)
+    return bool(np.all(a <= b) and np.any(a < b))

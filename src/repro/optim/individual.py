@@ -1,0 +1,104 @@
+"""Individuals (candidate solutions) manipulated by the genetic algorithm.
+
+The paper calls the encoded parameter set of a candidate the *GA string*
+(section 3.2).  An :class:`Individual` couples that parameter vector with
+its evaluated objective values, constraint values and the NSGA-II
+bookkeeping attributes (non-domination rank and crowding distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["Individual"]
+
+
+@dataclass
+class Individual:
+    """A candidate solution and its evaluation state."""
+
+    #: Decision-variable vector (the GA string), always within bounds.
+    parameters: np.ndarray
+    #: Objective vector in minimisation convention; ``None`` until evaluated.
+    objectives: Optional[np.ndarray] = None
+    #: Constraint vector ``g_j(x)`` (>= 0 feasible); empty when unconstrained.
+    constraints: Optional[np.ndarray] = None
+    #: Raw objective values keyed by name (natural sense), for reporting.
+    raw_objectives: Dict[str, float] = field(default_factory=dict)
+    #: Additional non-optimised metrics carried along for reporting.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Non-domination rank assigned by fast non-dominated sorting (0 = best).
+    rank: int = -1
+    #: Crowding distance within the individual's front.
+    crowding: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.parameters = np.asarray(self.parameters, dtype=float)
+
+    @property
+    def is_evaluated(self) -> bool:
+        """Whether objective values have been assigned."""
+        return self.objectives is not None
+
+    @property
+    def constraint_violation(self) -> float:
+        """Total constraint violation (0.0 when feasible)."""
+        if self.constraints is None or self.constraints.size == 0:
+            return 0.0
+        return float(np.sum(np.clip(-self.constraints, 0.0, None)))
+
+    @property
+    def is_feasible(self) -> bool:
+        """True when all constraints ``g_j(x) >= 0`` are satisfied."""
+        return self.constraint_violation == 0.0
+
+    def copy(self) -> "Individual":
+        """Deep copy of the individual (parameters and evaluation state)."""
+        return Individual(
+            parameters=self.parameters.copy(),
+            objectives=None if self.objectives is None else self.objectives.copy(),
+            constraints=None if self.constraints is None else self.constraints.copy(),
+            raw_objectives=dict(self.raw_objectives),
+            metrics=dict(self.metrics),
+            rank=self.rank,
+            crowding=self.crowding,
+        )
+
+    def dominates(self, other: "Individual") -> bool:
+        """Pareto dominance in minimisation convention (unconstrained)."""
+        if self.objectives is None or other.objectives is None:
+            raise ValueError("both individuals must be evaluated before comparison")
+        no_worse = np.all(self.objectives <= other.objectives)
+        strictly_better = np.any(self.objectives < other.objectives)
+        return bool(no_worse and strictly_better)
+
+    def constrained_dominates(self, other: "Individual") -> bool:
+        """Deb's constraint-domination rule.
+
+        A feasible solution dominates an infeasible one; among two
+        infeasible solutions the one with smaller total violation wins;
+        among two feasible solutions ordinary Pareto dominance applies.
+        """
+        self_violation = self.constraint_violation
+        other_violation = other.constraint_violation
+        if self_violation == 0.0 and other_violation > 0.0:
+            return True
+        if self_violation > 0.0 and other_violation == 0.0:
+            return False
+        if self_violation > 0.0 and other_violation > 0.0:
+            return self_violation < other_violation
+        return self.dominates(other)
+
+    def as_dict(self, parameter_names=None) -> Dict[str, float]:
+        """Flatten the individual into a dictionary for tabular reporting."""
+        record: Dict[str, float] = {}
+        if parameter_names is None:
+            parameter_names = [f"x{i}" for i in range(self.parameters.size)]
+        for name, value in zip(parameter_names, self.parameters):
+            record[name] = float(value)
+        record.update({k: float(v) for k, v in self.raw_objectives.items()})
+        record.update({k: float(v) for k, v in self.metrics.items()})
+        return record

@@ -1,0 +1,153 @@
+"""Genetic operators: tournament selection, SBX crossover, polynomial mutation.
+
+These are the standard real-coded NSGA-II operators from Deb's book
+(reference [12] of the paper).  All operators take an explicit
+``numpy.random.Generator`` so optimisation runs are fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.optim.individual import Individual
+
+__all__ = ["binary_tournament", "SBXCrossover", "PolynomialMutation"]
+
+
+def binary_tournament(
+    population: Sequence[Individual], rng: np.random.Generator
+) -> Individual:
+    """Select one parent with a binary crowded tournament.
+
+    Two random individuals compete; the lower non-domination rank wins and
+    ties are broken by the larger crowding distance, as in NSGA-II.
+    """
+    if not population:
+        raise ValueError("cannot select from an empty population")
+    i, j = rng.integers(0, len(population), size=2)
+    a, b = population[i], population[j]
+    if a.rank != b.rank:
+        return a if a.rank < b.rank else b
+    if a.crowding != b.crowding:
+        return a if a.crowding > b.crowding else b
+    return a if rng.random() < 0.5 else b
+
+
+@dataclass
+class SBXCrossover:
+    """Simulated binary crossover for real-coded chromosomes.
+
+    Parameters
+    ----------
+    probability:
+        Per-pair probability that crossover happens at all.
+    eta:
+        Distribution index; larger values produce offspring closer to the
+        parents.  The NSGA-II default of 15 is used.
+    per_variable_probability:
+        Probability that an individual gene is crossed when the pair is
+        selected for crossover.
+    """
+
+    probability: float = 0.9
+    eta: float = 15.0
+    per_variable_probability: float = 0.5
+
+    def __call__(
+        self,
+        parent_a: np.ndarray,
+        parent_b: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Produce two children from two parent vectors."""
+        child_a = parent_a.astype(float).copy()
+        child_b = parent_b.astype(float).copy()
+        if rng.random() > self.probability:
+            return child_a, child_b
+        for k in range(child_a.size):
+            if rng.random() > self.per_variable_probability:
+                continue
+            x1, x2 = child_a[k], child_b[k]
+            if abs(x1 - x2) < 1e-14:
+                continue
+            lo, hi = float(lower[k]), float(upper[k])
+            x_low, x_high = (x1, x2) if x1 < x2 else (x2, x1)
+            rand = rng.random()
+            # Child 1 (biased towards the lower parent).
+            beta = 1.0 + (2.0 * (x_low - lo) / (x_high - x_low))
+            alpha = 2.0 - beta ** -(self.eta + 1.0)
+            beta_q = self._beta_q(rand, alpha)
+            c1 = 0.5 * ((x_low + x_high) - beta_q * (x_high - x_low))
+            # Child 2 (biased towards the upper parent).
+            beta = 1.0 + (2.0 * (hi - x_high) / (x_high - x_low))
+            alpha = 2.0 - beta ** -(self.eta + 1.0)
+            beta_q = self._beta_q(rand, alpha)
+            c2 = 0.5 * ((x_low + x_high) + beta_q * (x_high - x_low))
+            c1 = min(max(c1, lo), hi)
+            c2 = min(max(c2, lo), hi)
+            if rng.random() < 0.5:
+                c1, c2 = c2, c1
+            child_a[k], child_b[k] = c1, c2
+        return child_a, child_b
+
+    def _beta_q(self, rand: float, alpha: float) -> float:
+        if rand <= 1.0 / alpha:
+            return (rand * alpha) ** (1.0 / (self.eta + 1.0))
+        return (1.0 / (2.0 - rand * alpha)) ** (1.0 / (self.eta + 1.0))
+
+
+@dataclass
+class PolynomialMutation:
+    """Polynomial mutation for real-coded chromosomes.
+
+    Parameters
+    ----------
+    probability:
+        Per-gene mutation probability.  ``None`` selects the conventional
+        ``1 / n_variables`` at call time.
+    eta:
+        Distribution index; larger values keep mutants closer to the parent.
+    """
+
+    probability: float | None = None
+    eta: float = 20.0
+
+    def __call__(
+        self,
+        vector: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Mutate a parameter vector in place-safe fashion (returns a copy)."""
+        mutant = vector.astype(float).copy()
+        n = mutant.size
+        probability = self.probability if self.probability is not None else 1.0 / max(n, 1)
+        for k in range(n):
+            if rng.random() > probability:
+                continue
+            lo, hi = float(lower[k]), float(upper[k])
+            span = hi - lo
+            if span <= 0.0:
+                continue
+            x = mutant[k]
+            delta1 = (x - lo) / span
+            delta2 = (hi - x) / span
+            rand = rng.random()
+            mut_pow = 1.0 / (self.eta + 1.0)
+            if rand < 0.5:
+                xy = 1.0 - delta1
+                val = 2.0 * rand + (1.0 - 2.0 * rand) * xy ** (self.eta + 1.0)
+                delta_q = val**mut_pow - 1.0
+            else:
+                xy = 1.0 - delta2
+                val = 2.0 * (1.0 - rand) + 2.0 * (rand - 0.5) * xy ** (self.eta + 1.0)
+                delta_q = 1.0 - val**mut_pow
+            x = x + delta_q * span
+            mutant[k] = min(max(x, lo), hi)
+        return mutant

@@ -1,0 +1,216 @@
+"""Problem definition for multi-objective optimisation.
+
+A :class:`Problem` collects the three ingredients of equation (1) in the
+paper:
+
+* designable **parameters** with lower/upper bounds (the parameter space),
+* **objectives** ``f_m(x)`` to be minimised or maximised, and
+* optional **constraints** ``g_j(x) >= 0``.
+
+Concrete problems (the VCO sizing task, the PLL system-level task, the
+analytic test problems used in the unit tests) subclass :class:`Problem`
+and implement :meth:`Problem.evaluate`, returning the raw objective values
+in the user's natural sense (maximisation objectives are converted to
+minimisation internally by the optimiser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Parameter", "Objective", "Evaluation", "Problem"]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A designable parameter with box bounds.
+
+    Examples from the paper are transistor widths/lengths at circuit level
+    (bounded to 0.12-1 um and 10-100 um) and ``Kvco``, ``Ivco``, ``C1``,
+    ``C2``, ``R1`` at system level.
+    """
+
+    name: str
+    lower: float
+    upper: float
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.lower) or not np.isfinite(self.upper):
+            raise ValueError(f"parameter {self.name!r} has non-finite bounds")
+        if self.upper < self.lower:
+            raise ValueError(
+                f"parameter {self.name!r} has upper bound {self.upper} below lower {self.lower}"
+            )
+
+    @property
+    def span(self) -> float:
+        """Width of the allowed range."""
+        return self.upper - self.lower
+
+    def clip(self, value: float) -> float:
+        """Clamp ``value`` into the allowed range."""
+        return float(min(max(value, self.lower), self.upper))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw a uniform random value inside the bounds."""
+        return float(rng.uniform(self.lower, self.upper))
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A performance function ``f_m(x)`` with an optimisation sense."""
+
+    name: str
+    sense: str = "min"
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("min", "max"):
+            raise ValueError(f"objective {self.name!r} sense must be 'min' or 'max'")
+
+    @property
+    def is_minimised(self) -> bool:
+        """True when lower values of this objective are better."""
+        return self.sense == "min"
+
+    def to_minimisation(self, value: float) -> float:
+        """Convert a raw value to minimisation convention (negate if max)."""
+        return float(value) if self.is_minimised else -float(value)
+
+    def from_minimisation(self, value: float) -> float:
+        """Convert a minimisation-convention value back to the raw sense."""
+        return float(value) if self.is_minimised else -float(value)
+
+
+@dataclass
+class Evaluation:
+    """Raw result of evaluating a candidate solution.
+
+    ``objectives`` maps objective name to raw value (natural sense);
+    ``constraints`` maps constraint name to ``g_j(x)`` where feasibility
+    requires ``g_j(x) >= 0``.  ``metrics`` carries any additional reporting
+    values that are not optimised (e.g. the full performance record of a
+    circuit simulation).
+    """
+
+    objectives: Dict[str, float]
+    constraints: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class Problem:
+    """Base class for multi-objective optimisation problems."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        objectives: Sequence[Objective],
+        constraint_names: Sequence[str] = (),
+        name: str = "",
+    ) -> None:
+        if not parameters:
+            raise ValueError("a problem needs at least one designable parameter")
+        if not objectives:
+            raise ValueError("a problem needs at least one objective")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("parameter names must be unique")
+        obj_names = [o.name for o in objectives]
+        if len(set(obj_names)) != len(obj_names):
+            raise ValueError("objective names must be unique")
+        self.parameters: List[Parameter] = list(parameters)
+        self.objectives: List[Objective] = list(objectives)
+        self.constraint_names: List[str] = list(constraint_names)
+        self.name = name or type(self).__name__
+        self.evaluation_count = 0
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def n_parameters(self) -> int:
+        """Number of designable parameters."""
+        return len(self.parameters)
+
+    @property
+    def n_objectives(self) -> int:
+        """Number of performance functions."""
+        return len(self.objectives)
+
+    @property
+    def parameter_names(self) -> List[str]:
+        """Names of the designable parameters, in order."""
+        return [p.name for p in self.parameters]
+
+    @property
+    def objective_names(self) -> List[str]:
+        """Names of the objectives, in order."""
+        return [o.name for o in self.objectives]
+
+    @property
+    def lower_bounds(self) -> np.ndarray:
+        """Vector of parameter lower bounds."""
+        return np.array([p.lower for p in self.parameters])
+
+    @property
+    def upper_bounds(self) -> np.ndarray:
+        """Vector of parameter upper bounds."""
+        return np.array([p.upper for p in self.parameters])
+
+    # -- conversions ----------------------------------------------------------
+
+    def decode(self, vector: Sequence[float]) -> Dict[str, float]:
+        """Convert a parameter vector to a name -> value mapping."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.size != self.n_parameters:
+            raise ValueError(
+                f"expected {self.n_parameters} parameter value(s), got {vector.size}"
+            )
+        return {p.name: float(v) for p, v in zip(self.parameters, vector)}
+
+    def encode(self, mapping: Mapping[str, float]) -> np.ndarray:
+        """Convert a name -> value mapping to a parameter vector."""
+        try:
+            return np.array([float(mapping[p.name]) for p in self.parameters])
+        except KeyError as exc:
+            raise KeyError(f"missing parameter {exc.args[0]!r} in mapping") from exc
+
+    def clip(self, vector: Sequence[float]) -> np.ndarray:
+        """Clamp a parameter vector into the box bounds."""
+        return np.clip(np.asarray(vector, dtype=float), self.lower_bounds, self.upper_bounds)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one uniform random parameter vector."""
+        return rng.uniform(self.lower_bounds, self.upper_bounds)
+
+    def objective_vector(self, evaluation: Evaluation) -> np.ndarray:
+        """Extract the minimisation-convention objective vector."""
+        values = []
+        for objective in self.objectives:
+            if objective.name not in evaluation.objectives:
+                raise KeyError(
+                    f"evaluation is missing objective {objective.name!r} "
+                    f"(problem {self.name!r})"
+                )
+            values.append(objective.to_minimisation(evaluation.objectives[objective.name]))
+        return np.array(values)
+
+    def constraint_vector(self, evaluation: Evaluation) -> np.ndarray:
+        """Extract the ``g_j(x)`` constraint vector (>= 0 means feasible)."""
+        return np.array(
+            [float(evaluation.constraints.get(name, 0.0)) for name in self.constraint_names]
+        )
+
+    # -- to be implemented by subclasses ---------------------------------------
+
+    def evaluate(self, values: Mapping[str, float]) -> Evaluation:
+        """Evaluate the objectives for one parameter assignment."""
+        raise NotImplementedError
+
+    def evaluate_vector(self, vector: Sequence[float]) -> Evaluation:
+        """Evaluate a raw parameter vector (bookkeeping wrapper)."""
+        self.evaluation_count += 1
+        return self.evaluate(self.decode(self.clip(vector)))

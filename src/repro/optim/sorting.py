@@ -1,0 +1,102 @@
+"""Fast non-dominated sorting and crowding distance (NSGA-II core).
+
+These are the two sorting operations named explicitly in section 4.2 of the
+paper: "Non-dominated sorting and crowding distance sorting are applied to
+the solution for each generation in order to determine the final set of
+Pareto-fronts."
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.optim.individual import Individual
+
+__all__ = ["fast_non_dominated_sort", "crowding_distance", "sort_population"]
+
+
+def fast_non_dominated_sort(population: Sequence[Individual]) -> List[List[int]]:
+    """Partition ``population`` into non-domination fronts.
+
+    Returns a list of fronts, each a list of indices into ``population``.
+    Front 0 holds the non-dominated (Pareto-optimal) individuals; every
+    individual's :attr:`Individual.rank` attribute is updated in place.
+    Constraint-domination is used so infeasible individuals are pushed to
+    later fronts.
+    """
+    n = len(population)
+    if n == 0:
+        return []
+    dominated_sets: List[List[int]] = [[] for _ in range(n)]
+    domination_counts = np.zeros(n, dtype=int)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if population[i].constrained_dominates(population[j]):
+                dominated_sets[i].append(j)
+                domination_counts[j] += 1
+            elif population[j].constrained_dominates(population[i]):
+                dominated_sets[j].append(i)
+                domination_counts[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if domination_counts[i] == 0]
+    rank = 0
+    while current:
+        for index in current:
+            population[index].rank = rank
+        fronts.append(current)
+        next_front: List[int] = []
+        for index in current:
+            for dominated in dominated_sets[index]:
+                domination_counts[dominated] -= 1
+                if domination_counts[dominated] == 0:
+                    next_front.append(dominated)
+        current = next_front
+        rank += 1
+    return fronts
+
+
+def crowding_distance(population: Sequence[Individual], front: Sequence[int]) -> np.ndarray:
+    """Compute the crowding distance of every individual in ``front``.
+
+    The individuals' :attr:`Individual.crowding` attributes are updated in
+    place and the distances are returned in the order of ``front``.
+    Boundary solutions of each objective receive an infinite distance so
+    they are always preserved, which implements NSGA-II's diversity
+    mechanism.
+    """
+    size = len(front)
+    if size == 0:
+        return np.array([])
+    distances = np.zeros(size)
+    if size <= 2:
+        distances[:] = np.inf
+    else:
+        objectives = np.vstack([population[i].objectives for i in front])
+        n_objectives = objectives.shape[1]
+        for m in range(n_objectives):
+            order = np.argsort(objectives[:, m], kind="stable")
+            spread = objectives[order[-1], m] - objectives[order[0], m]
+            distances[order[0]] = np.inf
+            distances[order[-1]] = np.inf
+            if spread <= 0.0:
+                continue
+            for k in range(1, size - 1):
+                gap = objectives[order[k + 1], m] - objectives[order[k - 1], m]
+                distances[order[k]] += gap / spread
+    for position, index in enumerate(front):
+        population[index].crowding = float(distances[position])
+    return distances
+
+
+def sort_population(population: Sequence[Individual]) -> List[Individual]:
+    """Return the population ordered by (rank, -crowding distance).
+
+    Both rank and crowding distance are (re)computed first, so the result is
+    the canonical NSGA-II survival ordering.
+    """
+    fronts = fast_non_dominated_sort(population)
+    for front in fronts:
+        crowding_distance(population, front)
+    return sorted(population, key=lambda ind: (ind.rank, -ind.crowding))

@@ -1,0 +1,109 @@
+"""Process corners.
+
+Corner analysis complements Monte Carlo: instead of sampling the
+statistical distribution, the technology is pushed to its specified
+extremes (slow/fast NMOS x slow/fast PMOS, plus supply and temperature
+variants).  The hierarchical flow uses corners for quick worst-case sanity
+checks; the yield numbers reported by the benchmarks always come from the
+Monte Carlo engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.process.technology import Technology
+
+__all__ = ["Corner", "CornerSet", "STANDARD_CORNERS"]
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One named process/voltage/temperature corner.
+
+    The deltas are expressed as relative shifts of the key model-card
+    parameters; :meth:`apply` converts them to additive deltas for
+    :meth:`repro.process.technology.Technology.with_deltas`.
+    """
+
+    name: str
+    nmos_vth_shift: float = 0.0  # volts, additive
+    pmos_vth_shift: float = 0.0  # volts, additive
+    mobility_scale: float = 1.0  # multiplicative on u0 (both polarities)
+    tox_scale: float = 1.0  # multiplicative on tox (both polarities)
+    supply_scale: float = 1.0  # multiplicative on Vdd
+    temperature_shift: float = 0.0  # kelvin, additive
+
+    def apply(self, technology: Technology) -> Technology:
+        """Return the technology shifted to this corner."""
+        nmos_deltas = {
+            "vth0": self.nmos_vth_shift,
+            "u0": technology.nmos.u0 * (self.mobility_scale - 1.0),
+            "tox": technology.nmos.tox * (self.tox_scale - 1.0),
+            "temperature": self.temperature_shift,
+        }
+        pmos_deltas = {
+            "vth0": self.pmos_vth_shift,
+            "u0": technology.pmos.u0 * (self.mobility_scale - 1.0),
+            "tox": technology.pmos.tox * (self.tox_scale - 1.0),
+            "temperature": self.temperature_shift,
+        }
+        shifted = technology.with_deltas(nmos_deltas, pmos_deltas)
+        if self.supply_scale == 1.0:
+            return shifted
+        return Technology(
+            name=f"{technology.name}:{self.name}",
+            vdd=technology.vdd * self.supply_scale,
+            temperature=shifted.temperature + self.temperature_shift,
+            nmos=shifted.nmos,
+            pmos=shifted.pmos,
+            min_length=technology.min_length,
+            max_length=technology.max_length,
+            min_width=technology.min_width,
+            max_width=technology.max_width,
+            stage_load_capacitance=technology.stage_load_capacitance,
+        )
+
+
+class CornerSet:
+    """An ordered, name-addressable collection of corners."""
+
+    def __init__(self, corners: List[Corner]) -> None:
+        if not corners:
+            raise ValueError("a corner set needs at least one corner")
+        names = [corner.name for corner in corners]
+        if len(set(names)) != len(names):
+            raise ValueError("corner names must be unique")
+        self._corners: Dict[str, Corner] = {corner.name: corner for corner in corners}
+
+    def __iter__(self) -> Iterator[Corner]:
+        return iter(self._corners.values())
+
+    def __len__(self) -> int:
+        return len(self._corners)
+
+    def __getitem__(self, name: str) -> Corner:
+        return self._corners[name]
+
+    @property
+    def names(self) -> List[str]:
+        """Corner names in definition order."""
+        return list(self._corners)
+
+    def apply_all(self, technology: Technology) -> Dict[str, Technology]:
+        """Shift ``technology`` to every corner; returns name -> technology."""
+        return {corner.name: corner.apply(technology) for corner in self}
+
+
+#: Typical / slow-slow / fast-fast / slow-fast / fast-slow corners with
+#: conservative +-40 mV threshold and +-8% mobility excursions.
+STANDARD_CORNERS = CornerSet(
+    [
+        Corner("tt"),
+        Corner("ss", nmos_vth_shift=+0.04, pmos_vth_shift=+0.04, mobility_scale=0.92, tox_scale=1.04),
+        Corner("ff", nmos_vth_shift=-0.04, pmos_vth_shift=-0.04, mobility_scale=1.08, tox_scale=0.96),
+        Corner("sf", nmos_vth_shift=+0.04, pmos_vth_shift=-0.04),
+        Corner("fs", nmos_vth_shift=-0.04, pmos_vth_shift=+0.04),
+    ]
+)

@@ -1,0 +1,108 @@
+"""Local (intra-die) mismatch model.
+
+Device-to-device mismatch follows the Pelgrom area law: the standard
+deviation of a parameter difference between two identically drawn devices
+is ``A / sqrt(W L)``, with ``A`` the technology mismatch coefficient.  The
+paper's Monte Carlo runs use the foundry "variation and mismatch models"
+(section 4.3); this module supplies the mismatch half of that pair.
+
+A :class:`MismatchSample` maps device names to per-device parameter deltas
+so the circuit evaluators can perturb each transistor individually, which
+is what makes jitter and gain spread with device area in a physically
+plausible way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["MismatchModel", "MismatchSample", "DeviceGeometry"]
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Width/length (in metres) of one matched device."""
+
+    name: str
+    width: float
+    length: float
+    polarity: str = "nmos"
+
+    @property
+    def area(self) -> float:
+        """Gate area ``W * L`` in m^2."""
+        return self.width * self.length
+
+
+@dataclass
+class MismatchSample:
+    """Per-device additive parameter deltas drawn for one Monte Carlo sample."""
+
+    deltas: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def for_device(self, name: str) -> Dict[str, float]:
+        """Deltas of one device (empty dict when the device is unknown)."""
+        return self.deltas.get(name, {})
+
+    def devices(self) -> Sequence[str]:
+        """Names of all devices carrying mismatch deltas."""
+        return list(self.deltas)
+
+
+@dataclass(frozen=True)
+class MismatchModel:
+    """Pelgrom-style mismatch coefficients.
+
+    ``a_vth`` is in V*m (so that ``a_vth / sqrt(WL)`` is in volts) and
+    ``a_beta`` is dimensionless*m (relative current-factor mismatch).
+    Typical 0.12 um values are ``a_vth = 3.5 mV.um`` and
+    ``a_beta = 1 %.um``.
+    """
+
+    a_vth: float = 3.5e-3 * 1e-6
+    a_beta: float = 0.01 * 1e-6
+    truncation: float = 4.0
+
+    def sigma_vth(self, width: float, length: float) -> float:
+        """Threshold-voltage mismatch sigma for a device of the given geometry."""
+        area = max(width * length, 1e-18)
+        return self.a_vth / np.sqrt(area)
+
+    def sigma_beta(self, width: float, length: float) -> float:
+        """Relative current-factor mismatch sigma for the given geometry."""
+        area = max(width * length, 1e-18)
+        return self.a_beta / np.sqrt(area)
+
+    def sample(
+        self,
+        devices: Sequence[DeviceGeometry],
+        rng: np.random.Generator,
+    ) -> MismatchSample:
+        """Draw one mismatch sample for a set of devices.
+
+        Each device receives an independent threshold-voltage delta
+        (``vth0`` key) and a relative mobility delta (``u0_rel`` key, to be
+        multiplied by the nominal mobility by the consumer).
+        """
+        sample = MismatchSample()
+        for device in devices:
+            z_vth = float(np.clip(rng.standard_normal(), -self.truncation, self.truncation))
+            z_beta = float(np.clip(rng.standard_normal(), -self.truncation, self.truncation))
+            sample.deltas[device.name] = {
+                "vth0": z_vth * self.sigma_vth(device.width, device.length),
+                "u0_rel": z_beta * self.sigma_beta(device.width, device.length),
+            }
+        return sample
+
+    def sigma_summary(self, devices: Sequence[DeviceGeometry]) -> Dict[str, Dict[str, float]]:
+        """Per-device 1-sigma values for reporting."""
+        return {
+            device.name: {
+                "vth0": self.sigma_vth(device.width, device.length),
+                "u0_rel": self.sigma_beta(device.width, device.length),
+            }
+            for device in devices
+        }

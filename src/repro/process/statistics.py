@@ -1,0 +1,147 @@
+"""Statistical post-processing of Monte Carlo samples.
+
+The paper reports the *relative spread* of each performance (e.g.
+``delta Kvco = 0.50%``, ``delta Jvco = 22%`` in Table 1) and the parametric
+yield of the final design (100% over 500 samples, section 4.5).  This
+module computes those quantities plus the usual process-capability index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PerformanceSpread",
+    "spread_percent",
+    "summarise_samples",
+    "parametric_yield",
+    "process_capability",
+]
+
+
+@dataclass(frozen=True)
+class PerformanceSpread:
+    """Summary statistics of one performance across Monte Carlo samples."""
+
+    name: str
+    nominal: float
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n_samples: int
+
+    @property
+    def spread_percent(self) -> float:
+        """Relative spread ``sigma / |mean|`` in percent (the paper's delta)."""
+        denominator = abs(self.mean) if self.mean != 0.0 else abs(self.nominal)
+        if denominator == 0.0:
+            return 0.0
+        return 100.0 * self.std / denominator
+
+    @property
+    def lower_bound(self) -> float:
+        """Mean minus one sigma (used as the behavioural model's minimum)."""
+        return self.mean - self.std
+
+    @property
+    def upper_bound(self) -> float:
+        """Mean plus one sigma (used as the behavioural model's maximum)."""
+        return self.mean + self.std
+
+
+def spread_percent(samples: Sequence[float], nominal: Optional[float] = None) -> float:
+    """Relative spread (sigma over mean) of a sample set, in percent."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute the spread of an empty sample set")
+    mean = float(np.mean(arr))
+    std = float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0
+    denominator = abs(mean) if mean != 0.0 else abs(nominal or 0.0)
+    if denominator == 0.0:
+        return 0.0
+    return 100.0 * std / denominator
+
+
+def summarise_samples(
+    samples: Mapping[str, Sequence[float]],
+    nominals: Mapping[str, float] | None = None,
+) -> Dict[str, PerformanceSpread]:
+    """Build a :class:`PerformanceSpread` for every named performance."""
+    nominals = nominals or {}
+    summary: Dict[str, PerformanceSpread] = {}
+    for name, values in samples.items():
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError(f"performance {name!r} has no samples")
+        mean = float(np.mean(arr))
+        std = float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0
+        summary[name] = PerformanceSpread(
+            name=name,
+            nominal=float(nominals.get(name, mean)),
+            mean=mean,
+            std=std,
+            minimum=float(np.min(arr)),
+            maximum=float(np.max(arr)),
+            n_samples=int(arr.size),
+        )
+    return summary
+
+
+def parametric_yield(
+    samples: Mapping[str, Sequence[float]],
+    specifications: Mapping[str, tuple],
+) -> float:
+    """Fraction of samples meeting every specification.
+
+    ``specifications`` maps performance name to a ``(lower, upper)`` tuple;
+    either bound may be ``None`` for a one-sided specification.  All
+    performance sample arrays must have the same length (one entry per
+    Monte Carlo sample).
+    """
+    if not specifications:
+        return 1.0
+    lengths = {len(list(samples[name])) for name in specifications if name in samples}
+    if not lengths:
+        raise KeyError("none of the specified performances are present in the samples")
+    if len(lengths) != 1:
+        raise ValueError("all performance sample arrays must have the same length")
+    n = lengths.pop()
+    if n == 0:
+        raise ValueError("cannot compute yield from zero samples")
+    passing = np.ones(n, dtype=bool)
+    for name, (lower, upper) in specifications.items():
+        if name not in samples:
+            raise KeyError(f"performance {name!r} missing from the sample set")
+        values = np.asarray(list(samples[name]), dtype=float)
+        if lower is not None:
+            passing &= values >= lower
+        if upper is not None:
+            passing &= values <= upper
+    return float(np.count_nonzero(passing)) / float(n)
+
+
+def process_capability(
+    samples: Sequence[float],
+    lower: Optional[float] = None,
+    upper: Optional[float] = None,
+) -> float:
+    """Process-capability index Cpk of a performance against its spec window."""
+    if lower is None and upper is None:
+        raise ValueError("at least one specification bound is required")
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("Cpk needs at least two samples")
+    mean = float(np.mean(arr))
+    std = float(np.std(arr, ddof=1))
+    if std == 0.0:
+        return float("inf")
+    candidates = []
+    if upper is not None:
+        candidates.append((upper - mean) / (3.0 * std))
+    if lower is not None:
+        candidates.append((mean - lower) / (3.0 * std))
+    return float(min(candidates))

@@ -1,0 +1,136 @@
+"""Global (inter-die) process variation model.
+
+Foundry statistical models describe lot/wafer/die level shifts of the
+electrical parameters as (approximately) independent normal distributions.
+:class:`GlobalVariationModel` captures that structure: each varied model
+parameter has a :class:`VariationSpec` giving its standard deviation
+(absolute or relative to the nominal value) and optional truncation, and a
+single draw produces the additive deltas to apply to both the NMOS and the
+PMOS model cards of a :class:`~repro.process.technology.Technology`.
+
+The default numbers are representative of a 0.12 um CMOS process:
+``sigma(Vth) = 15 mV``, ``sigma(tox)/tox = 1.5%``, ``sigma(u0)/u0 = 3%``,
+``sigma(dL) = 4 nm``, ``sigma(dW) = 10 nm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.process.technology import Technology
+
+__all__ = ["VariationSpec", "GlobalVariationModel"]
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Statistical description of one varied process parameter."""
+
+    #: MOSFET model-card attribute the variation applies to.
+    parameter: str
+    #: Standard deviation; absolute when ``relative`` is False, otherwise a
+    #: fraction of the nominal parameter value.
+    sigma: float
+    relative: bool = False
+    #: Truncation of the normal distribution in units of sigma (0 = none).
+    truncation: float = 4.0
+    #: Correlation group: parameters sharing a group name use the same
+    #: standard-normal draw (e.g. NMOS and PMOS oxide thickness).
+    correlation_group: Optional[str] = None
+
+    def delta(self, nominal: float, standard_normal: float) -> float:
+        """Convert a standard-normal draw into an additive parameter delta."""
+        z = standard_normal
+        if self.truncation > 0.0:
+            z = float(np.clip(z, -self.truncation, self.truncation))
+        sigma_abs = self.sigma * abs(nominal) if self.relative else self.sigma
+        return z * sigma_abs
+
+
+def _default_specs() -> Dict[str, List[VariationSpec]]:
+    return {
+        "nmos": [
+            VariationSpec("vth0", sigma=0.015),
+            VariationSpec("tox", sigma=0.015, relative=True, correlation_group="tox"),
+            VariationSpec("u0", sigma=0.03, relative=True),
+            VariationSpec("ld", sigma=2.0e-9, correlation_group="geometry"),
+            VariationSpec("lambda_", sigma=0.05, relative=True),
+        ],
+        "pmos": [
+            VariationSpec("vth0", sigma=0.015),
+            VariationSpec("tox", sigma=0.015, relative=True, correlation_group="tox"),
+            VariationSpec("u0", sigma=0.03, relative=True),
+            VariationSpec("ld", sigma=2.0e-9, correlation_group="geometry"),
+            VariationSpec("lambda_", sigma=0.05, relative=True),
+        ],
+    }
+
+
+class GlobalVariationModel:
+    """Die-level statistical variation of the technology model cards."""
+
+    def __init__(self, specs: Mapping[str, List[VariationSpec]] | None = None) -> None:
+        self.specs: Dict[str, List[VariationSpec]] = (
+            {key: list(value) for key, value in specs.items()} if specs else _default_specs()
+        )
+        for polarity in self.specs:
+            if polarity not in ("nmos", "pmos"):
+                raise ValueError(f"unknown polarity key {polarity!r} in variation specs")
+
+    @property
+    def n_random_variables(self) -> int:
+        """Number of independent standard-normal draws per sample."""
+        groups = set()
+        count = 0
+        for spec_list in self.specs.values():
+            for spec in spec_list:
+                if spec.correlation_group is None:
+                    count += 1
+                else:
+                    groups.add(spec.correlation_group)
+        return count + len(groups)
+
+    def sample_deltas(
+        self, technology: Technology, rng: np.random.Generator
+    ) -> Dict[str, Dict[str, float]]:
+        """Draw one set of additive model-card deltas.
+
+        Returns ``{"nmos": {param: delta, ...}, "pmos": {...}}``.
+        """
+        group_draws: Dict[str, float] = {}
+        deltas: Dict[str, Dict[str, float]] = {"nmos": {}, "pmos": {}}
+        for polarity, spec_list in self.specs.items():
+            model = technology.model(polarity)
+            for spec in spec_list:
+                if spec.correlation_group is not None:
+                    if spec.correlation_group not in group_draws:
+                        group_draws[spec.correlation_group] = float(rng.standard_normal())
+                    z = group_draws[spec.correlation_group]
+                else:
+                    z = float(rng.standard_normal())
+                nominal = getattr(model, spec.parameter)
+                deltas[polarity][spec.parameter] = deltas[polarity].get(
+                    spec.parameter, 0.0
+                ) + spec.delta(nominal, z)
+        return deltas
+
+    def apply_sample(
+        self, technology: Technology, rng: np.random.Generator
+    ) -> Technology:
+        """Draw one sample and return the shifted technology."""
+        deltas = self.sample_deltas(technology, rng)
+        return technology.with_deltas(deltas.get("nmos"), deltas.get("pmos"))
+
+    def sigma_summary(self, technology: Technology) -> Dict[str, float]:
+        """Absolute 1-sigma values for reporting, keyed ``polarity.parameter``."""
+        summary: Dict[str, float] = {}
+        for polarity, spec_list in self.specs.items():
+            model = technology.model(polarity)
+            for spec in spec_list:
+                nominal = getattr(model, spec.parameter)
+                sigma_abs = spec.sigma * abs(nominal) if spec.relative else spec.sigma
+                summary[f"{polarity}.{spec.parameter}"] = sigma_abs
+        return summary

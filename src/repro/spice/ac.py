@@ -1,0 +1,186 @@
+"""Small-signal AC analysis.
+
+The circuit is linearised around its DC operating point and the complex
+MNA system ``(G + jωC) x = b`` is solved at every requested frequency.
+Elements describe their small-signal behaviour through ``ac_contribute``,
+which receives an :class:`ACStampContext` exposing admittance, controlled
+source and independent-source stamps plus the operating-point voltages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.spice.dc import DCOperatingPoint, DCResult
+from repro.spice.exceptions import AnalysisError, SingularMatrixError
+from repro.spice.mna import NewtonOptions
+from repro.spice.netlist import Circuit, GROUND
+
+__all__ = ["ACStampContext", "ACResult", "ACAnalysis"]
+
+
+class ACStampContext:
+    """Accumulator for the complex small-signal MNA system."""
+
+    def __init__(self, circuit: Circuit, operating_point: DCResult, omega: float) -> None:
+        self.circuit = circuit
+        self.operating_point = operating_point
+        self.omega = float(omega)
+        self._node_index = circuit.node_index()
+        self._branch_index = circuit.branch_index()
+        n = circuit.n_unknowns
+        self.matrix = np.zeros((n, n), dtype=complex)
+        self.rhs = np.zeros(n, dtype=complex)
+
+    # -- lookups -------------------------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Unknown index of a node (-1 for ground)."""
+        if name == GROUND:
+            return -1
+        return self._node_index[name]
+
+    def branch(self, element_name: str) -> int:
+        """Unknown index of an element's branch current."""
+        return self._branch_index[element_name]
+
+    def op_voltage(self, name: str) -> float:
+        """DC operating-point voltage of a node."""
+        return self.operating_point.voltage(name)
+
+    # -- stamps ---------------------------------------------------------------------
+
+    def _add(self, row: int, col: int, value: complex) -> None:
+        if row >= 0 and col >= 0:
+            self.matrix[row, col] += value
+
+    def stamp_admittance(self, node_a: str, node_b: str, admittance: complex) -> None:
+        """Two-terminal admittance between two nodes."""
+        a, b = self.node(node_a), self.node(node_b)
+        self._add(a, a, admittance)
+        self._add(b, b, admittance)
+        self._add(a, b, -admittance)
+        self._add(b, a, -admittance)
+
+    def stamp_vccs(
+        self, out_pos: str, out_neg: str, ctrl_pos: str, ctrl_neg: str, gm: complex
+    ) -> None:
+        """Voltage-controlled current source stamp."""
+        op, on = self.node(out_pos), self.node(out_neg)
+        cp, cn = self.node(ctrl_pos), self.node(ctrl_neg)
+        self._add(op, cp, gm)
+        self._add(op, cn, -gm)
+        self._add(on, cp, -gm)
+        self._add(on, cn, gm)
+
+    def stamp_current_injection(self, node_pos: str, node_neg: str, magnitude: complex) -> None:
+        """Independent AC current source from ``node_pos`` to ``node_neg``."""
+        a, b = self.node(node_pos), self.node(node_neg)
+        if a >= 0:
+            self.rhs[a] -= magnitude
+        if b >= 0:
+            self.rhs[b] += magnitude
+
+    def stamp_branch_voltage(self, element_name: str, node_pos: str, node_neg: str, magnitude: complex) -> None:
+        """Independent AC voltage source occupying an MNA branch."""
+        a, b = self.node(node_pos), self.node(node_neg)
+        k = self.branch(element_name)
+        self._add(a, k, 1.0)
+        self._add(b, k, -1.0)
+        self._add(k, a, 1.0)
+        self._add(k, b, -1.0)
+        self.rhs[k] += magnitude
+
+    def stamp_branch_impedance(self, element_name: str, node_pos: str, node_neg: str, impedance: complex) -> None:
+        """Branch element with series impedance (inductor in AC)."""
+        a, b = self.node(node_pos), self.node(node_neg)
+        k = self.branch(element_name)
+        self._add(a, k, 1.0)
+        self._add(b, k, -1.0)
+        self._add(k, a, 1.0)
+        self._add(k, b, -1.0)
+        self._add(k, k, -impedance)
+
+
+@dataclass
+class ACResult:
+    """Complex node voltages over frequency."""
+
+    circuit: Circuit
+    frequencies: np.ndarray
+    solution: np.ndarray  # shape (n_frequencies, n_unknowns), complex
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex voltage of a node across all analysed frequencies."""
+        if node == GROUND:
+            return np.zeros_like(self.frequencies, dtype=complex)
+        index = self.circuit.node_index()[node]
+        return self.solution[:, index]
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        """Voltage magnitude in dB."""
+        magnitude = np.abs(self.voltage(node))
+        return 20.0 * np.log10(np.maximum(magnitude, 1e-30))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        """Voltage phase in degrees."""
+        return np.degrees(np.angle(self.voltage(node)))
+
+    def bandwidth_3db(self, node: str) -> float:
+        """-3 dB bandwidth relative to the lowest-frequency response."""
+        magnitude = np.abs(self.voltage(node))
+        if magnitude.size == 0 or magnitude[0] <= 0.0:
+            raise AnalysisError("cannot compute bandwidth of a zero response")
+        reference = magnitude[0] / np.sqrt(2.0)
+        below = np.flatnonzero(magnitude < reference)
+        if below.size == 0:
+            return float(self.frequencies[-1])
+        first = int(below[0])
+        if first == 0:
+            return float(self.frequencies[0])
+        # Log-linear interpolation between the bracketing points.
+        f0, f1 = self.frequencies[first - 1], self.frequencies[first]
+        m0, m1 = magnitude[first - 1], magnitude[first]
+        frac = (m0 - reference) / max(m0 - m1, 1e-30)
+        return float(f0 + frac * (f1 - f0))
+
+
+class ACAnalysis:
+    """Frequency sweep of the linearised circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        frequencies: Sequence[float],
+        operating_point: DCResult | None = None,
+        newton_options: NewtonOptions | None = None,
+    ) -> None:
+        freq = np.asarray(frequencies, dtype=float)
+        if freq.ndim != 1 or freq.size == 0 or np.any(freq <= 0.0):
+            raise AnalysisError("frequencies must be a non-empty array of positive values")
+        self.circuit = circuit
+        self.frequencies = freq
+        self._op = operating_point
+        self._newton_options = newton_options
+
+    def run(self) -> ACResult:
+        """Linearise at the DC operating point and sweep the frequencies."""
+        op = self._op or DCOperatingPoint(self.circuit, self._newton_options).run()
+        n = self.circuit.n_unknowns
+        solution = np.zeros((self.frequencies.size, n), dtype=complex)
+        for i, frequency in enumerate(self.frequencies):
+            ctx = ACStampContext(self.circuit, op, 2.0 * np.pi * frequency)
+            for element in self.circuit:
+                element.ac_contribute(ctx)
+            # Tiny shunt keeps nodes with only capacitive paths well-posed.
+            ctx.matrix[np.diag_indices(self.circuit.n_nodes)] += 1e-12
+            try:
+                solution[i] = np.linalg.solve(ctx.matrix, ctx.rhs)
+            except np.linalg.LinAlgError as exc:
+                raise SingularMatrixError(
+                    f"singular AC matrix at {frequency:.3e} Hz: {exc}"
+                ) from exc
+        return ACResult(self.circuit, self.frequencies, solution)

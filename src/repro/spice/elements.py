@@ -1,0 +1,461 @@
+"""Linear elements, sources and the junction diode.
+
+Every element implements the ``contribute`` protocol described in
+:mod:`repro.spice.netlist`.  Independent sources accept either a constant
+value or a :class:`SourceWaveform` (DC, pulse, sine, piece-wise linear) so
+the same element types serve DC, transient and AC test benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.spice.exceptions import NetlistError
+from repro.spice.netlist import Element
+
+__all__ = [
+    "SourceWaveform",
+    "DCWaveform",
+    "PulseWaveform",
+    "SineWaveform",
+    "PWLWaveform",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "Diode",
+]
+
+
+# ---------------------------------------------------------------------------
+# Source waveforms
+# ---------------------------------------------------------------------------
+
+
+class SourceWaveform:
+    """Time-dependent value of an independent source."""
+
+    def value(self, time: float) -> float:
+        """Source value at ``time`` (seconds)."""
+        raise NotImplementedError
+
+    @property
+    def dc(self) -> float:
+        """Value used for DC operating-point analysis."""
+        return self.value(0.0)
+
+
+@dataclass
+class DCWaveform(SourceWaveform):
+    """A constant source value."""
+
+    level: float = 0.0
+
+    def value(self, time: float) -> float:
+        return float(self.level)
+
+
+@dataclass
+class PulseWaveform(SourceWaveform):
+    """SPICE ``PULSE(v1 v2 td tr tf pw per)`` waveform."""
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 1e-12
+    fall: float = 1e-12
+    width: float = 1e-9
+    period: float = 2e-9
+
+    def value(self, time: float) -> float:
+        if time < self.delay:
+            return float(self.v1)
+        t = (time - self.delay) % self.period
+        rise = max(self.rise, 1e-15)
+        fall = max(self.fall, 1e-15)
+        if t < rise:
+            return float(self.v1 + (self.v2 - self.v1) * t / rise)
+        if t < rise + self.width:
+            return float(self.v2)
+        if t < rise + self.width + fall:
+            return float(self.v2 + (self.v1 - self.v2) * (t - rise - self.width) / fall)
+        return float(self.v1)
+
+    @property
+    def dc(self) -> float:
+        return float(self.v1)
+
+
+@dataclass
+class SineWaveform(SourceWaveform):
+    """SPICE ``SIN(vo va freq td theta)`` waveform."""
+
+    offset: float
+    amplitude: float
+    frequency: float
+    delay: float = 0.0
+    damping: float = 0.0
+
+    def value(self, time: float) -> float:
+        if time < self.delay:
+            return float(self.offset)
+        t = time - self.delay
+        envelope = math.exp(-self.damping * t)
+        return float(self.offset + self.amplitude * envelope * math.sin(2.0 * math.pi * self.frequency * t))
+
+    @property
+    def dc(self) -> float:
+        return float(self.offset)
+
+
+class PWLWaveform(SourceWaveform):
+    """Piece-wise linear waveform defined by ``(time, value)`` pairs."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if not points:
+            raise NetlistError("a PWL waveform needs at least one point")
+        ordered = sorted((float(t), float(v)) for t, v in points)
+        times = [t for t, _ in ordered]
+        if len(set(times)) != len(times):
+            raise NetlistError("PWL time points must be distinct")
+        self.points = ordered
+
+    def value(self, time: float) -> float:
+        points = self.points
+        if time <= points[0][0]:
+            return points[0][1]
+        if time >= points[-1][0]:
+            return points[-1][1]
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if t0 <= time <= t1:
+                if t1 == t0:
+                    return v1
+                frac = (time - t0) / (t1 - t0)
+                return v0 + frac * (v1 - v0)
+        return points[-1][1]
+
+    @property
+    def dc(self) -> float:
+        return self.points[0][1]
+
+
+def _as_waveform(value) -> SourceWaveform:
+    if isinstance(value, SourceWaveform):
+        return value
+    return DCWaveform(float(value))
+
+
+# ---------------------------------------------------------------------------
+# Two-terminal passives
+# ---------------------------------------------------------------------------
+
+
+class Resistor(Element):
+    """Linear resistor between two nodes."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, resistance: float) -> None:
+        super().__init__(name, (node_pos, node_neg))
+        if resistance <= 0.0:
+            raise NetlistError(f"resistor {name!r} must have a positive resistance")
+        self.resistance = float(resistance)
+
+    @property
+    def conductance(self) -> float:
+        """Conductance ``1/R``."""
+        return 1.0 / self.resistance
+
+    def contribute(self, ctx) -> None:
+        a = ctx.node(self.nodes[0])
+        b = ctx.node(self.nodes[1])
+        g = self.conductance
+        current = g * (ctx.v(self.nodes[0]) - ctx.v(self.nodes[1]))
+        ctx.stamp_current(a, b, current)
+        ctx.stamp_conductance(a, b, g)
+
+    def ac_contribute(self, ctx) -> None:
+        ctx.stamp_admittance(self.nodes[0], self.nodes[1], self.conductance)
+
+
+class Capacitor(Element):
+    """Linear capacitor between two nodes.
+
+    Open circuit in DC; in transient analysis it is replaced by its
+    backward-Euler or trapezoidal companion model.
+    """
+
+    def __init__(
+        self, name: str, node_pos: str, node_neg: str, capacitance: float, ic: float | None = None
+    ) -> None:
+        super().__init__(name, (node_pos, node_neg))
+        if capacitance < 0.0:
+            raise NetlistError(f"capacitor {name!r} must have a non-negative capacitance")
+        self.capacitance = float(capacitance)
+        self.initial_voltage = ic
+
+    def contribute(self, ctx) -> None:
+        if ctx.analysis != "tran" or ctx.dt <= 0.0 or self.capacitance == 0.0:
+            return
+        a = ctx.node(self.nodes[0])
+        b = ctx.node(self.nodes[1])
+        v_now = ctx.v(self.nodes[0]) - ctx.v(self.nodes[1])
+        v_prev = ctx.v_prev(self.nodes[0]) - ctx.v_prev(self.nodes[1])
+        c = self.capacitance
+        state = ctx.element_state(self.name)
+        if ctx.integrator == "trap":
+            i_prev = state.get("current", 0.0)
+            geq = 2.0 * c / ctx.dt
+            current = geq * (v_now - v_prev) - i_prev
+        else:  # backward Euler
+            geq = c / ctx.dt
+            current = geq * (v_now - v_prev)
+        state["pending_current"] = current
+        ctx.stamp_current(a, b, current)
+        ctx.stamp_conductance(a, b, geq)
+
+    def accept_timestep(self, state: dict) -> None:
+        """Commit the integrator state after a time step is accepted."""
+        if "pending_current" in state:
+            state["current"] = state.pop("pending_current")
+
+    def ac_contribute(self, ctx) -> None:
+        ctx.stamp_admittance(self.nodes[0], self.nodes[1], 1j * ctx.omega * self.capacitance)
+
+
+class Inductor(Element):
+    """Linear inductor; short circuit in DC, companion model in transient."""
+
+    n_branches = 1
+
+    def __init__(
+        self, name: str, node_pos: str, node_neg: str, inductance: float, ic: float | None = None
+    ) -> None:
+        super().__init__(name, (node_pos, node_neg))
+        if inductance <= 0.0:
+            raise NetlistError(f"inductor {name!r} must have a positive inductance")
+        self.inductance = float(inductance)
+        self.initial_current = ic
+
+    def contribute(self, ctx) -> None:
+        a = ctx.node(self.nodes[0])
+        b = ctx.node(self.nodes[1])
+        k = ctx.branch(self.name)
+        current = ctx.i_branch(self.name)
+        # KCL: branch current leaves node a, enters node b.
+        ctx.add_residual(a, current)
+        ctx.add_residual(b, -current)
+        ctx.add_jacobian(a, k, 1.0)
+        ctx.add_jacobian(b, k, -1.0)
+        v_now = ctx.v(self.nodes[0]) - ctx.v(self.nodes[1])
+        if ctx.analysis == "tran" and ctx.dt > 0.0:
+            i_prev = ctx.i_branch_prev(self.name)
+            # Backward Euler branch equation: v - L (i - i_prev)/dt = 0.
+            req = self.inductance / ctx.dt
+            ctx.add_residual(k, v_now - req * (current - i_prev))
+            ctx.add_jacobian(k, a, 1.0)
+            ctx.add_jacobian(k, b, -1.0)
+            ctx.add_jacobian(k, k, -req)
+        else:
+            # DC: inductor is a short; enforce v = 0.
+            ctx.add_residual(k, v_now)
+            ctx.add_jacobian(k, a, 1.0)
+            ctx.add_jacobian(k, b, -1.0)
+
+    def ac_contribute(self, ctx) -> None:
+        ctx.stamp_branch_impedance(self.name, self.nodes[0], self.nodes[1], 1j * ctx.omega * self.inductance)
+
+
+# ---------------------------------------------------------------------------
+# Independent sources
+# ---------------------------------------------------------------------------
+
+
+class VoltageSource(Element):
+    """Independent voltage source (DC value or waveform) with AC magnitude."""
+
+    n_branches = 1
+
+    def __init__(
+        self,
+        name: str,
+        node_pos: str,
+        node_neg: str,
+        value,
+        ac_magnitude: float = 0.0,
+    ) -> None:
+        super().__init__(name, (node_pos, node_neg))
+        self.waveform = _as_waveform(value)
+        self.ac_magnitude = float(ac_magnitude)
+
+    def source_value(self, ctx) -> float:
+        """Instantaneous source value scaled by any homotopy factor."""
+        if ctx.analysis == "tran":
+            raw = self.waveform.value(ctx.time)
+        else:
+            raw = self.waveform.dc
+        return ctx.source_scale * raw
+
+    def contribute(self, ctx) -> None:
+        a = ctx.node(self.nodes[0])
+        b = ctx.node(self.nodes[1])
+        k = ctx.branch(self.name)
+        current = ctx.i_branch(self.name)
+        ctx.add_residual(a, current)
+        ctx.add_residual(b, -current)
+        ctx.add_jacobian(a, k, 1.0)
+        ctx.add_jacobian(b, k, -1.0)
+        v_now = ctx.v(self.nodes[0]) - ctx.v(self.nodes[1])
+        ctx.add_residual(k, v_now - self.source_value(ctx))
+        ctx.add_jacobian(k, a, 1.0)
+        ctx.add_jacobian(k, b, -1.0)
+
+    def ac_contribute(self, ctx) -> None:
+        ctx.stamp_branch_voltage(self.name, self.nodes[0], self.nodes[1], self.ac_magnitude)
+
+    def supply_current_nodes(self) -> Tuple[str, ...]:
+        return (self.nodes[0],)
+
+
+class CurrentSource(Element):
+    """Independent current source; current flows from node+ through the
+    source to node- (i.e. it is pushed into the node- side network)."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, value, ac_magnitude: float = 0.0) -> None:
+        super().__init__(name, (node_pos, node_neg))
+        self.waveform = _as_waveform(value)
+        self.ac_magnitude = float(ac_magnitude)
+
+    def source_value(self, ctx) -> float:
+        """Instantaneous source current scaled by any homotopy factor."""
+        if ctx.analysis == "tran":
+            raw = self.waveform.value(ctx.time)
+        else:
+            raw = self.waveform.dc
+        return ctx.source_scale * raw
+
+    def contribute(self, ctx) -> None:
+        a = ctx.node(self.nodes[0])
+        b = ctx.node(self.nodes[1])
+        current = self.source_value(ctx)
+        ctx.stamp_current(a, b, current)
+
+    def ac_contribute(self, ctx) -> None:
+        ctx.stamp_current_injection(self.nodes[0], self.nodes[1], self.ac_magnitude)
+
+
+# ---------------------------------------------------------------------------
+# Controlled sources
+# ---------------------------------------------------------------------------
+
+
+class VCVS(Element):
+    """Voltage-controlled voltage source ``E``: v(out) = gain * v(ctrl)."""
+
+    n_branches = 1
+
+    def __init__(
+        self,
+        name: str,
+        out_pos: str,
+        out_neg: str,
+        ctrl_pos: str,
+        ctrl_neg: str,
+        gain: float,
+    ) -> None:
+        super().__init__(name, (out_pos, out_neg, ctrl_pos, ctrl_neg))
+        self.gain = float(gain)
+
+    def contribute(self, ctx) -> None:
+        op, on, cp, cn = (ctx.node(n) for n in self.nodes)
+        k = ctx.branch(self.name)
+        current = ctx.i_branch(self.name)
+        ctx.add_residual(op, current)
+        ctx.add_residual(on, -current)
+        ctx.add_jacobian(op, k, 1.0)
+        ctx.add_jacobian(on, k, -1.0)
+        v_out = ctx.v(self.nodes[0]) - ctx.v(self.nodes[1])
+        v_ctrl = ctx.v(self.nodes[2]) - ctx.v(self.nodes[3])
+        ctx.add_residual(k, v_out - self.gain * v_ctrl)
+        ctx.add_jacobian(k, op, 1.0)
+        ctx.add_jacobian(k, on, -1.0)
+        ctx.add_jacobian(k, cp, -self.gain)
+        ctx.add_jacobian(k, cn, self.gain)
+
+
+class VCCS(Element):
+    """Voltage-controlled current source ``G``: i(out) = gm * v(ctrl)."""
+
+    def __init__(
+        self,
+        name: str,
+        out_pos: str,
+        out_neg: str,
+        ctrl_pos: str,
+        ctrl_neg: str,
+        transconductance: float,
+    ) -> None:
+        super().__init__(name, (out_pos, out_neg, ctrl_pos, ctrl_neg))
+        self.transconductance = float(transconductance)
+
+    def contribute(self, ctx) -> None:
+        op, on, cp, cn = (ctx.node(n) for n in self.nodes)
+        v_ctrl = ctx.v(self.nodes[2]) - ctx.v(self.nodes[3])
+        current = self.transconductance * v_ctrl
+        ctx.stamp_current(op, on, current)
+        ctx.stamp_transconductance(op, on, cp, cn, self.transconductance)
+
+
+# ---------------------------------------------------------------------------
+# Junction diode
+# ---------------------------------------------------------------------------
+
+
+class Diode(Element):
+    """Junction diode with exponential I-V characteristic and voltage limiting."""
+
+    def __init__(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        saturation_current: float = 1e-14,
+        emission_coefficient: float = 1.0,
+        temperature: float = 300.15,
+    ) -> None:
+        super().__init__(name, (anode, cathode))
+        if saturation_current <= 0.0:
+            raise NetlistError(f"diode {name!r} must have a positive saturation current")
+        self.saturation_current = float(saturation_current)
+        self.emission_coefficient = float(emission_coefficient)
+        self.temperature = float(temperature)
+
+    @property
+    def thermal_voltage(self) -> float:
+        """``kT/q`` at the configured temperature."""
+        return 1.380649e-23 * self.temperature / 1.602176634e-19
+
+    def contribute(self, ctx) -> None:
+        a = ctx.node(self.nodes[0])
+        b = ctx.node(self.nodes[1])
+        n_vt = self.emission_coefficient * self.thermal_voltage
+        v = ctx.v(self.nodes[0]) - ctx.v(self.nodes[1])
+        # Junction-voltage limiting keeps the exponential finite.
+        v_limited = min(v, 40.0 * n_vt)
+        exp_term = math.exp(v_limited / n_vt)
+        current = self.saturation_current * (exp_term - 1.0)
+        conductance = self.saturation_current * exp_term / n_vt
+        if v > v_limited:
+            # Linear continuation beyond the limiting voltage.
+            current += conductance * (v - v_limited)
+        ctx.stamp_current(a, b, current)
+        ctx.stamp_conductance(a, b, conductance + 1e-12)
+
+    def ac_contribute(self, ctx) -> None:
+        v = ctx.op_voltage(self.nodes[0]) - ctx.op_voltage(self.nodes[1])
+        n_vt = self.emission_coefficient * self.thermal_voltage
+        conductance = self.saturation_current * math.exp(min(v, 40.0 * n_vt) / n_vt) / n_vt
+        ctx.stamp_admittance(self.nodes[0], self.nodes[1], conductance)

@@ -1,0 +1,36 @@
+"""Exception hierarchy of the circuit simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SpiceError",
+    "NetlistError",
+    "AnalysisError",
+    "ConvergenceError",
+    "SingularMatrixError",
+]
+
+
+class SpiceError(Exception):
+    """Base class for all simulator errors."""
+
+
+class NetlistError(SpiceError):
+    """The circuit description is malformed (bad nodes, duplicate names...)."""
+
+
+class AnalysisError(SpiceError):
+    """An analysis was configured incorrectly or failed to run."""
+
+
+class ConvergenceError(AnalysisError):
+    """Newton-Raphson iteration failed to converge."""
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SingularMatrixError(AnalysisError):
+    """The MNA matrix is singular (floating node, voltage-source loop...)."""

@@ -1,0 +1,328 @@
+"""MOSFET device model.
+
+A compact level-1/level-3-style MOSFET good enough for ring-oscillator and
+analog-cell simulation:
+
+* square-law strong-inversion current with channel-length modulation,
+* softplus-smoothed transition into an exponential subthreshold region
+  (continuous first derivatives, which keeps Newton iteration happy),
+* body effect through the usual ``gamma``/``phi`` expression,
+* simple velocity-saturation degradation of the overdrive,
+* Meyer-style gate capacitances plus overlap and junction capacitances,
+  stamped as companion models during transient analysis,
+* thermal-noise current PSD used by the analytical jitter estimator.
+
+The quantitative accuracy of a foundry BSim3v3 model is *not* claimed; what
+matters for the reproduction is that performances vary smoothly and
+monotonically with the designable W/L parameters and with the statistical
+process parameters, which this model provides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.spice.exceptions import NetlistError
+from repro.spice.netlist import Element
+
+__all__ = ["MOSFETModel", "MOSFET", "NMOS_DEFAULT", "PMOS_DEFAULT"]
+
+_BOLTZMANN = 1.380649e-23
+_ELECTRON_CHARGE = 1.602176634e-19
+_EPS_OX = 3.9 * 8.8541878128e-12
+
+
+@dataclass(frozen=True)
+class MOSFETModel:
+    """Process ("model card") parameters of a MOSFET.
+
+    All values are in SI units.  ``polarity`` is ``+1`` for NMOS and ``-1``
+    for PMOS; threshold voltages are given as positive magnitudes for both
+    polarities.
+    """
+
+    name: str = "nmos"
+    polarity: int = 1
+    vth0: float = 0.35
+    #: Low-field mobility (m^2 / V s).
+    u0: float = 0.030
+    #: Gate-oxide thickness (m).
+    tox: float = 2.8e-9
+    #: Channel-length modulation (1/V).
+    lambda_: float = 0.08
+    #: Body-effect coefficient (V^0.5).
+    gamma: float = 0.45
+    #: Surface potential 2*phi_F (V).
+    phi: float = 0.85
+    #: Subthreshold slope factor.
+    n_sub: float = 1.4
+    #: Critical field for velocity saturation (V/m).
+    e_crit: float = 4.0e6
+    #: Lateral diffusion reducing the effective channel length (m).
+    ld: float = 8.0e-9
+    #: Gate-source/drain overlap capacitance per metre of width (F/m).
+    cgso: float = 3.0e-10
+    cgdo: float = 3.0e-10
+    #: Junction capacitance per drain/source area (F/m^2) and drain extension (m).
+    cj: float = 1.0e-3
+    drain_extension: float = 0.24e-6
+    #: Flicker-noise coefficient (dimensionless, used by the jitter model).
+    kf: float = 1.0e-25
+    #: Nominal temperature (K).
+    temperature: float = 300.15
+
+    @property
+    def cox(self) -> float:
+        """Gate-oxide capacitance per unit area (F/m^2)."""
+        return _EPS_OX / self.tox
+
+    @property
+    def kp(self) -> float:
+        """Process transconductance ``u0 * Cox`` (A/V^2)."""
+        return self.u0 * self.cox
+
+    @property
+    def thermal_voltage(self) -> float:
+        """``kT/q`` at the model temperature."""
+        return _BOLTZMANN * self.temperature / _ELECTRON_CHARGE
+
+    def with_variation(self, **overrides) -> "MOSFETModel":
+        """Return a copy with some parameters replaced (used by Monte Carlo)."""
+        return replace(self, **overrides)
+
+
+#: Generic 0.12 um NMOS and PMOS model cards used throughout the project.
+NMOS_DEFAULT = MOSFETModel(name="nmos012", polarity=1, vth0=0.33, u0=0.032, gamma=0.42)
+PMOS_DEFAULT = MOSFETModel(
+    name="pmos012", polarity=-1, vth0=0.36, u0=0.011, gamma=0.48, lambda_=0.10
+)
+
+
+@dataclass
+class OperatingPoint:
+    """Small-signal quantities of a MOSFET at a bias point."""
+
+    ids: float
+    vgs: float
+    vds: float
+    vbs: float
+    gm: float
+    gds: float
+    gmb: float
+    region: str
+    vth: float
+    vdsat: float
+
+
+class MOSFET(Element):
+    """A four-terminal MOSFET instance (drain, gate, source, bulk)."""
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        bulk: str,
+        model: MOSFETModel,
+        width: float,
+        length: float,
+        multiplier: int = 1,
+    ) -> None:
+        super().__init__(name, (drain, gate, source, bulk))
+        if width <= 0.0 or length <= 0.0:
+            raise NetlistError(f"MOSFET {name!r} needs positive width and length")
+        if model.polarity not in (1, -1):
+            raise NetlistError(f"MOSFET model {model.name!r} has invalid polarity")
+        self.model = model
+        self.width = float(width)
+        self.length = float(length)
+        self.multiplier = int(multiplier)
+        if self.multiplier < 1:
+            raise NetlistError(f"MOSFET {name!r} multiplier must be >= 1")
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def effective_length(self) -> float:
+        """Channel length reduced by lateral diffusion on both sides."""
+        return max(self.length - 2.0 * self.model.ld, 1.0e-9)
+
+    @property
+    def effective_width(self) -> float:
+        """Electrical width including the multiplier."""
+        return self.width * self.multiplier
+
+    @property
+    def beta(self) -> float:
+        """Device transconductance factor ``kp * W / Leff``."""
+        return self.model.kp * self.effective_width / self.effective_length
+
+    # -- capacitances ---------------------------------------------------------------
+
+    def gate_capacitances(self) -> Dict[Tuple[str, str], float]:
+        """Constant (Meyer-style) capacitances between terminal pairs.
+
+        Keys are (terminal_a, terminal_b) node-name tuples.  Using
+        bias-independent values keeps the transient companion models linear
+        while preserving the correct geometry scaling (C proportional to W L).
+        """
+        d, g, s, b = self.nodes
+        model = self.model
+        w = self.effective_width
+        l_eff = self.effective_length
+        c_channel = model.cox * w * l_eff
+        caps = {
+            (g, s): (2.0 / 3.0) * c_channel + model.cgso * w,
+            (g, d): model.cgdo * w + (1.0 / 3.0) * c_channel * 0.25,
+            (g, b): 0.1 * c_channel,
+            (d, b): model.cj * w * model.drain_extension,
+            (s, b): model.cj * w * model.drain_extension,
+        }
+        return caps
+
+    # -- current equations -------------------------------------------------------------
+
+    def _channel_current(self, vgs: float, vds: float, vbs: float) -> float:
+        """Drain current for ``vds >= 0`` in the NMOS-normalised frame."""
+        model = self.model
+        # Body effect on the threshold voltage.
+        phi_minus_vbs = max(model.phi - vbs, 1e-6)
+        vth = model.vth0 + model.gamma * (math.sqrt(phi_minus_vbs) - math.sqrt(model.phi))
+        vov = vgs - vth
+        n_vt = model.n_sub * model.thermal_voltage
+        # Softplus smoothing gives a continuous transition into subthreshold.
+        ratio = vov / n_vt
+        if ratio > 40.0:
+            vov_eff = vov
+        elif ratio < -40.0:
+            vov_eff = n_vt * math.exp(ratio)
+        else:
+            vov_eff = n_vt * math.log1p(math.exp(ratio))
+        # Velocity saturation reduces the usable overdrive for short channels.
+        theta = 1.0 / (model.e_crit * self.effective_length)
+        vov_eff = vov_eff / (1.0 + theta * vov_eff)
+        vdsat = max(vov_eff, 1e-9)
+        beta = self.beta
+        clm = 1.0 + model.lambda_ * vds
+        if vds < vdsat:
+            ids = beta * (vov_eff * vds - 0.5 * vds * vds) * clm
+        else:
+            ids = 0.5 * beta * vov_eff * vov_eff * clm
+        return max(ids, 0.0)
+
+    def drain_current(self, vd: float, vg: float, vs: float, vb: float) -> float:
+        """Current flowing into the drain terminal for arbitrary bias."""
+        p = self.model.polarity
+        # Normalise to an NMOS frame.
+        nvd, nvg, nvs, nvb = p * vd, p * vg, p * vs, p * vb
+        if nvd >= nvs:
+            ids = self._channel_current(nvg - nvs, nvd - nvs, nvb - nvs)
+            return p * ids
+        # Source and drain swap roles when vds < 0.
+        ids = self._channel_current(nvg - nvd, nvs - nvd, nvb - nvd)
+        return -p * ids
+
+    def operating_point(self, vd: float, vg: float, vs: float, vb: float) -> OperatingPoint:
+        """Small-signal parameters at the given terminal voltages."""
+        delta = 1e-6
+        ids = self.drain_current(vd, vg, vs, vb)
+        gm = (self.drain_current(vd, vg + delta, vs, vb) - ids) / delta
+        gds = (self.drain_current(vd + delta, vg, vs, vb) - ids) / delta
+        gmb = (self.drain_current(vd, vg, vs, vb + delta) - ids) / delta
+        p = self.model.polarity
+        vgs = p * (vg - vs)
+        vds = p * (vd - vs)
+        vbs = p * (vb - vs)
+        model = self.model
+        phi_minus_vbs = max(model.phi - vbs, 1e-6)
+        vth = model.vth0 + model.gamma * (math.sqrt(phi_minus_vbs) - math.sqrt(model.phi))
+        vdsat = max(vgs - vth, 0.0)
+        if vgs <= vth:
+            region = "subthreshold"
+        elif vds < vdsat:
+            region = "triode"
+        else:
+            region = "saturation"
+        return OperatingPoint(
+            ids=ids,
+            vgs=vgs,
+            vds=vds,
+            vbs=vbs,
+            gm=abs(gm),
+            gds=abs(gds),
+            gmb=abs(gmb),
+            region=region,
+            vth=vth,
+            vdsat=vdsat,
+        )
+
+    def thermal_noise_psd(self, gm: float) -> float:
+        """Drain thermal-noise current PSD ``4 k T (2/3) gm`` in A^2/Hz."""
+        return 4.0 * _BOLTZMANN * self.model.temperature * (2.0 / 3.0) * max(gm, 0.0)
+
+    # -- stamping ---------------------------------------------------------------------
+
+    def contribute(self, ctx) -> None:
+        d, g, s, b = self.nodes
+        nd, ng, ns, nb = (ctx.node(n) for n in self.nodes)
+        vd, vg, vs, vb = (ctx.v(n) for n in self.nodes)
+        ids = self.drain_current(vd, vg, vs, vb)
+        delta = 1e-6
+        did_dvd = (self.drain_current(vd + delta, vg, vs, vb) - ids) / delta
+        did_dvg = (self.drain_current(vd, vg + delta, vs, vb) - ids) / delta
+        did_dvs = (self.drain_current(vd, vg, vs + delta, vb) - ids) / delta
+        did_dvb = (self.drain_current(vd, vg, vs, vb + delta) - ids) / delta
+        # KCL: the channel current enters at the drain and leaves at the source.
+        ctx.add_residual(nd, ids)
+        ctx.add_residual(ns, -ids)
+        for column, derivative in ((nd, did_dvd), (ng, did_dvg), (ns, did_dvs), (nb, did_dvb)):
+            ctx.add_jacobian(nd, column, derivative)
+            ctx.add_jacobian(ns, column, -derivative)
+        # A small drain-source conductance improves conditioning.
+        ctx.stamp_conductance(nd, ns, 1e-12)
+        if ctx.analysis == "tran" and ctx.dt > 0.0:
+            self._stamp_capacitances(ctx)
+
+    def _stamp_capacitances(self, ctx) -> None:
+        state = ctx.element_state(self.name)
+        for (node_a, node_b), capacitance in self.gate_capacitances().items():
+            if capacitance <= 0.0:
+                continue
+            a = ctx.node(node_a)
+            b = ctx.node(node_b)
+            v_now = ctx.v(node_a) - ctx.v(node_b)
+            v_prev = ctx.v_prev(node_a) - ctx.v_prev(node_b)
+            key = f"i_{node_a}_{node_b}"
+            if ctx.integrator == "trap":
+                i_prev = state.get(key, 0.0)
+                geq = 2.0 * capacitance / ctx.dt
+                current = geq * (v_now - v_prev) - i_prev
+            else:
+                geq = capacitance / ctx.dt
+                current = geq * (v_now - v_prev)
+            state[f"pending_{key}"] = current
+            ctx.stamp_current(a, b, current)
+            ctx.stamp_conductance(a, b, geq)
+
+    def accept_timestep(self, state: dict) -> None:
+        """Commit the capacitor companion-model state after a time step."""
+        pending = [key for key in state if key.startswith("pending_")]
+        for key in pending:
+            state[key[len("pending_"):]] = state.pop(key)
+
+    def ac_contribute(self, ctx) -> None:
+        d, g, s, b = self.nodes
+        vd, vg, vs, vb = (ctx.op_voltage(n) for n in self.nodes)
+        op = self.operating_point(vd, vg, vs, vb)
+        p = self.model.polarity
+        sign = 1.0 if p > 0 else -1.0
+        # Transconductance from gate and bulk, output conductance d-s.
+        ctx.stamp_vccs(d, s, g, s, sign * op.gm)
+        ctx.stamp_vccs(d, s, b, s, sign * op.gmb)
+        ctx.stamp_admittance(d, s, op.gds)
+        omega = ctx.omega
+        for (node_a, node_b), capacitance in self.gate_capacitances().items():
+            ctx.stamp_admittance(node_a, node_b, 1j * omega * capacitance)

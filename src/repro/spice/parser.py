@@ -1,0 +1,274 @@
+"""SPICE-like netlist text parser.
+
+Supports the subset of SPICE syntax needed for the test benches and the
+examples:
+
+* element cards ``R``, ``C``, ``L``, ``V``, ``I``, ``E`` (VCVS), ``G``
+  (VCCS), ``D`` and ``M`` (MOSFET),
+* ``.model`` cards for ``nmos``, ``pmos`` and ``d`` models,
+* engineering suffixes (``k``, ``meg``, ``m``, ``u``, ``n``, ``p``, ``f``),
+* ``PULSE(...)``, ``SIN(...)`` and ``PWL(...)`` source waveforms,
+* ``*`` / ``;`` comments, ``+`` continuation lines and ``.end``.
+
+The first line is treated as the title, following SPICE convention, unless
+it starts with a recognised card.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Inductor,
+    PulseWaveform,
+    PWLWaveform,
+    Resistor,
+    SineWaveform,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.spice.exceptions import NetlistError
+from repro.spice.mosfet import MOSFET, MOSFETModel, NMOS_DEFAULT, PMOS_DEFAULT
+from repro.spice.netlist import Circuit
+
+__all__ = ["parse_netlist", "parse_value"]
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(r"^([+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)([a-zA-Z]*)$")
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE numeric token with an optional engineering suffix."""
+    token = token.strip()
+    match = _VALUE_RE.match(token)
+    if not match:
+        raise NetlistError(f"cannot parse numeric value {token!r}")
+    number = float(match.group(1))
+    suffix = match.group(2).lower()
+    if not suffix:
+        return number
+    if suffix.startswith("meg"):
+        return number * _SUFFIXES["meg"]
+    if suffix[0] in _SUFFIXES:
+        return number * _SUFFIXES[suffix[0]]
+    # Unknown trailing unit text (e.g. "5v", "2ohm") -- take the number.
+    return number
+
+
+def _strip_comments(text: str) -> List[str]:
+    lines: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split(";")[0].rstrip()
+        if not line.strip():
+            continue
+        if line.lstrip().startswith("*"):
+            continue
+        lines.append(line)
+    # Merge continuation lines starting with '+'.
+    merged: List[str] = []
+    for line in lines:
+        if line.lstrip().startswith("+") and merged:
+            merged[-1] += " " + line.lstrip()[1:]
+        else:
+            merged.append(line)
+    return merged
+
+
+def _split_params(tokens: Sequence[str]) -> Tuple[List[str], Dict[str, str]]:
+    positional: List[str] = []
+    named: Dict[str, str] = {}
+    for token in tokens:
+        if "=" in token:
+            key, value = token.split("=", 1)
+            named[key.strip().lower()] = value.strip()
+        else:
+            positional.append(token)
+    return positional, named
+
+
+def _parse_waveform(spec: str):
+    text = spec.strip()
+    upper = text.upper()
+    for keyword, cls in (("PULSE", PulseWaveform), ("SIN", SineWaveform), ("PWL", PWLWaveform)):
+        if upper.startswith(keyword):
+            inner = text[len(keyword):].strip()
+            if inner.startswith("(") and inner.endswith(")"):
+                inner = inner[1:-1]
+            values = [parse_value(tok) for tok in inner.replace(",", " ").split()]
+            if cls is PulseWaveform:
+                if len(values) < 2:
+                    raise NetlistError(f"PULSE needs at least v1 and v2: {spec!r}")
+                defaults = [0.0, 0.0, 0.0, 1e-12, 1e-12, 1e-9, 2e-9]
+                padded = (values + defaults[len(values):])[:7]
+                return PulseWaveform(*padded)
+            if cls is SineWaveform:
+                if len(values) < 3:
+                    raise NetlistError(f"SIN needs offset, amplitude and frequency: {spec!r}")
+                return SineWaveform(*values[:5])
+            pairs = list(zip(values[0::2], values[1::2]))
+            return PWLWaveform(pairs)
+    # Plain DC value, possibly prefixed with the keyword DC.
+    tokens = text.split()
+    if tokens and tokens[0].upper() == "DC" and len(tokens) > 1:
+        return parse_value(tokens[1])
+    return parse_value(tokens[0])
+
+
+def _normalise_source_spec(tokens: Sequence[str]) -> str:
+    return " ".join(tokens)
+
+
+def _build_model(name: str, kind: str, params: Dict[str, str]) -> MOSFETModel:
+    kind = kind.lower()
+    base = NMOS_DEFAULT if kind == "nmos" else PMOS_DEFAULT
+    overrides = {}
+    mapping = {
+        "vto": "vth0",
+        "vth0": "vth0",
+        "u0": "u0",
+        "tox": "tox",
+        "lambda": "lambda_",
+        "gamma": "gamma",
+        "phi": "phi",
+        "cgso": "cgso",
+        "cgdo": "cgdo",
+        "cj": "cj",
+        "ld": "ld",
+    }
+    for key, value in params.items():
+        if key in mapping:
+            parsed = parse_value(value)
+            if key in ("vto", "vth0"):
+                parsed = abs(parsed)
+            overrides[mapping[key]] = parsed
+    return base.with_variation(name=name, **overrides)
+
+
+def parse_netlist(text: str, title: str | None = None) -> Circuit:
+    """Parse a SPICE-like netlist string into a :class:`Circuit`."""
+    lines = _strip_comments(text)
+    if not lines:
+        raise NetlistError("netlist is empty")
+    first = lines[0].split()[0].upper()
+    known_prefix = first[0] in "RCLVIEGDM." if first else False
+    if title is None and not known_prefix:
+        title = lines[0].strip()
+        lines = lines[1:]
+    circuit = Circuit(title or "")
+    mos_models: Dict[str, MOSFETModel] = {
+        "nmos": NMOS_DEFAULT,
+        "pmos": PMOS_DEFAULT,
+        NMOS_DEFAULT.name: NMOS_DEFAULT,
+        PMOS_DEFAULT.name: PMOS_DEFAULT,
+    }
+    diode_models: Dict[str, Dict[str, float]] = {}
+    pending_mosfets: List[Tuple[List[str], Dict[str, str]]] = []
+    pending_diodes: List[List[str]] = []
+
+    for line in lines:
+        tokens = line.split()
+        card = tokens[0]
+        upper = card.upper()
+        if upper.startswith(".END"):
+            break
+        if upper.startswith(".MODEL"):
+            if len(tokens) < 3:
+                raise NetlistError(f"malformed .model card: {line!r}")
+            model_name = tokens[1]
+            model_kind = tokens[2].split("(")[0].lower()
+            remainder = line.split(None, 3)[3] if len(tokens) > 3 else ""
+            remainder = remainder.replace("(", " ").replace(")", " ")
+            _, named = _split_params(remainder.split())
+            if model_kind in ("nmos", "pmos"):
+                mos_models[model_name.lower()] = _build_model(model_name, model_kind, named)
+            elif model_kind == "d":
+                diode_models[model_name.lower()] = {
+                    key: parse_value(value) for key, value in named.items()
+                }
+            else:
+                raise NetlistError(f"unsupported model type {model_kind!r} in {line!r}")
+            continue
+        if upper.startswith("."):
+            # Other dot-cards (.tran, .op, .ac ...) are ignored: analyses are
+            # configured programmatically in this project.
+            continue
+        kind = upper[0]
+        if kind == "R":
+            circuit.add(Resistor(card, tokens[1], tokens[2], parse_value(tokens[3])))
+        elif kind == "C":
+            circuit.add(Capacitor(card, tokens[1], tokens[2], parse_value(tokens[3])))
+        elif kind == "L":
+            circuit.add(Inductor(card, tokens[1], tokens[2], parse_value(tokens[3])))
+        elif kind == "V":
+            spec = _normalise_source_spec(tokens[3:])
+            circuit.add(VoltageSource(card, tokens[1], tokens[2], _parse_waveform(spec)))
+        elif kind == "I":
+            spec = _normalise_source_spec(tokens[3:])
+            circuit.add(CurrentSource(card, tokens[1], tokens[2], _parse_waveform(spec)))
+        elif kind == "E":
+            circuit.add(
+                VCVS(card, tokens[1], tokens[2], tokens[3], tokens[4], parse_value(tokens[5]))
+            )
+        elif kind == "G":
+            circuit.add(
+                VCCS(card, tokens[1], tokens[2], tokens[3], tokens[4], parse_value(tokens[5]))
+            )
+        elif kind == "D":
+            pending_diodes.append(tokens)
+        elif kind == "M":
+            pending_mosfets.append((tokens, {}))
+        else:
+            raise NetlistError(f"unsupported element card {card!r}")
+
+    # Diodes and MOSFETs are resolved last so .model cards can appear anywhere.
+    for tokens in pending_diodes:
+        model_params = diode_models.get(tokens[3].lower(), {}) if len(tokens) > 3 else {}
+        circuit.add(
+            Diode(
+                tokens[0],
+                tokens[1],
+                tokens[2],
+                saturation_current=model_params.get("is", 1e-14),
+                emission_coefficient=model_params.get("n", 1.0),
+            )
+        )
+    for tokens, _ in pending_mosfets:
+        if len(tokens) < 6:
+            raise NetlistError(f"malformed MOSFET card: {' '.join(tokens)!r}")
+        positional, named = _split_params(tokens[6:])
+        model_key = tokens[5].lower()
+        if model_key not in mos_models:
+            raise NetlistError(f"unknown MOSFET model {tokens[5]!r}")
+        width = parse_value(named.get("w", "1u"))
+        length = parse_value(named.get("l", "0.12u"))
+        multiplier = int(float(named.get("m", "1")))
+        circuit.add(
+            MOSFET(
+                tokens[0],
+                tokens[1],
+                tokens[2],
+                tokens[3],
+                tokens[4],
+                mos_models[model_key],
+                width,
+                length,
+                multiplier,
+            )
+        )
+    return circuit

@@ -1,0 +1,178 @@
+"""Waveform container and measurement utilities.
+
+Transient analysis returns :class:`Waveform` objects (time/value pairs)
+with the measurements the VCO and PLL test benches need: threshold
+crossings, period, frequency, duty cycle, RMS/average value, peak-to-peak,
+settling time and period jitter statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["Waveform"]
+
+
+class Waveform:
+    """A sampled signal ``value(time)``."""
+
+    def __init__(self, time: Sequence[float], values: Sequence[float], name: str = "") -> None:
+        t = np.asarray(time, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.ndim != 1 or v.ndim != 1 or t.size != v.size:
+            raise ValueError("time and values must be 1-D arrays of equal length")
+        if t.size == 0:
+            raise ValueError("a waveform needs at least one sample")
+        if np.any(np.diff(t) < 0.0):
+            order = np.argsort(t, kind="stable")
+            t = t[order]
+            v = v[order]
+        self.time = t
+        self.values = v
+        self.name = name
+
+    # -- basic accessors -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.time.size)
+
+    @property
+    def duration(self) -> float:
+        """Total simulated time span."""
+        return float(self.time[-1] - self.time[0])
+
+    def at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t`` (clamped to the span)."""
+        return float(np.interp(t, self.time, self.values))
+
+    def window(self, t_start: float, t_stop: float | None = None) -> "Waveform":
+        """Sub-waveform restricted to ``[t_start, t_stop]``."""
+        t_stop = self.time[-1] if t_stop is None else t_stop
+        mask = (self.time >= t_start) & (self.time <= t_stop)
+        if not np.any(mask):
+            raise ValueError("requested window contains no samples")
+        return Waveform(self.time[mask], self.values[mask], self.name)
+
+    # -- scalar measurements ----------------------------------------------------------
+
+    def minimum(self) -> float:
+        """Smallest sample value."""
+        return float(np.min(self.values))
+
+    def maximum(self) -> float:
+        """Largest sample value."""
+        return float(np.max(self.values))
+
+    def peak_to_peak(self) -> float:
+        """Peak-to-peak swing."""
+        return self.maximum() - self.minimum()
+
+    def average(self) -> float:
+        """Time-weighted average (trapezoidal integration)."""
+        if len(self) == 1:
+            return float(self.values[0])
+        return float(np.trapezoid(self.values, self.time) / self.duration)
+
+    def rms(self) -> float:
+        """Root-mean-square value (time weighted)."""
+        if len(self) == 1:
+            return float(abs(self.values[0]))
+        return float(np.sqrt(np.trapezoid(self.values**2, self.time) / self.duration))
+
+    # -- crossings and periods -----------------------------------------------------------
+
+    def crossings(self, threshold: float, direction: str = "rise") -> np.ndarray:
+        """Times at which the signal crosses ``threshold``.
+
+        ``direction`` is ``"rise"``, ``"fall"`` or ``"both"``.  Crossing
+        times are linearly interpolated between samples.
+        """
+        if direction not in ("rise", "fall", "both"):
+            raise ValueError("direction must be 'rise', 'fall' or 'both'")
+        v = self.values - threshold
+        t = self.time
+        crossing_times: List[float] = []
+        signs = np.sign(v)
+        for i in range(1, len(v)):
+            if signs[i - 1] == signs[i] or signs[i] == 0 and signs[i - 1] == 0:
+                continue
+            rising = v[i - 1] < 0.0 <= v[i]
+            falling = v[i - 1] > 0.0 >= v[i]
+            if (direction == "rise" and not rising) or (direction == "fall" and not falling):
+                continue
+            if not (rising or falling):
+                continue
+            dv = v[i] - v[i - 1]
+            frac = 0.0 if dv == 0.0 else -v[i - 1] / dv
+            crossing_times.append(float(t[i - 1] + frac * (t[i] - t[i - 1])))
+        return np.asarray(crossing_times)
+
+    def periods(self, threshold: float | None = None) -> np.ndarray:
+        """Successive periods measured between rising-edge crossings."""
+        if threshold is None:
+            threshold = 0.5 * (self.minimum() + self.maximum())
+        edges = self.crossings(threshold, "rise")
+        if edges.size < 2:
+            return np.array([])
+        return np.diff(edges)
+
+    def period(self, threshold: float | None = None, skip: int = 1) -> float:
+        """Average steady-state period (the first ``skip`` periods are dropped)."""
+        periods = self.periods(threshold)
+        if periods.size <= skip:
+            if periods.size == 0:
+                raise ValueError(f"waveform {self.name!r} has no full period to measure")
+            skip = 0
+        return float(np.mean(periods[skip:]))
+
+    def frequency(self, threshold: float | None = None, skip: int = 1) -> float:
+        """Average oscillation frequency."""
+        return 1.0 / self.period(threshold, skip)
+
+    def duty_cycle(self, threshold: float | None = None) -> float:
+        """Fraction of one period spent above the threshold."""
+        if threshold is None:
+            threshold = 0.5 * (self.minimum() + self.maximum())
+        rises = self.crossings(threshold, "rise")
+        falls = self.crossings(threshold, "fall")
+        if rises.size < 2 or falls.size < 1:
+            raise ValueError(f"waveform {self.name!r} does not toggle enough for a duty cycle")
+        period = float(np.mean(np.diff(rises)))
+        # Use the first fall after the first rise.
+        after = falls[falls > rises[0]]
+        if after.size == 0:
+            raise ValueError(f"waveform {self.name!r} never falls after rising")
+        high_time = float(after[0] - rises[0])
+        return high_time / period
+
+    def period_jitter(self, threshold: float | None = None, skip: int = 1) -> float:
+        """Standard deviation of the period (cycle-to-cycle RMS jitter)."""
+        periods = self.periods(threshold)
+        if periods.size <= skip + 1:
+            skip = 0
+        if periods.size < 2:
+            return 0.0
+        return float(np.std(periods[skip:], ddof=1)) if periods[skip:].size > 1 else 0.0
+
+    def settling_time(self, final_value: float | None = None, tolerance: float = 0.02) -> float:
+        """Time after which the signal stays within ``tolerance`` of its final value.
+
+        ``tolerance`` is relative to the final value (or to the waveform
+        swing when the final value is close to zero).
+        """
+        if final_value is None:
+            final_value = float(self.values[-1])
+        scale = max(abs(final_value), self.peak_to_peak(), 1e-30)
+        band = tolerance * scale
+        outside = np.abs(self.values - final_value) > band
+        if not np.any(outside):
+            return float(self.time[0])
+        last_outside = int(np.max(np.flatnonzero(outside)))
+        if last_outside + 1 >= len(self):
+            return float(self.time[-1])
+        return float(self.time[last_outside + 1])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Waveform({self.name!r}, n={len(self)}, span={self.duration:.3e}s)"

@@ -1,0 +1,52 @@
+"""Look-up table models with spline interpolation.
+
+This subpackage is the Python equivalent of the Verilog-A ``$table_model``
+system function used by the paper (section 2.2 and 3.4).  It provides:
+
+* one-dimensional spline interpolation (linear, quadratic, cubic) that
+  passes exactly through every sample point,
+* control-string parsing compatible with the Verilog-A table-model syntax
+  (``"3E"`` = cubic spline, clamped end behaviour, no extrapolation),
+* one-dimensional and N-dimensional table models, and
+* reading and writing of ``.tbl`` data files in the whitespace separated
+  column format that ``$table_model`` consumes.
+
+The public entry point mirroring the Verilog-A call is :func:`table_model`:
+
+>>> from repro.tablemodel import table_model
+>>> model = table_model([0.0, 1.0, 2.0], [0.0, 1.0, 4.0], "3E")
+>>> round(model(1.5), 3)
+2.25
+"""
+
+from repro.tablemodel.control_string import (
+    ControlSpec,
+    ExtrapolationMode,
+    InterpolationMethod,
+    parse_control_string,
+)
+from repro.tablemodel.spline import (
+    CubicSpline1D,
+    LinearInterpolator1D,
+    QuadraticSpline1D,
+    make_interpolator,
+)
+from repro.tablemodel.table1d import Table1D, table_model
+from repro.tablemodel.tablend import TableND
+from repro.tablemodel.tblfile import read_tbl, write_tbl
+
+__all__ = [
+    "ControlSpec",
+    "ExtrapolationMode",
+    "InterpolationMethod",
+    "parse_control_string",
+    "CubicSpline1D",
+    "QuadraticSpline1D",
+    "LinearInterpolator1D",
+    "make_interpolator",
+    "Table1D",
+    "TableND",
+    "table_model",
+    "read_tbl",
+    "write_tbl",
+]

@@ -1,0 +1,156 @@
+"""Parsing of Verilog-A ``$table_model`` control strings.
+
+The Verilog-A table-model control string describes, per dimension, the
+interpolation degree and the end/extrapolation behaviour.  The paper uses
+``"3E"`` for every dimension: degree-3 (cubic spline) interpolation with the
+``E`` flag meaning *end-point extrapolation disabled* -- values outside the
+sampled range are clamped to the first/last sample instead of being
+extrapolated, "in order to avoid approximation of the data beyond the
+sampled data points" (section 3.4).
+
+Supported degree characters
+    ``1``  linear interpolation
+    ``2``  quadratic spline
+    ``3``  cubic spline
+
+Supported flag characters (at most one per dimension)
+    ``C`` or ``E``  clamp to the end samples (no extrapolation)
+    ``L``           linear extrapolation beyond the end samples
+    ``X``           true extrapolation using the end spline segment
+
+Multiple dimensions are separated by commas, e.g. ``"3E,3E,1L"``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+class InterpolationMethod(enum.Enum):
+    """Interpolation degree for one table-model dimension."""
+
+    LINEAR = 1
+    QUADRATIC = 2
+    CUBIC = 3
+
+
+class ExtrapolationMode(enum.Enum):
+    """Behaviour outside the sampled range for one dimension."""
+
+    CLAMP = "clamp"
+    LINEAR = "linear"
+    SPLINE = "spline"
+
+
+_DEGREE_CHARS = {
+    "1": InterpolationMethod.LINEAR,
+    "2": InterpolationMethod.QUADRATIC,
+    "3": InterpolationMethod.CUBIC,
+}
+
+_FLAG_CHARS = {
+    "C": ExtrapolationMode.CLAMP,
+    "E": ExtrapolationMode.CLAMP,
+    "L": ExtrapolationMode.LINEAR,
+    "X": ExtrapolationMode.SPLINE,
+}
+
+
+class ControlStringError(ValueError):
+    """Raised when a control string cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class ControlSpec:
+    """Parsed control specification for a single table dimension."""
+
+    method: InterpolationMethod = InterpolationMethod.CUBIC
+    extrapolation: ExtrapolationMode = ExtrapolationMode.CLAMP
+
+    def to_string(self) -> str:
+        """Render back to the Verilog-A control-string token (e.g. ``"3E"``)."""
+        degree = str(self.method.value)
+        flag = {
+            ExtrapolationMode.CLAMP: "E",
+            ExtrapolationMode.LINEAR: "L",
+            ExtrapolationMode.SPLINE: "X",
+        }[self.extrapolation]
+        return degree + flag
+
+
+#: The default used throughout the paper: cubic spline, no extrapolation.
+DEFAULT_CONTROL = ControlSpec(InterpolationMethod.CUBIC, ExtrapolationMode.CLAMP)
+
+
+def _parse_token(token: str) -> ControlSpec:
+    token = token.strip()
+    if not token:
+        return DEFAULT_CONTROL
+    method = InterpolationMethod.CUBIC
+    extrapolation = ExtrapolationMode.CLAMP
+    seen_degree = False
+    seen_flag = False
+    for char in token.upper():
+        if char in _DEGREE_CHARS:
+            if seen_degree:
+                raise ControlStringError(
+                    f"duplicate interpolation degree in control token {token!r}"
+                )
+            method = _DEGREE_CHARS[char]
+            seen_degree = True
+        elif char in _FLAG_CHARS:
+            if seen_flag:
+                raise ControlStringError(
+                    f"duplicate extrapolation flag in control token {token!r}"
+                )
+            extrapolation = _FLAG_CHARS[char]
+            seen_flag = True
+        elif char.isspace():
+            continue
+        else:
+            raise ControlStringError(
+                f"unrecognised character {char!r} in control token {token!r}"
+            )
+    return ControlSpec(method, extrapolation)
+
+
+def parse_control_string(control: str | None, dimensions: int = 1) -> List[ControlSpec]:
+    """Parse a control string into one :class:`ControlSpec` per dimension.
+
+    Parameters
+    ----------
+    control:
+        The Verilog-A style control string, e.g. ``"3E"`` or ``"3E,3E,1L"``.
+        ``None`` or an empty string selects the paper default (``"3E"``)
+        for every dimension.
+    dimensions:
+        Number of table dimensions.  A single token is broadcast to all
+        dimensions; otherwise the number of comma-separated tokens must
+        match ``dimensions``.
+
+    Returns
+    -------
+    list of ControlSpec
+        One parsed specification per table dimension.
+    """
+    if dimensions < 1:
+        raise ControlStringError("a table model needs at least one dimension")
+    if control is None or not control.strip():
+        return [DEFAULT_CONTROL] * dimensions
+    tokens = [tok for tok in control.split(",")]
+    specs = [_parse_token(tok) for tok in tokens]
+    if len(specs) == 1 and dimensions > 1:
+        return specs * dimensions
+    if len(specs) != dimensions:
+        raise ControlStringError(
+            f"control string {control!r} has {len(specs)} token(s) but the "
+            f"table has {dimensions} dimension(s)"
+        )
+    return specs
+
+
+def format_control_string(specs: Sequence[ControlSpec]) -> str:
+    """Render a sequence of :class:`ControlSpec` back to a control string."""
+    return ",".join(spec.to_string() for spec in specs)

@@ -1,0 +1,167 @@
+"""One-dimensional table models (the Verilog-A ``$table_model`` analogue).
+
+A :class:`Table1D` wraps sampled ``(x, y)`` data together with a control
+specification and provides callable interpolation, exactly like
+
+.. code-block:: verilog
+
+    jvco = $table_model(kvco, "data.tbl", "3E");
+
+in the paper's Listing 2.  The convenience function :func:`table_model`
+accepts either in-memory samples or a ``.tbl`` file path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.tablemodel.control_string import (
+    ControlSpec,
+    ExtrapolationMode,
+    InterpolationMethod,
+    parse_control_string,
+)
+from repro.tablemodel.spline import Interpolator1D, make_interpolator
+from repro.tablemodel.tblfile import read_tbl
+
+__all__ = ["Table1D", "table_model"]
+
+
+class Table1D:
+    """Sampled one-dimensional performance table with spline interpolation.
+
+    Parameters
+    ----------
+    x, y:
+        Sample abscissae and ordinates.  They are sorted and deduplicated
+        internally, and every remaining sample is interpolated exactly.
+    control:
+        A Verilog-A style control string (``"3E"`` by default) or a parsed
+        :class:`~repro.tablemodel.control_string.ControlSpec`.
+    name:
+        Optional label used in reports and generated Verilog-A code.
+    """
+
+    def __init__(
+        self,
+        x: Sequence[float],
+        y: Sequence[float],
+        control: str | ControlSpec | None = "3E",
+        name: str = "",
+    ) -> None:
+        if isinstance(control, ControlSpec):
+            spec = control
+        else:
+            spec = parse_control_string(control, dimensions=1)[0]
+        self.control = spec
+        self.name = name
+        self._interp: Interpolator1D = make_interpolator(
+            x, y, method=spec.method, extrapolation=spec.extrapolation
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_tbl(
+        cls,
+        path: str | os.PathLike,
+        control: str | ControlSpec | None = "3E",
+        x_column: int = 0,
+        y_column: int = 1,
+        name: str = "",
+    ) -> "Table1D":
+        """Load a table from a ``.tbl`` file (first column x, second y)."""
+        data = read_tbl(path)
+        if data.shape[1] <= max(x_column, y_column):
+            raise ValueError(
+                f"table file {path!r} has {data.shape[1]} column(s); cannot "
+                f"read columns {x_column} and {y_column}"
+            )
+        return cls(data[:, x_column], data[:, y_column], control, name or str(path))
+
+    # -- evaluation ---------------------------------------------------------
+
+    def __call__(self, value):
+        """Interpolate the table at ``value`` (scalar or array)."""
+        return self._interp(value)
+
+    def derivative(self, value):
+        """First derivative of the interpolated curve at ``value``."""
+        return self._interp.derivative(value)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def x(self) -> np.ndarray:
+        """Sorted, deduplicated sample abscissae."""
+        return self._interp.x
+
+    @property
+    def y(self) -> np.ndarray:
+        """Sample ordinates corresponding to :attr:`x`."""
+        return self._interp.y
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples stored in the table."""
+        return self._interp.n_samples
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        """Sampled abscissa range ``(min, max)``."""
+        return self._interp.domain
+
+    @property
+    def method(self) -> InterpolationMethod:
+        """Interpolation method selected by the control string."""
+        return self.control.method
+
+    @property
+    def extrapolation(self) -> ExtrapolationMode:
+        """Extrapolation mode selected by the control string."""
+        return self.control.extrapolation
+
+    def max_interpolation_error(self, reference, n_points: int = 101) -> float:
+        """Largest absolute error against ``reference`` over the domain.
+
+        ``reference`` is any callable accepting an array of abscissae; this
+        is used by the interpolation-order ablation benchmark.
+        """
+        lo, hi = self.domain
+        grid = np.linspace(lo, hi, n_points)
+        return float(np.max(np.abs(self(grid) - np.asarray(reference(grid), dtype=float))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Table1D({label} n={self.n_samples}, control={self.control.to_string()!r}, "
+            f"domain={self.domain})"
+        )
+
+
+def table_model(
+    x,
+    y=None,
+    control: str | None = "3E",
+    name: str = "",
+) -> Table1D:
+    """Create a :class:`Table1D`, mimicking the Verilog-A call signature.
+
+    Two call forms are supported::
+
+        table_model(xs, ys, "3E")          # in-memory samples
+        table_model("kvco_delta.tbl", control="3E")   # load from file
+
+    The second mirrors ``$table_model(kvco, "kvco_delta.tbl", "3E")`` from
+    Listing 1 of the paper.
+    """
+    if isinstance(x, (str, os.PathLike)):
+        if y is not None:
+            raise TypeError("when loading from a file, pass only the path and control string")
+        return Table1D.from_tbl(x, control=control, name=name)
+    if y is None:
+        raise TypeError("table_model requires both x and y samples")
+    return Table1D(x, y, control=control, name=name)

@@ -1,0 +1,242 @@
+"""N-dimensional table models.
+
+The paper's Listing 1 looks design parameters up from the five performance
+functions at once::
+
+    p1 = $table_model(kvco, ivco, jvco, fmin, fmax, "p1_data.tbl",
+                      "3E,3E,3E,3E,3E");
+
+Pareto-front samples are *scattered* in the performance space (they do not
+lie on a regular grid), so :class:`TableND` supports two evaluation modes:
+
+* **grid mode** -- when the sample coordinates form a full tensor-product
+  grid, separable spline interpolation of the requested order is applied
+  along each axis (this is what Verilog-A itself requires);
+* **scattered mode** -- otherwise a modified Shepard inverse-distance
+  weighting scheme with per-axis normalisation is used, which still
+  reproduces every sample point exactly and clamps queries to the convex
+  bounding box when the control string forbids extrapolation.
+
+The choice is automatic and reported through :attr:`TableND.is_grid`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.tablemodel.control_string import (
+    ControlSpec,
+    ExtrapolationMode,
+    parse_control_string,
+)
+from repro.tablemodel.spline import make_interpolator
+from repro.tablemodel.tblfile import read_tbl
+
+__all__ = ["TableND"]
+
+
+class TableND:
+    """Multi-dimensional look-up table with interpolation.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n_samples, n_dims)`` with the independent
+        coordinates of every sample.
+    values:
+        Array of shape ``(n_samples,)`` with the dependent value of every
+        sample.
+    control:
+        Verilog-A style control string with one token per dimension (or a
+        single token broadcast to all dimensions).
+    name:
+        Optional label for reports.
+    """
+
+    def __init__(
+        self,
+        points,
+        values,
+        control: str | Sequence[ControlSpec] | None = "3E",
+        name: str = "",
+    ) -> None:
+        pts = np.asarray(points, dtype=float)
+        vals = np.asarray(values, dtype=float)
+        if pts.ndim == 1:
+            pts = pts.reshape(-1, 1)
+        if pts.ndim != 2:
+            raise ValueError("points must be a 2-D array of shape (n_samples, n_dims)")
+        if vals.ndim != 1 or vals.size != pts.shape[0]:
+            raise ValueError("values must be a 1-D array with one entry per sample")
+        if pts.shape[0] == 0:
+            raise ValueError("at least one sample point is required")
+        if not (np.all(np.isfinite(pts)) and np.all(np.isfinite(vals))):
+            raise ValueError("sample points and values must be finite")
+        self.points = pts
+        self.values = vals
+        self.name = name
+        if isinstance(control, (str, type(None))):
+            self.controls = parse_control_string(control, dimensions=pts.shape[1])
+        else:
+            self.controls = list(control)
+            if len(self.controls) != pts.shape[1]:
+                raise ValueError("one ControlSpec per dimension is required")
+        self._axes: list[np.ndarray] | None = None
+        self._grid_values: np.ndarray | None = None
+        self._detect_grid()
+        # Per-axis scale used to normalise distances in scattered mode.
+        spans = self.points.max(axis=0) - self.points.min(axis=0)
+        self._scales = np.where(spans > 0.0, spans, 1.0)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_tbl(
+        cls,
+        path: str | os.PathLike,
+        control: str | None = "3E",
+        name: str = "",
+    ) -> "TableND":
+        """Load a table file whose last column is the dependent value."""
+        data = read_tbl(path)
+        if data.shape[1] < 2:
+            raise ValueError(f"table file {path!r} needs at least two columns")
+        return cls(data[:, :-1], data[:, -1], control=control, name=name or str(path))
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def n_dims(self) -> int:
+        """Number of independent dimensions."""
+        return int(self.points.shape[1])
+
+    @property
+    def n_samples(self) -> int:
+        """Number of stored samples."""
+        return int(self.points.shape[0])
+
+    @property
+    def is_grid(self) -> bool:
+        """Whether the samples form a full tensor-product grid."""
+        return self._axes is not None
+
+    @property
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-dimension lower and upper bounds of the sampled region."""
+        return self.points.min(axis=0), self.points.max(axis=0)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def __call__(self, *coords):
+        """Interpolate at the given coordinates.
+
+        Accepts either one positional argument per dimension (scalars or
+        arrays, mirroring the Verilog-A call) or a single array of shape
+        ``(n_dims,)`` / ``(n_queries, n_dims)``.
+        """
+        query, scalar = self._normalise_query(coords)
+        if self.is_grid:
+            result = np.array([self._eval_grid(row) for row in query])
+        else:
+            result = self._eval_scattered(query)
+        if scalar:
+            return float(result[0])
+        return result
+
+    def _normalise_query(self, coords) -> tuple[np.ndarray, bool]:
+        scalar = False
+        if len(coords) == 1 and not np.isscalar(coords[0]):
+            arr = np.asarray(coords[0], dtype=float)
+            if arr.ndim == 1 and arr.size == self.n_dims:
+                query = arr.reshape(1, -1)
+                scalar = self.n_dims > 1
+            elif arr.ndim == 2 and arr.shape[1] == self.n_dims:
+                query = arr
+            elif self.n_dims == 1:
+                query = arr.reshape(-1, 1)
+            else:
+                raise ValueError(
+                    f"query shape {arr.shape} incompatible with {self.n_dims} dimensions"
+                )
+        else:
+            if len(coords) != self.n_dims:
+                raise ValueError(
+                    f"expected {self.n_dims} coordinate argument(s), got {len(coords)}"
+                )
+            scalar = all(np.ndim(c) == 0 for c in coords)
+            broadcast = np.broadcast_arrays(*[np.atleast_1d(np.asarray(c, float)) for c in coords])
+            query = np.column_stack(broadcast)
+        return self._apply_clamping(query), scalar
+
+    def _apply_clamping(self, query: np.ndarray) -> np.ndarray:
+        lo, hi = self.bounds
+        clamped = query.copy()
+        for dim, spec in enumerate(self.controls):
+            if spec.extrapolation is ExtrapolationMode.CLAMP:
+                clamped[:, dim] = np.clip(clamped[:, dim], lo[dim], hi[dim])
+        return clamped
+
+    # -- grid mode -----------------------------------------------------------
+
+    def _detect_grid(self) -> None:
+        axes = [np.unique(self.points[:, d]) for d in range(self.n_dims)]
+        expected = int(np.prod([axis.size for axis in axes]))
+        if expected != self.n_samples or expected == 0:
+            return
+        # Map every sample onto its grid cell; verify each cell is filled once.
+        grid = np.full([axis.size for axis in axes], np.nan)
+        indices = []
+        for d, axis in enumerate(axes):
+            idx = np.searchsorted(axis, self.points[:, d])
+            indices.append(idx)
+        grid[tuple(indices)] = self.values
+        if np.any(np.isnan(grid)):
+            return
+        self._axes = axes
+        self._grid_values = grid
+
+    def _eval_grid(self, coord: np.ndarray) -> float:
+        assert self._axes is not None and self._grid_values is not None
+        values = self._grid_values
+        # Interpolate one axis at a time (separable interpolation), reducing
+        # the grid dimensionality until a scalar remains.
+        for dim in range(self.n_dims - 1, -1, -1):
+            axis = self._axes[dim]
+            spec = self.controls[dim]
+            if axis.size == 1:
+                values = np.take(values, 0, axis=dim)
+                continue
+            moved = np.moveaxis(values, dim, -1)
+            flat = moved.reshape(-1, axis.size)
+            reduced = np.empty(flat.shape[0])
+            for row_index, row in enumerate(flat):
+                interp = make_interpolator(axis, row, spec.method, spec.extrapolation)
+                reduced[row_index] = interp(float(coord[dim]))
+            values = reduced.reshape(moved.shape[:-1])
+        return float(values)
+
+    # -- scattered mode -------------------------------------------------------
+
+    def _eval_scattered(self, query: np.ndarray) -> np.ndarray:
+        # Modified Shepard weighting: exact at samples, smooth in between.
+        scaled_points = self.points / self._scales
+        scaled_query = query / self._scales
+        results = np.empty(query.shape[0])
+        for i, q in enumerate(scaled_query):
+            deltas = scaled_points - q
+            dist2 = np.einsum("ij,ij->i", deltas, deltas)
+            exact = dist2 < 1e-24
+            if np.any(exact):
+                results[i] = float(np.mean(self.values[exact]))
+                continue
+            weights = 1.0 / dist2**1.5
+            results[i] = float(np.dot(weights, self.values) / np.sum(weights))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "grid" if self.is_grid else "scattered"
+        label = f" {self.name!r}" if self.name else ""
+        return f"TableND({label} n={self.n_samples}, dims={self.n_dims}, mode={mode})"

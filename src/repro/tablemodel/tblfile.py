@@ -1,0 +1,104 @@
+""".tbl data-file reading and writing.
+
+The Verilog-A ``$table_model`` function consumes plain-text files of
+whitespace-separated numeric columns where the last column is the dependent
+value and the preceding columns are the independent variables.  The paper
+stores the Pareto-front performance points and their Monte-Carlo spreads in
+such files (``kvco_delta.tbl``, ``p1_data.tbl``, ...).
+
+This module reads and writes that format, preserving optional ``#`` comment
+headers so the generated files are self-documenting.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["read_tbl", "write_tbl", "read_tbl_with_header"]
+
+
+class TblFormatError(ValueError):
+    """Raised when a ``.tbl`` file cannot be parsed."""
+
+
+def _parse_lines(lines: Iterable[str], path: str) -> tuple[list[str], np.ndarray]:
+    comments: list[str] = []
+    rows: list[list[float]] = []
+    width: int | None = None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(("#", "//", "*", ";")):
+            comments.append(line.lstrip("#/*; ").rstrip())
+            continue
+        parts = line.replace(",", " ").split()
+        try:
+            values = [float(part) for part in parts]
+        except ValueError as exc:
+            raise TblFormatError(f"{path}:{lineno}: non-numeric value in {line!r}") from exc
+        if width is None:
+            width = len(values)
+        elif len(values) != width:
+            raise TblFormatError(
+                f"{path}:{lineno}: expected {width} column(s), found {len(values)}"
+            )
+        rows.append(values)
+    if not rows:
+        raise TblFormatError(f"{path}: no data rows found")
+    return comments, np.asarray(rows, dtype=float)
+
+
+def read_tbl(path: str | os.PathLike) -> np.ndarray:
+    """Read a ``.tbl`` file and return its numeric contents as a 2-D array."""
+    return read_tbl_with_header(path)[1]
+
+
+def read_tbl_with_header(path: str | os.PathLike) -> tuple[list[str], np.ndarray]:
+    """Read a ``.tbl`` file returning ``(comment_lines, data)``."""
+    path_str = os.fspath(path)
+    with open(path_str, "r", encoding="utf-8") as handle:
+        return _parse_lines(handle, path_str)
+
+
+def write_tbl(
+    path: str | os.PathLike,
+    data,
+    header: Sequence[str] | str | None = None,
+    fmt: str = "%.9e",
+) -> None:
+    """Write a 2-D array of samples to a ``.tbl`` file.
+
+    Parameters
+    ----------
+    path:
+        Destination file path; parent directories must already exist.
+    data:
+        Array-like of shape ``(n_rows, n_columns)``.  One-dimensional input
+        is treated as a single column.
+    header:
+        Optional comment line(s) written with a ``#`` prefix.
+    fmt:
+        ``printf``-style format used for each value.
+    """
+    array = np.asarray(data, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise TblFormatError("table data must be one- or two-dimensional")
+    if array.size == 0:
+        raise TblFormatError("refusing to write an empty table file")
+    if isinstance(header, str):
+        header_lines = [header]
+    else:
+        header_lines = list(header or [])
+    path_str = os.fspath(path)
+    with open(path_str, "w", encoding="utf-8") as handle:
+        for line in header_lines:
+            handle.write(f"# {line}\n")
+        for row in array:
+            handle.write(" ".join(fmt % value for value in row))
+            handle.write("\n")

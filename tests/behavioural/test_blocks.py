@@ -1,0 +1,226 @@
+"""Tests for the behavioural PLL building blocks (PFD, CP, filter, divider, jitter)."""
+
+import numpy as np
+import pytest
+
+from repro.behavioural import (
+    ChargePump,
+    Divider,
+    LoopFilter,
+    PhaseFrequencyDetector,
+    accumulated_jitter,
+    jitter_sum,
+    period_jitter_from_phase_noise,
+)
+
+
+# -- jitter arithmetic ---------------------------------------------------------------------
+
+
+def test_jitter_sum_matches_listing2_formula():
+    assert jitter_sum(0.2e-12, 24) == pytest.approx(0.2e-12 * np.sqrt(48.0))
+
+
+def test_jitter_sum_validation():
+    with pytest.raises(ValueError):
+        jitter_sum(-1.0, 10)
+    with pytest.raises(ValueError):
+        jitter_sum(1.0, 0)
+
+
+def test_accumulated_jitter_rss():
+    assert accumulated_jitter([3.0, 4.0]) == pytest.approx(5.0)
+    assert accumulated_jitter([]) == 0.0
+    with pytest.raises(ValueError):
+        accumulated_jitter([-1.0])
+
+
+def test_period_jitter_from_phase_noise():
+    jitter = period_jitter_from_phase_noise(-100.0, 1e6, 1e9)
+    assert jitter > 0.0
+    better = period_jitter_from_phase_noise(-120.0, 1e6, 1e9)
+    assert better < jitter
+    with pytest.raises(ValueError):
+        period_jitter_from_phase_noise(-100.0, 0.0, 1e9)
+
+
+# -- phase-frequency detector ---------------------------------------------------------------
+
+
+def test_pfd_up_pulse_when_feedback_is_late():
+    pfd = PhaseFrequencyDetector(reset_pulse=0.0)
+    error = pfd.compare(reference_edge=0.0, feedback_edge=2e-9)
+    assert error.timing_error == pytest.approx(2e-9)
+    assert error.up_width == pytest.approx(2e-9)
+    assert error.down_width == 0.0
+    assert error.net_width == pytest.approx(2e-9)
+
+
+def test_pfd_down_pulse_when_feedback_is_early():
+    pfd = PhaseFrequencyDetector(reset_pulse=0.0)
+    error = pfd.compare(reference_edge=1e-9, feedback_edge=0.0)
+    assert error.down_width == pytest.approx(1e-9)
+    assert error.up_width == 0.0
+    assert error.net_width == pytest.approx(-1e-9)
+
+
+def test_pfd_reset_pulse_on_both_outputs():
+    pfd = PhaseFrequencyDetector(reset_pulse=50e-12)
+    error = pfd.compare(0.0, 0.0)
+    assert error.up_width == pytest.approx(50e-12)
+    assert error.down_width == pytest.approx(50e-12)
+    assert error.net_width == 0.0
+
+
+def test_pfd_dead_zone_suppresses_small_errors():
+    pfd = PhaseFrequencyDetector(dead_zone=10e-12, reset_pulse=0.0)
+    error = pfd.compare(0.0, 5e-12)
+    assert error.net_width == 0.0
+    error = pfd.compare(0.0, 30e-12)
+    assert error.net_width == pytest.approx(20e-12)
+
+
+def test_pfd_max_pulse_clamps():
+    pfd = PhaseFrequencyDetector(reset_pulse=0.0, max_pulse=1e-9)
+    error = pfd.compare(0.0, 1e-6)
+    assert error.up_width == pytest.approx(1e-9)
+
+
+# -- charge pump ------------------------------------------------------------------------------
+
+
+def test_charge_pump_balanced_charge():
+    pump = ChargePump(current=100e-6)
+    pfd = PhaseFrequencyDetector(reset_pulse=0.0)
+    charge = pump.charge(pfd.compare(0.0, 1e-9), 20e-9)
+    assert charge == pytest.approx(100e-6 * 1e-9)
+    charge_down = pump.charge(pfd.compare(1e-9, 0.0), 20e-9)
+    assert charge_down == pytest.approx(-100e-6 * 1e-9)
+
+
+def test_charge_pump_mismatch_and_leakage():
+    pump = ChargePump(current=100e-6, mismatch=0.1, leakage=1e-9)
+    assert pump.up_current > pump.down_current
+    pfd = PhaseFrequencyDetector(reset_pulse=0.0)
+    charge = pump.charge(pfd.compare(0.0, 0.0), 20e-9)
+    assert charge == pytest.approx(-1e-9 * 20e-9)
+
+
+def test_charge_pump_validation():
+    with pytest.raises(ValueError):
+        ChargePump(current=0.0)
+    with pytest.raises(ValueError):
+        ChargePump().charge(PhaseFrequencyDetector().compare(0.0, 0.0), 0.0)
+
+
+def test_charge_pump_supply_current():
+    pump = ChargePump(current=100e-6, quiescent_current=150e-6)
+    pfd = PhaseFrequencyDetector(reset_pulse=0.0)
+    supply = pump.supply_current(pfd.compare(0.0, 10e-9), 20e-9)
+    assert supply > 150e-6
+
+
+# -- loop filter ------------------------------------------------------------------------------
+
+
+def test_loop_filter_validation():
+    with pytest.raises(ValueError):
+        LoopFilter(c1=0.0)
+    with pytest.raises(ValueError):
+        LoopFilter(c2=-1e-12)
+    with pytest.raises(ValueError):
+        LoopFilter(r1=0.0)
+
+
+def test_loop_filter_zero_and_pole_frequencies():
+    lf = LoopFilter(c1=2e-12, c2=0.5e-12, r1=2e3)
+    assert lf.zero_frequency == pytest.approx(1.0 / (2 * np.pi * 2e3 * 2e-12))
+    assert lf.pole_frequency > lf.zero_frequency
+    assert LoopFilter(c1=2e-12, c2=0.0, r1=2e3).pole_frequency == np.inf
+
+
+def test_loop_filter_impedance_magnitude_decreases_with_frequency():
+    lf = LoopFilter(c1=2e-12, c2=0.5e-12, r1=2e3)
+    low = abs(lf.impedance(2j * np.pi * 1e3))
+    high = abs(lf.impedance(2j * np.pi * 1e9))
+    assert low > high
+
+
+def test_loop_filter_charge_conservation():
+    lf = LoopFilter(c1=2e-12, c2=0.5e-12, r1=2e3)
+    state = lf.initialise(0.0)
+    charge = 1e-15
+    new_state = lf.apply_charge(state, charge, 25e-9)
+    stored = lf.c1 * new_state.v_c1 + lf.c2 * new_state.v_c2
+    assert stored == pytest.approx(charge, rel=1e-9)
+
+
+def test_loop_filter_accumulates_voltage():
+    lf = LoopFilter(c1=2e-12, c2=0.5e-12, r1=2e3)
+    state = lf.initialise(0.4)
+    for _ in range(10):
+        state = lf.apply_charge(state, 2e-15, 25e-9)
+    assert lf.output_voltage(state) > 0.4
+    # Total added charge of 20 fC over 2.5 pF total capacitance = 8 mV.
+    assert lf.output_voltage(state) == pytest.approx(0.4 + 20e-15 / 2.5e-12, rel=0.05)
+
+
+def test_loop_filter_negative_charge_lowers_voltage():
+    lf = LoopFilter()
+    state = lf.initialise(0.6)
+    state = lf.apply_charge(state, -5e-15, 25e-9)
+    assert lf.output_voltage(state) < 0.6
+
+
+def test_loop_filter_without_ripple_capacitor():
+    lf = LoopFilter(c1=2e-12, c2=0.0, r1=2e3)
+    state = lf.apply_charge(lf.initialise(0.0), 2e-15, 25e-9)
+    assert lf.output_voltage(state) == pytest.approx(2e-15 / 2e-12)
+
+
+def test_loop_filter_capacitors_relax_towards_each_other():
+    lf = LoopFilter(c1=2e-12, c2=0.5e-12, r1=2e3)
+    state = lf.apply_charge(lf.initialise(0.0), 1e-14, 100e-9)
+    assert abs(state.v_c1 - state.v_c2) < 1e-3
+
+
+def test_loop_filter_interval_validation():
+    with pytest.raises(ValueError):
+        LoopFilter().apply_charge(LoopFilter().initialise(0.0), 1e-15, 0.0)
+
+
+def test_loop_filter_state_copy_is_independent():
+    lf = LoopFilter()
+    state = lf.initialise(0.5)
+    clone = state.copy()
+    clone.v_c1 = 99.0
+    assert state.v_c1 == 0.5
+
+
+# -- divider ----------------------------------------------------------------------------------
+
+
+def test_divider_output_period_and_frequency():
+    divider = Divider(ratio=24)
+    assert divider.output_period(1e-9) == pytest.approx(24e-9)
+    assert divider.output_frequency(960e6) == pytest.approx(40e6)
+
+
+def test_divider_validation():
+    with pytest.raises(ValueError):
+        Divider(ratio=0)
+    with pytest.raises(ValueError):
+        Divider(edge_jitter=-1.0)
+    with pytest.raises(ValueError):
+        Divider().output_period(0.0)
+    with pytest.raises(ValueError):
+        Divider().output_frequency(0.0)
+
+
+def test_divider_edge_jitter_injection():
+    divider = Divider(ratio=10, edge_jitter=5e-12)
+    rng = np.random.default_rng(1)
+    edges = [divider.output_edge(0.0, 1e-9, rng) for _ in range(200)]
+    assert np.std(edges) == pytest.approx(5e-12, rel=0.3)
+    # Without an RNG the edge is deterministic.
+    assert divider.output_edge(0.0, 1e-9) == pytest.approx(10e-9)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the small combined model extracted from a reduced
+optimisation run) are session-scoped so they are built once and reused by
+every test module that needs them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import RingVcoAnalyticalEvaluator, VcoDesign
+from repro.core.circuit_stage import CircuitLevelOptimisation
+from repro.optim import NSGA2Config
+from repro.process import TECH_012UM
+
+
+@pytest.fixture(scope="session")
+def technology():
+    """The default 0.12 um technology card."""
+    return TECH_012UM
+
+
+@pytest.fixture(scope="session")
+def analytical_evaluator(technology):
+    """The calibrated analytical VCO evaluator."""
+    return RingVcoAnalyticalEvaluator(technology)
+
+
+@pytest.fixture(scope="session")
+def default_design():
+    """The default (mid-range) VCO design point."""
+    return VcoDesign()
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A seeded random generator for reproducible randomised tests."""
+    return np.random.default_rng(2009)
+
+
+@pytest.fixture(scope="session")
+def circuit_stage_result(analytical_evaluator, technology):
+    """A reduced circuit-level optimisation run plus its combined model.
+
+    Uses a small NSGA-II budget and a low Monte Carlo depth so the whole
+    suite stays fast; the resulting model is still a genuine Pareto-front
+    performance + variation model.
+    """
+    stage = CircuitLevelOptimisation(
+        evaluator=analytical_evaluator,
+        technology=technology,
+        config=NSGA2Config(population_size=20, generations=5, seed=11),
+        mc_samples=12,
+        mc_seed=11,
+        max_model_points=10,
+    )
+    return stage.run()
+
+
+@pytest.fixture(scope="session")
+def combined_model(circuit_stage_result):
+    """The combined performance + variation model of the reduced run."""
+    return circuit_stage_result.model

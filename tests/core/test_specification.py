@@ -1,0 +1,92 @@
+"""Tests for specifications and top-down specification propagation."""
+
+import pytest
+
+from repro.core.specification import (
+    PLL_SPECIFICATIONS,
+    Specification,
+    SpecificationSet,
+    VCO_RANGE_SPECIFICATIONS,
+)
+
+
+def test_specification_requires_a_bound():
+    with pytest.raises(ValueError):
+        Specification("x")
+    with pytest.raises(ValueError):
+        Specification("x", lower=2.0, upper=1.0)
+
+
+def test_specification_is_met():
+    spec = Specification("lock_time", upper=1e-6)
+    assert spec.is_met(0.5e-6)
+    assert not spec.is_met(2e-6)
+    window = Specification("f", lower=0.5e9, upper=1.2e9)
+    assert window.is_met(1.0e9)
+    assert not window.is_met(0.4e9)
+    assert not window.is_met(1.3e9)
+
+
+def test_specification_margin_sign_and_scale():
+    spec = Specification("current", upper=15e-3)
+    assert spec.margin(12e-3) == pytest.approx((15e-3 - 12e-3) / 15e-3)
+    assert spec.margin(18e-3) < 0.0
+    two_sided = Specification("f", lower=1.0, upper=3.0)
+    assert two_sided.margin(2.0) == pytest.approx(1.0 / 3.0)
+
+
+def test_specification_window_export():
+    spec = Specification("f", lower=1.0, upper=2.0)
+    assert spec.as_window() == (1.0, 2.0)
+
+
+def test_set_validation():
+    with pytest.raises(ValueError):
+        SpecificationSet([])
+    with pytest.raises(ValueError):
+        SpecificationSet([Specification("a", upper=1.0), Specification("a", upper=2.0)])
+
+
+def test_set_is_met_and_partial():
+    specs = SpecificationSet(
+        [Specification("a", upper=1.0), Specification("b", lower=0.0)], name="test"
+    )
+    assert specs.is_met({"a": 0.5, "b": 1.0})
+    assert not specs.is_met({"a": 2.0, "b": 1.0})
+    with pytest.raises(KeyError):
+        specs.is_met({"a": 0.5})
+    assert specs.is_met({"a": 0.5}, partial=True)
+    assert "a" in specs and len(specs) == 2
+    assert specs["b"].lower == 0.0
+
+
+def test_set_worst_margin_and_violations():
+    specs = SpecificationSet([Specification("a", upper=1.0), Specification("b", upper=1.0)])
+    margins = specs.worst_margin({"a": 0.5, "b": 0.9})
+    assert margins == pytest.approx(0.1)
+    violations = specs.violations({"a": 2.0, "b": 0.5})
+    assert set(violations) == {"a"}
+    assert violations["a"] < 0.0
+
+
+def test_set_as_windows():
+    windows = PLL_SPECIFICATIONS.as_windows()
+    assert windows["lock_time"] == (None, 1.0e-6)
+    assert windows["current"] == (None, 15.0e-3)
+    assert windows["final_frequency"] == (500.0e6, 1.2e9)
+
+
+def test_set_propagation_creates_block_specs():
+    propagated = PLL_SPECIFICATIONS.propagate({"kvco": 1.0e9, "ivco": 4e-3}, margin=0.05)
+    assert set(propagated.names) == {"kvco", "ivco"}
+    assert propagated["kvco"].lower == pytest.approx(0.95e9)
+    assert propagated["kvco"].upper == pytest.approx(1.05e9)
+    assert propagated.is_met({"kvco": 1.02e9, "ivco": 4.1e-3})
+    assert not propagated.is_met({"kvco": 1.2e9, "ivco": 4e-3})
+
+
+def test_paper_specification_values():
+    assert PLL_SPECIFICATIONS["lock_time"].upper == pytest.approx(1.0e-6)
+    assert PLL_SPECIFICATIONS["current"].upper == pytest.approx(15.0e-3)
+    assert VCO_RANGE_SPECIFICATIONS["fmin"].upper == pytest.approx(500.0e6)
+    assert VCO_RANGE_SPECIFICATIONS["fmax"].lower == pytest.approx(1.2e9)

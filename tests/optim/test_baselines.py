@@ -1,0 +1,95 @@
+"""Tests for the random-search and weighted-sum baselines."""
+
+import numpy as np
+import pytest
+
+from repro.optim import NSGA2, NSGA2Config, RandomSearch, WeightedSumGA, hypervolume
+from repro.optim.problem import Evaluation, Objective, Parameter, Problem
+
+
+class TwoObjective(Problem):
+    """Small bi-objective problem with a trade-off front."""
+
+    def __init__(self):
+        parameters = [Parameter("x", 0.0, 1.0), Parameter("y", 0.0, 1.0)]
+        objectives = [Objective("f1", "min"), Objective("f2", "min")]
+        super().__init__(parameters, objectives, name="two")
+
+    def evaluate(self, values):
+        x, y = values["x"], values["y"]
+        return Evaluation(
+            objectives={"f1": x**2 + y**2, "f2": (x - 1.0) ** 2 + (y - 1.0) ** 2}
+        )
+
+
+class ConstrainedTwoObjective(TwoObjective):
+    """Same problem with an infeasible region x < 0.2."""
+
+    def __init__(self):
+        super().__init__()
+        self.constraint_names = ["g"]
+
+    def evaluate(self, values):
+        evaluation = super().evaluate(values)
+        evaluation.constraints["g"] = values["x"] - 0.2
+        return evaluation
+
+
+def test_random_search_respects_budget():
+    problem = TwoObjective()
+    result = RandomSearch(problem, evaluations=100, seed=1).run()
+    assert result.evaluations == 100
+    assert problem.evaluation_count == 100
+    assert len(result.front) >= 1
+
+
+def test_random_search_front_is_non_dominated():
+    result = RandomSearch(TwoObjective(), evaluations=150, seed=2).run()
+    objectives = result.front.objectives
+    for i in range(objectives.shape[0]):
+        for j in range(objectives.shape[0]):
+            if i == j:
+                continue
+            assert not (
+                np.all(objectives[j] <= objectives[i]) and np.any(objectives[j] < objectives[i])
+            )
+
+
+def test_random_search_reproducible():
+    a = RandomSearch(TwoObjective(), evaluations=60, seed=7).run()
+    b = RandomSearch(TwoObjective(), evaluations=60, seed=7).run()
+    assert np.allclose(np.sort(a.front.objectives[:, 0]), np.sort(b.front.objectives[:, 0]))
+
+
+def test_weighted_sum_ga_runs_and_reports_budget():
+    problem = TwoObjective()
+    result = WeightedSumGA(problem, evaluations=200, n_weights=4, population_size=10, seed=3).run()
+    assert result.evaluations > 0
+    assert problem.evaluation_count == result.evaluations
+    assert len(result.front) >= 1
+
+
+def test_weighted_sum_ga_respects_constraints():
+    result = WeightedSumGA(
+        ConstrainedTwoObjective(), evaluations=200, n_weights=3, population_size=10, seed=4
+    ).run()
+    for individual in result.front:
+        assert individual.parameters[0] >= 0.2 - 1e-6
+
+
+def test_nsga2_beats_random_search_on_hypervolume():
+    reference = [2.5, 2.5]
+    budget = 300
+    nsga_result = NSGA2(
+        TwoObjective(), NSGA2Config(population_size=20, generations=budget // 20 - 1, seed=5)
+    ).run()
+    random_result = RandomSearch(TwoObjective(), evaluations=budget, seed=5).run()
+    hv_nsga = hypervolume(nsga_result.front.objectives, reference)
+    hv_random = hypervolume(random_result.front.objectives, reference)
+    assert hv_nsga >= hv_random * 0.95  # NSGA-II should be at least comparable
+
+
+def test_random_search_front_parameters_within_bounds():
+    result = RandomSearch(TwoObjective(), evaluations=50, seed=6).run()
+    params = result.front.parameters
+    assert np.all(params >= 0.0) and np.all(params <= 1.0)

@@ -1,0 +1,45 @@
+"""Tests for the constraint-handling helpers."""
+
+import pytest
+
+from repro.optim.constraints import constrained_dominates, constraint_violation
+
+
+def test_violation_none_is_zero():
+    assert constraint_violation(None) == 0.0
+
+
+def test_violation_empty_is_zero():
+    assert constraint_violation([]) == 0.0
+
+
+def test_violation_feasible_is_zero():
+    assert constraint_violation([0.0, 1.0, 5.0]) == 0.0
+
+
+def test_violation_sums_magnitudes():
+    assert constraint_violation([-1.0, -2.0, 3.0]) == pytest.approx(3.0)
+
+
+def test_violation_scalar_input():
+    assert constraint_violation(-0.25) == pytest.approx(0.25)
+
+
+def test_constrained_dominates_feasible_vs_infeasible():
+    assert constrained_dominates([9.0], [0.0], [0.0], [-1.0])
+    assert not constrained_dominates([0.0], [9.0], [-1.0], [0.0])
+
+
+def test_constrained_dominates_between_infeasible():
+    assert constrained_dominates([5.0], [1.0], [-0.1], [-2.0])
+    assert not constrained_dominates([1.0], [5.0], [-2.0], [-0.1])
+
+
+def test_constrained_dominates_between_feasible_uses_pareto():
+    assert constrained_dominates([0.0, 0.0], [1.0, 1.0])
+    assert not constrained_dominates([0.0, 1.0], [1.0, 0.0])
+    assert not constrained_dominates([1.0, 1.0], [1.0, 1.0])
+
+
+def test_constrained_dominates_without_constraints():
+    assert constrained_dominates([0.0], [1.0], None, None)

@@ -1,0 +1,161 @@
+"""Tests for the NSGA-II driver on analytic benchmark problems."""
+
+import numpy as np
+import pytest
+
+from repro.optim import NSGA2, NSGA2Config, Objective, Parameter, Problem, hypervolume
+from repro.optim.problem import Evaluation
+
+
+class ZDT1(Problem):
+    """Classic two-objective benchmark with a known convex Pareto front."""
+
+    def __init__(self, n_vars=6):
+        parameters = [Parameter(f"x{i}", 0.0, 1.0) for i in range(n_vars)]
+        objectives = [Objective("f1", "min"), Objective("f2", "min")]
+        super().__init__(parameters, objectives, name="zdt1")
+
+    def evaluate(self, values):
+        x = np.array([values[f"x{i}"] for i in range(self.n_parameters)])
+        f1 = x[0]
+        g = 1.0 + 9.0 * np.sum(x[1:]) / (self.n_parameters - 1)
+        f2 = g * (1.0 - np.sqrt(f1 / g))
+        return Evaluation(objectives={"f1": float(f1), "f2": float(f2)})
+
+
+class ConstrainedProblem(Problem):
+    """Single-objective quadratic with a binding constraint x >= 0.5."""
+
+    def __init__(self):
+        super().__init__(
+            [Parameter("x", 0.0, 1.0)],
+            [Objective("f", "min")],
+            ["g"],
+            name="constrained",
+        )
+
+    def evaluate(self, values):
+        x = values["x"]
+        return Evaluation(objectives={"f": x**2}, constraints={"g": x - 0.5})
+
+
+class MaximisationProblem(Problem):
+    """Single maximisation objective to exercise sense conversion."""
+
+    def __init__(self):
+        super().__init__([Parameter("x", 0.0, 1.0)], [Objective("f", "max")])
+
+    def evaluate(self, values):
+        x = values["x"]
+        return Evaluation(objectives={"f": -(x - 0.7) ** 2})
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        NSGA2Config(population_size=3)
+    with pytest.raises(ValueError):
+        NSGA2Config(population_size=11)
+    with pytest.raises(ValueError):
+        NSGA2Config(generations=0)
+
+
+def test_nsga2_runs_and_returns_front():
+    result = NSGA2(ZDT1(), NSGA2Config(population_size=20, generations=10, seed=1)).run()
+    assert len(result.front) > 0
+    assert result.evaluations == 20 * (10 + 1)
+    assert len(result.population) == 20
+
+
+def test_nsga2_front_is_mutually_non_dominated():
+    result = NSGA2(ZDT1(), NSGA2Config(population_size=16, generations=8, seed=2)).run()
+    objectives = result.front.objectives
+    for i in range(objectives.shape[0]):
+        for j in range(objectives.shape[0]):
+            if i == j:
+                continue
+            assert not (
+                np.all(objectives[j] <= objectives[i]) and np.any(objectives[j] < objectives[i])
+            )
+
+
+def test_nsga2_improves_hypervolume_over_generations():
+    problem = ZDT1()
+    history_fronts = {}
+
+    def callback(generation, population):
+        points = np.vstack([ind.objectives for ind in population if ind.rank == 0])
+        history_fronts[generation] = hypervolume(points, [2.0, 11.0])
+
+    NSGA2(problem, NSGA2Config(population_size=24, generations=12, seed=3)).run(callback)
+    assert history_fronts[12] >= history_fronts[0]
+
+
+def test_nsga2_approaches_zdt1_front():
+    result = NSGA2(ZDT1(), NSGA2Config(population_size=40, generations=40, seed=4)).run()
+    # On the true front f2 = 1 - sqrt(f1); check the population is close.
+    objectives = result.front.objectives
+    errors = objectives[:, 1] - (1.0 - np.sqrt(np.clip(objectives[:, 0], 0.0, 1.0)))
+    assert np.median(errors) < 0.6
+
+
+def test_nsga2_reproducible_with_seed():
+    config = NSGA2Config(population_size=16, generations=5, seed=42)
+    result_a = NSGA2(ZDT1(), config).run()
+    result_b = NSGA2(ZDT1(), NSGA2Config(population_size=16, generations=5, seed=42)).run()
+    assert np.allclose(result_a.front.objectives, result_b.front.objectives)
+
+
+def test_nsga2_different_seeds_differ():
+    result_a = NSGA2(ZDT1(), NSGA2Config(population_size=16, generations=5, seed=1)).run()
+    result_b = NSGA2(ZDT1(), NSGA2Config(population_size=16, generations=5, seed=2)).run()
+    a = np.sort(result_a.front.objectives[:, 0])
+    b = np.sort(result_b.front.objectives[:, 0])
+    assert a.shape != b.shape or not np.allclose(a, b)
+
+
+def test_nsga2_respects_constraints():
+    result = NSGA2(
+        ConstrainedProblem(), NSGA2Config(population_size=20, generations=15, seed=5)
+    ).run()
+    assert len(result.front) > 0
+    for individual in result.front:
+        x = individual.parameters[0]
+        assert x >= 0.5 - 1e-6
+    # The constrained optimum is at x = 0.5.
+    best = min(ind.raw_objectives["f"] for ind in result.front)
+    assert best == pytest.approx(0.25, abs=0.05)
+
+
+def test_nsga2_handles_maximisation_objectives():
+    result = NSGA2(
+        MaximisationProblem(), NSGA2Config(population_size=16, generations=15, seed=6)
+    ).run()
+    best_x = result.front[0].parameters[0]
+    assert best_x == pytest.approx(0.7, abs=0.1)
+    # Raw objective is reported in its natural (maximisation) sense.
+    assert result.front[0].raw_objectives["f"] <= 0.0
+
+
+def test_nsga2_history_records_every_generation():
+    config = NSGA2Config(population_size=12, generations=7, seed=7)
+    result = NSGA2(ZDT1(), config).run()
+    assert len(result.history) == 8  # initial population + 7 generations
+    assert result.history[-1].evaluations == result.evaluations
+    assert all(stats.front_size >= 1 for stats in result.history)
+
+
+def test_nsga2_population_size_is_preserved():
+    config = NSGA2Config(population_size=14, generations=4, seed=8)
+    result = NSGA2(ZDT1(), config).run()
+    assert len(result.population) == 14
+
+
+def test_nsga2_callback_receives_population():
+    seen = []
+
+    def callback(generation, population):
+        seen.append((generation, len(population)))
+
+    NSGA2(ZDT1(), NSGA2Config(population_size=12, generations=3, seed=9)).run(callback)
+    assert seen[0] == (0, 12)
+    assert seen[-1][0] == 3

@@ -1,0 +1,170 @@
+"""Tests for the genetic operators (tournament, SBX, polynomial mutation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.individual import Individual
+from repro.optim.operators import PolynomialMutation, SBXCrossover, binary_tournament
+
+
+def _individual(rank, crowding):
+    ind = Individual(parameters=np.array([0.0]))
+    ind.objectives = np.array([0.0])
+    ind.rank = rank
+    ind.crowding = crowding
+    return ind
+
+
+def test_tournament_prefers_lower_rank():
+    rng = np.random.default_rng(0)
+    better = _individual(rank=0, crowding=0.0)
+    worse = _individual(rank=3, crowding=10.0)
+    wins = sum(
+        binary_tournament([better, worse], rng) is better for _ in range(50)
+    )
+    assert wins == pytest.approx(50, abs=20)  # better can only lose to itself
+    # When both candidates drawn are the worse one it is returned, so just
+    # verify the better one is never beaten in a mixed draw.
+    for _ in range(200):
+        chosen = binary_tournament([better, worse], rng)
+        assert chosen in (better, worse)
+
+
+def test_tournament_breaks_ties_with_crowding():
+    rng = np.random.default_rng(1)
+    crowded = _individual(rank=0, crowding=5.0)
+    sparse = _individual(rank=0, crowding=0.5)
+    # Over many draws the more crowded-distance individual must win every
+    # mixed tournament.
+    results = [binary_tournament([crowded, sparse], rng) for _ in range(100)]
+    assert crowded in results
+    assert all(r is crowded or r is sparse for r in results)
+
+
+def test_tournament_empty_population_raises():
+    with pytest.raises(ValueError):
+        binary_tournament([], np.random.default_rng(0))
+
+
+def test_sbx_children_within_bounds():
+    rng = np.random.default_rng(2)
+    crossover = SBXCrossover(probability=1.0)
+    lower = np.array([0.0, -1.0, 10.0])
+    upper = np.array([1.0, 1.0, 20.0])
+    a = np.array([0.2, -0.5, 12.0])
+    b = np.array([0.9, 0.7, 19.0])
+    for _ in range(50):
+        child_a, child_b = crossover(a, b, lower, upper, rng)
+        assert np.all(child_a >= lower - 1e-12) and np.all(child_a <= upper + 1e-12)
+        assert np.all(child_b >= lower - 1e-12) and np.all(child_b <= upper + 1e-12)
+
+
+def test_sbx_zero_probability_returns_parents():
+    rng = np.random.default_rng(3)
+    crossover = SBXCrossover(probability=0.0)
+    a = np.array([0.3, 0.4])
+    b = np.array([0.6, 0.8])
+    child_a, child_b = crossover(a, b, np.zeros(2), np.ones(2), rng)
+    assert np.allclose(child_a, a)
+    assert np.allclose(child_b, b)
+
+
+def test_sbx_identical_parents_unchanged():
+    rng = np.random.default_rng(4)
+    crossover = SBXCrossover(probability=1.0)
+    a = np.array([0.5, 0.5])
+    child_a, child_b = crossover(a, a.copy(), np.zeros(2), np.ones(2), rng)
+    assert np.allclose(child_a, a)
+    assert np.allclose(child_b, a)
+
+
+def test_sbx_preserves_mean_statistically():
+    rng = np.random.default_rng(5)
+    crossover = SBXCrossover(probability=1.0, per_variable_probability=1.0)
+    a = np.array([0.3])
+    b = np.array([0.7])
+    sums = []
+    for _ in range(300):
+        child_a, child_b = crossover(a, b, np.array([0.0]), np.array([1.0]), rng)
+        sums.append(child_a[0] + child_b[0])
+    assert np.mean(sums) == pytest.approx(1.0, abs=0.05)
+
+
+def test_sbx_high_eta_keeps_children_close_to_parents():
+    rng = np.random.default_rng(6)
+    tight = SBXCrossover(probability=1.0, eta=100.0, per_variable_probability=1.0)
+    loose = SBXCrossover(probability=1.0, eta=1.0, per_variable_probability=1.0)
+    a, b = np.array([0.4]), np.array([0.6])
+    lower, upper = np.array([0.0]), np.array([1.0])
+    tight_spread = np.mean(
+        [abs(tight(a, b, lower, upper, rng)[0][0] - 0.5) for _ in range(200)]
+    )
+    loose_spread = np.mean(
+        [abs(loose(a, b, lower, upper, rng)[0][0] - 0.5) for _ in range(200)]
+    )
+    assert tight_spread < loose_spread
+
+
+def test_mutation_stays_in_bounds():
+    rng = np.random.default_rng(7)
+    mutation = PolynomialMutation(probability=1.0)
+    lower = np.array([0.0, -5.0])
+    upper = np.array([1.0, 5.0])
+    vector = np.array([0.5, 0.0])
+    for _ in range(100):
+        mutant = mutation(vector, lower, upper, rng)
+        assert np.all(mutant >= lower) and np.all(mutant <= upper)
+
+
+def test_mutation_zero_probability_is_identity():
+    rng = np.random.default_rng(8)
+    mutation = PolynomialMutation(probability=0.0)
+    vector = np.array([0.25, 0.75])
+    assert np.allclose(mutation(vector, np.zeros(2), np.ones(2), rng), vector)
+
+
+def test_mutation_default_probability_is_one_over_n():
+    rng = np.random.default_rng(9)
+    mutation = PolynomialMutation()
+    vector = np.full(10, 0.5)
+    changed_counts = []
+    for _ in range(200):
+        mutant = mutation(vector, np.zeros(10), np.ones(10), rng)
+        changed_counts.append(np.count_nonzero(mutant != vector))
+    assert np.mean(changed_counts) == pytest.approx(1.0, abs=0.4)
+
+
+def test_mutation_does_not_modify_input():
+    rng = np.random.default_rng(10)
+    mutation = PolynomialMutation(probability=1.0)
+    vector = np.array([0.5, 0.5])
+    original = vector.copy()
+    mutation(vector, np.zeros(2), np.ones(2), rng)
+    assert np.allclose(vector, original)
+
+
+def test_mutation_degenerate_bounds_are_ignored():
+    rng = np.random.default_rng(11)
+    mutation = PolynomialMutation(probability=1.0)
+    vector = np.array([2.0])
+    mutant = mutation(vector, np.array([2.0]), np.array([2.0]), rng)
+    assert mutant[0] == pytest.approx(2.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(0, 10_000),
+)
+def test_property_sbx_and_mutation_respect_unit_bounds(x1, x2, seed):
+    rng = np.random.default_rng(seed)
+    crossover = SBXCrossover(probability=1.0, per_variable_probability=1.0)
+    mutation = PolynomialMutation(probability=1.0)
+    lower, upper = np.array([0.0]), np.array([1.0])
+    child_a, child_b = crossover(np.array([x1]), np.array([x2]), lower, upper, rng)
+    mutant = mutation(child_a, lower, upper, rng)
+    for value in (child_a[0], child_b[0], mutant[0]):
+        assert 0.0 - 1e-12 <= value <= 1.0 + 1e-12

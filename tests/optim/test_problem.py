@@ -1,0 +1,143 @@
+"""Tests for the Problem / Parameter / Objective abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.optim.problem import Evaluation, Objective, Parameter, Problem
+
+
+class Sphere(Problem):
+    """Two-objective test problem used across the optimiser tests."""
+
+    def __init__(self):
+        parameters = [Parameter("x", -1.0, 1.0), Parameter("y", -1.0, 1.0)]
+        objectives = [Objective("f1", "min"), Objective("f2", "max")]
+        super().__init__(parameters, objectives, ["g1"], name="sphere")
+
+    def evaluate(self, values):
+        x, y = values["x"], values["y"]
+        return Evaluation(
+            objectives={"f1": x**2 + y**2, "f2": -((x - 1.0) ** 2 + y**2)},
+            constraints={"g1": 1.0 - abs(x)},
+        )
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        Parameter("bad", 2.0, 1.0)
+    with pytest.raises(ValueError):
+        Parameter("bad", float("nan"), 1.0)
+
+
+def test_parameter_helpers():
+    p = Parameter("w", 1.0, 3.0, unit="m")
+    assert p.span == 2.0
+    assert p.clip(0.0) == 1.0
+    assert p.clip(5.0) == 3.0
+    assert p.clip(2.0) == 2.0
+    value = p.sample(np.random.default_rng(0))
+    assert 1.0 <= value <= 3.0
+
+
+def test_objective_sense_validation():
+    with pytest.raises(ValueError):
+        Objective("f", "maximise")
+
+
+def test_objective_minimisation_conversion():
+    minimise = Objective("a", "min")
+    maximise = Objective("b", "max")
+    assert minimise.to_minimisation(3.0) == 3.0
+    assert maximise.to_minimisation(3.0) == -3.0
+    assert maximise.from_minimisation(-3.0) == 3.0
+    assert maximise.is_minimised is False
+
+
+def test_problem_requires_parameters_and_objectives():
+    with pytest.raises(ValueError):
+        Problem([], [Objective("f")])
+    with pytest.raises(ValueError):
+        Problem([Parameter("x", 0, 1)], [])
+
+
+def test_problem_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        Problem([Parameter("x", 0, 1), Parameter("x", 0, 1)], [Objective("f")])
+    with pytest.raises(ValueError):
+        Problem([Parameter("x", 0, 1)], [Objective("f"), Objective("f")])
+
+
+def test_problem_sizes_and_names():
+    problem = Sphere()
+    assert problem.n_parameters == 2
+    assert problem.n_objectives == 2
+    assert problem.parameter_names == ["x", "y"]
+    assert problem.objective_names == ["f1", "f2"]
+    assert np.allclose(problem.lower_bounds, [-1.0, -1.0])
+    assert np.allclose(problem.upper_bounds, [1.0, 1.0])
+
+
+def test_decode_encode_round_trip():
+    problem = Sphere()
+    mapping = problem.decode([0.25, -0.5])
+    assert mapping == {"x": 0.25, "y": -0.5}
+    assert np.allclose(problem.encode(mapping), [0.25, -0.5])
+
+
+def test_decode_wrong_size_raises():
+    with pytest.raises(ValueError):
+        Sphere().decode([1.0])
+
+
+def test_encode_missing_key_raises():
+    with pytest.raises(KeyError):
+        Sphere().encode({"x": 1.0})
+
+
+def test_clip_respects_bounds():
+    problem = Sphere()
+    assert np.allclose(problem.clip([5.0, -5.0]), [1.0, -1.0])
+
+
+def test_sample_within_bounds():
+    problem = Sphere()
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        sample = problem.sample(rng)
+        assert np.all(sample >= problem.lower_bounds)
+        assert np.all(sample <= problem.upper_bounds)
+
+
+def test_objective_vector_applies_senses():
+    problem = Sphere()
+    evaluation = problem.evaluate({"x": 0.5, "y": 0.0})
+    vector = problem.objective_vector(evaluation)
+    assert vector[0] == pytest.approx(0.25)
+    # f2 is a maximisation objective, so it is negated internally.
+    assert vector[1] == pytest.approx(0.25)
+
+
+def test_objective_vector_missing_objective_raises():
+    problem = Sphere()
+    with pytest.raises(KeyError):
+        problem.objective_vector(Evaluation(objectives={"f1": 1.0}))
+
+
+def test_constraint_vector_defaults_to_zero():
+    problem = Sphere()
+    vector = problem.constraint_vector(Evaluation(objectives={}))
+    assert np.allclose(vector, [0.0])
+
+
+def test_evaluate_vector_counts_evaluations():
+    problem = Sphere()
+    assert problem.evaluation_count == 0
+    problem.evaluate_vector([0.1, 0.1])
+    problem.evaluate_vector([0.2, 0.2])
+    assert problem.evaluation_count == 2
+
+
+def test_evaluate_vector_clips_out_of_bounds_input():
+    problem = Sphere()
+    evaluation = problem.evaluate_vector([10.0, 0.0])
+    assert evaluation.objectives["f1"] == pytest.approx(1.0)

@@ -1,0 +1,149 @@
+"""Tests for fast non-dominated sorting and crowding distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.individual import Individual
+from repro.optim.sorting import crowding_distance, fast_non_dominated_sort, sort_population
+
+
+def make_population(objective_rows, constraint_rows=None):
+    population = []
+    for index, row in enumerate(objective_rows):
+        individual = Individual(parameters=np.array([float(index)]))
+        individual.objectives = np.asarray(row, dtype=float)
+        if constraint_rows is not None:
+            individual.constraints = np.asarray(constraint_rows[index], dtype=float)
+        else:
+            individual.constraints = np.array([])
+        population.append(individual)
+    return population
+
+
+def test_single_front_when_all_non_dominated():
+    population = make_population([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+    fronts = fast_non_dominated_sort(population)
+    assert len(fronts) == 1
+    assert sorted(fronts[0]) == [0, 1, 2, 3]
+    assert all(ind.rank == 0 for ind in population)
+
+
+def test_two_fronts_with_dominated_points():
+    population = make_population([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+    fronts = fast_non_dominated_sort(population)
+    assert len(fronts) == 3
+    assert fronts[0] == [0]
+    assert population[2].rank == 2
+
+
+def test_mixed_fronts():
+    population = make_population(
+        [[1.0, 5.0], [2.0, 3.0], [4.0, 1.0], [3.0, 4.0], [5.0, 5.0]]
+    )
+    fronts = fast_non_dominated_sort(population)
+    assert sorted(fronts[0]) == [0, 1, 2]
+    assert 4 in fronts[-1] or population[4].rank > 0
+
+
+def test_empty_population():
+    assert fast_non_dominated_sort([]) == []
+
+
+def test_constraint_domination_pushes_infeasible_back():
+    population = make_population(
+        [[0.0, 0.0], [5.0, 5.0]], constraint_rows=[[-1.0], [0.0]]
+    )
+    fronts = fast_non_dominated_sort(population)
+    # The feasible (but worse-objective) individual must come first.
+    assert fronts[0] == [1]
+    assert population[0].rank == 1
+
+
+def test_every_individual_appears_exactly_once():
+    rng = np.random.default_rng(5)
+    population = make_population(rng.uniform(0.0, 1.0, size=(30, 3)))
+    fronts = fast_non_dominated_sort(population)
+    flat = [i for front in fronts for i in front]
+    assert sorted(flat) == list(range(30))
+
+
+def test_crowding_boundary_points_are_infinite():
+    population = make_population([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+    front = [0, 1, 2, 3]
+    distances = crowding_distance(population, front)
+    assert np.isinf(distances[0])
+    assert np.isinf(distances[-1])
+    assert np.isfinite(distances[1])
+    assert np.isfinite(distances[2])
+
+
+def test_crowding_small_front_all_infinite():
+    population = make_population([[0.0, 1.0], [1.0, 0.0]])
+    distances = crowding_distance(population, [0, 1])
+    assert np.all(np.isinf(distances))
+
+
+def test_crowding_empty_front():
+    assert crowding_distance([], []).size == 0
+
+
+def test_crowding_updates_individuals_in_place():
+    population = make_population([[0.0, 2.0], [1.0, 1.0], [2.0, 0.0]])
+    crowding_distance(population, [0, 1, 2])
+    assert population[0].crowding == np.inf
+    assert population[1].crowding > 0.0
+
+
+def test_crowding_denser_regions_get_smaller_distance():
+    # Points 1 and 2 are close together, point 3 is isolated.
+    population = make_population(
+        [[0.0, 10.0], [1.0, 9.0], [1.2, 8.8], [5.0, 5.0], [10.0, 0.0]]
+    )
+    front = [0, 1, 2, 3, 4]
+    crowding_distance(population, front)
+    assert population[3].crowding > population[1].crowding
+
+
+def test_crowding_identical_objectives_no_nan():
+    population = make_population([[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]])
+    distances = crowding_distance(population, [0, 1, 2])
+    assert not np.any(np.isnan(distances))
+
+
+def test_sort_population_orders_by_rank_then_crowding():
+    population = make_population(
+        [[0.0, 3.0], [3.0, 0.0], [1.0, 1.0], [5.0, 5.0]]
+    )
+    ordered = sort_population(population)
+    ranks = [ind.rank for ind in ordered]
+    assert ranks == sorted(ranks)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=25), st.integers(min_value=2, max_value=4), st.integers(0, 10_000))
+def test_property_first_front_is_mutually_non_dominated(n, m, seed):
+    rng = np.random.default_rng(seed)
+    population = make_population(rng.uniform(0.0, 1.0, size=(n, m)))
+    fronts = fast_non_dominated_sort(population)
+    first = fronts[0]
+    for i in first:
+        for j in first:
+            if i != j:
+                assert not population[i].dominates(population[j])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=3, max_value=25), st.integers(0, 10_000))
+def test_property_later_fronts_are_dominated_by_someone_earlier(n, seed):
+    rng = np.random.default_rng(seed)
+    population = make_population(rng.uniform(0.0, 1.0, size=(n, 2)))
+    fronts = fast_non_dominated_sort(population)
+    for level in range(1, len(fronts)):
+        for index in fronts[level]:
+            dominated = any(
+                population[previous].dominates(population[index])
+                for previous in fronts[level - 1]
+            )
+            assert dominated

@@ -1,0 +1,224 @@
+"""Tests for the technology card, corners, variation and mismatch models."""
+
+import numpy as np
+import pytest
+
+from repro.process import (
+    Corner,
+    CornerSet,
+    GlobalVariationModel,
+    MismatchModel,
+    STANDARD_CORNERS,
+    TECH_012UM,
+    Technology,
+    VariationSpec,
+)
+from repro.process.mismatch import DeviceGeometry
+
+
+# -- technology -------------------------------------------------------------------------
+
+
+def test_default_technology_values():
+    assert TECH_012UM.vdd == pytest.approx(1.2)
+    assert TECH_012UM.nmos.polarity == 1
+    assert TECH_012UM.pmos.polarity == -1
+    assert TECH_012UM.min_length == pytest.approx(0.12e-6)
+    assert TECH_012UM.max_length == pytest.approx(1.0e-6)
+    assert TECH_012UM.min_width == pytest.approx(10e-6)
+    assert TECH_012UM.max_width == pytest.approx(100e-6)
+
+
+def test_model_lookup_by_polarity():
+    assert TECH_012UM.model("nmos") is TECH_012UM.nmos
+    assert TECH_012UM.model("n") is TECH_012UM.nmos
+    assert TECH_012UM.model("PMOS") is TECH_012UM.pmos
+    with pytest.raises(ValueError):
+        TECH_012UM.model("npn")
+
+
+def test_with_deltas_shifts_parameters():
+    shifted = TECH_012UM.with_deltas({"vth0": 0.05}, {"u0": -0.001})
+    assert shifted.nmos.vth0 == pytest.approx(TECH_012UM.nmos.vth0 + 0.05)
+    assert shifted.pmos.u0 == pytest.approx(TECH_012UM.pmos.u0 - 0.001)
+    # Original technology is unchanged.
+    assert TECH_012UM.nmos.vth0 == pytest.approx(0.33)
+
+
+def test_with_deltas_unknown_parameter_raises():
+    with pytest.raises(AttributeError):
+        TECH_012UM.with_deltas({"not_a_param": 1.0})
+
+
+def test_with_deltas_floors_physical_parameters():
+    shifted = TECH_012UM.with_deltas({"tox": -10.0})
+    assert shifted.nmos.tox > 0.0
+
+
+def test_clamping_helpers():
+    assert TECH_012UM.clamp_length(0.05e-6) == TECH_012UM.min_length
+    assert TECH_012UM.clamp_length(5e-6) == TECH_012UM.max_length
+    assert TECH_012UM.clamp_width(1e-6) == TECH_012UM.min_width
+    assert TECH_012UM.clamp_width(200e-6) == TECH_012UM.max_width
+
+
+# -- corners -----------------------------------------------------------------------------
+
+
+def test_standard_corners_content():
+    assert set(STANDARD_CORNERS.names) == {"tt", "ss", "ff", "sf", "fs"}
+    assert len(STANDARD_CORNERS) == 5
+
+
+def test_tt_corner_is_identity_on_vth():
+    tt = STANDARD_CORNERS["tt"].apply(TECH_012UM)
+    assert tt.nmos.vth0 == pytest.approx(TECH_012UM.nmos.vth0)
+    assert tt.pmos.u0 == pytest.approx(TECH_012UM.pmos.u0)
+
+
+def test_ss_corner_is_slower_than_ff():
+    ss = STANDARD_CORNERS["ss"].apply(TECH_012UM)
+    ff = STANDARD_CORNERS["ff"].apply(TECH_012UM)
+    assert ss.nmos.vth0 > ff.nmos.vth0
+    assert ss.nmos.u0 < ff.nmos.u0
+
+
+def test_corner_supply_scaling():
+    corner = Corner("lowv", supply_scale=0.9)
+    shifted = corner.apply(TECH_012UM)
+    assert shifted.vdd == pytest.approx(1.08)
+
+
+def test_corner_set_validation():
+    with pytest.raises(ValueError):
+        CornerSet([])
+    with pytest.raises(ValueError):
+        CornerSet([Corner("a"), Corner("a")])
+
+
+def test_apply_all_returns_every_corner():
+    technologies = STANDARD_CORNERS.apply_all(TECH_012UM)
+    assert set(technologies) == set(STANDARD_CORNERS.names)
+    assert all(isinstance(t, Technology) for t in technologies.values())
+
+
+# -- global variation -----------------------------------------------------------------------
+
+
+def test_variation_spec_delta_scaling():
+    absolute = VariationSpec("vth0", sigma=0.02)
+    relative = VariationSpec("u0", sigma=0.05, relative=True)
+    assert absolute.delta(0.33, 1.0) == pytest.approx(0.02)
+    assert relative.delta(0.03, -2.0) == pytest.approx(-0.003)
+
+
+def test_variation_spec_truncation():
+    spec = VariationSpec("vth0", sigma=0.01, truncation=3.0)
+    assert spec.delta(0.33, 10.0) == pytest.approx(0.03)
+    assert spec.delta(0.33, -10.0) == pytest.approx(-0.03)
+
+
+def test_variation_model_sample_structure():
+    model = GlobalVariationModel()
+    rng = np.random.default_rng(1)
+    deltas = model.sample_deltas(TECH_012UM, rng)
+    assert set(deltas) == {"nmos", "pmos"}
+    assert "vth0" in deltas["nmos"]
+    assert "tox" in deltas["pmos"]
+
+
+def test_variation_model_correlated_groups_share_draw():
+    model = GlobalVariationModel()
+    rng = np.random.default_rng(2)
+    deltas = model.sample_deltas(TECH_012UM, rng)
+    # tox is in a shared correlation group: relative shifts must be equal.
+    nmos_rel = deltas["nmos"]["tox"] / TECH_012UM.nmos.tox
+    pmos_rel = deltas["pmos"]["tox"] / TECH_012UM.pmos.tox
+    assert nmos_rel == pytest.approx(pmos_rel, rel=1e-9)
+
+
+def test_variation_model_statistics_match_specs():
+    model = GlobalVariationModel()
+    rng = np.random.default_rng(3)
+    draws = [model.sample_deltas(TECH_012UM, rng)["nmos"]["vth0"] for _ in range(3000)]
+    assert np.std(draws) == pytest.approx(0.015, rel=0.1)
+    assert np.mean(draws) == pytest.approx(0.0, abs=0.002)
+
+
+def test_variation_apply_sample_returns_new_technology():
+    model = GlobalVariationModel()
+    rng = np.random.default_rng(4)
+    shifted = model.apply_sample(TECH_012UM, rng)
+    assert shifted is not TECH_012UM
+    assert shifted.nmos.vth0 != TECH_012UM.nmos.vth0
+
+
+def test_variation_model_rejects_unknown_polarity():
+    with pytest.raises(ValueError):
+        GlobalVariationModel({"bjt": [VariationSpec("vth0", 0.01)]})
+
+
+def test_variation_sigma_summary():
+    summary = GlobalVariationModel().sigma_summary(TECH_012UM)
+    assert summary["nmos.vth0"] == pytest.approx(0.015)
+    assert summary["pmos.u0"] == pytest.approx(0.03 * TECH_012UM.pmos.u0)
+
+
+def test_n_random_variables_counts_groups_once():
+    model = GlobalVariationModel()
+    # 5 specs per polarity; tox and ld are shared correlation groups, so the
+    # 4 correlated specs collapse onto 2 group draws: 6 independent + 2 groups.
+    assert model.n_random_variables == 6 + 2
+
+
+# -- mismatch ---------------------------------------------------------------------------------
+
+
+def test_pelgrom_sigma_scales_with_inverse_sqrt_area():
+    model = MismatchModel()
+    small = model.sigma_vth(10e-6, 0.12e-6)
+    large = model.sigma_vth(40e-6, 0.48e-6)
+    assert small / large == pytest.approx(4.0, rel=1e-6)
+    assert model.sigma_beta(10e-6, 0.12e-6) > model.sigma_beta(20e-6, 0.24e-6)
+
+
+def test_mismatch_sample_has_entry_per_device():
+    model = MismatchModel()
+    devices = [
+        DeviceGeometry("m1", 10e-6, 0.12e-6),
+        DeviceGeometry("m2", 20e-6, 0.24e-6, "pmos"),
+    ]
+    sample = model.sample(devices, np.random.default_rng(5))
+    assert set(sample.devices()) == {"m1", "m2"}
+    assert set(sample.for_device("m1")) == {"vth0", "u0_rel"}
+    assert sample.for_device("unknown") == {}
+
+
+def test_mismatch_statistics_match_pelgrom_sigma():
+    model = MismatchModel()
+    device = DeviceGeometry("m1", 20e-6, 0.2e-6)
+    rng = np.random.default_rng(6)
+    draws = [model.sample([device], rng).for_device("m1")["vth0"] for _ in range(3000)]
+    assert np.std(draws) == pytest.approx(model.sigma_vth(20e-6, 0.2e-6), rel=0.1)
+
+
+def test_mismatch_larger_devices_match_better():
+    model = MismatchModel()
+    rng = np.random.default_rng(7)
+    small = DeviceGeometry("s", 10e-6, 0.12e-6)
+    big = DeviceGeometry("b", 100e-6, 1.0e-6)
+    small_draws = [abs(model.sample([small], rng).for_device("s")["vth0"]) for _ in range(500)]
+    big_draws = [abs(model.sample([big], rng).for_device("b")["vth0"]) for _ in range(500)]
+    assert np.mean(big_draws) < np.mean(small_draws)
+
+
+def test_mismatch_sigma_summary():
+    model = MismatchModel()
+    devices = [DeviceGeometry("m1", 10e-6, 0.12e-6)]
+    summary = model.sigma_summary(devices)
+    assert summary["m1"]["vth0"] == pytest.approx(model.sigma_vth(10e-6, 0.12e-6))
+
+
+def test_device_geometry_area():
+    geometry = DeviceGeometry("m1", 2e-6, 3e-6)
+    assert geometry.area == pytest.approx(6e-12)

@@ -1,0 +1,119 @@
+"""Tests for the circuit / netlist data model."""
+
+import pytest
+
+from repro.spice import Circuit, Resistor, VoltageSource, Capacitor
+from repro.spice.exceptions import NetlistError
+from repro.spice.netlist import GROUND, canonical_node
+
+
+def _divider():
+    circuit = Circuit("divider")
+    circuit.add(VoltageSource("v1", "in", "0", 1.0))
+    circuit.add(Resistor("r1", "in", "mid", 1e3))
+    circuit.add(Resistor("r2", "mid", "0", 1e3))
+    return circuit
+
+
+def test_canonical_node_ground_aliases():
+    assert canonical_node("0") == GROUND
+    assert canonical_node("gnd") == GROUND
+    assert canonical_node("GND") == GROUND
+    assert canonical_node("ground") == GROUND
+    assert canonical_node("out") == "out"
+
+
+def test_canonical_node_empty_raises():
+    with pytest.raises(NetlistError):
+        canonical_node("  ")
+
+
+def test_add_and_lookup_elements():
+    circuit = _divider()
+    assert len(circuit) == 3
+    assert "r1" in circuit
+    assert "R1" in circuit  # case-insensitive
+    assert circuit.element("R2").resistance == 1e3
+    assert len(circuit.elements_of_type(Resistor)) == 2
+
+
+def test_duplicate_element_name_raises():
+    circuit = _divider()
+    with pytest.raises(NetlistError):
+        circuit.add(Resistor("r1", "a", "0", 10.0))
+
+
+def test_unknown_element_lookup_raises():
+    with pytest.raises(NetlistError):
+        _divider().element("rx")
+
+
+def test_remove_element():
+    circuit = _divider()
+    circuit.remove("r2")
+    assert len(circuit) == 2
+    with pytest.raises(NetlistError):
+        circuit.remove("r2")
+
+
+def test_nodes_exclude_ground_and_preserve_order():
+    circuit = _divider()
+    assert circuit.nodes == ["in", "mid"]
+    assert circuit.n_nodes == 2
+
+
+def test_node_index_mapping():
+    index = _divider().node_index()
+    assert index == {"in": 0, "mid": 1}
+
+
+def test_branch_counting():
+    circuit = _divider()
+    assert circuit.n_branches == 1  # only the voltage source
+    assert circuit.n_unknowns == 3
+    assert circuit.branch_index() == {"v1": 2}
+
+
+def test_validate_accepts_good_circuit():
+    _divider().validate()
+
+
+def test_validate_empty_circuit_raises():
+    with pytest.raises(NetlistError):
+        Circuit().validate()
+
+
+def test_validate_missing_ground_raises():
+    circuit = Circuit()
+    circuit.add(Resistor("r1", "a", "b", 1.0))
+    with pytest.raises(NetlistError):
+        circuit.validate()
+
+
+def test_validate_floating_node_raises():
+    circuit = Circuit()
+    circuit.add(VoltageSource("v1", "in", "0", 1.0))
+    circuit.add(Resistor("r1", "in", "dangling", 1.0))
+    with pytest.raises(NetlistError) as excinfo:
+        circuit.validate()
+    assert "dangling" in str(excinfo.value)
+
+
+def test_copy_shares_elements_but_not_container():
+    circuit = _divider()
+    duplicate = circuit.copy("copy")
+    duplicate.add(Capacitor("c1", "mid", "0", 1e-12))
+    assert len(circuit) == 3
+    assert len(duplicate) == 4
+    assert duplicate.title == "copy"
+
+
+def test_summary_lists_elements():
+    text = _divider().summary()
+    assert "divider" in text
+    assert "r1 in mid" in text
+
+
+def test_element_requires_name_and_nodes():
+    with pytest.raises(NetlistError):
+        Resistor("", "a", "b", 1.0)

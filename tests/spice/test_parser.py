@@ -1,0 +1,244 @@
+"""Tests for the SPICE-like netlist parser."""
+
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Diode,
+    Inductor,
+    MOSFET,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    CurrentSource,
+    dc_operating_point,
+    parse_netlist,
+)
+from repro.spice.elements import PulseWaveform, PWLWaveform, SineWaveform
+from repro.spice.exceptions import NetlistError
+from repro.spice.parser import parse_value
+
+
+# -- numeric values -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "token, expected",
+    [
+        ("1", 1.0),
+        ("1.5", 1.5),
+        ("-3e-2", -0.03),
+        ("2k", 2e3),
+        ("4.7K", 4.7e3),
+        ("1meg", 1e6),
+        ("2MEG", 2e6),
+        ("10m", 10e-3),
+        ("5u", 5e-6),
+        ("3n", 3e-9),
+        ("2p", 2e-12),
+        ("1f", 1e-15),
+        ("1g", 1e9),
+        ("0.12u", 0.12e-6),
+    ],
+)
+def test_parse_value_suffixes(token, expected):
+    assert parse_value(token) == pytest.approx(expected)
+
+
+def test_parse_value_with_unit_text():
+    assert parse_value("5v") == pytest.approx(5.0)
+
+
+def test_parse_value_invalid_raises():
+    with pytest.raises(NetlistError):
+        parse_value("abc")
+
+
+# -- element cards ----------------------------------------------------------------------
+
+
+def test_parse_simple_divider():
+    netlist = """
+* resistive divider
+V1 in 0 1.2
+R1 in out 2k
+R2 out 0 1k
+.end
+"""
+    circuit = parse_netlist(netlist)
+    assert len(circuit) == 3
+    assert isinstance(circuit.element("V1"), VoltageSource)
+    assert circuit.element("R1").resistance == pytest.approx(2e3)
+    result = dc_operating_point(circuit)
+    assert result.voltage("out") == pytest.approx(0.4, rel=1e-6)
+
+
+def test_first_line_title_convention():
+    netlist = "A simple test circuit\nV1 a 0 1.0\nR1 a 0 1k\n"
+    circuit = parse_netlist(netlist)
+    assert circuit.title == "A simple test circuit"
+    assert len(circuit) == 2
+
+
+def test_continuation_lines_are_merged():
+    netlist = "V1 in 0\n+ PULSE(0 1 0 1n 1n 5n 10n)\nR1 in 0 1k\n"
+    circuit = parse_netlist(netlist)
+    source = circuit.element("V1")
+    assert isinstance(source.waveform, PulseWaveform)
+    assert source.waveform.v2 == 1.0
+
+
+def test_all_passive_elements():
+    netlist = """
+R1 a 0 1k
+C1 a 0 1p
+L1 a b 1n
+R2 b 0 1k
+V1 a 0 1.0
+"""
+    circuit = parse_netlist(netlist)
+    assert isinstance(circuit.element("C1"), Capacitor)
+    assert isinstance(circuit.element("L1"), Inductor)
+    assert circuit.element("C1").capacitance == pytest.approx(1e-12)
+    assert circuit.element("L1").inductance == pytest.approx(1e-9)
+
+
+def test_controlled_sources():
+    netlist = """
+V1 in 0 0.1
+R0 in 0 1meg
+E1 outv 0 in 0 10
+Rv outv 0 1k
+G1 outi 0 in 0 1m
+Ri outi 0 1k
+"""
+    circuit = parse_netlist(netlist)
+    assert isinstance(circuit.element("E1"), VCVS)
+    assert circuit.element("E1").gain == 10.0
+    assert isinstance(circuit.element("G1"), VCCS)
+    assert circuit.element("G1").transconductance == pytest.approx(1e-3)
+
+
+def test_diode_with_model():
+    netlist = """
+V1 in 0 1.0
+R1 in a 1k
+D1 a 0 dfast
+.model dfast d (is=1e-12 n=1.5)
+"""
+    circuit = parse_netlist(netlist)
+    diode = circuit.element("D1")
+    assert isinstance(diode, Diode)
+    assert diode.saturation_current == pytest.approx(1e-12)
+    assert diode.emission_coefficient == pytest.approx(1.5)
+
+
+def test_mosfet_with_default_models():
+    netlist = """
+VDD vdd 0 1.2
+VIN in 0 0.6
+MP1 out in vdd vdd pmos W=20u L=0.24u
+MN1 out in 0 0 nmos W=10u L=0.24u
+RL out 0 1meg
+"""
+    circuit = parse_netlist(netlist)
+    mp = circuit.element("MP1")
+    mn = circuit.element("MN1")
+    assert isinstance(mp, MOSFET)
+    assert mp.model.polarity == -1
+    assert mn.model.polarity == 1
+    assert mn.width == pytest.approx(10e-6)
+    assert mn.length == pytest.approx(0.24e-6)
+
+
+def test_mosfet_with_custom_model_card():
+    netlist = """
+VDD vdd 0 1.2
+M1 d g 0 0 mylow W=10u L=0.5u m=2
+VG g 0 1.0
+RD vdd d 1k
+.model mylow nmos (vto=0.45 u0=0.02)
+"""
+    circuit = parse_netlist(netlist)
+    device = circuit.element("M1")
+    assert device.model.vth0 == pytest.approx(0.45)
+    assert device.model.u0 == pytest.approx(0.02)
+    assert device.multiplier == 2
+
+
+def test_unknown_mosfet_model_raises():
+    with pytest.raises(NetlistError):
+        parse_netlist("M1 d g 0 0 nosuchmodel W=1u L=1u\nR1 d 0 1k\nV1 d 0 1\n")
+
+
+def test_current_source_and_sin_waveform():
+    netlist = """
+I1 0 out SIN(0 1m 1meg)
+R1 out 0 1k
+"""
+    circuit = parse_netlist(netlist)
+    source = circuit.element("I1")
+    assert isinstance(source, CurrentSource)
+    assert isinstance(source.waveform, SineWaveform)
+    assert source.waveform.frequency == pytest.approx(1e6)
+
+
+def test_pwl_waveform_source():
+    netlist = "V1 in 0 PWL(0 0 1n 1 2n 0.5)\nR1 in 0 1k\n"
+    source = parse_netlist(netlist).element("V1")
+    assert isinstance(source.waveform, PWLWaveform)
+    assert source.waveform.value(1e-9) == pytest.approx(1.0)
+
+
+def test_dc_keyword_source():
+    netlist = "V1 in 0 DC 0.75\nR1 in 0 1k\n"
+    source = parse_netlist(netlist).element("V1")
+    assert source.waveform.dc == pytest.approx(0.75)
+
+
+def test_comments_and_inline_comments_ignored():
+    netlist = """
+* full-line comment
+V1 in 0 1.0  ; inline comment
+R1 in 0 1k
+"""
+    assert len(parse_netlist(netlist)) == 2
+
+
+def test_dot_cards_other_than_model_ignored():
+    netlist = "V1 in 0 1.0\nR1 in 0 1k\n.tran 1n 100n\n.op\n.end\n"
+    assert len(parse_netlist(netlist)) == 2
+
+
+def test_unsupported_element_raises():
+    with pytest.raises(NetlistError):
+        parse_netlist("* comment\nV1 a 0 1\nX1 a b subckt\nR1 a 0 1k\n")
+
+
+def test_empty_netlist_raises():
+    with pytest.raises(NetlistError):
+        parse_netlist("* nothing here\n")
+
+
+def test_malformed_model_raises():
+    with pytest.raises(NetlistError):
+        parse_netlist("R1 a 0 1k\n.model broken\n")
+
+
+def test_unsupported_model_type_raises():
+    with pytest.raises(NetlistError):
+        parse_netlist("R1 a 0 1k\n.model x npn (bf=100)\n")
+
+
+def test_parsed_cmos_inverter_simulates():
+    netlist = """
+VDD vdd 0 1.2
+VIN in 0 0.0
+MP1 out in vdd vdd pmos W=20u L=0.24u
+MN1 out in 0 0 nmos W=10u L=0.24u
+RL out 0 1meg
+"""
+    circuit = parse_netlist(netlist)
+    result = dc_operating_point(circuit)
+    assert result.voltage("out") > 1.1

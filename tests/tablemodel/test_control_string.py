@@ -1,0 +1,109 @@
+"""Tests for the Verilog-A control-string parser."""
+
+import pytest
+
+from repro.tablemodel.control_string import (
+    ControlSpec,
+    ControlStringError,
+    ExtrapolationMode,
+    InterpolationMethod,
+    format_control_string,
+    parse_control_string,
+)
+
+
+def test_default_is_cubic_clamped():
+    specs = parse_control_string(None, dimensions=1)
+    assert specs == [ControlSpec(InterpolationMethod.CUBIC, ExtrapolationMode.CLAMP)]
+
+
+def test_empty_string_is_default():
+    specs = parse_control_string("   ", dimensions=2)
+    assert len(specs) == 2
+    assert all(spec.method is InterpolationMethod.CUBIC for spec in specs)
+
+
+def test_paper_control_string_3e():
+    spec = parse_control_string("3E", dimensions=1)[0]
+    assert spec.method is InterpolationMethod.CUBIC
+    assert spec.extrapolation is ExtrapolationMode.CLAMP
+
+
+@pytest.mark.parametrize(
+    "token, method",
+    [
+        ("1E", InterpolationMethod.LINEAR),
+        ("2E", InterpolationMethod.QUADRATIC),
+        ("3E", InterpolationMethod.CUBIC),
+    ],
+)
+def test_degree_characters(token, method):
+    assert parse_control_string(token)[0].method is method
+
+
+@pytest.mark.parametrize(
+    "token, mode",
+    [
+        ("3C", ExtrapolationMode.CLAMP),
+        ("3E", ExtrapolationMode.CLAMP),
+        ("3L", ExtrapolationMode.LINEAR),
+        ("3X", ExtrapolationMode.SPLINE),
+    ],
+)
+def test_flag_characters(token, mode):
+    assert parse_control_string(token)[0].extrapolation is mode
+
+
+def test_lower_case_is_accepted():
+    spec = parse_control_string("3e")[0]
+    assert spec.extrapolation is ExtrapolationMode.CLAMP
+
+
+def test_multi_dimensional_string():
+    specs = parse_control_string("3E,1L,2E", dimensions=3)
+    assert [s.method for s in specs] == [
+        InterpolationMethod.CUBIC,
+        InterpolationMethod.LINEAR,
+        InterpolationMethod.QUADRATIC,
+    ]
+
+
+def test_single_token_broadcasts_to_all_dimensions():
+    specs = parse_control_string("3E", dimensions=5)
+    assert len(specs) == 5
+    assert all(s == specs[0] for s in specs)
+
+
+def test_dimension_mismatch_raises():
+    with pytest.raises(ControlStringError):
+        parse_control_string("3E,3E", dimensions=3)
+
+
+def test_unknown_character_raises():
+    with pytest.raises(ControlStringError):
+        parse_control_string("3Q")
+
+
+def test_duplicate_degree_raises():
+    with pytest.raises(ControlStringError):
+        parse_control_string("33")
+
+
+def test_duplicate_flag_raises():
+    with pytest.raises(ControlStringError):
+        parse_control_string("3EE")
+
+
+def test_zero_dimensions_raises():
+    with pytest.raises(ControlStringError):
+        parse_control_string("3E", dimensions=0)
+
+
+def test_round_trip_formatting():
+    specs = parse_control_string("3E,1L,2X", dimensions=3)
+    assert format_control_string(specs) == "3E,1L,2X"
+
+
+def test_spec_to_string():
+    spec = ControlSpec(InterpolationMethod.LINEAR, ExtrapolationMode.LINEAR)
+    assert spec.to_string() == "1L"

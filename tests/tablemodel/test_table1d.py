@@ -1,0 +1,95 @@
+"""Tests for the one-dimensional table model."""
+
+import numpy as np
+import pytest
+
+from repro.tablemodel import Table1D, table_model, write_tbl
+from repro.tablemodel.control_string import ExtrapolationMode, InterpolationMethod
+
+
+def test_table_model_evaluates_samples_exactly():
+    table = table_model([0.0, 1.0, 2.0], [0.0, 1.0, 4.0], "3E")
+    assert table(1.0) == pytest.approx(1.0)
+    assert table(2.0) == pytest.approx(4.0)
+
+
+def test_table_model_interpolates_smoothly():
+    xs = np.linspace(0.0, 2.0, 9)
+    table = table_model(xs, xs**2, "3E")
+    assert table(1.5) == pytest.approx(2.25, abs=0.01)
+
+
+def test_control_string_selects_method():
+    table = table_model([0.0, 1.0, 2.0], [0.0, 1.0, 0.0], "1E")
+    assert table.method is InterpolationMethod.LINEAR
+    assert table(0.5) == pytest.approx(0.5)
+
+
+def test_no_extrapolation_clamps_like_the_paper():
+    # "no extrapolation method is used, in order to avoid approximation of
+    # the data beyond the sampled data points" (section 3.4)
+    table = table_model([1.0, 2.0, 3.0], [10.0, 20.0, 30.0], "3E")
+    assert table.extrapolation is ExtrapolationMode.CLAMP
+    assert table(0.0) == pytest.approx(10.0)
+    assert table(100.0) == pytest.approx(30.0)
+
+
+def test_table_from_file(tmp_path):
+    path = tmp_path / "data.tbl"
+    write_tbl(path, np.column_stack([[0.0, 1.0, 2.0], [5.0, 6.0, 9.0]]))
+    table = Table1D.from_tbl(path, "3E")
+    assert table.n_samples == 3
+    assert table(1.0) == pytest.approx(6.0)
+
+
+def test_table_model_file_call_form(tmp_path):
+    path = tmp_path / "kvco_delta.tbl"
+    write_tbl(path, np.column_stack([[1e9, 2e9], [0.5, 0.3]]))
+    table = table_model(str(path), control="3E")
+    assert table(1.5e9) == pytest.approx(0.4, abs=0.05)
+
+
+def test_table_model_file_with_samples_raises(tmp_path):
+    path = tmp_path / "data.tbl"
+    write_tbl(path, [[0.0, 1.0]])
+    with pytest.raises(TypeError):
+        table_model(str(path), [1.0, 2.0])
+
+
+def test_table_model_missing_y_raises():
+    with pytest.raises(TypeError):
+        table_model([1.0, 2.0])
+
+
+def test_from_tbl_bad_columns(tmp_path):
+    path = tmp_path / "one_column.tbl"
+    write_tbl(path, [[1.0], [2.0]])
+    with pytest.raises(ValueError):
+        Table1D.from_tbl(path)
+
+
+def test_table_properties():
+    table = Table1D([3.0, 1.0, 2.0], [9.0, 1.0, 4.0], name="squares")
+    assert table.domain == (1.0, 3.0)
+    assert table.n_samples == 3
+    assert list(table.x) == [1.0, 2.0, 3.0]
+    assert table.name == "squares"
+
+
+def test_derivative_is_positive_for_increasing_data():
+    table = Table1D([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0])
+    assert table.derivative(1.5) > 0.0
+
+
+def test_max_interpolation_error_metric():
+    xs = np.linspace(0.0, np.pi, 5)
+    table_coarse = Table1D(xs, np.sin(xs), "1E")
+    error = table_coarse.max_interpolation_error(np.sin)
+    assert 0.0 < error < 0.2
+
+
+def test_cubic_beats_linear_on_error_metric():
+    xs = np.linspace(0.0, np.pi, 6)
+    linear = Table1D(xs, np.sin(xs), "1E")
+    cubic = Table1D(xs, np.sin(xs), "3E")
+    assert cubic.max_interpolation_error(np.sin) < linear.max_interpolation_error(np.sin)

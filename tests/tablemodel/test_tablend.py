@@ -1,0 +1,152 @@
+"""Tests for the N-dimensional table model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tablemodel import TableND, write_tbl
+
+
+def _grid_points(nx=4, ny=3):
+    xs = np.linspace(0.0, 3.0, nx)
+    ys = np.linspace(0.0, 2.0, ny)
+    grid_x, grid_y = np.meshgrid(xs, ys, indexing="ij")
+    points = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+    values = points[:, 0] * 2.0 + points[:, 1] * 3.0
+    return points, values
+
+
+def test_grid_detection():
+    points, values = _grid_points()
+    table = TableND(points, values)
+    assert table.is_grid
+    assert table.n_dims == 2
+    assert table.n_samples == 12
+
+
+def test_grid_interpolation_recovers_linear_function():
+    points, values = _grid_points()
+    table = TableND(points, values, control="1E")
+    assert table(1.5, 1.0) == pytest.approx(1.5 * 2.0 + 3.0, abs=1e-9)
+    assert table(0.5, 0.5) == pytest.approx(2.5, abs=1e-9)
+
+
+def test_scattered_mode_for_non_grid_samples():
+    rng = np.random.default_rng(1)
+    points = rng.uniform(0.0, 1.0, size=(20, 2))
+    values = points[:, 0] + points[:, 1]
+    table = TableND(points, values)
+    assert not table.is_grid
+
+
+def test_scattered_interpolation_exact_at_samples():
+    rng = np.random.default_rng(2)
+    points = rng.uniform(0.0, 1.0, size=(15, 3))
+    values = rng.uniform(-5.0, 5.0, size=15)
+    table = TableND(points, values)
+    for point, value in zip(points, values):
+        assert table(point) == pytest.approx(value, rel=1e-6, abs=1e-9)
+
+
+def test_scattered_interpolation_bounded_by_sample_values():
+    rng = np.random.default_rng(3)
+    points = rng.uniform(0.0, 1.0, size=(25, 2))
+    values = rng.uniform(2.0, 7.0, size=25)
+    table = TableND(points, values)
+    queries = rng.uniform(0.0, 1.0, size=(40, 2))
+    results = table(queries)
+    assert np.all(results >= values.min() - 1e-9)
+    assert np.all(results <= values.max() + 1e-9)
+
+
+def test_clamping_outside_bounding_box():
+    points, values = _grid_points()
+    table = TableND(points, values, control="1E")
+    inside = table(3.0, 2.0)
+    outside = table(100.0, 100.0)
+    assert outside == pytest.approx(inside)
+
+
+def test_positional_call_matches_array_call():
+    points, values = _grid_points()
+    table = TableND(points, values, control="1E")
+    assert table(1.0, 1.5) == pytest.approx(float(table(np.array([1.0, 1.5]))))
+
+
+def test_vectorised_queries():
+    points, values = _grid_points()
+    table = TableND(points, values, control="1E")
+    queries = np.array([[0.0, 0.0], [1.0, 1.0], [3.0, 2.0]])
+    results = table(queries)
+    assert results.shape == (3,)
+    assert results[0] == pytest.approx(0.0)
+
+
+def test_one_dimensional_table():
+    table = TableND(np.array([[0.0], [1.0], [2.0]]), [0.0, 1.0, 4.0])
+    assert table.n_dims == 1
+    assert table(1.0) == pytest.approx(1.0)
+
+
+def test_from_tbl(tmp_path):
+    path = tmp_path / "p1_data.tbl"
+    points, values = _grid_points(3, 3)
+    write_tbl(path, np.column_stack([points, values]))
+    table = TableND.from_tbl(path, control="1E")
+    assert table.n_dims == 2
+    assert table(0.0, 0.0) == pytest.approx(0.0)
+
+
+def test_from_tbl_too_few_columns(tmp_path):
+    path = tmp_path / "bad.tbl"
+    write_tbl(path, [[1.0], [2.0]])
+    with pytest.raises(ValueError):
+        TableND.from_tbl(path)
+
+
+def test_wrong_coordinate_count_raises():
+    points, values = _grid_points()
+    table = TableND(points, values)
+    with pytest.raises(ValueError):
+        table(1.0)
+    with pytest.raises(ValueError):
+        table(1.0, 2.0, 3.0)
+
+
+def test_mismatched_values_length_raises():
+    with pytest.raises(ValueError):
+        TableND(np.zeros((3, 2)), [1.0, 2.0])
+
+
+def test_empty_samples_raise():
+    with pytest.raises(ValueError):
+        TableND(np.empty((0, 2)), [])
+
+
+def test_non_finite_values_raise():
+    with pytest.raises(ValueError):
+        TableND([[0.0, 0.0], [1.0, np.inf]], [1.0, 2.0])
+
+
+def test_bounds_property():
+    points, values = _grid_points()
+    table = TableND(points, values)
+    lo, hi = table.bounds
+    assert np.allclose(lo, [0.0, 0.0])
+    assert np.allclose(hi, [3.0, 2.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=4, max_value=20), st.integers(min_value=0, max_value=10_000))
+def test_property_scattered_exactness_and_bounds(n_points, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(-1.0, 1.0, size=(n_points, 2))
+    values = rng.uniform(-10.0, 10.0, size=n_points)
+    table = TableND(points, values)
+    # Exact at a random sample.
+    index = int(rng.integers(0, n_points))
+    assert table(points[index]) == pytest.approx(values[index], rel=1e-6, abs=1e-6)
+    # Bounded at a random interior query.
+    query = rng.uniform(-1.0, 1.0, size=2)
+    assert values.min() - 1e-9 <= table(query) <= values.max() + 1e-9

@@ -1,0 +1,89 @@
+"""Tests for ``.tbl`` data-file reading and writing."""
+
+import numpy as np
+import pytest
+
+from repro.tablemodel import read_tbl, write_tbl
+from repro.tablemodel.tblfile import TblFormatError, read_tbl_with_header
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "data.tbl"
+    data = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+    write_tbl(path, data, header="example data")
+    loaded = read_tbl(path)
+    assert np.allclose(loaded, data)
+
+
+def test_round_trip_preserves_precision(tmp_path):
+    path = tmp_path / "precise.tbl"
+    data = np.array([[1.234567891e-12, 9.87654321e9]])
+    write_tbl(path, data)
+    loaded = read_tbl(path)
+    assert np.allclose(loaded, data, rtol=1e-8)
+
+
+def test_header_round_trip(tmp_path):
+    path = tmp_path / "data.tbl"
+    write_tbl(path, [[1.0, 2.0]], header=["line one", "line two"])
+    comments, data = read_tbl_with_header(path)
+    assert comments == ["line one", "line two"]
+    assert data.shape == (1, 2)
+
+
+def test_one_dimensional_data_becomes_single_column(tmp_path):
+    path = tmp_path / "col.tbl"
+    write_tbl(path, [1.0, 2.0, 3.0])
+    loaded = read_tbl(path)
+    assert loaded.shape == (3, 1)
+
+
+def test_comment_styles_are_skipped(tmp_path):
+    path = tmp_path / "mixed.tbl"
+    path.write_text("# hash comment\n* star comment\n// slash comment\n1.0 2.0\n3.0 4.0\n")
+    data = read_tbl(path)
+    assert data.shape == (2, 2)
+
+
+def test_blank_lines_are_skipped(tmp_path):
+    path = tmp_path / "blank.tbl"
+    path.write_text("1.0 2.0\n\n\n3.0 4.0\n")
+    assert read_tbl(path).shape == (2, 2)
+
+
+def test_commas_are_accepted_as_separators(tmp_path):
+    path = tmp_path / "csv.tbl"
+    path.write_text("1.0, 2.0\n3.0, 4.0\n")
+    data = read_tbl(path)
+    assert data[1, 1] == pytest.approx(4.0)
+
+
+def test_inconsistent_column_count_raises(tmp_path):
+    path = tmp_path / "ragged.tbl"
+    path.write_text("1.0 2.0\n3.0\n")
+    with pytest.raises(TblFormatError):
+        read_tbl(path)
+
+
+def test_non_numeric_value_raises(tmp_path):
+    path = tmp_path / "text.tbl"
+    path.write_text("1.0 banana\n")
+    with pytest.raises(TblFormatError):
+        read_tbl(path)
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.tbl"
+    path.write_text("# only a comment\n")
+    with pytest.raises(TblFormatError):
+        read_tbl(path)
+
+
+def test_write_empty_data_raises(tmp_path):
+    with pytest.raises(TblFormatError):
+        write_tbl(tmp_path / "x.tbl", np.empty((0, 2)))
+
+
+def test_write_3d_data_raises(tmp_path):
+    with pytest.raises(TblFormatError):
+        write_tbl(tmp_path / "x.tbl", np.zeros((2, 2, 2)))
