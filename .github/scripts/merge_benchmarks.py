@@ -1,0 +1,44 @@
+"""Merge per-file pytest-benchmark JSON reports into one BENCH_ci.json.
+
+Usage: ``python merge_benchmarks.py <input-directory> <output-file>``
+
+The CI bench-smoke job runs every ``benchmarks/bench_*.py`` separately
+(so one failure cannot mask the others) and each run writes its own
+pytest-benchmark report.  This script concatenates their ``benchmarks``
+entries -- tagging each with its source file -- and keeps one copy of the
+machine/commit metadata, producing the single ``BENCH_ci.json`` artifact
+described in the README.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def merge(input_directory: str, output_file: str) -> dict:
+    merged: dict = {"machine_info": None, "commit_info": None, "benchmarks": []}
+    reports = sorted(Path(input_directory).glob("*.json"))
+    if not reports:
+        raise SystemExit(f"no benchmark reports found in {input_directory!r}")
+    for report_path in reports:
+        report = json.loads(report_path.read_text())
+        if merged["machine_info"] is None:
+            merged["machine_info"] = report.get("machine_info")
+            merged["commit_info"] = report.get("commit_info")
+        for entry in report.get("benchmarks", []):
+            entry["source_file"] = report_path.stem
+            merged["benchmarks"].append(entry)
+    Path(output_file).write_text(json.dumps(merged, indent=2))
+    return merged
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    result = merge(sys.argv[1], sys.argv[2])
+    print(
+        f"merged {len(result['benchmarks'])} benchmark entr(y/ies) "
+        f"into {sys.argv[2]}"
+    )

@@ -10,7 +10,6 @@ times the evaluation kernel that dominates the optimisation cost.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_header
 from repro.circuits import VcoDesign

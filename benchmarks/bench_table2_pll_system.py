@@ -33,7 +33,8 @@ def test_table2_rows(benchmark, system_stage, combined_model, settings):
     )
     for row in rows:
         print(
-            f"{row['kv_mhz_per_v']:8.0f} {row['kv_min_mhz_per_v']:8.0f} {row['kv_max_mhz_per_v']:8.0f} "
+            f"{row['kv_mhz_per_v']:8.0f} {row['kv_min_mhz_per_v']:8.0f} "
+            f"{row['kv_max_mhz_per_v']:8.0f} "
             f"{row['iv_ma']:6.2f} {row['iv_min_ma']:6.2f} {row['iv_max_ma']:6.2f} "
             f"{row['c1_pf']:7.2f} {row['c2_pf']:7.2f} {row['r1_kohm']:6.2f} "
             f"{row['lock_time_us']:7.3f} {row['jitter_ps']:8.3f} "

@@ -32,7 +32,10 @@ def test_yield_of_selected_design(benchmark, system_stage, combined_model, evalu
         f"Yield verification of the selected design ({report.n_samples} MC samples; "
         "paper: 500 samples, 100% yield)"
     )
-    print(f"selected Kvco = {selected['kvco'] / 1e6:.0f} MHz/V, Ivco = {selected['ivco'] * 1e3:.2f} mA")
+    print(
+        f"selected Kvco = {selected['kvco'] / 1e6:.0f} MHz/V, "
+        f"Ivco = {selected['ivco'] * 1e3:.2f} mA"
+    )
     sizes = report.vco_design.as_dict()
     print("realised transistor sizes (um):")
     for name, value in sizes.items():
@@ -51,7 +54,9 @@ def test_yield_of_selected_design(benchmark, system_stage, combined_model, evalu
     assert report.yield_percent >= 90.0
 
 
-def test_yield_sensitivity_to_specification_tightening(benchmark, system_stage, combined_model, evaluator):
+def test_yield_sensitivity_to_specification_tightening(
+    benchmark, system_stage, combined_model, evaluator
+):
     """Companion experiment: tightening the current spec reduces the yield.
 
     This checks that the yield machinery actually discriminates -- with an

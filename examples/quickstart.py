@@ -50,7 +50,10 @@ def main() -> None:
         print(f"  {name:8s}: {value:.4g}")
 
     if report.yield_report is not None:
-        print(f"\nMonte Carlo yield of the selected design: {report.yield_report.yield_percent:.1f} %")
+        print(
+            f"\nMonte Carlo yield of the selected design: "
+            f"{report.yield_report.yield_percent:.1f} %"
+        )
         print("Realised VCO transistor sizes (um):")
         for name, value in report.yield_report.vco_design.as_dict().items():
             print(f"  {name:18s}: {value * 1e6:.3f}")

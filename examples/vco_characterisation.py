@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.circuits import (
     RingVcoAnalyticalEvaluator,
@@ -71,7 +70,11 @@ def main() -> None:
     analytical_perf = RingVcoAnalyticalEvaluator(TECH_012UM).evaluate(design)
     print(f"{'performance':>12} {'transistor level':>18} {'analytical model':>18}")
     rows = [
-        ("Kvco", f"{spice_perf.kvco_mhz_per_v:.0f} MHz/V", f"{analytical_perf.kvco_mhz_per_v:.0f} MHz/V"),
+        (
+            "Kvco",
+            f"{spice_perf.kvco_mhz_per_v:.0f} MHz/V",
+            f"{analytical_perf.kvco_mhz_per_v:.0f} MHz/V",
+        ),
         ("jitter", f"{spice_perf.jitter_ps:.3f} ps", f"{analytical_perf.jitter_ps:.3f} ps"),
         ("current", f"{spice_perf.current_ma:.2f} mA", f"{analytical_perf.current_ma:.2f} mA"),
         ("fmin", f"{spice_perf.fmin_ghz:.3f} GHz", f"{analytical_perf.fmin_ghz:.3f} GHz"),

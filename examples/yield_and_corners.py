@@ -30,7 +30,10 @@ from repro.process import (
 def corner_analysis(design: VcoDesign) -> None:
     """Evaluate the VCO at every standard process corner."""
     print("Corner analysis of the VCO design:")
-    print(f"{'corner':>8} {'Kvco [MHz/V]':>13} {'Jvco [ps]':>10} {'Ivco [mA]':>10} {'fmax [GHz]':>11}")
+    print(
+        f"{'corner':>8} {'Kvco [MHz/V]':>13} {'Jvco [ps]':>10} "
+        f"{'Ivco [mA]':>10} {'fmax [GHz]':>11}"
+    )
     for corner in STANDARD_CORNERS:
         technology = corner.apply(TECH_012UM)
         performance = RingVcoAnalyticalEvaluator(technology).evaluate(design, technology=technology)

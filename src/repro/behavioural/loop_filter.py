@@ -14,7 +14,7 @@ provided.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["LoopFilterState", "LoopFilter"]
 

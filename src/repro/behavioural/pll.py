@@ -21,7 +21,7 @@ variation model propagates block-level spread to the system performances
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

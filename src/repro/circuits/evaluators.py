@@ -26,18 +26,27 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.circuits.performance import VcoPerformance
-from repro.circuits.ring_vco import N_STAGES, VcoDesign, vco_device_geometries
+from repro.circuits.ring_vco import N_STAGES, VcoDesign
 from repro.circuits.testbench import VcoTestbench
 from repro.process.mismatch import MismatchSample
 from repro.process.technology import TECH_012UM, Technology
-from repro.spice.mosfet import MOSFET
+from repro.spice.mosfet import _ELECTRON_CHARGE, _EPS_OX, MOSFET
 
 __all__ = ["VcoEvaluator", "RingVcoAnalyticalEvaluator", "RingVcoSpiceEvaluator"]
 
 _BOLTZMANN = 1.380649e-23
+
+#: Batch adapter signature used by ``MonteCarloEngine.run_batch``: lists of
+#: per-sample technologies and mismatch samples in, one performance
+#: dictionary per sample out.
+BatchMonteCarloEvaluator = Callable[
+    [Sequence[Technology], Sequence[MismatchSample]], List[Dict[str, float]]
+]
 
 
 class VcoEvaluator:
@@ -54,6 +63,30 @@ class VcoEvaluator:
         """Evaluate the five performances of one design point."""
         raise NotImplementedError
 
+    def evaluate_batch(
+        self,
+        designs: Sequence[VcoDesign],
+        technology: Optional[Technology] = None,
+        technologies: Optional[Sequence[Technology]] = None,
+        mismatches: Optional[Sequence[MismatchSample]] = None,
+    ) -> List[VcoPerformance]:
+        """Evaluate many (design, technology, mismatch) combinations at once.
+
+        Length-1 inputs broadcast against the longest input, covering both
+        batch shapes the flow needs: N designs under one technology (the
+        NSGA-II population) and one design under N sampled technologies /
+        mismatch draws (the Monte Carlo analysis).  The base implementation
+        loops :meth:`evaluate`; the analytical evaluator overrides it with
+        numpy array math.
+        """
+        designs, technologies, mismatches = _broadcast_batch(
+            designs, technology or self.technology, technologies, mismatches
+        )
+        return [
+            self.evaluate(design, technology=tech, mismatch=mismatch)
+            for design, tech, mismatch in zip(designs, technologies, mismatches)
+        ]
+
     def monte_carlo_evaluator(
         self, design: VcoDesign
     ) -> Callable[[Technology, MismatchSample], Dict[str, float]]:
@@ -63,6 +96,209 @@ class VcoEvaluator:
             return self.evaluate(design, technology=technology, mismatch=mismatch).as_dict()
 
         return _evaluate
+
+    def monte_carlo_batch_evaluator(self, design: VcoDesign) -> BatchMonteCarloEvaluator:
+        """Batch adapter for ``MonteCarloEngine.run_batch``."""
+
+        def _evaluate(
+            technologies: Sequence[Technology], mismatches: Sequence[MismatchSample]
+        ) -> List[Dict[str, float]]:
+            performances = self.evaluate_batch(
+                [design], technologies=technologies, mismatches=mismatches
+            )
+            return [performance.as_dict() for performance in performances]
+
+        return _evaluate
+
+
+def _broadcast_batch(designs, technology, technologies, mismatches):
+    """Broadcast length-1 batch inputs against the longest one."""
+    designs = list(designs)
+    technologies = list(technologies) if technologies is not None else [technology]
+    mismatches = list(mismatches) if mismatches is not None else [None]
+    n = max(len(designs), len(technologies), len(mismatches))
+    for name, items in (
+        ("designs", designs),
+        ("technologies", technologies),
+        ("mismatches", mismatches),
+    ):
+        if len(items) not in (1, n):
+            raise ValueError(
+                f"batch input {name!r} has length {len(items)}, expected 1 or {n}"
+            )
+    if len(designs) == 1:
+        designs = designs * n
+    if len(technologies) == 1:
+        technologies = technologies * n
+    if len(mismatches) == 1:
+        mismatches = mismatches * n
+    return designs, technologies, mismatches
+
+
+def _softplus_overdrive(vov: np.ndarray, n_vt: np.ndarray) -> np.ndarray:
+    """Elementwise smoothed overdrive, bit-identical to the scalar model.
+
+    This is the softplus transition of :meth:`MOSFET._channel_current`.
+    It deliberately calls ``math.exp`` / ``math.log1p`` per element instead
+    of the numpy ufuncs: numpy's SIMD transcendentals can differ from libm
+    by an ulp, which is enough to push a seeded NSGA-II run onto a
+    different trajectory.  Everything around this helper is IEEE-exact
+    array arithmetic, so the per-element loop here is what buys exact
+    serial/vectorised equivalence.
+    """
+    vov_b, nvt_b = np.broadcast_arrays(np.asarray(vov, float), np.asarray(n_vt, float))
+    out = np.empty(vov_b.shape, dtype=float)
+    flat = out.ravel()
+    for index, (v, nvt) in enumerate(zip(vov_b.ravel().tolist(), nvt_b.ravel().tolist())):
+        ratio = v / nvt
+        if ratio > 40.0:
+            flat[index] = v
+        elif ratio < -40.0:
+            flat[index] = nvt * math.exp(ratio)
+        else:
+            flat[index] = nvt * math.log1p(math.exp(ratio))
+    return out
+
+
+@dataclass
+class _DeviceArrays:
+    """Model-card and geometry parameters of one device type, as arrays.
+
+    Every field mirrors an attribute consumed by the scalar
+    :meth:`MOSFET._channel_current`; values are either scalars or length-N
+    arrays (N = batch size), so the same expressions evaluate the whole
+    batch at once.
+    """
+
+    polarity: int
+    width: np.ndarray
+    length: np.ndarray
+    vth0: np.ndarray
+    u0: np.ndarray
+    tox: np.ndarray
+    lambda_: np.ndarray
+    gamma: np.ndarray
+    phi: np.ndarray
+    n_sub: np.ndarray
+    e_crit: np.ndarray
+    ld: np.ndarray
+    temperature: np.ndarray
+
+    def channel_current(self, vgs: float, vds: float, vbs: float) -> np.ndarray:
+        """Vectorised transcription of :meth:`MOSFET._channel_current`.
+
+        The expressions below keep the scalar code's operation order so
+        results stay bit-identical (IEEE arithmetic is deterministic for a
+        fixed evaluation order).
+        """
+        effective_length = np.maximum(self.length - 2.0 * self.ld, 1.0e-9)
+        cox = _EPS_OX / self.tox
+        kp = self.u0 * cox
+        beta = kp * self.width / effective_length
+        phi_minus_vbs = np.maximum(self.phi - vbs, 1e-6)
+        vth = self.vth0 + self.gamma * (np.sqrt(phi_minus_vbs) - np.sqrt(self.phi))
+        vov = vgs - vth
+        thermal_voltage = _BOLTZMANN * self.temperature / _ELECTRON_CHARGE
+        n_vt = self.n_sub * thermal_voltage
+        vov_eff = _softplus_overdrive(vov, n_vt)
+        theta = 1.0 / (self.e_crit * effective_length)
+        vov_eff = vov_eff / (1.0 + theta * vov_eff)
+        vdsat = np.maximum(vov_eff, 1e-9)
+        clm = 1.0 + self.lambda_ * vds
+        triode = beta * (vov_eff * vds - 0.5 * vds * vds) * clm
+        saturation = 0.5 * beta * vov_eff * vov_eff * clm
+        ids = np.where(vds < vdsat, triode, saturation)
+        return np.maximum(ids, 0.0)
+
+    def drain_current(self, vd: float, vg: float, vs: float, vb: float) -> np.ndarray:
+        """Vectorised transcription of :meth:`MOSFET.drain_current`.
+
+        Bias voltages are scalars in every call site, so the source/drain
+        swap resolves to one branch for the whole batch.
+        """
+        p = self.polarity
+        nvd, nvg, nvs, nvb = p * vd, p * vg, p * vs, p * vb
+        if nvd >= nvs:
+            ids = self.channel_current(nvg - nvs, nvd - nvs, nvb - nvs)
+            return p * ids
+        ids = self.channel_current(nvg - nvd, nvs - nvd, nvb - nvd)
+        return -p * ids
+
+
+#: Model-card attributes consumed by the vectorised kernel.
+_CARD_ATTRIBUTES = (
+    "vth0",
+    "u0",
+    "tox",
+    "lambda_",
+    "gamma",
+    "phi",
+    "n_sub",
+    "e_crit",
+    "ld",
+    "cgso",
+    "cj",
+    "drain_extension",
+    "temperature",
+)
+
+
+def _card_arrays(cards) -> Dict:
+    """Gather one model card per sample into attribute arrays.
+
+    When every sample shares the same card object (the optimisation batch
+    shape) plain scalars are returned, which keeps the array expressions
+    cheap; otherwise each attribute becomes a length-N array (the Monte
+    Carlo batch shape, where global variation shifts every card).
+    """
+    first = cards[0]
+    if all(card is first for card in cards):
+        values = {attr: getattr(first, attr) for attr in _CARD_ATTRIBUTES}
+    else:
+        values = {
+            attr: np.array([getattr(card, attr) for card in cards])
+            for attr in _CARD_ATTRIBUTES
+        }
+    values["polarity"] = first.polarity
+    return values
+
+
+def _mismatch_deltas(mismatches, device_name: str):
+    """Per-sample (vth0, u0_rel) mismatch deltas of one device, as arrays."""
+    if mismatches is None:
+        return None
+    vth0 = np.empty(len(mismatches))
+    u0_rel = np.empty(len(mismatches))
+    for index, mismatch in enumerate(mismatches):
+        deltas = mismatch.for_device(device_name) if mismatch is not None else {}
+        vth0[index] = deltas.get("vth0", 0.0)
+        u0_rel[index] = deltas.get("u0_rel", 0.0)
+    return vth0, u0_rel
+
+
+def _device_arrays(card: Dict, width, length, deltas) -> _DeviceArrays:
+    """Build the batch device parameters, applying mismatch like `_device`."""
+    vth0 = card["vth0"]
+    u0 = card["u0"]
+    if deltas is not None:
+        delta_vth0, delta_u0 = deltas
+        vth0 = vth0 + delta_vth0
+        u0 = u0 * (1.0 + delta_u0)
+    return _DeviceArrays(
+        polarity=card["polarity"],
+        width=width,
+        length=length,
+        vth0=vth0,
+        u0=u0,
+        tox=card["tox"],
+        lambda_=card["lambda_"],
+        gamma=card["gamma"],
+        phi=card["phi"],
+        n_sub=card["n_sub"],
+        e_crit=card["e_crit"],
+        ld=card["ld"],
+        temperature=card["temperature"],
+    )
 
 
 @dataclass
@@ -336,6 +572,166 @@ class RingVcoAnalyticalEvaluator(VcoEvaluator):
         current = self._supply_current(design, self.vctrl_max, fmax, tech, mismatch)
         jitter = self._jitter(design, self.vctrl_max, tech, mismatch)
         return VcoPerformance(kvco=kvco, jitter=jitter, current=current, fmin=fmin, fmax=fmax)
+
+    # -- vectorised batch evaluation ---------------------------------------------------
+
+    def evaluate_batch(
+        self,
+        designs: Sequence[VcoDesign],
+        technology: Optional[Technology] = None,
+        technologies: Optional[Sequence[Technology]] = None,
+        mismatches: Optional[Sequence[MismatchSample]] = None,
+    ) -> List[VcoPerformance]:
+        """True array-in/array-out evaluation of a whole batch.
+
+        Every first-order expression of the scalar path is transcribed to
+        numpy over the batch axis with the identical operation order, so
+        the returned performances are bit-identical to calling
+        :meth:`evaluate` per element -- a seeded NSGA-II run or Monte
+        Carlo analysis produces the same results on either path, only
+        faster.  Supports the two batch shapes of the flow: N designs
+        under one technology (optimisation) and one design under N
+        sampled technologies/mismatch draws (Monte Carlo).
+        """
+        base_tech = technology or self.technology
+        designs_b, techs, mms = _broadcast_batch(designs, base_tech, technologies, mismatches)
+        n = len(designs_b)
+        reference = techs[0]
+        if any(
+            tech.vdd != reference.vdd or tech.temperature != reference.temperature
+            for tech in techs
+        ):
+            # Mixed supplies/temperatures would turn the scalar bias
+            # branches into arrays; fall back to the generic loop.
+            return super().evaluate_batch(
+                designs, technology=base_tech, technologies=techs, mismatches=mms
+            )
+        params = self._design_arrays(designs_b, reference)
+        nmos = _card_arrays([tech.nmos for tech in techs])
+        pmos = _card_arrays([tech.pmos for tech in techs])
+        load = self._batch_stage_capacitance(params, nmos, pmos, reference)
+        has_mismatch = any(mm is not None and mm.deltas for mm in mms)
+
+        def stage_biases(vctrl: float) -> List[np.ndarray]:
+            if not has_mismatch:
+                current = self._batch_stage_current(params, nmos, pmos, reference, vctrl, None, 0)
+                return [current] * self.n_stages
+            return [
+                self._batch_stage_current(params, nmos, pmos, reference, vctrl, mms, stage)
+                for stage in range(self.n_stages)
+            ]
+
+        def frequency(currents: List[np.ndarray]) -> np.ndarray:
+            delays = [load * (reference.vdd / 2.0) / current for current in currents]
+            period = 2.0 * sum(delays)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.where(period > 0.0, self.frequency_scale / period, 0.0)
+
+        currents_min = stage_biases(self.vctrl_min)
+        currents_max = stage_biases(self.vctrl_max)
+        fmin = frequency(currents_min)
+        fmax = frequency(currents_max)
+        span = self.vctrl_max - self.vctrl_min
+        kvco = np.maximum(fmax - fmin, 0.0) / span
+        # Supply current (same bias points as fmax, see _supply_current).
+        mean_current = sum(currents_max) / len(currents_max)
+        c_total = sum([load] * self.n_stages)
+        dynamic = c_total * reference.vdd * fmax
+        crowbar = 0.8 * mean_current
+        bias_branch = mean_current
+        current = self.current_scale * (dynamic + crowbar + bias_branch)
+        # Jitter (thermal first-crossing noise + stage-delay spread).
+        kT = _BOLTZMANN * reference.temperature
+        sigma_edges = []
+        delays = []
+        for stage_current in currents_max:
+            sigma_v = np.sqrt(2.0 * kT / load)
+            slope = stage_current / load
+            sigma_edges.append(sigma_v / slope)
+            delays.append(load * (reference.vdd / 2.0) / stage_current)
+        thermal = np.sqrt(2.0 * sum(s * s for s in sigma_edges))
+        mean_delay = sum(delays) / len(delays)
+        if len(delays) > 1:
+            variance = sum((d - mean_delay) ** 2 for d in delays) / (len(delays) - 1)
+            deterministic = np.sqrt(variance)
+        else:
+            deterministic = 0.0
+        jitter = self.jitter_scale * np.sqrt(thermal**2 + deterministic**2)
+
+        columns = [
+            np.broadcast_to(np.asarray(column, dtype=float), (n,))
+            for column in (kvco, jitter, current, fmin, fmax)
+        ]
+        return [
+            VcoPerformance(
+                kvco=float(columns[0][i]),
+                jitter=float(columns[1][i]),
+                current=float(columns[2][i]),
+                fmin=float(columns[3][i]),
+                fmax=float(columns[4][i]),
+            )
+            for i in range(n)
+        ]
+
+    def _design_arrays(self, designs: Sequence[VcoDesign], technology: Technology) -> Dict:
+        """Clamped design parameters as batch arrays (scalars when shared)."""
+        names = VcoDesign.parameter_names()
+        if all(design is designs[0] for design in designs):
+            values = {name: getattr(designs[0], name) for name in names}
+        else:
+            values = {
+                name: np.array([getattr(design, name) for design in designs])
+                for name in names
+            }
+        for name in ("nmos_width", "pmos_width", "tail_nmos_width", "tail_pmos_width"):
+            values[name] = np.clip(values[name], technology.min_width, technology.max_width)
+        for name in ("nmos_length", "pmos_length", "tail_length"):
+            values[name] = np.clip(values[name], technology.min_length, technology.max_length)
+        return values
+
+    def _batch_stage_capacitance(self, params, nmos, pmos, technology: Technology):
+        """Vectorised transcription of :meth:`_stage_capacitance`."""
+        cox_n = _EPS_OX / nmos["tox"]
+        cox_p = _EPS_OX / pmos["tox"]
+        gate = cox_n * params["nmos_width"] * params["nmos_length"]
+        gate = gate + cox_p * params["pmos_width"] * params["pmos_length"]
+        overlap = nmos["cgso"] * params["nmos_width"] + pmos["cgso"] * params["pmos_width"]
+        junction = nmos["cj"] * params["nmos_width"] * nmos["drain_extension"]
+        junction = junction + pmos["cj"] * params["pmos_width"] * pmos["drain_extension"]
+        junction = junction + nmos["cj"] * params["tail_nmos_width"] * nmos["drain_extension"] * 0.5
+        junction = junction + pmos["cj"] * params["tail_pmos_width"] * pmos["drain_extension"] * 0.5
+        return gate + overlap + junction + technology.stage_load_capacitance
+
+    def _batch_stage_current(
+        self, params, nmos, pmos, technology: Technology, vctrl, mismatches, stage: int
+    ) -> np.ndarray:
+        """Vectorised transcription of the current part of :meth:`_stage_bias`."""
+        vdd = technology.vdd
+        half = vdd / 2.0
+        tail_n = _device_arrays(
+            nmos, params["tail_nmos_width"], params["tail_length"],
+            _mismatch_deltas(mismatches, f"mtn{stage}"),
+        )
+        i_tail_n = tail_n.drain_current(half, vctrl, 0.0, 0.0)
+        tail_p = _device_arrays(
+            pmos, params["tail_pmos_width"], params["tail_length"],
+            _mismatch_deltas(mismatches, f"mtp{stage}"),
+        )
+        i_tail_p = np.abs(tail_p.drain_current(half, half - vdd + half, vdd, vdd))
+        inv_n = _device_arrays(
+            nmos, params["nmos_width"], params["nmos_length"],
+            _mismatch_deltas(mismatches, f"mn{stage}"),
+        )
+        i_inv_n = inv_n.drain_current(half, vdd, 0.0, 0.0)
+        inv_p = _device_arrays(
+            pmos, params["pmos_width"], params["pmos_length"],
+            _mismatch_deltas(mismatches, f"mp{stage}"),
+        )
+        i_inv_p = np.abs(inv_p.drain_current(half, 0.0 - 0.0, vdd, vdd))
+        pull_down = np.minimum(i_tail_n, i_inv_n)
+        pull_up = np.minimum(np.maximum(i_tail_p, 0.3 * i_tail_n), i_inv_p)
+        current = 0.5 * (pull_down + pull_up)
+        return np.maximum(current, 1e-9)
 
 
 class RingVcoSpiceEvaluator(VcoEvaluator):

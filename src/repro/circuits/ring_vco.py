@@ -23,7 +23,7 @@ widths 10-100 um.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.optim.problem import Parameter
 from repro.process.mismatch import DeviceGeometry

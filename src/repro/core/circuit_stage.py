@@ -57,6 +57,33 @@ class VcoSizingProblem(Problem):
         """Evaluate one sizing candidate with the configured evaluator."""
         design = VcoDesign.from_dict(dict(values))
         performance = self.evaluator.evaluate(design)
+        return self._to_evaluation(performance)
+
+    def evaluate_batch(self, vectors) -> List[Evaluation]:
+        """Evaluate a whole population of sizing candidates in one call.
+
+        Routes through the evaluator's ``evaluate_batch`` so the
+        analytical evaluator can run its numpy kernel over the batch axis;
+        evaluators without a native batch path (e.g. the SPICE test bench)
+        inherit the generic loop and still work.
+        """
+        matrix = np.asarray(vectors, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.ndim != 2 or matrix.shape[1] != self.n_parameters:
+            raise ValueError(
+                f"expected a (n, {self.n_parameters}) batch matrix, got shape "
+                f"{matrix.shape}"
+            )
+        self.evaluation_count += matrix.shape[0]
+        clipped = self.clip(matrix)
+        designs = [
+            VcoDesign.from_dict(dict(zip(self.parameter_names, row))) for row in clipped
+        ]
+        performances = self.evaluator.evaluate_batch(designs)
+        return [self._to_evaluation(performance) for performance in performances]
+
+    def _to_evaluation(self, performance: VcoPerformance) -> Evaluation:
         objectives = performance.as_dict()
         constraints = {}
         for spec in self.range_specifications:
@@ -102,6 +129,11 @@ class CircuitLevelOptimisation:
     max_model_points:
         Upper bound on the number of Pareto points carried into the model
         (the densest-crowding points are kept); ``None`` keeps all.
+    mc_batch:
+        Run the per-Pareto-point Monte Carlo analyses through the
+        evaluator's vectorised batch path.  ``None`` (the default) enables
+        it automatically whenever ``config.evaluator`` selects the
+        vectorised backend, so one switch vectorises the whole stage.
     """
 
     def __init__(
@@ -114,6 +146,7 @@ class CircuitLevelOptimisation:
         max_model_points: Optional[int] = 24,
         vctrl_min: float = 0.5,
         vctrl_max: Optional[float] = None,
+        mc_batch: Optional[bool] = None,
     ) -> None:
         self.technology = technology
         self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology)
@@ -123,6 +156,9 @@ class CircuitLevelOptimisation:
         self.max_model_points = max_model_points
         self.vctrl_min = vctrl_min
         self.vctrl_max = technology.vdd if vctrl_max is None else vctrl_max
+        if mc_batch is None:
+            mc_batch = self.config.evaluator.lower() in ("vectorised", "vectorized")
+        self.mc_batch = mc_batch
 
     # -- pieces -------------------------------------------------------------------------
 
@@ -172,6 +208,7 @@ class CircuitLevelOptimisation:
             n_samples=self.mc_samples,
             seed=self.mc_seed,
             progress=progress,
+            use_batch=self.mc_batch,
         )
         return CombinedPerformanceVariationModel(
             performance=performance_model,

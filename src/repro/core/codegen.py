@@ -13,7 +13,7 @@ injection.
 from __future__ import annotations
 
 import os
-from typing import List, Optional
+from typing import List
 
 from repro.core.combined_model import CombinedPerformanceVariationModel
 
@@ -49,7 +49,9 @@ def generate_listing1(model: CombinedPerformanceVariationModel, control: str = "
     lines.append("    kvco = V(kvco_in);")
     lines.append("    ivco = V(ivco_in);")
     for name, filename in _DELTA_FILES.items():
-        source = {"kvco": "kvco", "ivco": "ivco", "jvco": "jvco", "fmin": "fmin", "fmax": "fmax"}[name]
+        source = {
+            "kvco": "kvco", "ivco": "ivco", "jvco": "jvco", "fmin": "fmin", "fmax": "fmax"
+        }[name]
         lines.append(
             f"    {name}_delta = $table_model({source}, \"{filename}\", \"{control}\");"
         )
@@ -119,10 +121,12 @@ def generate_listing2(
         f"    jvco = $table_model(kvco, ivco, \"jvco_data.tbl\", \"{control},{control}\");"
     )
     lines.append(
-        f"    jvco_min = $table_model(kvco_min, ivco_min, \"jvco_data.tbl\", \"{control},{control}\");"
+        f"    jvco_min = $table_model(kvco_min, ivco_min, \"jvco_data.tbl\", "
+        f"\"{control},{control}\");"
     )
     lines.append(
-        f"    jvco_max = $table_model(kvco_max, ivco_max, \"jvco_data.tbl\", \"{control},{control}\");"
+        f"    jvco_max = $table_model(kvco_max, ivco_max, \"jvco_data.tbl\", "
+        f"\"{control},{control}\");"
     )
     lines.append("    delta = jvco * sqrt(2 * ratio);")
     lines.append("    delta_min = jvco_min * sqrt(2 * ratio);")

@@ -72,7 +72,17 @@ class FlowReport:
 
 
 class HierarchicalFlow:
-    """Top-down, yield-aware hierarchical optimisation of the PLL."""
+    """Top-down, yield-aware hierarchical optimisation of the PLL.
+
+    ``evaluation`` selects the batch-evaluation backend applied across the
+    whole flow (``"serial"``, ``"vectorised"`` or ``"process"``, see
+    :mod:`repro.optim.evaluation`): it configures both NSGA-II stages and
+    -- for ``"vectorised"`` -- routes the per-Pareto-point Monte Carlo
+    analyses and the final yield verification through the evaluator's
+    batch path.  Explicitly passed stage configs keep their own settings.
+    The default stays ``"serial"`` so seeded historical results are
+    bit-identical.
+    """
 
     def __init__(
         self,
@@ -86,17 +96,37 @@ class HierarchicalFlow:
         yield_samples: int = 500,
         max_model_points: Optional[int] = 24,
         seed: int = 2009,
+        evaluation: str = "serial",
+        n_workers: Optional[int] = None,
     ) -> None:
         self.technology = technology
         self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology)
-        self.circuit_config = circuit_config or NSGA2Config(population_size=40, generations=15)
-        self.system_config = system_config or NSGA2Config(population_size=24, generations=10)
+        self.evaluation = evaluation
+        self.n_workers = n_workers
+        # The behavioural-PLL transient of the system stage is scalar
+        # Python; "vectorised" would silently fall back to the serial loop
+        # there, so only the process backend is propagated to it.
+        system_evaluation = evaluation if evaluation == "process" else "serial"
+        self.circuit_config = circuit_config or NSGA2Config(
+            population_size=40, generations=15, evaluator=evaluation, n_workers=n_workers
+        )
+        self.system_config = system_config or NSGA2Config(
+            population_size=24,
+            generations=10,
+            evaluator=system_evaluation,
+            n_workers=n_workers,
+        )
         self.specifications = specifications
         self.base_pll_design = base_pll_design or PllDesign()
         self.mc_samples_per_point = mc_samples_per_point
         self.yield_samples = yield_samples
         self.max_model_points = max_model_points
         self.seed = seed
+
+    @property
+    def _use_batch_mc(self) -> bool:
+        """Whether Monte Carlo analyses should use the batch path."""
+        return self.evaluation.lower() in ("vectorised", "vectorized")
 
     # -- stages --------------------------------------------------------------------------
 
@@ -111,6 +141,7 @@ class HierarchicalFlow:
             mc_samples=self.mc_samples_per_point,
             mc_seed=self.seed,
             max_model_points=self.max_model_points,
+            mc_batch=self._use_batch_mc,
         )
         return stage.run(progress=progress)
 
@@ -136,6 +167,7 @@ class HierarchicalFlow:
             specifications=self.specifications,
             n_samples=self.yield_samples,
             seed=self.seed + 1,
+            use_batch=self._use_batch_mc,
         )
         return analysis.run(selected_values)
 

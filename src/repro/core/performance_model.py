@@ -21,7 +21,7 @@ Both services use the N-dimensional table models of
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -90,7 +90,10 @@ class PerformanceModel:
     def _build_tables(self) -> None:
         # (kvco, current) are the system-level designables; every other
         # performance and every design parameter is tabulated against them.
-        key_columns = [self.performance_names.index("kvco"), self.performance_names.index("current")]
+        key_columns = [
+            self.performance_names.index("kvco"),
+            self.performance_names.index("current"),
+        ]
         keys = self.performances[:, key_columns]
         for idx, name in enumerate(self.performance_names):
             if idx in key_columns:
@@ -128,7 +131,11 @@ class PerformanceModel:
         Returns a dictionary with both the evaluator names (``jitter``,
         ``fmin``, ``fmax``) and the behavioural-model aliases (``jvco``).
         """
-        result: Dict[str, float] = {"kvco": float(kvco), "current": float(ivco), "ivco": float(ivco)}
+        result: Dict[str, float] = {
+            "kvco": float(kvco),
+            "current": float(ivco),
+            "ivco": float(ivco),
+        }
         for name, table in self._tables.items():
             result[name] = float(table(kvco, ivco))
         result["jvco"] = result["jitter"]

@@ -131,7 +131,9 @@ class SpecificationSet:
         """Windows keyed by performance name (for the yield calculators)."""
         return {name: spec.as_window() for name, spec in self._specs.items()}
 
-    def propagate(self, assignments: Mapping[str, float], margin: float = 0.0) -> "SpecificationSet":
+    def propagate(
+        self, assignments: Mapping[str, float], margin: float = 0.0
+    ) -> "SpecificationSet":
         """Top-down propagation: turn chosen block values into block specs.
 
         For each assigned block parameter a two-sided window of +-``margin``

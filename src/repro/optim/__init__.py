@@ -17,6 +17,13 @@ the ablation benchmarks.
 
 from repro.optim.baselines import RandomSearch, WeightedSumGA
 from repro.optim.constraints import constraint_violation, constrained_dominates
+from repro.optim.evaluation import (
+    BatchEvaluator,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+    VectorisedEvaluator,
+    create_evaluator,
+)
 from repro.optim.individual import Individual
 from repro.optim.nsga2 import NSGA2, NSGA2Config, OptimisationResult
 from repro.optim.operators import (
@@ -35,6 +42,11 @@ from repro.optim.problem import Objective, Parameter, Problem
 from repro.optim.sorting import crowding_distance, fast_non_dominated_sort
 
 __all__ = [
+    "BatchEvaluator",
+    "SerialEvaluator",
+    "VectorisedEvaluator",
+    "ProcessPoolEvaluator",
+    "create_evaluator",
     "Individual",
     "Problem",
     "Parameter",

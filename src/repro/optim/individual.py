@@ -9,11 +9,16 @@ bookkeeping attributes (non-domination rank and crowding distance).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["Individual"]
+__all__ = [
+    "Individual",
+    "objectives_matrix",
+    "parameters_matrix",
+    "violations_vector",
+]
 
 
 @dataclass
@@ -102,3 +107,33 @@ class Individual:
         record.update({k: float(v) for k, v in self.raw_objectives.items()})
         record.update({k: float(v) for k, v in self.metrics.items()})
         return record
+
+
+def objectives_matrix(population: Sequence["Individual"]) -> np.ndarray:
+    """Stack the population's objective vectors into an ``(n, m)`` matrix.
+
+    The batch counterpart of :attr:`Individual.objectives`; raises if any
+    individual has not been evaluated (mirroring :meth:`Individual.dominates`).
+    """
+    rows: List[np.ndarray] = []
+    for individual in population:
+        if individual.objectives is None:
+            raise ValueError("both individuals must be evaluated before comparison")
+        rows.append(individual.objectives)
+    return np.vstack(rows) if rows else np.empty((0, 0))
+
+
+def parameters_matrix(population: Sequence["Individual"]) -> np.ndarray:
+    """Stack the population's parameter vectors into an ``(n, d)`` matrix."""
+    if not population:
+        return np.empty((0, 0))
+    return np.vstack([individual.parameters for individual in population])
+
+
+def violations_vector(population: Sequence["Individual"]) -> np.ndarray:
+    """Total constraint violation of every individual as an ``(n,)`` vector."""
+    return np.array(
+        [individual.constraint_violation for individual in population], dtype=float
+    )
+
+

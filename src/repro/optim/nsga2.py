@@ -16,6 +16,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.optim.evaluation import BatchEvaluator, EVALUATOR_CHOICES, create_evaluator
 from repro.optim.individual import Individual
 from repro.optim.operators import PolynomialMutation, SBXCrossover, binary_tournament
 from repro.optim.pareto import ParetoFront
@@ -33,6 +34,13 @@ class NSGA2Config:
     ``generations=30`` (3,000 evaluations, section 4.2).  Smaller defaults
     are used here so the test-suite stays fast; the benchmarks scale the
     settings back up.
+
+    ``evaluator`` selects the batch-evaluation backend (``"serial"``,
+    ``"vectorised"`` or ``"process"``, see :mod:`repro.optim.evaluation`);
+    ``n_workers`` sizes the pool of the ``"process"`` backend.  The default
+    stays ``"serial"`` so existing seeded results are bit-identical; all
+    backends consume the same seeded RNG stream, so a correctly vectorised
+    problem produces the same Pareto front on every backend.
     """
 
     population_size: int = 40
@@ -42,6 +50,8 @@ class NSGA2Config:
     mutation_probability: Optional[float] = None
     mutation_eta: float = 20.0
     seed: Optional[int] = 2009
+    evaluator: str = "serial"
+    n_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -50,6 +60,27 @@ class NSGA2Config:
             raise ValueError("population_size must be even")
         if self.generations < 1:
             raise ValueError("generations must be at least 1")
+        if (
+            not np.isfinite(self.crossover_probability)
+            or not 0.0 <= self.crossover_probability <= 1.0
+        ):
+            raise ValueError("crossover_probability must be finite and within [0, 1]")
+        if not np.isfinite(self.crossover_eta) or self.crossover_eta <= 0.0:
+            raise ValueError("crossover_eta must be finite and positive")
+        if self.mutation_probability is not None and (
+            not np.isfinite(self.mutation_probability)
+            or not 0.0 <= self.mutation_probability <= 1.0
+        ):
+            raise ValueError("mutation_probability must be finite and within [0, 1]")
+        if not np.isfinite(self.mutation_eta) or self.mutation_eta <= 0.0:
+            raise ValueError("mutation_eta must be finite and positive")
+        if (self.evaluator or "serial").lower() not in EVALUATOR_CHOICES:
+            raise ValueError(
+                f"evaluator must be one of {', '.join(EVALUATOR_CHOICES)}; "
+                f"got {self.evaluator!r}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
 
 
 @dataclass
@@ -79,9 +110,22 @@ class OptimisationResult:
 
 
 class NSGA2:
-    """Non-dominated Sorting Genetic Algorithm II."""
+    """Non-dominated Sorting Genetic Algorithm II.
 
-    def __init__(self, problem: Problem, config: NSGA2Config | None = None) -> None:
+    Populations are evaluated through a pluggable
+    :class:`~repro.optim.evaluation.BatchEvaluator`: the whole population
+    (or offspring batch) is handed to the backend in one call instead of N
+    separate Python calls, which is what makes vectorised and process-pool
+    evaluation possible.  Pass ``evaluator`` to inject a custom backend;
+    otherwise one is built from ``config.evaluator`` / ``config.n_workers``.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: NSGA2Config | None = None,
+        evaluator: BatchEvaluator | None = None,
+    ) -> None:
         self.problem = problem
         self.config = config or NSGA2Config()
         self.crossover = SBXCrossover(
@@ -89,6 +133,10 @@ class NSGA2:
         )
         self.mutation = PolynomialMutation(
             probability=self.config.mutation_probability, eta=self.config.mutation_eta
+        )
+        self._owns_evaluator = evaluator is None
+        self.evaluator = evaluator or create_evaluator(
+            self.config.evaluator, self.config.n_workers
         )
         self._rng = np.random.default_rng(self.config.seed)
 
@@ -107,20 +155,24 @@ class NSGA2:
             every generation (used by the benchmarks to record convergence).
         """
         evaluations = 0
-        population = self._initial_population()
-        evaluations += len(population)
-        self._assign_ranks(population)
-        history: List[GenerationStats] = []
-        history.append(self._stats(0, evaluations, population))
-        if callback is not None:
-            callback(0, population)
-        for generation in range(1, self.config.generations + 1):
-            offspring = self._make_offspring(population)
-            evaluations += len(offspring)
-            population = self._survival(population + offspring)
-            history.append(self._stats(generation, evaluations, population))
+        try:
+            population = self._initial_population()
+            evaluations += len(population)
+            self._assign_ranks(population)
+            history: List[GenerationStats] = []
+            history.append(self._stats(0, evaluations, population))
             if callback is not None:
-                callback(generation, population)
+                callback(0, population)
+            for generation in range(1, self.config.generations + 1):
+                offspring = self._make_offspring(population)
+                evaluations += len(offspring)
+                population = self._survival(population + offspring)
+                history.append(self._stats(generation, evaluations, population))
+                if callback is not None:
+                    callback(generation, population)
+        finally:
+            if self._owns_evaluator:
+                self.evaluator.close()
         front = self.pareto_front(population)
         return OptimisationResult(
             front=front, population=population, history=history, evaluations=evaluations
@@ -143,19 +195,20 @@ class NSGA2:
     # -- internals -------------------------------------------------------------
 
     def _evaluate(self, vector: np.ndarray) -> Individual:
-        evaluation = self.problem.evaluate_vector(vector)
-        individual = Individual(parameters=self.problem.clip(vector))
-        individual.objectives = self.problem.objective_vector(evaluation)
-        individual.constraints = self.problem.constraint_vector(evaluation)
-        individual.raw_objectives = dict(evaluation.objectives)
-        individual.metrics = dict(evaluation.metrics)
-        return individual
+        """Evaluate a single vector (kept for tooling; batches use the backend)."""
+        return self._evaluate_batch([vector])[0]
+
+    def _evaluate_batch(self, vectors: List[np.ndarray]) -> List[Individual]:
+        """Evaluate a whole batch of vectors through the configured backend."""
+        return self.evaluator.evaluate(self.problem, vectors)
 
     def _initial_population(self) -> List[Individual]:
-        return [
-            self._evaluate(self.problem.sample(self._rng))
-            for _ in range(self.config.population_size)
+        # Sampling stays one vector at a time so the seeded RNG stream is
+        # identical across all evaluation backends (and to historical runs).
+        vectors = [
+            self.problem.sample(self._rng) for _ in range(self.config.population_size)
         ]
+        return self._evaluate_batch(vectors)
 
     def _assign_ranks(self, population: List[Individual]) -> None:
         fronts = fast_non_dominated_sort(population)
@@ -165,8 +218,12 @@ class NSGA2:
     def _make_offspring(self, population: List[Individual]) -> List[Individual]:
         lower = self.problem.lower_bounds
         upper = self.problem.upper_bounds
-        offspring: List[Individual] = []
-        while len(offspring) < self.config.population_size:
+        # All variation operators run first (consuming the RNG in the same
+        # order as the historical interleaved loop -- evaluation never
+        # touches the RNG), then the whole offspring batch is evaluated in
+        # one backend call.
+        vectors: List[np.ndarray] = []
+        while len(vectors) < self.config.population_size:
             parent_a = binary_tournament(population, self._rng)
             parent_b = binary_tournament(population, self._rng)
             child_a, child_b = self.crossover(
@@ -174,10 +231,10 @@ class NSGA2:
             )
             child_a = self.mutation(child_a, lower, upper, self._rng)
             child_b = self.mutation(child_b, lower, upper, self._rng)
-            offspring.append(self._evaluate(child_a))
-            if len(offspring) < self.config.population_size:
-                offspring.append(self._evaluate(child_b))
-        return offspring
+            vectors.append(child_a)
+            if len(vectors) < self.config.population_size:
+                vectors.append(child_b)
+        return self._evaluate_batch(vectors)
 
     def _survival(self, merged: List[Individual]) -> List[Individual]:
         fronts = fast_non_dominated_sort(merged)

@@ -72,7 +72,9 @@ class ParetoFront:
         self.parameter_names = list(parameter_names)
         self.objective_names = list(objective_names)
         self.objective_senses = (
-            list(objective_senses) if objective_senses is not None else ["min"] * len(self.objective_names)
+            list(objective_senses)
+            if objective_senses is not None
+            else ["min"] * len(self.objective_names)
         )
 
     def __len__(self) -> int:

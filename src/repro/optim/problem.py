@@ -214,3 +214,24 @@ class Problem:
         """Evaluate a raw parameter vector (bookkeeping wrapper)."""
         self.evaluation_count += 1
         return self.evaluate(self.decode(self.clip(vector)))
+
+    def evaluate_batch(self, vectors: Sequence[Sequence[float]]) -> List[Evaluation]:
+        """Evaluate a whole batch of parameter vectors (rows of a matrix).
+
+        The base implementation loops :meth:`evaluate_vector`, so any
+        problem works with the batch evaluators of
+        :mod:`repro.optim.evaluation` out of the box.  Problems whose
+        objective functions can be expressed as numpy array math (e.g. the
+        VCO sizing problem backed by the analytical evaluator) override
+        this with a true array-in/array-out implementation -- the returned
+        list must keep the row order of ``vectors``.
+        """
+        matrix = np.asarray(vectors, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.ndim != 2 or matrix.shape[1] != self.n_parameters:
+            raise ValueError(
+                f"expected a (n, {self.n_parameters}) batch matrix, got shape "
+                f"{matrix.shape}"
+            )
+        return [self.evaluate_vector(row) for row in matrix]

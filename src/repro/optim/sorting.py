@@ -4,6 +4,14 @@ These are the two sorting operations named explicitly in section 4.2 of the
 paper: "Non-dominated sorting and crowding distance sorting are applied to
 the solution for each generation in order to determine the final set of
 Pareto-fronts."
+
+Both operations are vectorised: the O(n^2) pairwise constraint-domination
+comparisons are a handful of numpy broadcasts over the stacked objective
+matrix (see :func:`domination_matrix`) instead of n*(n-1)/2 Python method
+calls, and the crowding-distance accumulation is per-objective array math.
+The results are bit-identical to the original per-pair loops -- including
+the order of indices inside every front -- so seeded optimisation runs
+reproduce exactly.
 """
 
 from __future__ import annotations
@@ -12,9 +20,43 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.optim.individual import Individual
+from repro.optim.individual import (
+    Individual,
+    objectives_matrix,
+    violations_vector,
+)
 
-__all__ = ["fast_non_dominated_sort", "crowding_distance", "sort_population"]
+__all__ = [
+    "domination_matrix",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+    "sort_population",
+]
+
+
+def domination_matrix(population: Sequence[Individual]) -> np.ndarray:
+    """Pairwise constraint-domination as a boolean matrix.
+
+    ``matrix[i, j]`` is True when ``population[i]`` constraint-dominates
+    ``population[j]`` under Deb's rule (see
+    :meth:`Individual.constrained_dominates`): feasible beats infeasible,
+    smaller total violation beats larger, and ordinary Pareto dominance
+    applies between two feasible solutions.
+    """
+    objectives = objectives_matrix(population)
+    violations = violations_vector(population)
+    feasible = violations == 0.0
+    # Pareto dominance in minimisation convention: no objective worse, at
+    # least one strictly better.
+    no_worse = (objectives[:, None, :] <= objectives[None, :, :]).all(axis=2)
+    strictly_better = (objectives[:, None, :] < objectives[None, :, :]).any(axis=2)
+    pareto = no_worse & strictly_better
+    matrix = pareto & feasible[:, None] & feasible[None, :]
+    matrix |= feasible[:, None] & ~feasible[None, :]
+    infeasible_pair = ~feasible[:, None] & ~feasible[None, :]
+    matrix |= infeasible_pair & (violations[:, None] < violations[None, :])
+    np.fill_diagonal(matrix, False)
+    return matrix
 
 
 def fast_non_dominated_sort(population: Sequence[Individual]) -> List[List[int]]:
@@ -29,18 +71,19 @@ def fast_non_dominated_sort(population: Sequence[Individual]) -> List[List[int]]
     n = len(population)
     if n == 0:
         return []
-    dominated_sets: List[List[int]] = [[] for _ in range(n)]
-    domination_counts = np.zeros(n, dtype=int)
+    matrix = domination_matrix(population)
+    domination_counts = matrix.sum(axis=0).astype(int)
+    # Reconstruct each dominated set in the exact order the historical
+    # pairwise loop produced (indices below i first, then above, both
+    # ascending) so the front-peeling below emits identical index orders.
+    dominated_sets: List[List[int]] = []
     for i in range(n):
-        for j in range(i + 1, n):
-            if population[i].constrained_dominates(population[j]):
-                dominated_sets[i].append(j)
-                domination_counts[j] += 1
-            elif population[j].constrained_dominates(population[i]):
-                dominated_sets[j].append(i)
-                domination_counts[i] += 1
+        dominated = np.nonzero(matrix[i])[0]
+        dominated_sets.append(
+            np.concatenate((dominated[dominated < i], dominated[dominated > i])).tolist()
+        )
     fronts: List[List[int]] = []
-    current = [i for i in range(n) if domination_counts[i] == 0]
+    current = np.nonzero(domination_counts == 0)[0].tolist()
     rank = 0
     while current:
         for index in current:
@@ -77,14 +120,16 @@ def crowding_distance(population: Sequence[Individual], front: Sequence[int]) ->
         n_objectives = objectives.shape[1]
         for m in range(n_objectives):
             order = np.argsort(objectives[:, m], kind="stable")
-            spread = objectives[order[-1], m] - objectives[order[0], m]
+            column = objectives[order, m]
+            spread = column[-1] - column[0]
             distances[order[0]] = np.inf
             distances[order[-1]] = np.inf
             if spread <= 0.0:
                 continue
-            for k in range(1, size - 1):
-                gap = objectives[order[k + 1], m] - objectives[order[k - 1], m]
-                distances[order[k]] += gap / spread
+            # Interior points accumulate the normalised gap between their
+            # sorted neighbours; `order` is a permutation so the fancy
+            # index targets are unique and += is safe.
+            distances[order[1:-1]] += (column[2:] - column[:-2]) / spread
     for position, index in enumerate(front):
         population[index].crowding = float(distances[position])
     return distances

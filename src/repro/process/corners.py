@@ -10,7 +10,7 @@ Monte Carlo engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
 from repro.process.technology import Technology
@@ -101,8 +101,12 @@ class CornerSet:
 STANDARD_CORNERS = CornerSet(
     [
         Corner("tt"),
-        Corner("ss", nmos_vth_shift=+0.04, pmos_vth_shift=+0.04, mobility_scale=0.92, tox_scale=1.04),
-        Corner("ff", nmos_vth_shift=-0.04, pmos_vth_shift=-0.04, mobility_scale=1.08, tox_scale=0.96),
+        Corner(
+            "ss", nmos_vth_shift=+0.04, pmos_vth_shift=+0.04, mobility_scale=0.92, tox_scale=1.04
+        ),
+        Corner(
+            "ff", nmos_vth_shift=-0.04, pmos_vth_shift=-0.04, mobility_scale=1.08, tox_scale=0.96
+        ),
         Corner("sf", nmos_vth_shift=+0.04, pmos_vth_shift=-0.04),
         Corner("fs", nmos_vth_shift=-0.04, pmos_vth_shift=+0.04),
     ]

@@ -15,7 +15,7 @@ plausible way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -76,6 +76,10 @@ class MismatchModel:
         area = max(width * length, 1e-18)
         return self.a_beta / np.sqrt(area)
 
+    def draws_per_sample(self, devices: Sequence[DeviceGeometry]) -> int:
+        """Number of standard-normal draws one sample consumes."""
+        return 2 * len(devices)
+
     def sample(
         self,
         devices: Sequence[DeviceGeometry],
@@ -87,10 +91,29 @@ class MismatchModel:
         (``vth0`` key) and a relative mobility delta (``u0_rel`` key, to be
         multiplied by the nominal mobility by the consumer).
         """
+        return self.sample_from_draws(
+            devices, rng.standard_normal(self.draws_per_sample(devices))
+        )
+
+    def sample_from_draws(
+        self, devices: Sequence[DeviceGeometry], draws: Sequence[float]
+    ) -> MismatchSample:
+        """Build one mismatch sample from pre-drawn standard normals.
+
+        ``draws`` holds ``(z_vth, z_beta)`` pairs in device order -- the
+        exact consumption order of :meth:`sample` -- so the Monte Carlo
+        engine can draw every sample's normals in one bulk call without
+        changing the seeded value stream.
+        """
+        draws = np.asarray(draws, dtype=float)
+        if draws.size != self.draws_per_sample(devices):
+            raise ValueError(
+                f"expected {self.draws_per_sample(devices)} draw(s), got {draws.size}"
+            )
         sample = MismatchSample()
-        for device in devices:
-            z_vth = float(np.clip(rng.standard_normal(), -self.truncation, self.truncation))
-            z_beta = float(np.clip(rng.standard_normal(), -self.truncation, self.truncation))
+        for index, device in enumerate(devices):
+            z_vth = float(np.clip(draws[2 * index], -self.truncation, self.truncation))
+            z_beta = float(np.clip(draws[2 * index + 1], -self.truncation, self.truncation))
             sample.deltas[device.name] = {
                 "vth0": z_vth * self.sigma_vth(device.width, device.length),
                 "u0_rel": z_beta * self.sigma_beta(device.width, device.length),

@@ -32,6 +32,9 @@ from repro.process.variation import GlobalVariationModel
 __all__ = ["ProcessSample", "MonteCarloResult", "MonteCarloEngine"]
 
 Evaluator = Callable[[Technology, MismatchSample], Mapping[str, float]]
+BatchEvaluator = Callable[
+    [Sequence[Technology], Sequence[MismatchSample]], Sequence[Mapping[str, float]]
+]
 
 
 @dataclass(frozen=True)
@@ -108,19 +111,44 @@ class MonteCarloEngine:
 
     # -- sampling -----------------------------------------------------------------
 
-    def samples(self, devices: Sequence[DeviceGeometry] = ()) -> Iterator[ProcessSample]:
-        """Yield ``n_samples`` process samples (reproducible for a fixed seed)."""
+    def sample_batch(self, devices: Sequence[DeviceGeometry] = ()) -> List[ProcessSample]:
+        """Draw all ``n_samples`` process samples in one bulk RNG call.
+
+        The standard normals of every sample are pulled from the generator
+        as a single ``(n_samples, k)`` matrix -- numpy fills it from the
+        same sequential stream as one-at-a-time scalar draws, so the
+        resulting samples are bit-identical to the historical per-sample
+        drawing for any fixed seed.
+        """
         rng = np.random.default_rng(self.seed)
+        use_mismatch = self.include_mismatch and bool(devices)
+        k_variation = self.variation.n_random_variables if self.include_global else 0
+        k_mismatch = self.mismatch.draws_per_sample(devices) if use_mismatch else 0
+        width = k_variation + k_mismatch
+        draws = (
+            rng.standard_normal((self.n_samples, width))
+            if width
+            else np.zeros((self.n_samples, 0))
+        )
+        samples: List[ProcessSample] = []
         for index in range(self.n_samples):
+            row = draws[index]
             if self.include_global:
-                technology = self.variation.apply_sample(self.technology, rng)
+                technology = self.variation.apply_draws(self.technology, row[:k_variation])
             else:
                 technology = self.technology
-            if self.include_mismatch and devices:
-                mismatch_sample = self.mismatch.sample(devices, rng)
+            if use_mismatch:
+                mismatch_sample = self.mismatch.sample_from_draws(devices, row[k_variation:])
             else:
                 mismatch_sample = MismatchSample()
-            yield ProcessSample(index=index, technology=technology, mismatch=mismatch_sample)
+            samples.append(
+                ProcessSample(index=index, technology=technology, mismatch=mismatch_sample)
+            )
+        return samples
+
+    def samples(self, devices: Sequence[DeviceGeometry] = ()) -> Iterator[ProcessSample]:
+        """Yield ``n_samples`` process samples (reproducible for a fixed seed)."""
+        yield from self.sample_batch(devices)
 
     # -- evaluation ----------------------------------------------------------------
 
@@ -149,6 +177,46 @@ class MonteCarloEngine:
         performances: List[Dict[str, float]] = []
         for sample in self.samples(devices):
             result = dict(evaluator(sample.technology, sample.mismatch))
+            if not result:
+                raise ValueError("evaluator returned an empty performance dictionary")
+            performances.append({k: float(v) for k, v in result.items()})
+        return MonteCarloResult(performances=performances, nominal=dict(nominal))
+
+    def run_batch(
+        self,
+        evaluator: BatchEvaluator,
+        devices: Sequence[DeviceGeometry] = (),
+        nominal: Mapping[str, float] | None = None,
+    ) -> MonteCarloResult:
+        """Evaluate a batch evaluator on all drawn samples in one call.
+
+        ``evaluator`` receives the full lists of per-sample technologies
+        and mismatch samples and returns one performance dictionary per
+        sample (see
+        :meth:`~repro.circuits.evaluators.VcoEvaluator.monte_carlo_batch_evaluator`).
+        Samples and results are index-aligned, so for a vectorised
+        evaluator the outcome is identical to :meth:`run` -- only the
+        evaluation happens as array math instead of ``n_samples`` Python
+        calls.
+        """
+        if nominal is None:
+            nominal_results = evaluator([self.technology], [MismatchSample()])
+            if len(nominal_results) != 1:
+                raise ValueError("batch evaluator returned no nominal result")
+            nominal = dict(nominal_results[0])
+        samples = self.sample_batch(devices)
+        results = evaluator(
+            [sample.technology for sample in samples],
+            [sample.mismatch for sample in samples],
+        )
+        if len(results) != len(samples):
+            raise ValueError(
+                f"batch evaluator returned {len(results)} result(s) for "
+                f"{len(samples)} sample(s)"
+            )
+        performances: List[Dict[str, float]] = []
+        for result in results:
+            result = dict(result)
             if not result:
                 raise ValueError("evaluator returned an empty performance dictionary")
             performances.append({k: float(v) for k, v in result.items()})

@@ -14,7 +14,7 @@ project needs to know about the process:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from repro.spice.mosfet import MOSFETModel

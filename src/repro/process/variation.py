@@ -15,8 +15,8 @@ The default numbers are representative of a 0.12 um CMOS process:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -100,6 +100,28 @@ class GlobalVariationModel:
 
         Returns ``{"nmos": {param: delta, ...}, "pmos": {...}}``.
         """
+        draws = rng.standard_normal(self.n_random_variables)
+        return self.deltas_from_draws(technology, draws)
+
+    def deltas_from_draws(
+        self, technology: Technology, draws: Sequence[float]
+    ) -> Dict[str, Dict[str, float]]:
+        """Convert pre-drawn standard normals into model-card deltas.
+
+        ``draws`` must contain :attr:`n_random_variables` values in the
+        spec-declaration consumption order (each correlation group consumes
+        one draw at its first occurrence).  Separating the drawing from the
+        conversion lets the Monte Carlo engine pull *all* samples from the
+        generator in one bulk ``standard_normal`` call -- which yields the
+        identical value stream, since numpy fills arrays from the same
+        sequential source -- and build the shifted technologies afterwards.
+        """
+        draws = np.asarray(draws, dtype=float)
+        if draws.size != self.n_random_variables:
+            raise ValueError(
+                f"expected {self.n_random_variables} draw(s), got {draws.size}"
+            )
+        cursor = 0
         group_draws: Dict[str, float] = {}
         deltas: Dict[str, Dict[str, float]] = {"nmos": {}, "pmos": {}}
         for polarity, spec_list in self.specs.items():
@@ -107,10 +129,12 @@ class GlobalVariationModel:
             for spec in spec_list:
                 if spec.correlation_group is not None:
                     if spec.correlation_group not in group_draws:
-                        group_draws[spec.correlation_group] = float(rng.standard_normal())
+                        group_draws[spec.correlation_group] = float(draws[cursor])
+                        cursor += 1
                     z = group_draws[spec.correlation_group]
                 else:
-                    z = float(rng.standard_normal())
+                    z = float(draws[cursor])
+                    cursor += 1
                 nominal = getattr(model, spec.parameter)
                 deltas[polarity][spec.parameter] = deltas[polarity].get(
                     spec.parameter, 0.0
@@ -122,6 +146,13 @@ class GlobalVariationModel:
     ) -> Technology:
         """Draw one sample and return the shifted technology."""
         deltas = self.sample_deltas(technology, rng)
+        return technology.with_deltas(deltas.get("nmos"), deltas.get("pmos"))
+
+    def apply_draws(
+        self, technology: Technology, draws: Sequence[float]
+    ) -> Technology:
+        """Apply pre-drawn standard normals and return the shifted technology."""
+        deltas = self.deltas_from_draws(technology, draws)
         return technology.with_deltas(deltas.get("nmos"), deltas.get("pmos"))
 
     def sigma_summary(self, technology: Technology) -> Dict[str, float]:

@@ -10,7 +10,7 @@ source and independent-source stamps plus the operating-point voltages.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -84,7 +84,9 @@ class ACStampContext:
         if b >= 0:
             self.rhs[b] += magnitude
 
-    def stamp_branch_voltage(self, element_name: str, node_pos: str, node_neg: str, magnitude: complex) -> None:
+    def stamp_branch_voltage(
+        self, element_name: str, node_pos: str, node_neg: str, magnitude: complex
+    ) -> None:
         """Independent AC voltage source occupying an MNA branch."""
         a, b = self.node(node_pos), self.node(node_neg)
         k = self.branch(element_name)
@@ -94,7 +96,9 @@ class ACStampContext:
         self._add(k, b, -1.0)
         self.rhs[k] += magnitude
 
-    def stamp_branch_impedance(self, element_name: str, node_pos: str, node_neg: str, impedance: complex) -> None:
+    def stamp_branch_impedance(
+        self, element_name: str, node_pos: str, node_neg: str, impedance: complex
+    ) -> None:
         """Branch element with series impedance (inductor in AC)."""
         a, b = self.node(node_pos), self.node(node_neg)
         k = self.branch(element_name)

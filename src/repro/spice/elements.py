@@ -106,7 +106,9 @@ class SineWaveform(SourceWaveform):
             return float(self.offset)
         t = time - self.delay
         envelope = math.exp(-self.damping * t)
-        return float(self.offset + self.amplitude * envelope * math.sin(2.0 * math.pi * self.frequency * t))
+        return float(
+            self.offset + self.amplitude * envelope * math.sin(2.0 * math.pi * self.frequency * t)
+        )
 
     @property
     def dc(self) -> float:
@@ -266,7 +268,9 @@ class Inductor(Element):
             ctx.add_jacobian(k, b, -1.0)
 
     def ac_contribute(self, ctx) -> None:
-        ctx.stamp_branch_impedance(self.name, self.nodes[0], self.nodes[1], 1j * ctx.omega * self.inductance)
+        ctx.stamp_branch_impedance(
+            self.name, self.nodes[0], self.nodes[1], 1j * ctx.omega * self.inductance
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -324,7 +328,9 @@ class CurrentSource(Element):
     """Independent current source; current flows from node+ through the
     source to node- (i.e. it is pushed into the node- side network)."""
 
-    def __init__(self, name: str, node_pos: str, node_neg: str, value, ac_magnitude: float = 0.0) -> None:
+    def __init__(
+        self, name: str, node_pos: str, node_neg: str, value, ac_magnitude: float = 0.0
+    ) -> None:
         super().__init__(name, (node_pos, node_neg))
         self.waveform = _as_waveform(value)
         self.ac_magnitude = float(ac_magnitude)

@@ -21,7 +21,7 @@ process parameters, which this model provides.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 from repro.spice.exceptions import NetlistError

@@ -1,0 +1,101 @@
+"""Tests for the vectorised batch path of the analytical VCO evaluator.
+
+The contract under test is strict: ``evaluate_batch`` is a transcription
+of the scalar first-order model to numpy with identical operation order,
+so every comparison here is *bitwise* (``==`` on floats), not approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import RingVcoAnalyticalEvaluator, VcoDesign, vco_device_geometries
+from repro.process import TECH_012UM, MonteCarloEngine
+from repro.process.mismatch import MismatchModel, MismatchSample
+from repro.process.variation import GlobalVariationModel
+
+
+def random_design(rng) -> VcoDesign:
+    return VcoDesign(
+        nmos_width=rng.uniform(10e-6, 100e-6),
+        pmos_width=rng.uniform(10e-6, 100e-6),
+        tail_nmos_width=rng.uniform(10e-6, 100e-6),
+        tail_pmos_width=rng.uniform(10e-6, 100e-6),
+        nmos_length=rng.uniform(0.12e-6, 1e-6),
+        pmos_length=rng.uniform(0.12e-6, 1e-6),
+        tail_length=rng.uniform(0.12e-6, 1e-6),
+    )
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return RingVcoAnalyticalEvaluator(TECH_012UM)
+
+
+def test_batch_over_designs_matches_scalar(evaluator):
+    rng = np.random.default_rng(42)
+    designs = [random_design(rng) for _ in range(30)]
+    batch = evaluator.evaluate_batch(designs)
+    assert len(batch) == 30
+    for design, performance in zip(designs, batch):
+        assert performance.as_dict() == evaluator.evaluate(design).as_dict()
+
+
+def test_batch_single_design_matches_scalar(evaluator):
+    design = VcoDesign()
+    (performance,) = evaluator.evaluate_batch([design])
+    assert performance.as_dict() == evaluator.evaluate(design).as_dict()
+
+
+def test_batch_over_technologies_matches_scalar(evaluator):
+    rng = np.random.default_rng(7)
+    variation = GlobalVariationModel()
+    technologies = [variation.apply_sample(TECH_012UM, rng) for _ in range(15)]
+    design = VcoDesign()
+    batch = evaluator.evaluate_batch([design], technologies=technologies)
+    for technology, performance in zip(technologies, batch):
+        scalar = evaluator.evaluate(design, technology=technology)
+        assert performance.as_dict() == scalar.as_dict()
+
+
+def test_batch_with_mismatch_matches_scalar(evaluator):
+    rng = np.random.default_rng(11)
+    design = VcoDesign()
+    devices = vco_device_geometries(design)
+    model = MismatchModel()
+    mismatches = [model.sample(devices, rng) for _ in range(10)]
+    batch = evaluator.evaluate_batch([design], mismatches=mismatches)
+    for mismatch, performance in zip(mismatches, batch):
+        scalar = evaluator.evaluate(design, mismatch=mismatch)
+        assert performance.as_dict() == scalar.as_dict()
+
+
+def test_batch_broadcast_rejects_mismatched_lengths(evaluator):
+    rng = np.random.default_rng(1)
+    designs = [random_design(rng) for _ in range(3)]
+    mismatches = [MismatchSample(), MismatchSample()]
+    with pytest.raises(ValueError):
+        evaluator.evaluate_batch(designs, mismatches=mismatches)
+
+
+def test_monte_carlo_batch_adapter_matches_serial_engine(evaluator):
+    design = VcoDesign()
+    devices = vco_device_geometries(design)
+    engine = MonteCarloEngine(TECH_012UM, n_samples=40, seed=2009)
+    serial = engine.run(evaluator.monte_carlo_evaluator(design), devices=devices)
+    batch = engine.run_batch(
+        evaluator.monte_carlo_batch_evaluator(design), devices=devices
+    )
+    assert serial.performances == batch.performances
+    assert serial.nominal == batch.nominal
+
+
+def test_base_class_batch_fallback_loops_scalar(evaluator):
+    """The generic VcoEvaluator.evaluate_batch loop also matches (used by SPICE)."""
+    from repro.circuits.evaluators import VcoEvaluator
+
+    rng = np.random.default_rng(3)
+    designs = [random_design(rng) for _ in range(4)]
+    generic = VcoEvaluator.evaluate_batch(evaluator, designs)
+    vectorised = evaluator.evaluate_batch(designs)
+    for a, b in zip(generic, vectorised):
+        assert a.as_dict() == b.as_dict()

@@ -7,10 +7,8 @@ but every stage of the paper's figure-4 flow is exercised end to end.
 import numpy as np
 import pytest
 
-from repro.circuits import RingVcoAnalyticalEvaluator
 from repro.core.circuit_stage import CircuitLevelOptimisation, VcoSizingProblem
 from repro.core.flow import HierarchicalFlow
-from repro.core.specification import PLL_SPECIFICATIONS
 from repro.core.system_stage import PllSystemProblem, SystemLevelOptimisation
 from repro.core.verification import BottomUpVerification
 from repro.core.yield_analysis import YieldAnalysis
@@ -30,7 +28,10 @@ def test_vco_sizing_problem_structure(analytical_evaluator):
 
 def test_vco_sizing_problem_evaluation(analytical_evaluator):
     problem = VcoSizingProblem(analytical_evaluator)
-    values = {name: 0.5 * (p.lower + p.upper) for name, p in zip(problem.parameter_names, problem.parameters)}
+    values = {
+        name: 0.5 * (p.lower + p.upper)
+        for name, p in zip(problem.parameter_names, problem.parameters)
+    }
     evaluation = problem.evaluate(values)
     assert evaluation.objectives["fmax"] > evaluation.objectives["fmin"]
     assert evaluation.objectives["current"] > 0.0
@@ -108,7 +109,10 @@ def test_system_stage_selects_solution(combined_model):
     assert set(result.selected_values) == {"kvco", "ivco", "c1", "c2", "r1"}
     rows = result.table2_records(max_rows=3)
     assert rows
-    assert {"kv_mhz_per_v", "iv_ma", "c1_pf", "lock_time_us", "jitter_ps", "current_ma"} <= set(rows[0])
+    expected_columns = {
+        "kv_mhz_per_v", "iv_ma", "c1_pf", "lock_time_us", "jitter_ps", "current_ma"
+    }
+    assert expected_columns <= set(rows[0])
     assert rows[0]["kv_min_mhz_per_v"] <= rows[0]["kv_mhz_per_v"] <= rows[0]["kv_max_mhz_per_v"]
 
 

@@ -55,7 +55,8 @@ def test_performance_model_design_lookup_at_stored_point(combined_model):
 def test_performance_model_consistency_distance(combined_model):
     model = combined_model.performance
     point = model.point(0)
-    assert model.consistency_distance(point["kvco"], point["current"]) == pytest.approx(0.0, abs=1e-9)
+    distance = model.consistency_distance(point["kvco"], point["current"])
+    assert distance == pytest.approx(0.0, abs=1e-9)
     far = model.consistency_distance(point["kvco"] * 10.0, point["current"] * 10.0)
     assert far > 1.0
 

@@ -1,7 +1,6 @@
 """Tests for the random-search and weighted-sum baselines."""
 
 import numpy as np
-import pytest
 
 from repro.optim import NSGA2, NSGA2Config, RandomSearch, WeightedSumGA, hypervolume
 from repro.optim.problem import Evaluation, Objective, Parameter, Problem

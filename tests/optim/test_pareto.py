@@ -107,7 +107,8 @@ def test_spacing_single_point_is_zero():
 
 def _front_from(objectives, parameters=None):
     individuals = []
-    parameters = parameters if parameters is not None else [[float(i)] for i in range(len(objectives))]
+    if parameters is None:
+        parameters = [[float(i)] for i in range(len(objectives))]
     for params, objs in zip(parameters, objectives):
         ind = Individual(parameters=np.asarray(params, dtype=float))
         ind.objectives = np.asarray(objs, dtype=float)

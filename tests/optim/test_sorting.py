@@ -6,7 +6,64 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.optim.individual import Individual
-from repro.optim.sorting import crowding_distance, fast_non_dominated_sort, sort_population
+from repro.optim.sorting import (
+    crowding_distance,
+    domination_matrix,
+    fast_non_dominated_sort,
+    sort_population,
+)
+
+
+def reference_fast_non_dominated_sort(population):
+    """The original per-pair loop implementation, kept as the test oracle."""
+    n = len(population)
+    if n == 0:
+        return []
+    dominated_sets = [[] for _ in range(n)]
+    domination_counts = np.zeros(n, dtype=int)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if population[i].constrained_dominates(population[j]):
+                dominated_sets[i].append(j)
+                domination_counts[j] += 1
+            elif population[j].constrained_dominates(population[i]):
+                dominated_sets[j].append(i)
+                domination_counts[i] += 1
+    fronts = []
+    current = [i for i in range(n) if domination_counts[i] == 0]
+    while current:
+        fronts.append(current)
+        next_front = []
+        for index in current:
+            for dominated in dominated_sets[index]:
+                domination_counts[dominated] -= 1
+                if domination_counts[dominated] == 0:
+                    next_front.append(dominated)
+        current = next_front
+    return fronts
+
+
+def reference_crowding_distance(population, front):
+    """The original per-point crowding loop, kept as the test oracle."""
+    size = len(front)
+    if size == 0:
+        return np.array([])
+    distances = np.zeros(size)
+    if size <= 2:
+        distances[:] = np.inf
+        return distances
+    objectives = np.vstack([population[i].objectives for i in front])
+    for m in range(objectives.shape[1]):
+        order = np.argsort(objectives[:, m], kind="stable")
+        spread = objectives[order[-1], m] - objectives[order[0], m]
+        distances[order[0]] = np.inf
+        distances[order[-1]] = np.inf
+        if spread <= 0.0:
+            continue
+        for k in range(1, size - 1):
+            gap = objectives[order[k + 1], m] - objectives[order[k - 1], m]
+            distances[order[k]] += gap / spread
+    return distances
 
 
 def make_population(objective_rows, constraint_rows=None):
@@ -122,7 +179,11 @@ def test_sort_population_orders_by_rank_then_crowding():
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.integers(min_value=2, max_value=25), st.integers(min_value=2, max_value=4), st.integers(0, 10_000))
+@given(
+    st.integers(min_value=2, max_value=25),
+    st.integers(min_value=2, max_value=4),
+    st.integers(0, 10_000),
+)
 def test_property_first_front_is_mutually_non_dominated(n, m, seed):
     rng = np.random.default_rng(seed)
     population = make_population(rng.uniform(0.0, 1.0, size=(n, m)))
@@ -132,6 +193,72 @@ def test_property_first_front_is_mutually_non_dominated(n, m, seed):
         for j in first:
             if i != j:
                 assert not population[i].dominates(population[j])
+
+
+# -- vectorised implementation vs the original loop oracle ---------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=4),
+    st.booleans(),
+    st.integers(0, 10_000),
+)
+def test_vectorised_sort_matches_loop_implementation(n, m, constrained, seed):
+    rng = np.random.default_rng(seed)
+    objective_rows = rng.uniform(0.0, 1.0, size=(n, m))
+    # Duplicate some rows so exact ties are exercised too.
+    if n >= 4:
+        objective_rows[n // 2] = objective_rows[0]
+    constraint_rows = (
+        rng.uniform(-0.5, 0.5, size=(n, 2)) if constrained else None
+    )
+    population = make_population(objective_rows, constraint_rows)
+    reference = reference_fast_non_dominated_sort(
+        make_population(objective_rows, constraint_rows)
+    )
+    fronts = fast_non_dominated_sort(population)
+    # Exact equality including index order inside every front: seeded runs
+    # depend on it.
+    assert fronts == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=25),
+    st.integers(min_value=1, max_value=4),
+    st.integers(0, 10_000),
+)
+def test_vectorised_crowding_matches_loop_implementation(n, m, seed):
+    rng = np.random.default_rng(seed)
+    objective_rows = rng.uniform(0.0, 1.0, size=(n, m))
+    if n >= 3:
+        objective_rows[-1] = objective_rows[0]
+    population = make_population(objective_rows)
+    front = list(range(n))
+    reference = reference_crowding_distance(make_population(objective_rows), front)
+    distances = crowding_distance(population, front)
+    assert np.array_equal(distances, reference)
+
+
+def test_domination_matrix_matches_pairwise_method():
+    rng = np.random.default_rng(17)
+    population = make_population(
+        rng.uniform(0.0, 1.0, size=(20, 3)),
+        constraint_rows=rng.uniform(-0.4, 0.6, size=(20, 2)),
+    )
+    matrix = domination_matrix(population)
+    for i in range(20):
+        for j in range(20):
+            expected = i != j and population[i].constrained_dominates(population[j])
+            assert matrix[i, j] == expected
+
+
+def test_sort_raises_on_unevaluated_individuals():
+    population = [Individual(parameters=np.array([0.0]))]
+    with pytest.raises(ValueError):
+        fast_non_dominated_sort(population)
 
 
 @settings(max_examples=30, deadline=None)

@@ -43,7 +43,9 @@ def test_spread_percent_empty_raises():
 
 
 def test_performance_spread_properties():
-    spread = PerformanceSpread("kvco", nominal=1e9, mean=1.1e9, std=1.1e7, minimum=1e9, maximum=1.2e9, n_samples=100)
+    spread = PerformanceSpread(
+        "kvco", nominal=1e9, mean=1.1e9, std=1.1e7, minimum=1e9, maximum=1.2e9, n_samples=100
+    )
     assert spread.spread_percent == pytest.approx(1.0)
     assert spread.lower_bound == pytest.approx(1.1e9 - 1.1e7)
     assert spread.upper_bound == pytest.approx(1.1e9 + 1.1e7)
@@ -169,3 +171,60 @@ def test_engine_samples_iterator_is_reproducible():
     second = [s.technology.nmos.vth0 for s in engine.samples()]
     assert first == second
     assert len(first) == 5
+
+
+# -- batch evaluation path ---------------------------------------------------------------
+
+
+def _batch_evaluator(technologies, mismatches):
+    """Batch counterpart of ``_evaluator`` (one result dict per sample)."""
+    return [
+        _evaluator(technology, mismatch)
+        for technology, mismatch in zip(technologies, mismatches)
+    ]
+
+
+def test_run_batch_matches_run_bitwise():
+    devices = [DeviceGeometry("m1", 10e-6, 0.12e-6)]
+    engine = MonteCarloEngine(TECH_012UM, n_samples=50, seed=21)
+    serial = engine.run(_evaluator, devices=devices)
+    batch = engine.run_batch(_batch_evaluator, devices=devices)
+    assert serial.performances == batch.performances
+    assert serial.nominal == batch.nominal
+
+
+def test_run_batch_without_devices_matches_run():
+    engine = MonteCarloEngine(TECH_012UM, n_samples=12, seed=22)
+    serial = engine.run(_evaluator)
+    batch = engine.run_batch(_batch_evaluator)
+    assert serial.performances == batch.performances
+
+
+def test_run_batch_honours_given_nominal():
+    engine = MonteCarloEngine(TECH_012UM, n_samples=3, seed=23)
+    nominal = {"speed": 1.0, "offset": 0.0, "constant": 42.0}
+    result = engine.run_batch(_batch_evaluator, nominal=nominal)
+    assert result.nominal == nominal
+
+
+def test_run_batch_rejects_wrong_result_count():
+    engine = MonteCarloEngine(TECH_012UM, n_samples=4, seed=24)
+    with pytest.raises(ValueError):
+        engine.run_batch(lambda techs, mms: [_evaluator(techs[0], mms[0])])
+
+
+def test_run_batch_rejects_empty_results():
+    engine = MonteCarloEngine(TECH_012UM, n_samples=2, seed=25)
+    with pytest.raises(ValueError):
+        engine.run_batch(lambda techs, mms: [{} for _ in techs])
+
+
+def test_sample_batch_matches_iterator_stream():
+    devices = [DeviceGeometry("m1", 10e-6, 0.12e-6), DeviceGeometry("m2", 20e-6, 0.24e-6)]
+    engine = MonteCarloEngine(TECH_012UM, n_samples=8, seed=26)
+    batch = engine.sample_batch(devices)
+    streamed = list(engine.samples(devices))
+    assert len(batch) == len(streamed) == 8
+    for a, b in zip(batch, streamed):
+        assert a.technology.nmos.vth0 == b.technology.nmos.vth0
+        assert a.mismatch.deltas == b.mismatch.deltas

@@ -9,7 +9,6 @@ from repro.spice import (
     Circuit,
     MOSFET,
     NMOS_DEFAULT,
-    PMOS_DEFAULT,
     Resistor,
     TransientAnalysis,
     VoltageSource,
@@ -17,9 +16,8 @@ from repro.spice import (
     dc_operating_point,
 )
 from repro.spice.dc import DCOperatingPoint
-from repro.spice.elements import PulseWaveform
-from repro.spice.exceptions import AnalysisError, ConvergenceError, NetlistError
-from repro.spice.mna import NewtonOptions, NewtonSolver
+from repro.spice.exceptions import AnalysisError, NetlistError
+from repro.spice.mna import NewtonSolver
 
 
 # -- Newton solver / DC ---------------------------------------------------------------

@@ -192,7 +192,11 @@ def test_diode_reverse_blocks():
 
 def test_rc_charging_time_constant():
     circuit = Circuit()
-    circuit.add(VoltageSource("v1", "in", "0", PulseWaveform(0.0, 1.0, delay=0.0, rise=1e-12, width=1.0, period=2.0)))
+    circuit.add(
+        VoltageSource(
+            "v1", "in", "0", PulseWaveform(0.0, 1.0, delay=0.0, rise=1e-12, width=1.0, period=2.0)
+        )
+    )
     circuit.add(Resistor("r1", "in", "out", 1e3))
     circuit.add(Capacitor("c1", "out", "0", 1e-9))
     tau = 1e-6

@@ -1,6 +1,5 @@
 """Tests for the MOSFET device model."""
 
-import numpy as np
 import pytest
 
 from repro.spice import Circuit, MOSFET, NMOS_DEFAULT, PMOS_DEFAULT, Resistor, VoltageSource

@@ -7,7 +7,6 @@ from repro.spice import (
     Diode,
     Inductor,
     MOSFET,
-    Resistor,
     VCCS,
     VCVS,
     VoltageSource,

@@ -149,7 +149,8 @@ def test_cubic_coefficients_match_equation_3():
         a, b, c, d = spline.coefficients(segment)
         for frac in (0.0, 0.3, 0.7, 1.0):
             xi = x[segment] + frac * (x[segment + 1] - x[segment])
-            poly = a * (xi - x[segment]) ** 3 + b * (xi - x[segment]) ** 2 + c * (xi - x[segment]) + d
+            delta = xi - x[segment]
+            poly = a * delta**3 + b * delta**2 + c * delta + d
             assert poly == pytest.approx(float(spline(xi)), abs=1e-9)
 
 
