@@ -8,6 +8,12 @@ pytest-benchmark report.  This script concatenates their ``benchmarks``
 entries -- tagging each with its source file -- and keeps one copy of the
 machine/commit metadata, producing the single ``BENCH_ci.json`` artifact
 described in the README.
+
+It is also the vectorisation regression gate: benchmarks record their
+measured vectorised-vs-serial ratios as ``extra_info`` keys starting with
+``speedup``, and the merge FAILS (non-zero exit) if any recorded ratio
+drops below 1.0 -- i.e. if a change makes a batched path slower than the
+serial loop it is supposed to replace.
 """
 
 from __future__ import annotations
@@ -15,6 +21,19 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
+
+#: ``extra_info`` keys with this prefix are speedup ratios gated at >= 1.0.
+SPEEDUP_PREFIX = "speedup"
+
+
+def collect_speedups(merged: dict) -> list:
+    """All ``(benchmark_name, key, ratio)`` speedup records in the report."""
+    records = []
+    for entry in merged["benchmarks"]:
+        for key, value in (entry.get("extra_info") or {}).items():
+            if key.startswith(SPEEDUP_PREFIX):
+                records.append((entry.get("name", "?"), key, float(value)))
+    return records
 
 
 def merge(input_directory: str, output_file: str) -> dict:
@@ -34,11 +53,28 @@ def merge(input_directory: str, output_file: str) -> dict:
     return merged
 
 
+def main(input_directory: str, output_file: str) -> None:
+    merged = merge(input_directory, output_file)
+    print(
+        f"merged {len(merged['benchmarks'])} benchmark entr(y/ies) "
+        f"into {output_file}"
+    )
+    speedups = collect_speedups(merged)
+    regressions = []
+    for name, key, ratio in speedups:
+        status = "ok" if ratio >= 1.0 else "REGRESSION"
+        print(f"  {key}: {ratio:.2f}x ({name}) [{status}]")
+        if ratio < 1.0:
+            regressions.append((name, key, ratio))
+    if regressions:
+        details = ", ".join(f"{key}={ratio:.2f}x" for _, key, ratio in regressions)
+        raise SystemExit(
+            f"vectorised-vs-serial speedup regression: {details} -- a batched "
+            "path is now slower than the serial loop it replaces"
+        )
+
+
 if __name__ == "__main__":
     if len(sys.argv) != 3:
         raise SystemExit(__doc__)
-    result = merge(sys.argv[1], sys.argv[2])
-    print(
-        f"merged {len(result['benchmarks'])} benchmark entr(y/ies) "
-        f"into {sys.argv[2]}"
-    )
+    main(sys.argv[1], sys.argv[2])

@@ -79,7 +79,9 @@ def test_vectorised_matches_serial_with_3x_speedup(benchmark):
     )
     assert serial_result.evaluations == vectorised_result.evaluations
     assert speedup >= 3.0, f"vectorised speedup {speedup:.2f}x is below the 3x target"
-    # Record the vectorised run for the pytest-benchmark report.
+    # Record the vectorised run for the pytest-benchmark report; the ratio
+    # feeds the CI regression gate in merge_benchmarks.py.
+    benchmark.extra_info["speedup_circuit_vectorised_vs_serial"] = speedup
     benchmark(lambda: _paper_run("vectorised")[0])
 
 
@@ -89,19 +91,26 @@ def test_monte_carlo_batch_matches_serial(benchmark):
     design = VcoDesign()
     devices = vco_device_geometries(design)
     engine = MonteCarloEngine(TECH_012UM, n_samples=200, seed=2009)
-    start = time.perf_counter()
-    serial = engine.run(evaluator.monte_carlo_evaluator(design), devices=devices)
-    serial_time = time.perf_counter() - start
-    start = time.perf_counter()
-    batch = engine.run_batch(
-        evaluator.monte_carlo_batch_evaluator(design), devices=devices
-    )
-    batch_time = time.perf_counter() - start
+    # Best-of timings: the recorded ratio feeds the hard CI gate, so a
+    # one-off stall on a shared runner must not register as a regression.
+    serial, serial_time = None, float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        serial = engine.run(evaluator.monte_carlo_evaluator(design), devices=devices)
+        serial_time = min(serial_time, time.perf_counter() - start)
+    batch, batch_time = None, float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batch = engine.run_batch(
+            evaluator.monte_carlo_batch_evaluator(design), devices=devices
+        )
+        batch_time = min(batch_time, time.perf_counter() - start)
     print_header("Batch evaluation: Monte Carlo engine (200 samples)")
     print(f"serial {serial_time:.3f}s  batch {batch_time:.3f}s  "
           f"speedup {serial_time / batch_time:.2f}x")
     assert serial.performances == batch.performances
     assert serial.nominal == batch.nominal
+    benchmark.extra_info["speedup_mc_batch_vs_serial"] = serial_time / batch_time
     benchmark(
         lambda: engine.run_batch(
             evaluator.monte_carlo_batch_evaluator(design), devices=devices

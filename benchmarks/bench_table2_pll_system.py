@@ -12,11 +12,15 @@ run on the behavioural PLL with the combined VCO model, prints the selected
 design solution, and times the PLL evaluation kernel.
 """
 
+import time
+
 import numpy as np
 
 from benchmarks.conftest import print_header
 from repro.core.specification import PLL_SPECIFICATIONS
-from repro.core.system_stage import PllSystemProblem
+from repro.core.system_stage import PllSystemProblem, SystemLevelOptimisation
+from repro.optim import NSGA2Config
+from repro.optim.individual import parameters_matrix
 
 
 def test_table2_rows(benchmark, system_stage, combined_model, settings):
@@ -72,6 +76,69 @@ def test_table2_rows(benchmark, system_stage, combined_model, settings):
     assert selected.is_feasible
     assert selected.raw_objectives["lock_time"] <= PLL_SPECIFICATIONS["lock_time"].upper
     assert selected.raw_objectives["current"] <= PLL_SPECIFICATIONS["current"].upper
+
+
+def test_table2_vectorised_backend_5x_with_identical_front(
+    benchmark, combined_model, settings
+):
+    """The Table-2 system run on the lane-parallel backend: >= 5x, same front.
+
+    Runs the full system-level NSGA-II once per backend at the benchmark's
+    population/generation budget; the ``vectorised`` backend advances the
+    whole population (all three variants) through one batched cycle loop,
+    so it must reproduce the serial Pareto front bit-for-bit while being
+    at least five times faster.
+    """
+
+    def run(evaluator_name):
+        stage = SystemLevelOptimisation(
+            combined_model,
+            config=NSGA2Config(
+                population_size=settings["system_population"],
+                generations=settings["system_generations"],
+                seed=settings["seed"],
+                evaluator=evaluator_name,
+            ),
+            simulation_time=3e-6,
+        )
+        return stage.run()
+
+    def best_of(evaluator_name, repeats):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run(evaluator_name)
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    serial_result, serial_time = best_of("serial", repeats=2)
+    vectorised_result, vectorised_time = best_of("vectorised", repeats=3)
+    speedup = serial_time / vectorised_time
+    print_header(
+        "Table 2 system run: serial vs lane-parallel vectorised backend "
+        f"(pop={settings['system_population']}, gen={settings['system_generations']})"
+    )
+    print(f"{'backend':>12} {'time [s]':>10} {'front':>6}")
+    print(f"{'serial':>12} {serial_time:10.3f} {len(serial_result.optimisation.front):6d}")
+    print(
+        f"{'vectorised':>12} {vectorised_time:10.3f} "
+        f"{len(vectorised_result.optimisation.front):6d}"
+    )
+    print(f"speedup: {speedup:.2f}x")
+    serial_front = serial_result.optimisation.front
+    vectorised_front = vectorised_result.optimisation.front
+    # Bit-identical Pareto fronts, parameters, Table-2 metrics and selection.
+    assert np.array_equal(serial_front.objectives, vectorised_front.objectives)
+    assert np.array_equal(
+        parameters_matrix(list(serial_front)), parameters_matrix(list(vectorised_front))
+    )
+    for a, b in zip(serial_front, vectorised_front):
+        assert a.metrics == b.metrics
+    assert serial_result.selected_values == vectorised_result.selected_values
+    assert serial_result.table2_records(10) == vectorised_result.table2_records(10)
+    assert speedup >= 5.0, f"vectorised speedup {speedup:.2f}x is below the 5x target"
+    benchmark.extra_info["speedup_system_vectorised_vs_serial"] = speedup
+    benchmark(lambda: run("vectorised"))
 
 
 def test_table2_benchmark_pll_evaluation_kernel(benchmark, combined_model):

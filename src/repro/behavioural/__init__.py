@@ -14,41 +14,70 @@ as reference [13] of the paper (Kundert's behavioural PLL models):
   :class:`~repro.behavioural.divider.Divider`,
 * :class:`~repro.behavioural.pll.BehaviouralPll` -- a cycle-by-cycle
   time-domain simulator measuring lock time, output jitter and supply
-  current (figure 8 of the paper), and
+  current (figure 8 of the paper), with a lane-parallel batch engine
+  (``simulate_batch`` and friends) that advances N designs / variation
+  samples through one numpy cycle loop, bit-identical to the scalar
+  path, and
 * :class:`~repro.behavioural.pll_linear.LinearPllAnalysis` -- the
   continuous-time small-signal loop analysis used for quick estimates and
   sanity checks.
 """
 
-from repro.behavioural.charge_pump import ChargePump
-from repro.behavioural.divider import Divider
+from repro.behavioural.charge_pump import ChargePump, ChargePumpLanes
+from repro.behavioural.divider import Divider, DividerLanes
 from repro.behavioural.jitter import (
     accumulated_jitter,
     jitter_sum,
+    jitter_sum_lanes,
     period_jitter_from_phase_noise,
 )
-from repro.behavioural.loop_filter import LoopFilter, LoopFilterState
-from repro.behavioural.pfd import PhaseFrequencyDetector, PhaseError
-from repro.behavioural.pll import BehaviouralPll, PllDesign, PllPerformance, PllTransient
+from repro.behavioural.loop_filter import (
+    LoopFilter,
+    LoopFilterLanes,
+    LoopFilterLanesState,
+    LoopFilterState,
+)
+from repro.behavioural.pfd import (
+    PfdLanes,
+    PhaseError,
+    PhaseErrorLanes,
+    PhaseFrequencyDetector,
+)
+from repro.behavioural.pll import (
+    BehaviouralPll,
+    PllBatchTransient,
+    PllDesign,
+    PllPerformance,
+    PllTransient,
+)
 from repro.behavioural.pll_linear import LinearPllAnalysis, LoopDynamics
-from repro.behavioural.vco import BehaviouralVco, VcoVariationTables
+from repro.behavioural.vco import BehaviouralVco, VcoLanes, VcoVariationTables
 
 __all__ = [
     "BehaviouralVco",
+    "VcoLanes",
     "VcoVariationTables",
     "PhaseFrequencyDetector",
     "PhaseError",
+    "PfdLanes",
+    "PhaseErrorLanes",
     "ChargePump",
+    "ChargePumpLanes",
     "LoopFilter",
     "LoopFilterState",
+    "LoopFilterLanes",
+    "LoopFilterLanesState",
     "Divider",
+    "DividerLanes",
     "BehaviouralPll",
     "PllDesign",
     "PllPerformance",
     "PllTransient",
+    "PllBatchTransient",
     "LinearPllAnalysis",
     "LoopDynamics",
     "jitter_sum",
+    "jitter_sum_lanes",
     "accumulated_jitter",
     "period_jitter_from_phase_noise",
 ]

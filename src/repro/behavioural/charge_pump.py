@@ -5,15 +5,23 @@ filter.  Up/down current mismatch and leakage are modelled because they
 set the static phase offset and the reference spur level of a real PLL;
 the supply-current draw is reported so the system-level current budget can
 include the charge pump.
+
+:class:`ChargePumpLanes` is the lane-parallel twin used by the batched PLL
+transient: the mismatch-adjusted up/down currents are resolved once per
+lane and the per-cycle charge rule runs as array math in the same
+operation order as the scalar :meth:`ChargePump.charge`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.behavioural.pfd import PhaseError
+import numpy as np
 
-__all__ = ["ChargePump"]
+from repro.behavioural.pfd import PhaseError, PhaseErrorLanes
+
+__all__ = ["ChargePump", "ChargePumpLanes"]
 
 
 @dataclass
@@ -55,4 +63,56 @@ class ChargePump:
     def supply_current(self, phase_error: PhaseError, comparison_period: float) -> float:
         """Average supply current drawn during one comparison cycle (A)."""
         active = self.up_current * phase_error.up_width + self.down_current * phase_error.down_width
+        return self.quiescent_current + active / comparison_period
+
+
+@dataclass(frozen=True)
+class ChargePumpLanes:
+    """Lane-parallel charge pump with pre-resolved up/down currents."""
+
+    up_current: np.ndarray
+    down_current: np.ndarray
+    leakage: np.ndarray
+    quiescent_current: np.ndarray
+
+    @classmethod
+    def from_blocks(cls, pumps: Sequence[ChargePump]) -> "ChargePumpLanes":
+        """Stack N scalar charge pumps into lane arrays.
+
+        The mismatch-adjusted :attr:`ChargePump.up_current` /
+        :attr:`ChargePump.down_current` are evaluated once per lane here
+        instead of once per cycle -- the scalar properties are
+        deterministic, so the hoisting changes nothing numerically.
+        """
+        return cls(
+            up_current=np.array([pump.up_current for pump in pumps], dtype=float),
+            down_current=np.array([pump.down_current for pump in pumps], dtype=float),
+            leakage=np.array([pump.leakage for pump in pumps], dtype=float),
+            quiescent_current=np.array(
+                [pump.quiescent_current for pump in pumps], dtype=float
+            ),
+        )
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of parallel lanes."""
+        return self.up_current.size
+
+    def charge(self, phase_error: PhaseErrorLanes, comparison_period: float) -> np.ndarray:
+        """Net charge (C) delivered to every lane's loop filter this cycle."""
+        if comparison_period <= 0.0:
+            raise ValueError("comparison period must be positive")
+        delivered = self.up_current * phase_error.up_width
+        delivered = delivered - self.down_current * phase_error.down_width
+        delivered = delivered - self.leakage * comparison_period
+        return delivered
+
+    def supply_current(
+        self, phase_error: PhaseErrorLanes, comparison_period: float
+    ) -> np.ndarray:
+        """Average supply current (A) per lane during one comparison cycle."""
+        active = (
+            self.up_current * phase_error.up_width
+            + self.down_current * phase_error.down_width
+        )
         return self.quiescent_current + active / comparison_period

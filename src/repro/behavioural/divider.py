@@ -4,16 +4,19 @@ An integer divide-by-``ratio`` counter: one feedback edge is produced for
 every ``ratio`` VCO edges.  Divider jitter is modelled as an additive
 random timing error per output edge, which is small compared with the VCO
 contribution but included for completeness.
+
+:class:`DividerLanes` is the lane-parallel twin used by the batched PLL
+transient: per-lane ratio / jitter arrays with the same edge arithmetic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["Divider"]
+__all__ = ["Divider", "DividerLanes"]
 
 
 @dataclass
@@ -55,3 +58,44 @@ class Divider:
         if vco_frequency <= 0.0:
             raise ValueError("VCO frequency must be positive")
         return vco_frequency / self.ratio
+
+
+@dataclass(frozen=True)
+class DividerLanes:
+    """Lane-parallel integer feedback divider."""
+
+    #: Per-lane divide ratios as floats (integers are exactly representable,
+    #: so ``ratio * period`` matches the scalar int-times-float product).
+    ratio: np.ndarray
+    edge_jitter: np.ndarray
+    supply_current: np.ndarray
+
+    @classmethod
+    def from_blocks(cls, dividers: Sequence[Divider]) -> "DividerLanes":
+        """Stack N scalar dividers into lane arrays."""
+        return cls(
+            ratio=np.array([divider.ratio for divider in dividers], dtype=float),
+            edge_jitter=np.array(
+                [divider.edge_jitter for divider in dividers], dtype=float
+            ),
+            supply_current=np.array(
+                [divider.supply_current for divider in dividers], dtype=float
+            ),
+        )
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of parallel lanes."""
+        return self.ratio.size
+
+    def output_period(self, vco_periods: np.ndarray) -> np.ndarray:
+        """Per-lane nominal divided output period."""
+        if np.any(vco_periods <= 0.0):
+            raise ValueError("VCO period must be positive")
+        return self.ratio * vco_periods
+
+    def output_frequency(self, vco_frequencies: np.ndarray) -> np.ndarray:
+        """Per-lane divided output frequency."""
+        if np.any(vco_frequencies <= 0.0):
+            raise ValueError("VCO frequency must be positive")
+        return vco_frequencies / self.ratio

@@ -16,7 +16,14 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-__all__ = ["jitter_sum", "accumulated_jitter", "period_jitter_from_phase_noise"]
+import numpy as np
+
+__all__ = [
+    "jitter_sum",
+    "jitter_sum_lanes",
+    "accumulated_jitter",
+    "period_jitter_from_phase_noise",
+]
 
 
 def jitter_sum(vco_period_jitter: float, divide_ratio: float) -> float:
@@ -31,6 +38,23 @@ def jitter_sum(vco_period_jitter: float, divide_ratio: float) -> float:
     if divide_ratio <= 0.0:
         raise ValueError("the divide ratio must be positive")
     return vco_period_jitter * math.sqrt(2.0 * divide_ratio)
+
+
+def jitter_sum_lanes(
+    vco_period_jitters: np.ndarray, divide_ratios: np.ndarray
+) -> np.ndarray:
+    """Lane-parallel :func:`jitter_sum` over ``(n_lanes,)`` arrays.
+
+    ``sqrt`` is IEEE correctly-rounded, so each lane's value is
+    bit-identical to the scalar ``jvco * sqrt(2 * ratio)`` expression.
+    """
+    jitters = np.asarray(vco_period_jitters, dtype=float)
+    ratios = np.asarray(divide_ratios, dtype=float)
+    if np.any(jitters < 0.0):
+        raise ValueError("jitter must be non-negative")
+    if np.any(ratios <= 0.0):
+        raise ValueError("the divide ratio must be positive")
+    return jitters * np.sqrt(2.0 * ratios)
 
 
 def accumulated_jitter(per_cycle_jitters: Sequence[float]) -> float:

@@ -10,13 +10,22 @@ acquisition.
 
 The transfer function ``Z(s)`` used by the linear loop analysis is also
 provided.
+
+:class:`LoopFilterLanes` is the lane-parallel twin used by the batched PLL
+transient: per-lane component arrays, the same exact charge-deposit +
+relaxation update, and a cached per-interval relaxation factor so the
+``exp`` evaluation leaves the cycle loop entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import exp, pi
+from typing import Dict, Sequence
 
-__all__ = ["LoopFilterState", "LoopFilter"]
+import numpy as np
+
+__all__ = ["LoopFilterState", "LoopFilter", "LoopFilterLanesState", "LoopFilterLanes"]
 
 
 @dataclass
@@ -58,15 +67,11 @@ class LoopFilter:
     @property
     def zero_frequency(self) -> float:
         """Stabilising zero ``1 / (2 pi R1 C1)`` in Hz."""
-        from math import pi
-
         return 1.0 / (2.0 * pi * self.r1 * self.c1)
 
     @property
     def pole_frequency(self) -> float:
         """Parasitic pole ``1 / (2 pi R1 (C1 || C2))`` in Hz (inf when C2=0)."""
-        from math import pi
-
         if self.c2 == 0.0:
             return float("inf")
         c_series = self.c1 * self.c2 / (self.c1 + self.c2)
@@ -74,8 +79,29 @@ class LoopFilter:
 
     # -- time-domain update --------------------------------------------------------------
 
+    def relaxation(self, interval: float) -> float:
+        """Relaxation factor of the C2-to-C1 difference over ``interval``.
+
+        This is the ``exp(-interval / (R1 (C1 || C2)))`` decay used by
+        :meth:`apply_charge`.  The comparison interval is constant during a
+        transient, so callers hoist this out of the cycle loop and pass it
+        back in via ``decay`` -- the value is identical to the per-cycle
+        recomputation.
+        """
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        if self.c2 <= 0.0:
+            return 0.0
+        c_series = self.c1 * self.c2 / (self.c1 + self.c2)
+        tau = self.r1 * c_series
+        return exp(-interval / tau) if tau > 0.0 else 0.0
+
     def apply_charge(
-        self, state: LoopFilterState, charge: float, interval: float
+        self,
+        state: LoopFilterState,
+        charge: float,
+        interval: float,
+        decay: float | None = None,
     ) -> LoopFilterState:
         """Advance the filter by one comparison interval.
 
@@ -83,7 +109,9 @@ class LoopFilter:
         between C2 and the R1+C1 branch according to their instantaneous
         impedance, i.e. all of it initially lands on C2 when C2 > 0), after
         which the two capacitors relax towards each other through R1 for the
-        remainder of the interval.
+        remainder of the interval.  ``decay`` accepts the pre-computed
+        :meth:`relaxation` factor of ``interval``; when omitted it is
+        evaluated here.
         """
         if interval <= 0.0:
             raise ValueError("interval must be positive")
@@ -95,11 +123,8 @@ class LoopFilter:
             new_state.v_c1 += charge / self.c1
         # Relaxation of C2 towards C1 through R1 (exact single-pole solution).
         if self.c2 > 0.0:
-            from math import exp
-
-            c_series = self.c1 * self.c2 / (self.c1 + self.c2)
-            tau = self.r1 * c_series
-            decay = exp(-interval / tau) if tau > 0.0 else 0.0
+            if decay is None:
+                decay = self.relaxation(interval)
             difference = new_state.v_c2 - new_state.v_c1
             settled_difference = difference * decay
             # Total charge is conserved while the difference decays.
@@ -117,3 +142,117 @@ class LoopFilter:
     def initialise(self, control_voltage: float) -> LoopFilterState:
         """State with both capacitors pre-charged to ``control_voltage``."""
         return LoopFilterState(v_c1=control_voltage, v_c2=control_voltage)
+
+
+@dataclass
+class LoopFilterLanesState:
+    """Capacitor voltages of every lane, shape ``(n_lanes,)`` each."""
+
+    v_c1: np.ndarray
+    v_c2: np.ndarray
+
+
+class LoopFilterLanes:
+    """Lane-parallel second-order passive loop filter.
+
+    Holds per-lane component arrays and advances all lanes through the
+    exact charge-deposit + relaxation update of :meth:`LoopFilter.apply_charge`
+    with the identical operation order.  The per-interval relaxation factor
+    is computed once per lane with ``math.exp`` -- the same libm call the
+    scalar path makes -- and cached, because numpy's SIMD ``exp`` can differ
+    from libm by an ulp, which would break bit-exact serial/batch parity.
+    """
+
+    def __init__(self, c1: np.ndarray, c2: np.ndarray, r1: np.ndarray) -> None:
+        self.c1 = np.asarray(c1, dtype=float)
+        self.c2 = np.asarray(c2, dtype=float)
+        self.r1 = np.asarray(r1, dtype=float)
+        if np.any(self.c1 <= 0.0) or np.any(self.r1 <= 0.0):
+            raise ValueError("C1 and R1 must be positive in every lane")
+        if np.any(self.c2 < 0.0):
+            raise ValueError("C2 must be non-negative in every lane")
+        self.has_c2 = self.c2 > 0.0
+        self._all_c2 = bool(np.all(self.has_c2))
+        # (C1 + C2) is recomputed every cycle by the scalar path with an
+        # identical result, so hoisting it here changes nothing numerically.
+        self._c1_plus_c2 = self.c1 + self.c2
+        self._decay_cache: Dict[float, np.ndarray] = {}
+
+    @classmethod
+    def from_blocks(cls, filters: Sequence[LoopFilter]) -> "LoopFilterLanes":
+        """Stack N scalar loop filters into lane arrays."""
+        return cls(
+            c1=np.array([f.c1 for f in filters], dtype=float),
+            c2=np.array([f.c2 for f in filters], dtype=float),
+            r1=np.array([f.r1 for f in filters], dtype=float),
+        )
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of parallel lanes."""
+        return self.c1.size
+
+    def relaxation(self, interval: float) -> np.ndarray:
+        """Per-lane :meth:`LoopFilter.relaxation` factors, cached per interval."""
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        cached = self._decay_cache.get(interval)
+        if cached is None:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                c_series = self.c1 * self.c2 / (self.c1 + self.c2)
+            taus = (self.r1 * c_series).tolist()
+            cached = np.array(
+                [
+                    exp(-interval / tau) if (has and tau > 0.0) else 0.0
+                    for tau, has in zip(taus, self.has_c2.tolist())
+                ]
+            )
+            self._decay_cache[interval] = cached
+        return cached
+
+    def initialise(self, control_voltage: np.ndarray) -> LoopFilterLanesState:
+        """All lanes pre-charged to their ``control_voltage`` entry."""
+        voltage = np.broadcast_to(
+            np.asarray(control_voltage, dtype=float), self.c1.shape
+        )
+        return LoopFilterLanesState(v_c1=voltage.copy(), v_c2=voltage.copy())
+
+    def apply_charge(
+        self,
+        state: LoopFilterLanesState,
+        charge: np.ndarray,
+        interval: float,
+        decay: np.ndarray | None = None,
+    ) -> LoopFilterLanesState:
+        """Advance every lane by one comparison interval (exact update)."""
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        if decay is None:
+            decay = self.relaxation(interval)
+        if self._all_c2:
+            # Fast path (every lane has a ripple capacitor, the usual
+            # system-stage shape): no masked selects needed.
+            v_c2 = state.v_c2 + charge / self.c2
+            difference = v_c2 - state.v_c1
+            settled_difference = difference * decay
+            total_charge = self.c1 * state.v_c1 + self.c2 * v_c2
+            new_v_c2 = (total_charge + self.c1 * settled_difference) / self._c1_plus_c2
+            return LoopFilterLanesState(
+                v_c1=new_v_c2 - settled_difference, v_c2=new_v_c2
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            v_c2 = np.where(self.has_c2, state.v_c2 + charge / self.c2, state.v_c2)
+            v_c1 = np.where(self.has_c2, state.v_c1, state.v_c1 + charge / self.c1)
+            difference = v_c2 - v_c1
+            settled_difference = difference * decay
+            total_charge = self.c1 * v_c1 + self.c2 * v_c2
+            relaxed_v_c2 = (total_charge + self.c1 * settled_difference) / self._c1_plus_c2
+        new_v_c2 = np.where(self.has_c2, relaxed_v_c2, v_c2)
+        new_v_c1 = np.where(self.has_c2, relaxed_v_c2 - settled_difference, v_c1)
+        return LoopFilterLanesState(v_c1=new_v_c1, v_c2=new_v_c2)
+
+    def output_voltage(self, state: LoopFilterLanesState) -> np.ndarray:
+        """Per-lane control voltage (C2's voltage, or C1's where C2=0)."""
+        if self._all_c2:
+            return state.v_c2
+        return np.where(self.has_c2, state.v_c2, state.v_c1)

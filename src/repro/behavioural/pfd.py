@@ -5,13 +5,21 @@ feedback (divider) edge in each comparison cycle and produces an UP or
 DOWN pulse whose width equals the time difference.  Non-idealities that
 matter for lock behaviour -- a dead zone and a minimum (reset) pulse width
 -- are modelled because they bound the achievable static phase error.
+
+:class:`PfdLanes` is the lane-parallel twin used by the batched PLL
+transient: the same comparison rule evaluated for ``n_lanes`` feedback
+edges at once, with the operation order kept identical to
+:meth:`PhaseFrequencyDetector.compare` so both paths are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-__all__ = ["PhaseError", "PhaseFrequencyDetector"]
+import numpy as np
+
+__all__ = ["PhaseError", "PhaseErrorLanes", "PhaseFrequencyDetector", "PfdLanes"]
 
 
 @dataclass(frozen=True)
@@ -61,3 +69,68 @@ class PhaseFrequencyDetector:
         elif error < 0.0:
             down += effective
         return PhaseError(timing_error=error, up_width=up, down_width=down)
+
+
+@dataclass(frozen=True)
+class PhaseErrorLanes:
+    """Phase-comparison results of one cycle across all lanes."""
+
+    #: Signed timing errors (s), shape ``(n_lanes,)``.
+    timing_error: np.ndarray
+    #: UP pulse widths (s), shape ``(n_lanes,)``.
+    up_width: np.ndarray
+    #: DOWN pulse widths (s), shape ``(n_lanes,)``.
+    down_width: np.ndarray
+
+    @property
+    def net_width(self) -> np.ndarray:
+        """Net charge-pump drive ``up - down`` (s) per lane."""
+        return self.up_width - self.down_width
+
+
+@dataclass(frozen=True)
+class PfdLanes:
+    """Lane-parallel tri-state PFD: one parameter entry per lane."""
+
+    dead_zone: np.ndarray
+    reset_pulse: np.ndarray
+    max_pulse: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_no_dead_zone", bool(np.all(self.dead_zone == 0.0)))
+
+    @classmethod
+    def from_blocks(cls, pfds: Sequence[PhaseFrequencyDetector]) -> "PfdLanes":
+        """Stack the parameters of N scalar PFD blocks into lane arrays."""
+        return cls(
+            dead_zone=np.array([pfd.dead_zone for pfd in pfds], dtype=float),
+            reset_pulse=np.array([pfd.reset_pulse for pfd in pfds], dtype=float),
+            max_pulse=np.array([pfd.max_pulse for pfd in pfds], dtype=float),
+        )
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of parallel lanes."""
+        return self.dead_zone.size
+
+    def compare(self, reference_edge: float, feedback_edges: np.ndarray) -> PhaseErrorLanes:
+        """Compare one reference edge with every lane's feedback edge.
+
+        Transcribes :meth:`PhaseFrequencyDetector.compare` to lane arrays
+        with the identical operation order, so each lane's result is
+        bit-identical to the scalar comparison.
+        """
+        error = feedback_edges - reference_edge
+        magnitude = np.abs(error)
+        if self._no_dead_zone:
+            # |e| - 0.0 == |e| bit-for-bit, and the scalar branch's 0.0 for
+            # |e| == 0 is reproduced by 0.0 - 0.0, so the select can go.
+            effective = magnitude - self.dead_zone
+        else:
+            effective = np.where(
+                magnitude <= self.dead_zone, 0.0, magnitude - self.dead_zone
+            )
+        effective = np.minimum(effective, self.max_pulse)
+        up = self.reset_pulse + np.where(error > 0.0, effective, 0.0)
+        down = self.reset_pulse + np.where(error < 0.0, effective, 0.0)
+        return PhaseErrorLanes(timing_error=error, up_width=up, down_width=down)

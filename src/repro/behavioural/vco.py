@@ -28,13 +28,20 @@ variation -- the paper's key idea for yield-aware system optimisation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.behavioural.jitter import jitter_sum
+from repro.behavioural.jitter import jitter_sum, jitter_sum_lanes
 
-__all__ = ["VcoVariationTables", "BehaviouralVco", "VARIANTS"]
+__all__ = [
+    "VcoVariationTables",
+    "BehaviouralVco",
+    "VcoLanes",
+    "VARIANTS",
+    "bounds_lanes",
+    "describe_lanes",
+]
 
 #: The three evaluation variants of every block quantity.
 VARIANTS = ("nominal", "min", "max")
@@ -80,12 +87,23 @@ class VcoVariationTables:
             fmax_delta=lambda _v, s=fmax: s,
         )
 
-    def spread(self, name: str, value: float) -> float:
-        """Spread in percent of the named performance at ``value``."""
+    def spread(self, name: str, value):
+        """Spread in percent of the named performance at ``value``.
+
+        ``value`` may be a scalar or a lane array.  Array evaluation goes
+        through the same table callable (elementwise, bit-identical to the
+        scalar calls); constant tables broadcast to the lane shape.
+        """
         table = getattr(self, f"{name}_delta", None)
         if table is None:
             raise KeyError(f"no variation table for performance {name!r}")
-        return float(table(value))
+        result = table(value)
+        if np.ndim(value) == 0:
+            return float(result)
+        out = np.asarray(result, dtype=float)
+        if out.ndim == 0:
+            out = np.full(np.shape(value), float(out))
+        return out
 
 
 class BehaviouralVco:
@@ -218,6 +236,174 @@ class BehaviouralVco:
             summary[f"{name}_min"] = bounds["min"]
             summary[f"{name}_max"] = bounds["max"]
         return summary
+
+
+def bounds_lanes(
+    vcos: Sequence["BehaviouralVco"], name: str
+) -> Optional[Dict[str, np.ndarray]]:
+    """Lane-array form of :meth:`BehaviouralVco._bounds` for one quantity.
+
+    Returns the nominal / min / max arrays across all lanes in one table
+    evaluation, or ``None`` when the lanes do not share one variation-table
+    object (the caller then falls back to per-lane scalar calls).  The
+    arithmetic mirrors the scalar ``_bounds`` exactly, so every entry is
+    bit-identical to the per-lane evaluation.
+    """
+    if not vcos:
+        return None
+    variation = vcos[0].variation
+    if any(vco.variation is not variation for vco in vcos):
+        return None
+    values = np.array([getattr(vco, name) for vco in vcos], dtype=float)
+    try:
+        spread = np.asarray(variation.spread(name, values), dtype=float)
+    except Exception:
+        # User-supplied tables may be scalar-only callables (e.g. a lambda
+        # with a data-dependent branch); the caller falls back to the
+        # per-lane scalar path, which is always valid.
+        return None
+    if spread.shape != values.shape:
+        return None
+    spread = np.maximum(spread, 0.0)
+    delta = (spread / 100.0) * np.abs(values)
+    return {
+        "nominal": values,
+        "min": np.maximum(values - delta, 0.0),
+        "max": values + delta,
+    }
+
+
+def describe_lanes(vcos: Sequence["BehaviouralVco"]) -> List[Dict[str, float]]:
+    """Per-lane :meth:`BehaviouralVco.describe` summaries, batched.
+
+    When every lane shares one variation-table object the fifteen summary
+    values per lane come from five array table calls; otherwise the scalar
+    ``describe`` runs per lane.  Both paths return identical numbers.
+    """
+    vcos = list(vcos)
+    names = ("kvco", "ivco", "jvco", "fmin", "fmax")
+    all_bounds = {name: bounds_lanes(vcos, name) for name in names}
+    if any(bounds is None for bounds in all_bounds.values()):
+        return [vco.describe() for vco in vcos]
+    summaries: List[Dict[str, float]] = []
+    for index in range(len(vcos)):
+        summary: Dict[str, float] = {}
+        for name in names:
+            bounds = all_bounds[name]
+            summary[name] = float(bounds["nominal"][index])
+            summary[f"{name}_min"] = float(bounds["min"][index])
+            summary[f"{name}_max"] = float(bounds["max"][index])
+        summaries.append(summary)
+    return summaries
+
+
+@dataclass(frozen=True)
+class VcoLanes:
+    """Lane-parallel view of N behavioural VCO blocks at fixed variants.
+
+    The variant-derived constants (gain, tuning limits, period jitter,
+    supply current) are resolved once per lane through the scalar block's
+    own methods -- so they are bit-identical by construction -- and only
+    the per-cycle tuning-curve evaluation runs as array math.  Each lane
+    may use a different variant, which lets a batched transient advance
+    the nominal, minimum and maximum populations in a single cycle loop.
+    """
+
+    gain: np.ndarray
+    fmin: np.ndarray
+    fmax: np.ndarray
+    period_jitter: np.ndarray
+    current: np.ndarray
+    vctrl_min: np.ndarray
+    vctrl_max: np.ndarray
+
+    @classmethod
+    def from_blocks(
+        cls,
+        vcos: Sequence[BehaviouralVco],
+        variant: Union[str, Sequence[str]] = "nominal",
+    ) -> "VcoLanes":
+        """Stack N scalar VCO blocks, each at its (shared or per-lane) variant.
+
+        Lanes sharing one variation-table object (the system-stage shape,
+        where every candidate's tables come from the same combined model)
+        resolve their variant constants through one array table call per
+        quantity; otherwise each lane queries its own tables scalar-wise.
+        Both paths yield bit-identical lane arrays.
+        """
+        vcos = list(vcos)
+        if isinstance(variant, str):
+            variants = [_check_variant(variant)] * len(vcos)
+        else:
+            variants = [_check_variant(v) for v in variant]
+            if len(variants) != len(vcos):
+                raise ValueError(
+                    f"got {len(variants)} variant(s) for {len(vcos)} VCO lane(s)"
+                )
+        vctrl_min = np.array([vco.vctrl_min for vco in vcos], dtype=float)
+        vctrl_max = np.array([vco.vctrl_max for vco in vcos], dtype=float)
+        batched = {
+            name: bounds_lanes(vcos, name)
+            for name in ("kvco", "ivco", "jvco", "fmin", "fmax")
+        }
+        if all(bounds is not None for bounds in batched.values()):
+            lane_index = np.arange(len(vcos))
+            variant_index = np.array([VARIANTS.index(v) for v in variants])
+
+            def select(name: str) -> np.ndarray:
+                bounds = batched[name]
+                stacked = np.stack([bounds[v] for v in VARIANTS])
+                return stacked[variant_index, lane_index]
+
+            return cls(
+                gain=select("kvco"),
+                fmin=select("fmin"),
+                fmax=select("fmax"),
+                period_jitter=select("jvco"),
+                current=select("ivco"),
+                vctrl_min=vctrl_min,
+                vctrl_max=vctrl_max,
+            )
+        bounds = [vco.frequency_bounds(v) for vco, v in zip(vcos, variants)]
+        return cls(
+            gain=np.array([vco.gain(v) for vco, v in zip(vcos, variants)]),
+            fmin=np.array([b["fmin"] for b in bounds]),
+            fmax=np.array([b["fmax"] for b in bounds]),
+            period_jitter=np.array(
+                [vco.period_jitter(v) for vco, v in zip(vcos, variants)]
+            ),
+            current=np.array([vco.current(v) for vco, v in zip(vcos, variants)]),
+            vctrl_min=vctrl_min,
+            vctrl_max=vctrl_max,
+        )
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of parallel lanes."""
+        return self.gain.size
+
+    def frequency(self, vctrl: np.ndarray) -> np.ndarray:
+        """Per-lane oscillation frequency (clamped tuning curve).
+
+        Same operation order as :meth:`BehaviouralVco.frequency`, so each
+        lane is bit-identical to the scalar evaluation.
+        """
+        vctrl_clamped = np.minimum(np.maximum(vctrl, self.vctrl_min), self.vctrl_max)
+        return self.frequency_from_clamped(vctrl_clamped)
+
+    def frequency_from_clamped(self, vctrl: np.ndarray) -> np.ndarray:
+        """Tuning curve for control voltages already inside the lane bounds.
+
+        Clamping is idempotent, so callers that have just clamped ``vctrl``
+        (the batched cycle loop) skip the redundant re-clamp with an
+        identical result.
+        """
+        frequency = self.fmin + self.gain * (vctrl - self.vctrl_min)
+        return np.minimum(np.maximum(frequency, self.fmin), self.fmax)
+
+    def output_edge_jitter(self, divide_ratios: np.ndarray) -> np.ndarray:
+        """Per-lane jitter of one divided output period."""
+        return jitter_sum_lanes(self.period_jitter, divide_ratios)
 
 
 def _check_variant(variant: str) -> str:

@@ -25,8 +25,9 @@ device mismatch.
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -734,8 +735,39 @@ class RingVcoAnalyticalEvaluator(VcoEvaluator):
         return np.maximum(current, 1e-9)
 
 
+# The worker-side evaluator is installed once per pool through the executor
+# initializer (mirroring repro.optim.evaluation), so each task ships only
+# one (design, technology, mismatch) triple instead of the whole evaluator.
+_SPICE_WORKER_EVALUATOR: Optional["RingVcoSpiceEvaluator"] = None
+
+
+def _initialise_spice_worker(evaluator: "RingVcoSpiceEvaluator") -> None:
+    global _SPICE_WORKER_EVALUATOR
+    _SPICE_WORKER_EVALUATOR = evaluator
+
+
+def _evaluate_spice_in_worker(
+    task: Tuple[VcoDesign, Technology, Optional[MismatchSample]],
+) -> VcoPerformance:
+    if _SPICE_WORKER_EVALUATOR is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process was not initialised with an evaluator")
+    design, technology, mismatch = task
+    return _SPICE_WORKER_EVALUATOR.evaluate(
+        design, technology=technology, mismatch=mismatch
+    )
+
+
 class RingVcoSpiceEvaluator(VcoEvaluator):
-    """Transistor-level evaluator running the MNA test bench."""
+    """Transistor-level evaluator running the MNA test bench.
+
+    Parameters
+    ----------
+    n_workers:
+        Size of the process pool used by :meth:`evaluate_batch`; ``None``
+        (the default) applies the same rule as the optimiser's ``process``
+        backend (:func:`repro.optim.evaluation.default_worker_count`), and
+        ``HierarchicalFlow(n_workers=...)`` fills it in when unset.
+    """
 
     def __init__(
         self,
@@ -745,13 +777,17 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
         n_stages: int = N_STAGES,
         dt: float = 4e-12,
         sim_cycles: float = 8.0,
+        n_workers: Optional[int] = None,
     ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
         self.technology = technology
         self.vctrl_min = vctrl_min
         self.vctrl_max = technology.vdd if vctrl_max is None else vctrl_max
         self.n_stages = n_stages
         self.dt = dt
         self.sim_cycles = sim_cycles
+        self.n_workers = n_workers
 
     def _testbench(self, technology: Technology) -> VcoTestbench:
         return VcoTestbench(
@@ -776,3 +812,50 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
         if mismatch is not None and mismatch.devices():
             overrides = {name: mismatch.for_device(name) for name in mismatch.devices()}
         return self._testbench(tech).run(design, device_overrides=overrides)
+
+    def evaluate_batch(
+        self,
+        designs: Sequence[VcoDesign],
+        technology: Optional[Technology] = None,
+        technologies: Optional[Sequence[Technology]] = None,
+        mismatches: Optional[Sequence[MismatchSample]] = None,
+    ) -> List[VcoPerformance]:
+        """Fan a batch of transistor-level evaluations out over a process pool.
+
+        One MNA transient costs seconds of pure Python, so unlike the
+        analytical evaluator the batch here parallelises across processes:
+        the pool is initialised once with the (picklable) evaluator, the
+        (design, technology, mismatch) triples are mapped in chunks, and
+        order is preserved.  Every worker runs the exact same scalar
+        :meth:`evaluate`, so the results are identical to the serial loop.
+        Batches too small to amortise a pool (or ``n_workers=1``) fall back
+        to the inherited serial loop.
+        """
+        designs_b, techs, mms = _broadcast_batch(
+            designs, technology or self.technology, technologies, mismatches
+        )
+        n_tasks = len(designs_b)
+        n_workers = min(self.pool_size(), n_tasks)
+        if n_workers < 2 or n_tasks < 2:
+            return [
+                self.evaluate(design, technology=tech, mismatch=mismatch)
+                for design, tech, mismatch in zip(designs_b, techs, mms)
+            ]
+        tasks = list(zip(designs_b, techs, mms))
+        chunksize = max(1, -(-n_tasks // (n_workers * 4)))
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_initialise_spice_worker,
+            initargs=(self,),
+        ) as executor:
+            return list(
+                executor.map(_evaluate_spice_in_worker, tasks, chunksize=chunksize)
+            )
+
+    def pool_size(self) -> int:
+        """Worker count of the batch pool (configured or the shared default)."""
+        if self.n_workers is not None:
+            return self.n_workers
+        from repro.optim.evaluation import default_worker_count
+
+        return default_worker_count()

@@ -89,6 +89,30 @@ class CombinedPerformanceVariationModel:
             vctrl_max=self.vctrl_max,
         )
 
+    def behavioural_vco_batch(self, kvcos, ivcos) -> List[BehaviouralVco]:
+        """Batched :meth:`behavioural_vco` over arrays of operating points.
+
+        The performance tables are interpolated once for the whole batch
+        (row-wise identical to the per-point calls) and every block shares
+        the model's cached variation-table adapter, which is what enables
+        the lane-parallel PLL engine's single-array-call table path.
+        """
+        records = self.performance.interpolate_batch(kvcos, ivcos)
+        tables = self.variation.as_variation_tables()
+        return [
+            BehaviouralVco(
+                kvco=float(record["kvco"]),
+                ivco=float(record["ivco"]),
+                jvco=float(record["jvco"]),
+                fmin=float(record["fmin"]),
+                fmax=float(record["fmax"]),
+                variation=tables,
+                vctrl_min=self.vctrl_min,
+                vctrl_max=self.vctrl_max,
+            )
+            for record in records
+        ]
+
     # -- reporting ----------------------------------------------------------------------------
 
     def table1_records(self, max_rows: Optional[int] = None) -> List[Dict[str, float]]:

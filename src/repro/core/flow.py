@@ -9,6 +9,7 @@ the paper's tables from a single object.
 
 from __future__ import annotations
 
+import copy
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -76,12 +77,15 @@ class HierarchicalFlow:
 
     ``evaluation`` selects the batch-evaluation backend applied across the
     whole flow (``"serial"``, ``"vectorised"`` or ``"process"``, see
-    :mod:`repro.optim.evaluation`): it configures both NSGA-II stages and
-    -- for ``"vectorised"`` -- routes the per-Pareto-point Monte Carlo
-    analyses and the final yield verification through the evaluator's
-    batch path.  Explicitly passed stage configs keep their own settings.
-    The default stays ``"serial"`` so seeded historical results are
-    bit-identical.
+    :mod:`repro.optim.evaluation`): it configures both NSGA-II stages
+    (the system stage included, via the lane-parallel PLL transient
+    engine) and -- for ``"vectorised"`` -- routes the per-Pareto-point
+    Monte Carlo analyses and the final yield verification through the
+    evaluators' batch paths.  ``n_workers`` sizes the ``"process"``
+    backend's pool and, when a :class:`RingVcoSpiceEvaluator` without an
+    explicit worker count drives the flow, its batch pool too.  Explicitly
+    passed stage configs keep their own settings.  The default stays
+    ``"serial"`` so seeded historical results are bit-identical.
     """
 
     def __init__(
@@ -99,21 +103,32 @@ class HierarchicalFlow:
         evaluation: str = "serial",
         n_workers: Optional[int] = None,
     ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
         self.technology = technology
         self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology)
         self.evaluation = evaluation
         self.n_workers = n_workers
-        # The behavioural-PLL transient of the system stage is scalar
-        # Python; "vectorised" would silently fall back to the serial loop
-        # there, so only the process backend is propagated to it.
-        system_evaluation = evaluation if evaluation == "process" else "serial"
+        # The process backend's worker-count plumbing also sizes the SPICE
+        # evaluator's own batch pool.  The flow works on a configured copy
+        # so the caller's evaluator (possibly shared between flows with
+        # different worker counts) is never mutated.
+        if (
+            n_workers is not None
+            and getattr(self.evaluator, "n_workers", False) is None
+        ):
+            self.evaluator = copy.copy(self.evaluator)
+            self.evaluator.n_workers = n_workers
         self.circuit_config = circuit_config or NSGA2Config(
             population_size=40, generations=15, evaluator=evaluation, n_workers=n_workers
         )
+        # Both stages honour the selected backend: since the behavioural
+        # PLL transient gained a lane-parallel batch engine, "vectorised"
+        # accelerates the system stage too (bit-identical fronts).
         self.system_config = system_config or NSGA2Config(
             population_size=24,
             generations=10,
-            evaluator=system_evaluation,
+            evaluator=evaluation,
             n_workers=n_workers,
         )
         self.specifications = specifications

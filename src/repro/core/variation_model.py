@@ -57,7 +57,17 @@ class VariationModel:
         self.control = control
         self.n_samples = n_samples
         self._tables: Dict[str, Table1D] = {}
+        self._vco_tables: Optional[VcoVariationTables] = None
         self._build_tables()
+
+    def __getstate__(self):
+        # The cached VcoVariationTables adapter holds local lambdas, which
+        # do not pickle; drop it so the model stays picklable (the process
+        # backend ships problems holding this model to its workers, which
+        # rebuild the cache lazily).
+        state = self.__dict__.copy()
+        state["_vco_tables"] = None
+        return state
 
     # -- construction -------------------------------------------------------------------
 
@@ -156,16 +166,21 @@ class VariationModel:
         """Number of Pareto points covered by the model."""
         return int(self.nominal.shape[0])
 
-    def spread(self, name: str, value: float) -> float:
+    def spread(self, name: str, value):
         """Interpolated relative spread (percent) of ``name`` at ``value``.
 
         The cubic-spline table can undershoot between samples, so the
         result is floored at zero (a spread is non-negative by definition).
+        ``value`` may be a scalar or a lane array; the array form evaluates
+        the table elementwise with results bit-identical to scalar calls.
         """
         name = _ALIASES.get(name, name)
         if name not in self._tables:
             raise KeyError(f"no variation table for performance {name!r}")
-        return max(float(self._tables[name](value)), 0.0)
+        result = self._tables[name](value)
+        if np.ndim(value) == 0:
+            return max(float(result), 0.0)
+        return np.maximum(np.asarray(result, dtype=float), 0.0)
 
     def table(self, name: str) -> Table1D:
         """The underlying ``<name>_delta`` look-up table."""
@@ -185,14 +200,22 @@ class VariationModel:
     # -- behavioural-model integration ------------------------------------------------------
 
     def as_variation_tables(self) -> VcoVariationTables:
-        """Adapt the model to the behavioural VCO's variation interface."""
-        return VcoVariationTables(
-            kvco_delta=lambda value: self.spread("kvco", value),
-            ivco_delta=lambda value: self.spread("current", value),
-            jvco_delta=lambda value: self.spread("jitter", value),
-            fmin_delta=lambda value: self.spread("fmin", value),
-            fmax_delta=lambda value: self.spread("fmax", value),
-        )
+        """Adapt the model to the behavioural VCO's variation interface.
+
+        The adapter is stateless, so one shared instance is cached and
+        handed to every behavioural VCO built from this model -- which is
+        what lets the lane-parallel engine recognise that all lanes share
+        the same tables and evaluate them as one array call per table.
+        """
+        if self._vco_tables is None:
+            self._vco_tables = VcoVariationTables(
+                kvco_delta=lambda value: self.spread("kvco", value),
+                ivco_delta=lambda value: self.spread("current", value),
+                jvco_delta=lambda value: self.spread("jitter", value),
+                fmin_delta=lambda value: self.spread("fmin", value),
+                fmax_delta=lambda value: self.spread("fmax", value),
+            )
+        return self._vco_tables
 
     def records(self) -> List[Dict[str, float]]:
         """Per-point nominal values and spreads (Table-1 style rows)."""

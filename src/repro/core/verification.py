@@ -96,24 +96,45 @@ class BottomUpVerification:
         self.model = model
         self.reference_evaluator = reference_evaluator or RingVcoSpiceEvaluator()
 
-    def verify_point(self, kvco: float, ivco: float) -> VerificationPoint:
-        """Verify one (gain, current) operating point."""
+    def _make_point(
+        self, kvco: float, ivco: float, design: VcoDesign, measured: Mapping[str, float]
+    ) -> VerificationPoint:
+        """Pair the model's prediction with one reference measurement."""
         predicted = self.model.interpolate(kvco, ivco)
-        design = self.model.design_parameters_for(kvco, ivco)
-        measured = self.reference_evaluator.evaluate(design).as_dict()
         return VerificationPoint(
             kvco=kvco,
             ivco=ivco,
             design=design,
             predicted={name: float(predicted[name]) for name in _PERFORMANCES},
-            measured=measured,
+            measured=dict(measured),
         )
 
+    def verify_point(self, kvco: float, ivco: float) -> VerificationPoint:
+        """Verify one (gain, current) operating point."""
+        design = self.model.design_parameters_for(kvco, ivco)
+        measured = self.reference_evaluator.evaluate(design).as_dict()
+        return self._make_point(kvco, ivco, design, measured)
+
     def verify(self, operating_points: Sequence[Mapping[str, float]]) -> VerificationReport:
-        """Verify a list of ``{"kvco": ..., "ivco": ...}`` operating points."""
+        """Verify a list of ``{"kvco": ..., "ivco": ...}`` operating points.
+
+        All reference simulations go through the evaluator's
+        ``evaluate_batch``, so a :class:`RingVcoSpiceEvaluator` fans the
+        transistor-level transients out over its process pool (identical
+        results to the per-point loop, one pool instead of N serial runs).
+        """
         report = VerificationReport()
-        for point in operating_points:
-            report.points.append(self.verify_point(float(point["kvco"]), float(point["ivco"])))
+        if not operating_points:
+            return report
+        points = [
+            (float(point["kvco"]), float(point["ivco"])) for point in operating_points
+        ]
+        designs = [self.model.design_parameters_for(kvco, ivco) for kvco, ivco in points]
+        measured = self.reference_evaluator.evaluate_batch(designs)
+        report.points.extend(
+            self._make_point(kvco, ivco, design, performance.as_dict())
+            for (kvco, ivco), design, performance in zip(points, designs, measured)
+        )
         return report
 
     def verify_model_points(self, max_points: int = 3) -> VerificationReport:

@@ -52,10 +52,22 @@ __all__ = [
     "ProcessPoolEvaluator",
     "build_individual",
     "create_evaluator",
+    "default_worker_count",
 ]
 
 #: Backend names accepted by ``NSGA2Config.evaluator`` / :func:`create_evaluator`.
 EVALUATOR_CHOICES = ("serial", "vectorised", "vectorized", "process")
+
+
+def default_worker_count() -> int:
+    """Default process-pool size shared by every pooled evaluator.
+
+    CPU count capped at 8: objective evaluations are CPU-bound, so more
+    workers than cores only add scheduling overhead.  The SPICE
+    evaluator's batch pool reuses this rule so one worker-count convention
+    applies across the flow.
+    """
+    return min(os.cpu_count() or 2, 8)
 
 
 def build_individual(
@@ -172,7 +184,7 @@ class ProcessPoolEvaluator(BatchEvaluator):
     def __init__(self, n_workers: Optional[int] = None) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be at least 1")
-        self.n_workers = n_workers or min(os.cpu_count() or 2, 8)
+        self.n_workers = n_workers or default_worker_count()
         self._executor: Optional[ProcessPoolExecutor] = None
         self._problem: Optional[Problem] = None
 

@@ -63,8 +63,14 @@ class TableND:
         control: str | Sequence[ControlSpec] | None = "3E",
         name: str = "",
     ) -> None:
-        pts = np.asarray(points, dtype=float)
-        vals = np.asarray(values, dtype=float)
+        # Contiguous copies: callers often pass column views of a wider
+        # matrix, and BLAS reductions (the np.dot in scattered mode) can
+        # differ by an ulp between strided and contiguous inputs.  A table
+        # restored from a pickle is always contiguous, so storing strided
+        # views would make process-pool workers disagree with the parent
+        # by an ulp on otherwise identical queries.
+        pts = np.ascontiguousarray(points, dtype=float)
+        vals = np.ascontiguousarray(values, dtype=float)
         if pts.ndim == 1:
             pts = pts.reshape(-1, 1)
         if pts.ndim != 2:

@@ -99,3 +99,45 @@ def test_base_class_batch_fallback_loops_scalar(evaluator):
     vectorised = evaluator.evaluate_batch(designs)
     for a, b in zip(generic, vectorised):
         assert a.as_dict() == b.as_dict()
+
+
+# -- SPICE evaluator process pool -----------------------------------------------------
+
+
+def test_spice_pool_batch_matches_serial():
+    """The pooled batch runs the same scalar code, so results are identical.
+
+    Reduced transient settings keep the two transistor-level runs cheap;
+    ``n_workers=2`` forces the pool path even on single-core machines.
+    """
+    from repro.circuits.evaluators import RingVcoSpiceEvaluator
+
+    evaluator = RingVcoSpiceEvaluator(
+        TECH_012UM, dt=60e-12, sim_cycles=2, n_workers=2
+    )
+    rng = np.random.default_rng(7)
+    designs = [random_design(rng) for _ in range(2)]
+    serial = [evaluator.evaluate(design) for design in designs]
+    pooled = evaluator.evaluate_batch(designs)
+    assert len(pooled) == 2
+    for a, b in zip(serial, pooled):
+        assert a.as_dict() == b.as_dict()
+
+
+def test_spice_pool_falls_back_to_serial_for_small_batches():
+    from repro.circuits.evaluators import RingVcoSpiceEvaluator
+
+    evaluator = RingVcoSpiceEvaluator(
+        TECH_012UM, dt=60e-12, sim_cycles=2, n_workers=1
+    )
+    design = VcoDesign()
+    assert evaluator.evaluate_batch([design])[0].as_dict() == evaluator.evaluate(
+        design
+    ).as_dict()
+
+
+def test_spice_pool_rejects_bad_worker_count():
+    from repro.circuits.evaluators import RingVcoSpiceEvaluator
+
+    with pytest.raises(ValueError):
+        RingVcoSpiceEvaluator(n_workers=0)
