@@ -1,14 +1,21 @@
-"""Hierarchical PLL optimisation, stage by stage.
+"""Hierarchical PLL optimisation: inspect every artefact of a scenario run.
 
-The quickstart runs the whole flow in one call; this example walks through
-the paper's stages explicitly so every intermediate artefact can be
-inspected:
+The quickstart treats a scenario run as a black box; this example runs the
+paper's ``table2`` scenario through the resumable runner and then walks
+through the cached artefacts explicitly:
 
-1. circuit-level NSGA-II (figure 7 data),
-2. Monte Carlo variation modelling and the combined model (Table 1 data),
-3. export of the ``.tbl`` files and generated Verilog-A (Listings 1 and 2),
-4. system-level optimisation of the PLL (Table 2 data),
+1. circuit-level Pareto front and combined model (figure 7 / Table 1 data),
+2. export of the ``.tbl`` files and generated Verilog-A (Listings 1 and 2),
+3. system-level optimisation of the PLL (Table 2 data),
+4. Monte Carlo yield verification of the selected design,
 5. locking transient of the selected design (figure 8 data).
+
+Because the runner checkpoints each stage under the scenario's config
+hash, rerunning this script is instant -- it reloads the cached artefacts
+instead of recomputing the flow.  The cold first run executes the paper's
+full budget, which the vectorised backend used here finishes in a few
+seconds (use the ``fast-smoke`` or ``vco-sweep-5`` scenario for an even
+quicker walkthrough).
 
 Run with::
 
@@ -20,31 +27,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro.behavioural import BehaviouralPll, LinearPllAnalysis, PllDesign
-from repro.circuits import RingVcoAnalyticalEvaluator
-from repro.core.circuit_stage import CircuitLevelOptimisation
 from repro.core.codegen import generate_listing2, write_verilog_a
 from repro.core.datafile import write_model_directory
-from repro.core.system_stage import SystemLevelOptimisation
-from repro.optim import NSGA2Config
-from repro.process import TECH_012UM
+from repro.experiments import ExperimentRunner, get_scenario
 
 
 def main() -> None:
-    evaluator = RingVcoAnalyticalEvaluator(TECH_012UM)
+    scenario = get_scenario("table2").with_overrides(evaluation="vectorised")
+    print(f"Scenario {scenario.name!r}: {scenario.description}")
+    print(f"  config hash: {scenario.config_hash()}")
+    result = ExperimentRunner(scenario).run()
+    for outcome in result.outcomes:
+        print(f"  stage {outcome.stage:<13}: {outcome.source:<9} ({outcome.seconds:.3f} s)")
+    report = result.report
 
-    # -- stage 1 + 2: circuit-level optimisation and model extraction -----------------
-    print("Stage 1-2: circuit-level NSGA-II and Monte Carlo variation modelling")
-    circuit_stage = CircuitLevelOptimisation(
-        evaluator=evaluator,
-        config=NSGA2Config(population_size=48, generations=12, seed=2009),
-        mc_samples=30,
-        max_model_points=16,
-    )
-    circuit_result = circuit_stage.run()
-    front = circuit_result.optimisation.front
-    print(f"  Pareto front size      : {len(front)}")
+    # -- stage 1 + 2: circuit-level Pareto front and the combined model ----------------
+    print("\nStage 1-2: circuit-level NSGA-II and Monte Carlo variation modelling")
+    circuit_result = report.circuit_stage
+    print(f"  Pareto front size      : {circuit_result.front_size}")
     print(f"  circuit evaluations    : {circuit_result.evaluations}")
-    model = circuit_result.model
+    model = report.model
     kvco_lo, kvco_hi = model.kvco_range()
     ivco_lo, ivco_hi = model.ivco_range()
     print(f"  Kvco coverage          : {kvco_lo / 1e6:.0f} - {kvco_hi / 1e6:.0f} MHz/V")
@@ -69,10 +71,7 @@ def main() -> None:
 
     # -- stage 4: system-level optimisation -----------------------------------------------
     print("\nStage 4: system-level PLL optimisation (Kvco, Ivco, C1, C2, R1)")
-    system_stage = SystemLevelOptimisation(
-        model, config=NSGA2Config(population_size=16, generations=6, seed=2009)
-    )
-    system_result = system_stage.run()
+    system_result = report.system_stage
     print(f"  system front size      : {system_result.front_size}")
     for row in system_result.table2_records(max_rows=4):
         print(
@@ -81,8 +80,13 @@ def main() -> None:
             f"R1 = {row['r1_kohm']:4.2f} k, lock = {row['lock_time_us']:5.3f} us, "
             f"jitter = {row['jitter_ps']:5.3f} ps, I = {row['current_ma']:5.2f} mA"
         )
-    selected = system_result.selected_values
+    selected = report.selected_values
     print(f"  selected design        : {', '.join(f'{k}={v:.4g}' for k, v in selected.items())}")
+    if report.yield_report is not None:
+        print(
+            f"  verified yield         : {report.yield_report.yield_percent:.1f} % "
+            f"({report.yield_report.n_samples} Monte Carlo samples)"
+        )
 
     # -- stage 5: locking transient of the selected design -----------------------------------
     print("\nStage 5: locking transient of the selected design (figure 8)")

@@ -1,15 +1,18 @@
-"""Quickstart: the full hierarchical performance + variation flow in one call.
+"""Quickstart: run a registered scenario through the resumable runner.
 
-Runs a reduced version of the paper's complete flow (figure 4):
+The whole hierarchical flow (figure 4 of the paper) is driven by named
+scenarios: a :class:`~repro.experiments.config.ScenarioConfig` declares the
+technology, the specification set, the VCO ring length, every NSGA-II and
+Monte Carlo budget and the seed, and the
+:class:`~repro.experiments.runner.ExperimentRunner` executes it with
+per-stage checkpointing.  Run this script twice: the second run resumes
+from the content-addressed cache (``.repro-cache/``) and finishes in
+milliseconds with bit-identical numbers.
 
-1. NSGA-II sizing of the 5-stage ring-oscillator VCO,
-2. Monte Carlo variation modelling of every Pareto point,
-3. system-level optimisation of the PLL on the behavioural model,
-4. selection of a specification-meeting design and
-5. Monte Carlo yield verification of that design.
+The same thing is available from the shell::
 
-The model data files (``.tbl``) and generated Verilog-A modules are written
-to ``./quickstart_output/vco_model``.
+    repro run fast-smoke --evaluation vectorised
+    repro report fast-smoke
 
 Run with::
 
@@ -18,25 +21,20 @@ Run with::
 
 from __future__ import annotations
 
-import time
-
-from repro import HierarchicalFlow
-from repro.optim import NSGA2Config
+from repro.experiments import ExperimentRunner, get_scenario
 
 
 def main() -> None:
-    start = time.time()
-    flow = HierarchicalFlow(
-        circuit_config=NSGA2Config(population_size=48, generations=12, seed=2009),
-        system_config=NSGA2Config(population_size=16, generations=6, seed=2009),
-        mc_samples_per_point=30,
-        yield_samples=100,
-        max_model_points=16,
-    )
-    print("Running the hierarchical flow (reduced budget, ~10-20 s)...")
-    report = flow.run(output_directory="quickstart_output", run_yield=True)
+    scenario = get_scenario("fast-smoke").with_overrides(evaluation="vectorised")
+    print(f"Running scenario {scenario.name!r} (config hash {scenario.config_hash()})...")
+    runner = ExperimentRunner(scenario)
+    result = runner.run(output_directory="quickstart_output")
 
-    print(f"\nFinished in {time.time() - start:.1f} s")
+    for outcome in result.outcomes:
+        print(f"  stage {outcome.stage:<13}: {outcome.source:<9} ({outcome.seconds:.3f} s)")
+    print(f"Finished in {result.elapsed:.3f} s (rerun this script to resume from cache)")
+
+    report = result.report
     print("\n--- flow summary ---")
     for key, value in report.summary().items():
         print(f"  {key:28s}: {value:.4g}")
@@ -52,7 +50,8 @@ def main() -> None:
     if report.yield_report is not None:
         print(
             f"\nMonte Carlo yield of the selected design: "
-            f"{report.yield_report.yield_percent:.1f} %"
+            f"{report.yield_report.yield_percent:.1f} % "
+            f"({report.yield_report.n_samples} samples)"
         )
         print("Realised VCO transistor sizes (um):")
         for name, value in report.yield_report.vco_design.as_dict().items():

@@ -29,6 +29,7 @@ from repro.circuits import (
     build_ring_vco,
 )
 from repro.circuits.ring_vco import vco_device_geometries
+from repro.experiments import get_scenario
 from repro.process import MonteCarloEngine, TECH_012UM
 
 
@@ -47,6 +48,10 @@ def tuning_curve(design: VcoDesign, control_voltages) -> None:
 
 
 def main() -> None:
+    # The scenario registry is the single source of truth for technology
+    # and ring topology; this example characterises the paper scenario's VCO.
+    scenario = get_scenario("table2")
+    technology = scenario.resolve_technology()
     design = VcoDesign(
         nmos_width=30e-6,
         nmos_length=0.24e-6,
@@ -56,8 +61,11 @@ def main() -> None:
         tail_pmos_width=80e-6,
         tail_length=0.24e-6,
     )
-    circuit = build_ring_vco(design, TECH_012UM, vctrl=0.8)
-    print("Transistor-level netlist of the 5-stage current-starved ring VCO:")
+    circuit = build_ring_vco(design, technology, vctrl=0.8, n_stages=scenario.n_stages)
+    print(
+        f"Transistor-level netlist of the {scenario.n_stages}-stage "
+        "current-starved ring VCO:"
+    )
     print(f"  {len(circuit)} elements, {circuit.n_nodes} nodes "
           f"({len(circuit.elements_of_type(type(circuit.element('mn0'))))} MOSFETs)")
 
@@ -65,9 +73,11 @@ def main() -> None:
     tuning_curve(design, [0.5, 0.8, 1.2])
 
     print("\nFull characterisation with both evaluators:")
-    bench = VcoTestbench(TECH_012UM, dt=8e-12, sim_cycles=5)
+    bench = VcoTestbench(technology, dt=8e-12, sim_cycles=5, n_stages=scenario.n_stages)
     spice_perf = bench.run(design)
-    analytical_perf = RingVcoAnalyticalEvaluator(TECH_012UM).evaluate(design)
+    analytical_perf = RingVcoAnalyticalEvaluator(
+        technology, n_stages=scenario.n_stages
+    ).evaluate(design)
     print(f"{'performance':>12} {'transistor level':>18} {'analytical model':>18}")
     rows = [
         (

@@ -22,12 +22,20 @@ The package is organised bottom-up:
 * :mod:`repro.core` -- the paper's contribution: performance model,
   variation model, combined model, hierarchical flow, yield analysis,
   bottom-up verification and Verilog-A code generation.
+* :mod:`repro.experiments` -- the scenario registry, content-addressed
+  artefact cache, resumable experiment runner and the ``repro`` CLI.
 
 Quick start::
 
     from repro import HierarchicalFlow
     report = HierarchicalFlow().run()
     print(report.summary())
+
+or, through the scenario layer (resumable, cached)::
+
+    from repro.experiments import ExperimentRunner, get_scenario
+    result = ExperimentRunner(get_scenario("fast-smoke")).run()
+    print(result.summary())
 """
 
 from repro.core.combined_model import CombinedPerformanceVariationModel
@@ -35,8 +43,10 @@ from repro.core.flow import FlowReport, HierarchicalFlow
 from repro.core.performance_model import PerformanceModel
 from repro.core.specification import PLL_SPECIFICATIONS, Specification, SpecificationSet
 from repro.core.variation_model import VariationModel
+from repro.experiments import ExperimentRunner, ScenarioConfig, get_scenario
 
-__version__ = "1.0.0"
+#: Kept in sync with ``[project] version`` in pyproject.toml.
+__version__ = "0.3.0"
 
 __all__ = [
     "HierarchicalFlow",
@@ -47,5 +57,8 @@ __all__ = [
     "Specification",
     "SpecificationSet",
     "PLL_SPECIFICATIONS",
+    "ScenarioConfig",
+    "ExperimentRunner",
+    "get_scenario",
     "__version__",
 ]

@@ -99,7 +99,21 @@ class ChargePumpLanes:
         return self.up_current.size
 
     def charge(self, phase_error: PhaseErrorLanes, comparison_period: float) -> np.ndarray:
-        """Net charge (C) delivered to every lane's loop filter this cycle."""
+        """Net charge (C) delivered to every lane's loop filter this cycle.
+
+        Parameters
+        ----------
+        phase_error:
+            The cycle's lane-parallel PFD comparison result.
+        comparison_period:
+            Duration (s) of the comparison cycle (shared by all lanes).
+
+        Returns
+        -------
+        numpy.ndarray
+            Net delivered charge (C) per lane, shape ``(n_lanes,)``;
+            bit-identical to :meth:`ChargePump.charge` per lane.
+        """
         if comparison_period <= 0.0:
             raise ValueError("comparison period must be positive")
         delivered = self.up_current * phase_error.up_width

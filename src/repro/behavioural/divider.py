@@ -89,7 +89,19 @@ class DividerLanes:
         return self.ratio.size
 
     def output_period(self, vco_periods: np.ndarray) -> np.ndarray:
-        """Per-lane nominal divided output period."""
+        """Per-lane nominal divided output period.
+
+        Parameters
+        ----------
+        vco_periods:
+            Per-lane VCO periods (s), shape ``(n_lanes,)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``ratio * period`` per lane (s), bit-identical to
+            :meth:`Divider.output_period`.
+        """
         if np.any(vco_periods <= 0.0):
             raise ValueError("VCO period must be positive")
         return self.ratio * vco_periods

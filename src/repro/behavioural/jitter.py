@@ -47,6 +47,18 @@ def jitter_sum_lanes(
 
     ``sqrt`` is IEEE correctly-rounded, so each lane's value is
     bit-identical to the scalar ``jvco * sqrt(2 * ratio)`` expression.
+
+    Parameters
+    ----------
+    vco_period_jitters:
+        Per-lane VCO period jitter (s), shape ``(n_lanes,)``.
+    divide_ratios:
+        Per-lane feedback divide ratios, shape ``(n_lanes,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Jitter (s) of one divided output period, per lane.
     """
     jitters = np.asarray(vco_period_jitters, dtype=float)
     ratios = np.asarray(divide_ratios, dtype=float)

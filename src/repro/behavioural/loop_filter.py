@@ -224,7 +224,26 @@ class LoopFilterLanes:
         interval: float,
         decay: np.ndarray | None = None,
     ) -> LoopFilterLanesState:
-        """Advance every lane by one comparison interval (exact update)."""
+        """Advance every lane by one comparison interval (exact update).
+
+        Parameters
+        ----------
+        state:
+            Capacitor voltages entering the interval.
+        charge:
+            Charge-pump deposit (C) per lane, shape ``(n_lanes,)``.
+        interval:
+            Comparison interval duration (s), shared by all lanes.
+        decay:
+            Optional pre-computed :meth:`relaxation` factors; pass them
+            when the caller hoisted the lookup out of its cycle loop.
+
+        Returns
+        -------
+        LoopFilterLanesState
+            The post-interval capacitor voltages; each lane is
+            bit-identical to :meth:`LoopFilter.apply_charge`.
+        """
         if interval <= 0.0:
             raise ValueError("interval must be positive")
         if decay is None:

@@ -101,7 +101,19 @@ class PfdLanes:
 
     @classmethod
     def from_blocks(cls, pfds: Sequence[PhaseFrequencyDetector]) -> "PfdLanes":
-        """Stack the parameters of N scalar PFD blocks into lane arrays."""
+        """Stack the parameters of N scalar PFD blocks into lane arrays.
+
+        Parameters
+        ----------
+        pfds:
+            The scalar detectors, one per lane.
+
+        Returns
+        -------
+        PfdLanes
+            A lane-parallel detector whose lane ``i`` reproduces
+            ``pfds[i]`` bit for bit.
+        """
         return cls(
             dead_zone=np.array([pfd.dead_zone for pfd in pfds], dtype=float),
             reset_pulse=np.array([pfd.reset_pulse for pfd in pfds], dtype=float),
@@ -119,6 +131,18 @@ class PfdLanes:
         Transcribes :meth:`PhaseFrequencyDetector.compare` to lane arrays
         with the identical operation order, so each lane's result is
         bit-identical to the scalar comparison.
+
+        Parameters
+        ----------
+        reference_edge:
+            Arrival time (s) of the shared reference edge.
+        feedback_edges:
+            Per-lane feedback edge times (s), shape ``(n_lanes,)``.
+
+        Returns
+        -------
+        PhaseErrorLanes
+            Timing errors and UP/DOWN pulse widths for every lane.
         """
         error = feedback_edges - reference_edge
         magnitude = np.abs(error)

@@ -484,6 +484,25 @@ class BehaviouralPll:
         constants already resolved for the transient (the same values the
         scalar :meth:`output_jitter` / :meth:`supply_current` compute), so
         no per-lane table lookups remain in this path.
+
+        Parameters
+        ----------
+        plls:
+            The loops to evaluate, one per lane; all must share the
+            reference frequency.
+        variant:
+            One variation variant shared by all lanes, or one per lane
+            (``"nominal"`` / ``"min"`` / ``"max"``).
+        max_time:
+            Simulated time horizon (s) of the locking transient.
+        seed:
+            Jitter-noise seed; ``None`` uses each block's configured seed.
+
+        Returns
+        -------
+        list of PllPerformance
+            One record per lane, bit-identical to calling
+            :meth:`evaluate` on each loop separately.
         """
         plls = list(plls)
         lanes = cls._build_lanes(plls, variant)
@@ -522,6 +541,21 @@ class BehaviouralPll:
         legal because the scalar path evaluates each variant with its own
         generator re-seeded to the same value, so all lanes consume the
         same noise stream regardless of variant.
+
+        Parameters
+        ----------
+        plls:
+            The candidate loops, one per design.
+        max_time:
+            Simulated time horizon (s) of the locking transient.
+        seed:
+            Jitter-noise seed; ``None`` uses each block's configured seed.
+
+        Returns
+        -------
+        list of dict
+            One ``{"nominal" | "min" | "max": PllPerformance}`` mapping
+            per design, matching :meth:`evaluate_all_variants` bit for bit.
         """
         plls = list(plls)
         n = len(plls)

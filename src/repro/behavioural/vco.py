@@ -387,6 +387,17 @@ class VcoLanes:
 
         Same operation order as :meth:`BehaviouralVco.frequency`, so each
         lane is bit-identical to the scalar evaluation.
+
+        Parameters
+        ----------
+        vctrl:
+            Per-lane control voltages (V), shape ``(n_lanes,)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Oscillation frequency (Hz) per lane, clamped into each lane's
+            ``[fmin, fmax]`` window.
         """
         vctrl_clamped = np.minimum(np.maximum(vctrl, self.vctrl_min), self.vctrl_max)
         return self.frequency_from_clamped(vctrl_clamped)

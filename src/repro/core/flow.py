@@ -12,7 +12,7 @@ from __future__ import annotations
 import copy
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.behavioural.pll import PllDesign
 from repro.circuits.evaluators import RingVcoAnalyticalEvaluator, VcoEvaluator
@@ -24,10 +24,21 @@ from repro.core.specification import PLL_SPECIFICATIONS, SpecificationSet
 from repro.core.system_stage import SystemLevelOptimisation, SystemStageResult
 from repro.core.verification import BottomUpVerification, VerificationReport
 from repro.core.yield_analysis import YieldAnalysis, YieldReport
+from repro.circuits.ring_vco import N_STAGES
 from repro.optim import NSGA2Config
 from repro.process.technology import TECH_012UM, Technology
 
-__all__ = ["FlowReport", "HierarchicalFlow"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.config import ScenarioConfig
+
+__all__ = ["FlowReport", "HierarchicalFlow", "StageHook"]
+
+#: Signature of the per-stage checkpoint hook accepted by
+#: :meth:`HierarchicalFlow.run`: ``hook(stage_name, artefact)`` is invoked
+#: right after each stage completes with one of the stage names
+#: ``"circuit"``, ``"system"``, ``"yield"`` or ``"verification"`` and the
+#: artefact that stage produced.
+StageHook = Callable[[str, object], None]
 
 
 @dataclass
@@ -86,6 +97,17 @@ class HierarchicalFlow:
     explicit worker count drives the flow, its batch pool too.  Explicitly
     passed stage configs keep their own settings.  The default stays
     ``"serial"`` so seeded historical results are bit-identical.
+
+    ``n_stages`` selects the ring length of the VCO (odd, >= 3; the paper
+    uses five stages) when no explicit evaluator is passed; an explicitly
+    passed evaluator carries its own stage count and wins.  The configured
+    ring length also sizes the mismatch-geometry lists used by every Monte
+    Carlo analysis in the flow.
+
+    Instead of assembling the constructor arguments by hand, a flow can be
+    built from a declarative :class:`~repro.experiments.config.ScenarioConfig`
+    via :meth:`from_scenario` -- that is how the ``repro`` experiment runner
+    constructs flows.
     """
 
     def __init__(
@@ -102,11 +124,14 @@ class HierarchicalFlow:
         seed: int = 2009,
         evaluation: str = "serial",
         n_workers: Optional[int] = None,
+        n_stages: int = N_STAGES,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         self.technology = technology
-        self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology)
+        self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology, n_stages=n_stages)
+        # An explicitly passed evaluator carries its own ring length.
+        self.n_stages = getattr(self.evaluator, "n_stages", n_stages)
         self.evaluation = evaluation
         self.n_workers = n_workers
         # The process backend's worker-count plumbing also sizes the SPICE
@@ -137,6 +162,58 @@ class HierarchicalFlow:
         self.yield_samples = yield_samples
         self.max_model_points = max_model_points
         self.seed = seed
+        #: Defaults applied when :meth:`run` is called without explicit
+        #: ``run_yield`` / ``run_verification`` arguments; overwritten by
+        #: :meth:`from_scenario` so a scenario's stage selection is honoured.
+        self.default_run_yield = True
+        self.default_run_verification = False
+
+    @classmethod
+    def from_scenario(
+        cls, scenario: "ScenarioConfig", evaluator: Optional[VcoEvaluator] = None
+    ) -> "HierarchicalFlow":
+        """Build a flow from a declarative scenario configuration.
+
+        Parameters
+        ----------
+        scenario:
+            A frozen :class:`~repro.experiments.config.ScenarioConfig`;
+            its registry keys (technology, specification set) are resolved
+            here and its NSGA-II / Monte Carlo budgets become the stage
+            configurations.
+        evaluator:
+            Optional evaluator override (e.g. a
+            :class:`~repro.circuits.evaluators.RingVcoSpiceEvaluator` for a
+            ground-truth run).  Defaults to the calibrated analytical
+            evaluator built for the scenario's technology and ring length.
+
+        Returns
+        -------
+        HierarchicalFlow
+            A ready-to-run flow; two flows built from equal scenarios
+            produce bit-identical artefacts.  The scenario's ``run_yield``
+            / ``run_verification`` selections become :meth:`run`'s
+            defaults, so ``from_scenario(s).run()`` executes exactly the
+            stages the scenario declares.
+        """
+        technology = scenario.resolve_technology()
+        flow = cls(
+            technology=technology,
+            evaluator=evaluator,
+            circuit_config=scenario.circuit_nsga2_config(),
+            system_config=scenario.system_nsga2_config(),
+            specifications=scenario.resolve_specifications(),
+            mc_samples_per_point=scenario.mc_samples_per_point,
+            yield_samples=scenario.yield_samples,
+            max_model_points=scenario.max_model_points,
+            seed=scenario.seed,
+            evaluation=scenario.evaluation,
+            n_workers=scenario.n_workers,
+            n_stages=scenario.n_stages,
+        )
+        flow.default_run_yield = scenario.run_yield
+        flow.default_run_verification = scenario.run_verification
+        return flow
 
     @property
     def _use_batch_mc(self) -> bool:
@@ -186,41 +263,95 @@ class HierarchicalFlow:
         )
         return analysis.run(selected_values)
 
+    def verification_stage(
+        self,
+        model: CombinedPerformanceVariationModel,
+        verification_evaluator: Optional[VcoEvaluator] = None,
+        max_points: int = 3,
+    ) -> VerificationReport:
+        """Bottom-up verification of the combined model (optional stage).
+
+        Shared by :meth:`run` and the experiment runner so both execute
+        the identical verification for a given configuration.
+        """
+        verifier = BottomUpVerification(
+            model, reference_evaluator=verification_evaluator or self.evaluator
+        )
+        return verifier.verify_model_points(max_points=max_points)
+
+    def export_model(
+        self, model: CombinedPerformanceVariationModel, output_directory: str
+    ) -> tuple[str, List[str]]:
+        """Write the model's ``.tbl`` files and Verilog-A under ``output_directory``.
+
+        Returns the model directory and the list of generated files.
+        Shared by :meth:`run` and the experiment runner so both export the
+        identical artefacts (including the divide-ratio plumbing).
+        """
+        model_directory = os.path.join(output_directory, "vco_model")
+        generated = list(write_model_directory(model, model_directory))
+        generated.extend(
+            write_verilog_a(
+                model,
+                model_directory,
+                divide_ratio=self.base_pll_design.divide_ratio,
+            )
+        )
+        return model_directory, generated
+
     # -- one-shot -------------------------------------------------------------------------
 
     def run(
         self,
         output_directory: Optional[str] = None,
-        run_yield: bool = True,
-        run_verification: bool = False,
+        run_yield: Optional[bool] = None,
+        run_verification: Optional[bool] = None,
         verification_evaluator: Optional[VcoEvaluator] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        stage_hook: Optional[StageHook] = None,
     ) -> FlowReport:
-        """Execute the full flow and optionally export the model artefacts."""
+        """Execute the full flow and optionally export the model artefacts.
+
+        ``run_yield`` / ``run_verification`` select the optional stages;
+        ``None`` (the default) falls back to :attr:`default_run_yield` /
+        :attr:`default_run_verification` (yield on, verification off --
+        or whatever the scenario declared when the flow was built via
+        :meth:`from_scenario`).
+
+        ``stage_hook(stage_name, artefact)`` -- when given -- is invoked
+        right after each stage completes (``"circuit"``, ``"system"``,
+        ``"yield"``, ``"verification"``), letting callers checkpoint or
+        inspect intermediate artefacts without the flow knowing anything
+        about caching.  (The experiment runner drives the stages
+        individually so it can also *skip* cached ones; it shares this
+        class's stage methods rather than this loop.)
+        """
+        run_yield = self.default_run_yield if run_yield is None else run_yield
+        if run_verification is None:
+            run_verification = self.default_run_verification
+
+        def checkpoint(stage: str, artefact: object) -> None:
+            if stage_hook is not None:
+                stage_hook(stage, artefact)
+
         circuit = self.circuit_stage(progress=progress)
+        checkpoint("circuit", circuit)
         system = self.system_stage(circuit.model)
+        checkpoint("system", system)
         yield_report = None
         if run_yield and system.selected is not None:
             yield_report = self.verify_yield(circuit.model, system.selected_values)
+            checkpoint("yield", yield_report)
         verification = None
         if run_verification:
-            verifier = BottomUpVerification(
-                circuit.model,
-                reference_evaluator=verification_evaluator or self.evaluator,
+            verification = self.verification_stage(
+                circuit.model, verification_evaluator=verification_evaluator
             )
-            verification = verifier.verify_model_points(max_points=3)
+            checkpoint("verification", verification)
         generated: List[str] = []
         model_directory = None
         if output_directory is not None:
-            model_directory = os.path.join(output_directory, "vco_model")
-            generated.extend(write_model_directory(circuit.model, model_directory))
-            generated.extend(
-                write_verilog_a(
-                    circuit.model,
-                    model_directory,
-                    divide_ratio=self.base_pll_design.divide_ratio,
-                )
-            )
+            model_directory, generated = self.export_model(circuit.model, output_directory)
         return FlowReport(
             circuit_stage=circuit,
             system_stage=system,

@@ -16,7 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
-__all__ = ["Specification", "SpecificationSet", "PLL_SPECIFICATIONS", "VCO_RANGE_SPECIFICATIONS"]
+__all__ = [
+    "Specification",
+    "SpecificationSet",
+    "PLL_SPECIFICATIONS",
+    "LOW_POWER_PLL_SPECIFICATIONS",
+    "VCO_RANGE_SPECIFICATIONS",
+    "SPECIFICATION_SETS",
+    "specification_set",
+]
 
 
 @dataclass(frozen=True)
@@ -159,6 +167,19 @@ PLL_SPECIFICATIONS = SpecificationSet(
     name="pll_system",
 )
 
+#: A tighter low-power variant of the PLL specifications: the supply-current
+#: budget is cut from 15 mA to 12 mA (the behavioural PLL carries a 10 mA
+#: peripheral floor, so this leaves ~2 mA for the VCO) in exchange for a
+#: relaxed 1.5 us lock-time window.  Used by the ``low-power`` scenario.
+LOW_POWER_PLL_SPECIFICATIONS = SpecificationSet(
+    [
+        Specification("lock_time", upper=1.5e-6, unit="s"),
+        Specification("current", upper=12.0e-3, unit="A"),
+        Specification("final_frequency", lower=500.0e6, upper=1.2e9, unit="Hz"),
+    ],
+    name="pll_low_power",
+)
+
 #: Block-level tuning-range requirements derived from the PLL output range.
 VCO_RANGE_SPECIFICATIONS = SpecificationSet(
     [
@@ -167,3 +188,36 @@ VCO_RANGE_SPECIFICATIONS = SpecificationSet(
     ],
     name="vco_tuning_range",
 )
+
+#: Named registry of system-level specification sets, keyed by their
+#: ``name`` attribute.  Scenario configurations refer to specification sets
+#: by these keys so a scenario stays a plain, hashable value object.
+SPECIFICATION_SETS: Dict[str, SpecificationSet] = {
+    PLL_SPECIFICATIONS.name: PLL_SPECIFICATIONS,
+    LOW_POWER_PLL_SPECIFICATIONS.name: LOW_POWER_PLL_SPECIFICATIONS,
+}
+
+
+def specification_set(key: str) -> SpecificationSet:
+    """Look up a registered specification set by name.
+
+    Parameters
+    ----------
+    key:
+        Registry key (``"pll_system"``, ``"pll_low_power"``, ...).
+
+    Returns
+    -------
+    SpecificationSet
+        The registered specification set.
+
+    Raises
+    ------
+    KeyError
+        If no specification set is registered under ``key``.
+    """
+    try:
+        return SPECIFICATION_SETS[key]
+    except KeyError:
+        known = ", ".join(sorted(SPECIFICATION_SETS))
+        raise KeyError(f"unknown specification set {key!r}; registered sets: {known}") from None

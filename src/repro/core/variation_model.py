@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.behavioural.vco import VcoVariationTables
 from repro.circuits.evaluators import VcoEvaluator
-from repro.circuits.ring_vco import VcoDesign, vco_device_geometries
+from repro.circuits.ring_vco import N_STAGES, VcoDesign, vco_device_geometries
 from repro.process.montecarlo import MonteCarloEngine
 from repro.tablemodel import Table1D
 
@@ -118,6 +118,9 @@ class VariationModel:
         nominal_rows: List[List[float]] = []
         spread_rows: List[List[float]] = []
         total = len(designs)
+        # Mismatch is injected per matched transistor, so the geometry list
+        # must cover exactly the evaluator's ring length (3/5/7/9 stages).
+        n_stages = getattr(evaluator, "n_stages", N_STAGES)
         for index, (design, nominal) in enumerate(zip(designs, nominal_performances)):
             if mc_engine_factory is not None:
                 engine = mc_engine_factory()
@@ -129,13 +132,13 @@ class VariationModel:
             if use_batch:
                 result = engine.run_batch(
                     evaluator.monte_carlo_batch_evaluator(design),
-                    devices=vco_device_geometries(design),
+                    devices=vco_device_geometries(design, n_stages=n_stages),
                     nominal=nominal_values,
                 )
             else:
                 result = engine.run(
                     evaluator.monte_carlo_evaluator(design),
-                    devices=vco_device_geometries(design),
+                    devices=vco_device_geometries(design, n_stages=n_stages),
                     nominal=nominal_values,
                 )
             spreads = result.spreads()

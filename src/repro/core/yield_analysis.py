@@ -22,7 +22,7 @@ import numpy as np
 from repro.behavioural.pll import BehaviouralPll, PllDesign, PllPerformance
 from repro.behavioural.vco import BehaviouralVco, VcoVariationTables
 from repro.circuits.evaluators import RingVcoAnalyticalEvaluator, VcoEvaluator
-from repro.circuits.ring_vco import VcoDesign, vco_device_geometries
+from repro.circuits.ring_vco import N_STAGES, VcoDesign, vco_device_geometries
 from repro.core.combined_model import CombinedPerformanceVariationModel
 from repro.core.specification import PLL_SPECIFICATIONS, SpecificationSet
 from repro.process.montecarlo import MonteCarloEngine
@@ -102,15 +102,18 @@ class YieldAnalysis:
         engine = MonteCarloEngine(
             self.evaluator.technology, n_samples=self.n_samples, seed=self.seed
         )
+        # Mismatch geometries must cover exactly the evaluator's ring length
+        # (the scenario subsystem runs 3/7/9-stage rings, not just 5).
+        n_stages = getattr(self.evaluator, "n_stages", N_STAGES)
         if self.use_batch:
             mc_result = engine.run_batch(
                 self.evaluator.monte_carlo_batch_evaluator(vco_design),
-                devices=vco_device_geometries(vco_design),
+                devices=vco_device_geometries(vco_design, n_stages=n_stages),
             )
         else:
             mc_result = engine.run(
                 self.evaluator.monte_carlo_evaluator(vco_design),
-                devices=vco_device_geometries(vco_design),
+                devices=vco_device_geometries(vco_design, n_stages=n_stages),
             )
         if self.use_batch:
             # Lane-parallel propagation: every sampled VCO becomes one lane

@@ -1,0 +1,54 @@
+"""Scenario registry, content-addressed caching and the resumable runner.
+
+This subsystem turns :class:`~repro.core.flow.HierarchicalFlow` from a
+one-shot script helper into a small experiment service:
+
+* :mod:`repro.experiments.config` -- frozen, hashable
+  :class:`ScenarioConfig` value objects describing one experiment each
+  (technology, specification set, ring topology, NSGA-II and Monte Carlo
+  budgets, seed, backend).
+* :mod:`repro.experiments.registry` -- the named scenario registry
+  (``table2``, ``fast-smoke``, the ``vco-sweep-*`` topology family,
+  ``low-power``).
+* :mod:`repro.experiments.cache` -- a content-addressed disk cache keyed
+  by :meth:`ScenarioConfig.config_hash`, holding one pickled artefact per
+  flow stage.
+* :mod:`repro.experiments.runner` -- :class:`ExperimentRunner`, which
+  checkpoints after every stage and *resumes* (bit-identically) instead
+  of recomputing when a rerun hits an existing cache entry.
+* :mod:`repro.experiments.cli` -- the ``repro list|run|report`` console
+  entry point.
+
+Quick start::
+
+    from repro.experiments import ExperimentRunner, get_scenario
+
+    result = ExperimentRunner(get_scenario("fast-smoke")).run()
+    print(result.summary())          # second call resumes from cache
+"""
+
+from repro.experiments.cache import ArtefactCache, CacheEntry, default_cache_dir
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.registry import (
+    SCENARIOS,
+    get_scenario,
+    list_scenarios,
+    register,
+    scenario_names,
+)
+from repro.experiments.runner import ExperimentResult, ExperimentRunner, StageOutcome
+
+__all__ = [
+    "ScenarioConfig",
+    "SCENARIOS",
+    "register",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "ArtefactCache",
+    "CacheEntry",
+    "default_cache_dir",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "StageOutcome",
+]

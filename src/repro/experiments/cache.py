@@ -1,0 +1,179 @@
+"""Content-addressed disk cache for flow artefacts.
+
+Layout (one directory per config hash)::
+
+    <cache root>/
+        <config_hash>/
+            scenario.json       # human-readable scenario that produced it
+            circuit.pkl         # CircuitStageResult (front + combined model)
+            system.pkl          # SystemStageResult (front + selected design)
+            yield.pkl           # YieldReport
+            verification.pkl    # VerificationReport (optional stage)
+            report.json         # headline summary of the last completed run
+
+The cache root defaults to ``.repro-cache`` under the current working
+directory and can be overridden per call or globally through the
+``REPRO_CACHE_DIR`` environment variable.
+
+Artefacts are stored with :mod:`pickle` (they are numpy-heavy Python
+objects; pickling round-trips float bits exactly, which is what makes a
+resumed run bit-identical to a cold one) and written atomically -- the
+payload goes to a temporary file first and is then :func:`os.replace`'d
+into place, so a crashed run never leaves a truncated artefact behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.config import ScenarioConfig
+
+__all__ = ["STAGES", "ArtefactCache", "CacheEntry", "default_cache_dir"]
+
+#: Stage checkpoint names, in flow order.
+STAGES = ("circuit", "system", "yield", "verification")
+
+#: Environment variable overriding the default cache root.
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the cwd."""
+    return Path(os.environ.get(_CACHE_ENV) or ".repro-cache")
+
+
+class CacheEntry:
+    """All artefacts of one config hash (one directory)."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+
+    def _stage_path(self, stage: str) -> Path:
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}")
+        return self.directory / f"{stage}.pkl"
+
+    # -- artefacts ----------------------------------------------------------------------
+
+    def has(self, stage: str) -> bool:
+        """Whether a checkpoint for ``stage`` exists."""
+        return self._stage_path(stage).is_file()
+
+    def load(self, stage: str) -> Any:
+        """Unpickle the checkpointed artefact of ``stage``.
+
+        Raises
+        ------
+        FileNotFoundError
+            If the stage has not been checkpointed.
+        """
+        path = self._stage_path(stage)
+        if not path.is_file():
+            raise FileNotFoundError(f"no cached artefact for stage {stage!r} in {self.directory}")
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def store(self, stage: str, artefact: Any) -> Path:
+        """Atomically checkpoint ``artefact`` as the result of ``stage``."""
+        path = self._stage_path(stage)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(artefact, protocol=pickle.HIGHEST_PROTOCOL)
+        self._atomic_write(path, payload)
+        return path
+
+    def stages_present(self) -> List[str]:
+        """Checkpointed stages, in flow order."""
+        return [stage for stage in STAGES if self.has(stage)]
+
+    # -- metadata -----------------------------------------------------------------------
+
+    def write_scenario(self, scenario: ScenarioConfig) -> Path:
+        """Record the scenario that owns this entry (human-readable JSON)."""
+        return self._write_json("scenario.json", scenario.as_dict())
+
+    def read_scenario(self) -> Optional[ScenarioConfig]:
+        """The recorded scenario, or ``None`` when it cannot be recovered.
+
+        ``scenario.json`` is informational metadata -- the config hash in
+        the directory name is what keys the cache -- so an entry written
+        by a different package version (unknown or missing fields, invalid
+        values) yields ``None`` rather than an exception.
+        """
+        try:
+            data = self._read_json("scenario.json")
+        except json.JSONDecodeError:
+            return None
+        if data is None:
+            return None
+        try:
+            return ScenarioConfig.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def write_report_summary(self, summary: Dict[str, Any]) -> Path:
+        """Record the headline numbers of the last completed run."""
+        return self._write_json("report.json", summary)
+
+    def read_report_summary(self) -> Optional[Dict[str, Any]]:
+        """The last recorded run summary, or ``None``."""
+        return self._read_json("report.json")
+
+    # -- low level ----------------------------------------------------------------------
+
+    def _write_json(self, filename: str, data: Dict[str, Any]) -> Path:
+        path = self.directory / filename
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(data, indent=2, sort_keys=True).encode("utf-8")
+        self._atomic_write(path, payload)
+        return path
+
+    def _read_json(self, filename: str) -> Optional[Dict[str, Any]]:
+        path = self.directory / filename
+        if not path.is_file():
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: bytes) -> None:
+        handle, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=f".{path.name}.")
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+class ArtefactCache:
+    """Content-addressed store of flow artefacts, one entry per config hash."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def entry(self, config_hash: str) -> CacheEntry:
+        """The cache entry of one config hash (created lazily on store)."""
+        if not config_hash:
+            raise ValueError("config_hash must be non-empty")
+        return CacheEntry(self.root / config_hash)
+
+    def entry_for(self, scenario: ScenarioConfig) -> CacheEntry:
+        """The cache entry addressed by ``scenario.config_hash()``."""
+        return self.entry(scenario.config_hash())
+
+    def entries(self) -> List[CacheEntry]:
+        """All existing cache entries (directories under the root)."""
+        if not self.root.is_dir():
+            return []
+        return [
+            CacheEntry(path) for path in sorted(self.root.iterdir()) if path.is_dir()
+        ]

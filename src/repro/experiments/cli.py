@@ -1,0 +1,209 @@
+"""The ``repro`` command-line interface.
+
+Three subcommands turn the hierarchical flow into a small experiment
+service::
+
+    repro list                         # registered scenarios
+    repro run table2                   # run (or resume) a scenario
+    repro run table2 --evaluation vectorised --force
+    repro report table2                # summarise cached artefacts
+
+``run`` is resumable: artefacts are checkpointed per stage under the
+scenario's config hash (see :mod:`repro.experiments.cache`), so a second
+invocation of the same scenario loads the cached stages and is
+bit-identical to the cold run.  ``--evaluation`` / ``--n-workers`` /
+``--seed`` override the registered scenario; only ``--seed`` changes the
+config hash (backends are bit-identical, so they share cache entries).
+
+The module doubles as ``python -m repro.experiments.cli`` for environments
+where the console script is not installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.experiments.cache import ArtefactCache, STAGES
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.registry import get_scenario, list_scenarios
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scenario registry and resumable runner for the hierarchical PLL flow.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered scenarios")
+
+    run = subparsers.add_parser("run", help="run (or resume) a scenario")
+    run.add_argument("scenario", help="registered scenario name (see 'repro list')")
+    run.add_argument(
+        "--evaluation",
+        choices=("serial", "vectorised", "vectorized", "process"),
+        default=None,
+        help="batch-evaluation backend override (does not change the cache key)",
+    )
+    run.add_argument(
+        "--n-workers", type=int, default=None, help="worker count for the process backend"
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, help="seed override (changes the cache key)"
+    )
+    run.add_argument("--cache-dir", default=None, help="cache root (default: .repro-cache)")
+    run.add_argument(
+        "--force", action="store_true", help="recompute every stage, overwriting checkpoints"
+    )
+    run.add_argument(
+        "--output-dir",
+        default=None,
+        help="also export the combined model (.tbl files and Verilog-A) here",
+    )
+    run.add_argument(
+        "--json", action="store_true", help="print the run summary as JSON instead of text"
+    )
+
+    report = subparsers.add_parser("report", help="summarise a scenario's cached artefacts")
+    report.add_argument("scenario", help="registered scenario name")
+    report.add_argument("--cache-dir", default=None, help="cache root (default: .repro-cache)")
+    report.add_argument(
+        "--seed", type=int, default=None, help="seed override used when the run was cached"
+    )
+    report.add_argument("--max-rows", type=int, default=10, help="Table-2 rows to print")
+    report.add_argument(
+        "--json", action="store_true", help="print the stored summary as JSON instead of text"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    # Resolve the scenario up front: an unknown name is a usage error
+    # (exit 2); anything raised later is a genuine failure and propagates
+    # with its traceback.
+    try:
+        scenario = _scenario_with_overrides(args)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.command == "run":
+        return _cmd_run(args, scenario)
+    if args.command == "report":
+        return _cmd_report(args, scenario)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+# -- subcommands -------------------------------------------------------------------------
+
+
+def _cmd_list() -> int:
+    scenarios = list_scenarios()
+    print(
+        f"{'name':<14} {'stages':>6} {'circuit GA':>12} {'system GA':>11} "
+        f"{'MC/pt':>5} {'yield':>5} {'specs':<14} description"
+    )
+    for scenario in scenarios:
+        print(
+            f"{scenario.name:<14} {scenario.n_stages:>6} "
+            f"{scenario.circuit_population:>5}x{scenario.circuit_generations:<3} "
+            f"{scenario.system_population:>7}x{scenario.system_generations:<3} "
+            f"{scenario.mc_samples_per_point:>5} {scenario.yield_samples:>5} "
+            f"{scenario.specifications:<14} {scenario.description}"
+        )
+    return 0
+
+
+def _scenario_with_overrides(args: argparse.Namespace) -> ScenarioConfig:
+    scenario = get_scenario(args.scenario)
+    overrides = {}
+    if getattr(args, "evaluation", None) is not None:
+        overrides["evaluation"] = args.evaluation
+    if getattr(args, "n_workers", None) is not None:
+        overrides["n_workers"] = args.n_workers
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def _cmd_run(args: argparse.Namespace, scenario: ScenarioConfig) -> int:
+    runner = ExperimentRunner(scenario, cache_dir=args.cache_dir, force=args.force)
+    result = runner.run(output_directory=args.output_dir)
+    if args.json:
+        print(json.dumps(result.summary(), indent=2, sort_keys=True))
+        return 0
+    _print_run(result)
+    return 0
+
+
+def _print_run(result: ExperimentResult) -> None:
+    print(f"scenario     : {result.scenario.name}")
+    print(f"config hash  : {result.config_hash}")
+    if result.cache_dir is not None:
+        print(f"cache entry  : {result.cache_dir}")
+    for outcome in result.outcomes:
+        print(f"  stage {outcome.stage:<13}: {outcome.source:<9} ({outcome.seconds:.3f} s)")
+    print(f"elapsed      : {result.elapsed:.3f} s")
+    print("--- flow summary ---")
+    for key, value in result.report.summary().items():
+        print(f"  {key:28s}: {value:.6g}")
+    if result.report.system_stage.selected is not None:
+        print("--- selected design solution ---")
+        for name, value in result.report.selected_values.items():
+            print(f"  {name:8s}: {value:.6g}")
+
+
+def _cmd_report(args: argparse.Namespace, scenario: ScenarioConfig) -> int:
+    entry = ArtefactCache(args.cache_dir).entry_for(scenario)
+    present = entry.stages_present()
+    if not present:
+        print(
+            f"error: no cached artefacts for scenario {scenario.name!r} "
+            f"(hash {scenario.config_hash()}) under {entry.directory.parent}; "
+            f"run 'repro run {scenario.name}' first",
+            file=sys.stderr,
+        )
+        return 1
+    summary = entry.read_report_summary()
+    if args.json:
+        payload = {
+            "scenario": scenario.as_dict(),
+            "config_hash": scenario.config_hash(),
+            "stages_present": present,
+            "summary": summary,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"scenario     : {scenario.name}")
+    print(f"config hash  : {scenario.config_hash()}")
+    print(f"cache entry  : {entry.directory}")
+    print(f"stages cached: {', '.join(present)} (of {', '.join(STAGES)})")
+    if summary:
+        print("--- last recorded summary ---")
+        for key, value in sorted(summary.items()):
+            print(f"  {key:28s}: {value}")
+    if entry.has("system"):
+        system = entry.load("system")
+        rows = system.table2_records(max_rows=args.max_rows)
+        if rows:
+            print(f"--- Table-2 style rows (first {len(rows)}) ---")
+            columns = list(rows[0])
+            print("  " + " ".join(f"{column:>16s}" for column in columns))
+            for row in rows:
+                print("  " + " ".join(f"{row[column]:16.4g}" for column in columns))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""The named scenario registry shipped with the project.
+
+Every entry is a complete, frozen :class:`~repro.experiments.config
+.ScenarioConfig`; ``repro list`` prints this table and ``repro run NAME``
+executes one entry.  The registry ships:
+
+* ``table2`` -- the paper's configuration (100 x 30 circuit NSGA-II, 100
+  Monte Carlo samples per Pareto point, 500-sample yield verification).
+* ``fast-smoke`` -- a seconds-scale reduction used by CI and the test
+  suite.
+* ``vco-sweep-3`` / ``vco-sweep-5`` / ``vco-sweep-7`` / ``vco-sweep-9`` --
+  the ring-topology sweep family: the same flow on 3/5/7/9-stage rings.
+* ``low-power`` -- the paper's flow against the tightened
+  ``pll_low_power`` specification set (12 mA instead of 15 mA).
+
+Downstream code can :func:`register` additional scenarios (e.g. in a
+notebook) before invoking the runner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.config import ScenarioConfig
+
+__all__ = ["SCENARIOS", "register", "get_scenario", "list_scenarios", "scenario_names"]
+
+#: All registered scenarios, keyed by name.
+SCENARIOS: Dict[str, ScenarioConfig] = {}
+
+
+def register(scenario: ScenarioConfig, overwrite: bool = False) -> ScenarioConfig:
+    """Add a scenario to the registry and return it.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to register; its ``name`` becomes the registry key.
+    overwrite:
+        Allow replacing an existing entry of the same name (off by
+        default so two built-ins cannot silently collide).
+    """
+    if not overwrite and scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> ScenarioConfig:
+    """Look up a registered scenario by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names if ``name`` is not registered.
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; registered scenarios: {known}") from None
+
+
+def list_scenarios() -> List[ScenarioConfig]:
+    """All registered scenarios in registration order."""
+    return list(SCENARIOS.values())
+
+
+def scenario_names() -> List[str]:
+    """Names of all registered scenarios, in registration order."""
+    return list(SCENARIOS)
+
+
+# -- built-in scenarios ------------------------------------------------------------------
+
+register(
+    ScenarioConfig(
+        name="table2",
+        description=(
+            "The paper's run: 100x30 circuit NSGA-II, 100 MC samples per Pareto "
+            "point, 40x15 system NSGA-II, 500-sample yield verification"
+        ),
+        circuit_population=100,
+        circuit_generations=30,
+        system_population=40,
+        system_generations=15,
+        mc_samples_per_point=100,
+        yield_samples=500,
+        max_model_points=30,
+        seed=2009,
+    )
+)
+
+register(
+    ScenarioConfig(
+        name="fast-smoke",
+        description="Seconds-scale smoke run of the full flow (CI and quickstart)",
+        circuit_population=16,
+        circuit_generations=4,
+        system_population=8,
+        system_generations=2,
+        mc_samples_per_point=8,
+        yield_samples=20,
+        max_model_points=8,
+        seed=2009,
+    )
+)
+
+#: The ring-topology sweep family: identical budgets, 3/5/7/9 ring stages.
+for _n_stages in (3, 5, 7, 9):
+    register(
+        ScenarioConfig(
+            name=f"vco-sweep-{_n_stages}",
+            description=f"Topology sweep member: {_n_stages}-stage ring VCO, medium budget",
+            n_stages=_n_stages,
+            circuit_population=40,
+            circuit_generations=10,
+            system_population=16,
+            system_generations=6,
+            mc_samples_per_point=30,
+            yield_samples=100,
+            max_model_points=16,
+            seed=2009,
+        )
+    )
+
+register(
+    ScenarioConfig(
+        name="low-power",
+        description=(
+            "Paper flow against the pll_low_power specification set "
+            "(12 mA current budget, relaxed 1.5 us lock window)"
+        ),
+        specifications="pll_low_power",
+        circuit_population=60,
+        circuit_generations=16,
+        system_population=24,
+        system_generations=10,
+        mc_samples_per_point=40,
+        yield_samples=200,
+        max_model_points=18,
+        seed=2009,
+    )
+)

@@ -1,0 +1,212 @@
+"""The resumable experiment runner.
+
+:class:`ExperimentRunner` executes a
+:class:`~repro.experiments.config.ScenarioConfig` through the hierarchical
+flow with per-stage checkpointing: after each stage the artefact is
+pickled into the content-addressed :class:`~repro.experiments.cache
+.ArtefactCache` under the scenario's config hash, and a rerun with the
+same hash *loads* completed stages instead of recomputing them.
+
+Because every stage is a deterministic function of (scenario, upstream
+artefacts) and pickling round-trips floats bit-exactly, a resumed run is
+bit-identical to a cold run of the same scenario -- the test suite
+enforces this, and it holds across evaluation backends (the backends are
+bit-identical by the project's batch-evaluation invariant, which is why
+the backend is not part of the config hash).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.circuits.evaluators import VcoEvaluator
+from repro.core.flow import FlowReport, HierarchicalFlow
+from repro.experiments.cache import ArtefactCache, CacheEntry
+from repro.experiments.config import ScenarioConfig
+
+__all__ = ["StageOutcome", "ExperimentResult", "ExperimentRunner"]
+
+#: Stage sources reported by :class:`StageOutcome`.
+COMPUTED, CACHED, SKIPPED = "computed", "cached", "skipped"
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """How one stage of a run was satisfied."""
+
+    #: Stage name (``circuit`` / ``system`` / ``yield`` / ``verification``).
+    stage: str
+    #: ``"computed"``, ``"cached"`` or ``"skipped"``.
+    source: str
+    #: Wall-clock seconds spent (loading or computing).
+    seconds: float = 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one :meth:`ExperimentRunner.run` call produced."""
+
+    scenario: ScenarioConfig
+    config_hash: str
+    report: FlowReport
+    outcomes: List[StageOutcome] = field(default_factory=list)
+    cache_dir: Optional[Path] = None
+    elapsed: float = 0.0
+
+    @property
+    def stage_sources(self) -> Dict[str, str]:
+        """Mapping of stage name to ``computed`` / ``cached`` / ``skipped``."""
+        return {outcome.stage: outcome.source for outcome in self.outcomes}
+
+    @property
+    def resumed(self) -> bool:
+        """Whether at least one stage was satisfied from the cache."""
+        return any(outcome.source == CACHED for outcome in self.outcomes)
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline numbers plus run metadata (JSON-compatible)."""
+        summary: Dict[str, Any] = {
+            "scenario": self.scenario.name,
+            "config_hash": self.config_hash,
+            "elapsed_seconds": self.elapsed,
+            "stages": self.stage_sources,
+        }
+        summary.update(self.report.summary())
+        return summary
+
+
+class ExperimentRunner:
+    """Run scenarios through the flow with content-addressed resume.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to execute.
+    cache_dir:
+        Cache root (defaults to ``$REPRO_CACHE_DIR`` or ``.repro-cache``).
+    force:
+        Recompute every stage even when a checkpoint exists (checkpoints
+        are overwritten with the freshly computed artefacts).
+    evaluator:
+        Optional evaluator override forwarded to
+        :meth:`HierarchicalFlow.from_scenario` (e.g. the SPICE engine for a
+        ground-truth run).  Runs with a custom evaluator bypass the cache:
+        the config hash only describes the scenario, not the evaluator.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioConfig,
+        cache_dir: Optional[Path] = None,
+        force: bool = False,
+        evaluator: Optional[VcoEvaluator] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.cache = ArtefactCache(cache_dir)
+        self.force = force
+        self.evaluator = evaluator
+        #: Custom evaluators produce different numbers than the scenario
+        #: hash promises, so their artefacts must never enter the cache.
+        self._use_cache = evaluator is None
+
+    # -- public API ----------------------------------------------------------------------
+
+    def run(
+        self,
+        output_directory: Optional[str] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> ExperimentResult:
+        """Execute (or resume) the scenario and return all artefacts.
+
+        Parameters
+        ----------
+        output_directory:
+            When given, the combined model's ``.tbl`` files and generated
+            Verilog-A are exported there (like ``HierarchicalFlow.run``).
+        progress:
+            Optional ``progress(done, total)`` callback forwarded to the
+            circuit stage's Monte Carlo loop.
+
+        Returns
+        -------
+        ExperimentResult
+            The assembled :class:`~repro.core.flow.FlowReport` plus, for
+            every stage, whether it was computed, loaded from cache or
+            skipped.
+        """
+        started = time.perf_counter()
+        scenario = self.scenario
+        flow = HierarchicalFlow.from_scenario(scenario, evaluator=self.evaluator)
+        entry = self.cache.entry_for(scenario) if self._use_cache else None
+        if entry is not None:
+            entry.write_scenario(scenario)
+        outcomes: List[StageOutcome] = []
+
+        circuit, outcome = self._stage(
+            entry, "circuit", lambda: flow.circuit_stage(progress=progress)
+        )
+        outcomes.append(outcome)
+
+        system, outcome = self._stage(entry, "system", lambda: flow.system_stage(circuit.model))
+        outcomes.append(outcome)
+
+        yield_report = None
+        if scenario.run_yield and system.selected is not None:
+            yield_report, outcome = self._stage(
+                entry,
+                "yield",
+                lambda: flow.verify_yield(circuit.model, system.selected_values),
+            )
+        else:
+            outcome = StageOutcome("yield", SKIPPED)
+        outcomes.append(outcome)
+
+        verification = None
+        if scenario.run_verification:
+            verification, outcome = self._stage(
+                entry, "verification", lambda: flow.verification_stage(circuit.model)
+            )
+        else:
+            outcome = StageOutcome("verification", SKIPPED)
+        outcomes.append(outcome)
+
+        model_directory = None
+        generated: List[str] = []
+        if output_directory is not None:
+            model_directory, generated = flow.export_model(circuit.model, output_directory)
+
+        report = FlowReport(
+            circuit_stage=circuit,
+            system_stage=system,
+            yield_report=yield_report,
+            verification=verification,
+            model_directory=model_directory,
+            generated_files=generated,
+        )
+        result = ExperimentResult(
+            scenario=scenario,
+            config_hash=scenario.config_hash(),
+            report=report,
+            outcomes=outcomes,
+            cache_dir=entry.directory if entry is not None else None,
+            elapsed=time.perf_counter() - started,
+        )
+        if entry is not None:
+            entry.write_report_summary(result.summary())
+        return result
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _stage(self, entry: Optional[CacheEntry], stage: str, compute: Callable[[], Any]):
+        """Satisfy one stage from the cache or by computing it."""
+        started = time.perf_counter()
+        if entry is not None and not self.force and entry.has(stage):
+            artefact = entry.load(stage)
+            return artefact, StageOutcome(stage, CACHED, time.perf_counter() - started)
+        artefact = compute()
+        if entry is not None:
+            entry.store(stage, artefact)
+        return artefact, StageOutcome(stage, COMPUTED, time.perf_counter() - started)

@@ -98,8 +98,20 @@ class BatchEvaluator:
     ) -> List[Individual]:
         """Evaluate every parameter vector and return evaluated individuals.
 
-        The returned list preserves the input order, which the NSGA-II
-        driver relies on for reproducibility.
+        Parameters
+        ----------
+        problem:
+            The optimisation problem providing the objective functions.
+        vectors:
+            Parameter vectors to evaluate (one population or offspring
+            batch), each of shape ``(n_parameters,)``.
+
+        Returns
+        -------
+        list of Individual
+            One evaluated individual per vector, in input order -- the
+            NSGA-II driver relies on order preservation for
+            reproducibility.
         """
         raise NotImplementedError
 
@@ -114,13 +126,19 @@ class BatchEvaluator:
 
 
 class SerialEvaluator(BatchEvaluator):
-    """One `evaluate_vector` call per individual (the historical behaviour)."""
+    """One `evaluate_vector` call per individual (the historical behaviour).
+
+    This is the reference backend: every other backend must reproduce its
+    results bit for bit (same arithmetic, same seeded RNG stream), which
+    the test suite and benchmarks enforce.
+    """
 
     name = "serial"
 
     def evaluate(
         self, problem: Problem, vectors: Sequence[np.ndarray]
     ) -> List[Individual]:
+        """Evaluate the batch with one Python call per vector."""
         return [
             build_individual(problem, vector, problem.evaluate_vector(vector))
             for vector in vectors
@@ -128,13 +146,35 @@ class SerialEvaluator(BatchEvaluator):
 
 
 class VectorisedEvaluator(BatchEvaluator):
-    """Array-in/array-out evaluation through ``Problem.evaluate_batch``."""
+    """Array-in/array-out evaluation through ``Problem.evaluate_batch``.
+
+    Problems with a native numpy batch path (the analytical VCO sizing
+    problem, the behavioural PLL system problem) evaluate the whole
+    population in a handful of array calls; problems without one inherit
+    :meth:`Problem.evaluate_batch`'s serial loop and still work.
+    """
 
     name = "vectorised"
 
     def evaluate(
         self, problem: Problem, vectors: Sequence[np.ndarray]
     ) -> List[Individual]:
+        """Evaluate the whole batch in a single ``evaluate_batch`` call.
+
+        Parameters
+        ----------
+        problem:
+            The optimisation problem; its ``evaluate_batch`` receives one
+            ``(n_vectors, n_parameters)`` matrix.
+        vectors:
+            Parameter vectors of the population or offspring batch.
+
+        Returns
+        -------
+        list of Individual
+            Evaluated individuals in input order, bit-identical to the
+            serial backend for a correctly vectorised problem.
+        """
         matrix = np.asarray(vectors, dtype=float)
         if matrix.ndim == 1:
             matrix = matrix.reshape(1, -1)
@@ -191,6 +231,22 @@ class ProcessPoolEvaluator(BatchEvaluator):
     def evaluate(
         self, problem: Problem, vectors: Sequence[np.ndarray]
     ) -> List[Individual]:
+        """Fan the batch out over the worker pool in pickling-friendly chunks.
+
+        Parameters
+        ----------
+        problem:
+            The optimisation problem; shipped to the workers once per pool
+            (via the executor initializer), not once per task.
+        vectors:
+            Parameter vectors of the population or offspring batch.
+
+        Returns
+        -------
+        list of Individual
+            Evaluated individuals in input order; identical to the serial
+            backend because each worker runs the same scalar code.
+        """
         vectors = [np.asarray(vector, dtype=float) for vector in vectors]
         if not vectors:
             return []
@@ -230,7 +286,27 @@ class ProcessPoolEvaluator(BatchEvaluator):
 def create_evaluator(
     name: str = "serial", n_workers: Optional[int] = None
 ) -> BatchEvaluator:
-    """Build a batch-evaluation backend from its configuration name."""
+    """Build a batch-evaluation backend from its configuration name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`EVALUATOR_CHOICES` (``"serial"``, ``"vectorised"`` /
+        ``"vectorized"``, ``"process"``); case-insensitive.
+    n_workers:
+        Pool size for the ``"process"`` backend (ignored otherwise);
+        defaults to :func:`default_worker_count`.
+
+    Returns
+    -------
+    BatchEvaluator
+        A ready-to-use backend instance.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is not a known backend.
+    """
     key = (name or "serial").lower()
     if key == "serial":
         return SerialEvaluator()

@@ -11,7 +11,7 @@ be carried to the next generation".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -81,6 +81,36 @@ class NSGA2Config:
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+
+    def as_dict(self) -> dict:
+        """Serialise the configuration to a plain JSON-compatible dict.
+
+        Returns
+        -------
+        dict
+            One entry per dataclass field; the scenario subsystem stores
+            this next to cached artefacts so a cache entry records the
+            exact optimiser settings that produced it.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "NSGA2Config":
+        """Rebuild a configuration from :meth:`as_dict` output.
+
+        Parameters
+        ----------
+        values:
+            Mapping with one entry per dataclass field; unknown keys raise
+            ``TypeError`` so stale cache metadata is detected instead of
+            silently ignored.
+
+        Returns
+        -------
+        NSGA2Config
+            A validated configuration equal to the one serialised.
+        """
+        return cls(**values)
 
 
 @dataclass

@@ -28,12 +28,14 @@ from repro.process.statistics import (
     spread_percent,
     summarise_samples,
 )
-from repro.process.technology import Technology, TECH_012UM
+from repro.process.technology import TECHNOLOGIES, Technology, TECH_012UM, technology
 from repro.process.variation import GlobalVariationModel, VariationSpec
 
 __all__ = [
     "Technology",
     "TECH_012UM",
+    "TECHNOLOGIES",
+    "technology",
     "Corner",
     "CornerSet",
     "STANDARD_CORNERS",

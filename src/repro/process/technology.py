@@ -19,7 +19,7 @@ from typing import Dict, Mapping
 
 from repro.spice.mosfet import MOSFETModel
 
-__all__ = ["Technology", "TECH_012UM"]
+__all__ = ["Technology", "TECH_012UM", "TECHNOLOGIES", "technology"]
 
 
 @dataclass(frozen=True)
@@ -112,3 +112,34 @@ TECH_012UM = Technology(
         name="pmos012", polarity=-1, vth0=0.36, u0=0.011, gamma=0.48, lambda_=0.10, tox=2.8e-9
     ),
 )
+
+#: Named registry of process technologies.  Scenario configurations refer
+#: to a technology by key so they stay plain, hashable value objects.
+TECHNOLOGIES: Dict[str, Technology] = {
+    TECH_012UM.name: TECH_012UM,
+}
+
+
+def technology(key: str) -> Technology:
+    """Look up a registered technology by name.
+
+    Parameters
+    ----------
+    key:
+        Registry key (currently only ``"generic012"``).
+
+    Returns
+    -------
+    Technology
+        The registered process description.
+
+    Raises
+    ------
+    KeyError
+        If no technology is registered under ``key``.
+    """
+    try:
+        return TECHNOLOGIES[key]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGIES))
+        raise KeyError(f"unknown technology {key!r}; registered technologies: {known}") from None

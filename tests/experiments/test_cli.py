@@ -1,0 +1,121 @@
+"""CLI smoke tests: in-process argument handling plus subprocess runs."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments import cli
+
+#: Environment for subprocesses: make ``import repro`` work from the src
+#: layout even when the package is not installed in the interpreter.
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+        timeout=300,
+    )
+
+
+# -- in-process (fast) --------------------------------------------------------------------
+
+
+def test_list_names_every_registered_scenario(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table2", "fast-smoke", "vco-sweep-3", "vco-sweep-9", "low-power"):
+        assert name in out
+
+
+def test_unknown_scenario_is_a_usage_error(capsys):
+    assert cli.main(["run", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_report_before_run_fails_cleanly(tmp_path, capsys):
+    code = cli.main(["report", "table2", "--cache-dir", str(tmp_path), "--seed", "424242"])
+    assert code == 1
+    assert "no cached artefacts" in capsys.readouterr().err
+
+
+def test_run_and_report_in_process(tmp_path, capsys):
+    # Tiny seed override keeps this isolated from any shared cache state.
+    args = ["--cache-dir", str(tmp_path), "--seed", "99"]
+    assert cli.main(["run", "fast-smoke", "--evaluation", "vectorised", *args]) == 0
+    out = capsys.readouterr().out
+    assert "stage circuit      : computed" in out
+
+    assert cli.main(["run", "fast-smoke", *args]) == 0
+    out = capsys.readouterr().out
+    assert "stage circuit      : cached" in out
+
+    assert cli.main(["report", "fast-smoke", "--json", *args]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["scenario"] == "fast-smoke"
+    assert set(payload["stages_present"]) >= {"circuit", "system"}
+
+
+def test_run_accepts_both_vectorised_spellings(tmp_path, capsys):
+    # The API's EVALUATOR_CHOICES accepts both spellings; so must the CLI.
+    code = cli.main(
+        [
+            "run", "fast-smoke", "--evaluation", "vectorized",
+            "--cache-dir", str(tmp_path), "--seed", "97",
+        ]
+    )
+    assert code == 0
+    assert "stage circuit" in capsys.readouterr().out
+
+
+def test_run_json_summary(tmp_path, capsys):
+    code = cli.main(
+        ["run", "fast-smoke", "--json", "--cache-dir", str(tmp_path), "--seed", "98"]
+    )
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["scenario"] == "fast-smoke"
+    assert summary["stages"]["circuit"] == "computed"
+    assert "circuit_front_size" in summary
+
+
+# -- subprocess (the real console entry point path) --------------------------------------
+
+
+@pytest.mark.slow
+def test_cli_subprocess_run_resumes_from_cache(tmp_path):
+    cache = str(tmp_path / "cache")
+    first = run_cli("run", "fast-smoke", "--cache-dir", cache, "--evaluation", "vectorised")
+    assert first.returncode == 0, first.stderr
+    assert "computed" in first.stdout
+
+    second = run_cli("run", "fast-smoke", "--cache-dir", cache)
+    assert second.returncode == 0, second.stderr
+    assert "stage circuit      : cached" in second.stdout
+    # Bit-identity of the reported summaries (same numbers, cold vs resumed).
+    for line in ("selected_lock_time_us", "yield_percent"):
+        cold = [ln for ln in first.stdout.splitlines() if line in ln]
+        warm = [ln for ln in second.stdout.splitlines() if line in ln]
+        assert cold == warm
+
+    report = run_cli("report", "fast-smoke", "--cache-dir", cache)
+    assert report.returncode == 0, report.stderr
+    assert "stages cached" in report.stdout
+
+
+@pytest.mark.slow
+def test_cli_subprocess_list(tmp_path):
+    result = run_cli("list", cwd=str(tmp_path))
+    assert result.returncode == 0, result.stderr
+    assert "table2" in result.stdout

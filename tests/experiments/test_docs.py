@@ -1,0 +1,102 @@
+"""Documentation-site sanity checks.
+
+``mkdocs build --strict`` runs in CI (the ``docs`` job), where the docs
+toolchain is installed.  These tests guard its most common failure modes
+-- missing nav targets, broken relative links, mkdocstrings identifiers
+that do not import -- without needing mkdocs locally.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs"
+MKDOCS_YML = REPO / "mkdocs.yml"
+
+
+def load_config():
+    # mkdocs.yml may use custom tags (!ENV, python object tags for material);
+    # ignore unknown tags instead of failing the parse.
+    class Loose(yaml.SafeLoader):
+        pass
+
+    Loose.add_multi_constructor("", lambda loader, suffix, node: None)
+    return yaml.load(MKDOCS_YML.read_text(), Loose)
+
+
+def nav_files(nav):
+    for item in nav:
+        if isinstance(item, str):
+            yield item
+        elif isinstance(item, dict):
+            for value in item.values():
+                if isinstance(value, str):
+                    yield value
+                else:
+                    yield from nav_files(value)
+
+
+def test_every_nav_entry_exists():
+    config = load_config()
+    entries = list(nav_files(config["nav"]))
+    assert entries, "mkdocs.yml nav is empty"
+    for entry in entries:
+        assert (DOCS / entry).is_file(), f"nav entry {entry} missing from docs/"
+
+
+def test_required_pages_are_in_nav():
+    entries = set(nav_files(load_config()["nav"]))
+    for required in (
+        "index.md",
+        "scenarios.md",
+        "batch-evaluation.md",
+        "lane-parallel-transient.md",
+        "paper_mapping.md",
+        "api/experiments.md",
+    ):
+        assert required in entries
+
+
+def test_mkdocstrings_identifiers_import():
+    """Every `::: module` directive must reference an importable module."""
+    directives = []
+    for page in DOCS.rglob("*.md"):
+        for match in re.finditer(r"^::: ([\w.]+)$", page.read_text(), re.MULTILINE):
+            directives.append((page, match.group(1)))
+    assert directives, "no mkdocstrings directives found under docs/"
+    for page, identifier in directives:
+        importlib.import_module(identifier)  # raises on a bad identifier
+
+
+def test_relative_markdown_links_resolve():
+    pattern = re.compile(r"\]\((?!https?://|#)([^)#]+?)(?:#[^)]*)?\)")
+    for page in DOCS.rglob("*.md"):
+        for match in pattern.finditer(page.read_text()):
+            target = match.group(1)
+            resolved = (page.parent / target).resolve()
+            assert resolved.exists(), f"{page.relative_to(REPO)} links to missing {target}"
+
+
+def test_paper_mapping_covers_the_headline_artefacts():
+    text = (DOCS / "paper_mapping.md").read_text()
+    for artefact in ("Fig. 4", "Fig. 6", "Table 2", "Listing 2"):
+        assert artefact in text
+    # Spot-check that mapped paths actually exist in the repo.
+    for path in (
+        "benchmarks/bench_table2_pll_system.py",
+        "benchmarks/bench_fig7_vco_pareto.py",
+        "tests/experiments/test_runner.py",
+    ):
+        assert path in text and (REPO / path).exists(), path
+
+
+def test_docs_extra_is_declared():
+    pyproject = (REPO / "pyproject.toml").read_text()
+    assert "docs = [" in pyproject
+    assert "mkdocs" in pyproject and "mkdocstrings" in pyproject
+    assert 'repro = "repro.experiments.cli:main"' in pyproject

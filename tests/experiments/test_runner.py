@@ -1,0 +1,207 @@
+"""Experiment runner: caching, resume bit-identity, odd-ring scenarios."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import ArtefactCache, CacheEntry
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import ExperimentRunner
+
+#: A deliberately tiny scenario so every test recomputes in well under a second.
+TINY = ScenarioConfig(
+    name="tiny-unit",
+    description="runner unit-test scenario",
+    circuit_population=8,
+    circuit_generations=2,
+    system_population=8,
+    system_generations=2,
+    mc_samples_per_point=4,
+    yield_samples=10,
+    max_model_points=6,
+    seed=11,
+)
+
+
+def front_arrays(result):
+    front = result.report.system_stage.optimisation.front
+    parameters = np.vstack([ind.parameters for ind in front])
+    objectives = np.vstack([ind.objectives for ind in front])
+    return parameters, objectives
+
+
+def assert_bit_identical(result_a, result_b):
+    params_a, obj_a = front_arrays(result_a)
+    params_b, obj_b = front_arrays(result_b)
+    assert params_a.shape == params_b.shape
+    assert np.array_equal(params_a, params_b)  # exact, not approx
+    assert np.array_equal(obj_a, obj_b)
+    assert result_a.report.selected_values == result_b.report.selected_values
+    yield_a = result_a.report.yield_report
+    yield_b = result_b.report.yield_report
+    assert (yield_a is None) == (yield_b is None)
+    if yield_a is not None:
+        assert yield_a.yield_fraction == yield_b.yield_fraction
+        assert yield_a.n_samples == yield_b.n_samples
+
+
+# -- cache hit/miss -----------------------------------------------------------------------
+
+
+def test_cold_run_computes_and_checkpoints_every_stage(tmp_path):
+    result = ExperimentRunner(TINY, cache_dir=tmp_path).run()
+    assert result.stage_sources["circuit"] == "computed"
+    assert result.stage_sources["system"] == "computed"
+    assert not result.resumed
+    entry = ArtefactCache(tmp_path).entry_for(TINY)
+    assert entry.has("circuit") and entry.has("system")
+    assert entry.read_scenario() == TINY
+    assert entry.read_report_summary()["config_hash"] == TINY.config_hash()
+
+
+def test_second_run_resumes_fully_and_is_bit_identical(tmp_path):
+    cold = ExperimentRunner(TINY, cache_dir=tmp_path).run()
+    warm = ExperimentRunner(TINY, cache_dir=tmp_path).run()
+    assert warm.resumed
+    assert warm.stage_sources["circuit"] == "cached"
+    assert warm.stage_sources["system"] == "cached"
+    assert_bit_identical(cold, warm)
+
+
+def test_partial_resume_skips_circuit_stage_bit_identically(tmp_path):
+    """Resume with only the circuit checkpoint: later stages recompute
+    from the unpickled model and must match the cold run bit for bit."""
+    cold = ExperimentRunner(TINY, cache_dir=tmp_path).run()
+    entry_dir = cold.cache_dir
+    os.remove(entry_dir / "system.pkl")
+    if (entry_dir / "yield.pkl").exists():
+        os.remove(entry_dir / "yield.pkl")
+    partial = ExperimentRunner(TINY, cache_dir=tmp_path).run()
+    assert partial.stage_sources["circuit"] == "cached"
+    assert partial.stage_sources["system"] == "computed"
+    assert_bit_identical(cold, partial)
+
+
+def test_backends_share_cache_entries(tmp_path):
+    """The evaluation backend is excluded from the hash (bit-identical by
+    invariant), so a vectorised rerun resumes from a serial run's cache."""
+    serial = ExperimentRunner(TINY, cache_dir=tmp_path).run()
+    vectorised = ExperimentRunner(
+        TINY.with_overrides(evaluation="vectorised"), cache_dir=tmp_path
+    ).run()
+    assert vectorised.stage_sources["circuit"] == "cached"
+    assert_bit_identical(serial, vectorised)
+
+
+def test_force_recomputes_despite_cache(tmp_path):
+    ExperimentRunner(TINY, cache_dir=tmp_path).run()
+    forced = ExperimentRunner(TINY, cache_dir=tmp_path, force=True).run()
+    assert forced.stage_sources["circuit"] == "computed"
+    assert forced.stage_sources["system"] == "computed"
+
+
+def test_different_seed_misses_cache(tmp_path):
+    ExperimentRunner(TINY, cache_dir=tmp_path).run()
+    other = ExperimentRunner(TINY.with_overrides(seed=12), cache_dir=tmp_path).run()
+    assert not other.resumed
+    assert len(ArtefactCache(tmp_path).entries()) == 2
+
+
+def test_output_directory_exports_model(tmp_path):
+    out = tmp_path / "artefacts"
+    result = ExperimentRunner(TINY, cache_dir=tmp_path / "cache").run(
+        output_directory=str(out)
+    )
+    assert result.report.model_directory is not None
+    assert any(name.endswith(".tbl") for name in result.report.generated_files)
+    assert any(name.endswith(".va") for name in result.report.generated_files)
+
+
+# -- ring-topology scenarios --------------------------------------------------------------
+
+
+def test_odd_stage_count_scenario_through_full_flow(tmp_path):
+    """A 3-stage ring flows end to end: evaluator, mismatch geometries and
+    the yield analysis all follow the scenario's stage count."""
+    scenario = TINY.with_overrides(name="tiny-3stage", n_stages=3)
+    from repro.core.flow import HierarchicalFlow
+
+    flow = HierarchicalFlow.from_scenario(scenario)
+    assert flow.n_stages == 3
+    assert flow.evaluator.n_stages == 3
+
+    result = ExperimentRunner(scenario, cache_dir=tmp_path).run()
+    summary = result.report.summary()
+    assert summary["circuit_front_size"] >= 1
+    assert summary["system_front_size"] >= 1
+    assert "yield_percent" in summary
+    # Distinct topology, distinct cache entry.
+    assert scenario.config_hash() != TINY.config_hash()
+
+
+def test_from_scenario_honours_optional_stage_selection():
+    """flow.run() with no arguments executes exactly the scenario's stages."""
+    from repro.core.flow import HierarchicalFlow
+
+    scenario = TINY.with_overrides(name="tiny-verify", run_verification=True)
+    report = HierarchicalFlow.from_scenario(scenario).run()
+    assert report.verification is not None
+    assert report.yield_report is not None  # run_yield=True default honoured
+
+    no_yield = TINY.with_overrides(name="tiny-no-yield", run_yield=False)
+    report = HierarchicalFlow.from_scenario(no_yield).run()
+    assert report.yield_report is None
+    # Explicit arguments still win over the scenario defaults.
+    report = HierarchicalFlow.from_scenario(no_yield).run(run_yield=True)
+    assert report.yield_report is not None
+
+
+def test_stage_hook_checkpoints_through_flow_run(tmp_path):
+    """HierarchicalFlow.run's stage_hook fires once per executed stage."""
+    from repro.core.flow import HierarchicalFlow
+
+    flow = HierarchicalFlow.from_scenario(TINY)
+    seen = []
+    flow.run(run_yield=True, stage_hook=lambda stage, artefact: seen.append(stage))
+    assert seen[:2] == ["circuit", "system"]
+    assert "yield" in seen or len(seen) == 2  # yield only runs with a selected design
+
+
+# -- cache internals ----------------------------------------------------------------------
+
+
+def test_cache_entry_rejects_unknown_stage(tmp_path):
+    entry = CacheEntry(tmp_path / "deadbeef")
+    with pytest.raises(ValueError):
+        entry.has("netlist")
+    with pytest.raises(FileNotFoundError):
+        entry.load("circuit")
+
+
+def test_read_scenario_tolerates_foreign_metadata(tmp_path):
+    """scenario.json from another package version yields None, not a crash."""
+    entry = CacheEntry(tmp_path / "feed")
+    entry.write_scenario(TINY)
+    assert entry.read_scenario() == TINY
+    # Unknown field (newer version wrote it) -> None.
+    data = TINY.as_dict()
+    data["future_field"] = 1
+    entry._write_json("scenario.json", data)
+    assert entry.read_scenario() is None
+    # Corrupt JSON -> None.
+    (entry.directory / "scenario.json").write_text("{not json")
+    assert entry.read_scenario() is None
+
+
+def test_cache_store_is_atomic_and_loadable(tmp_path):
+    entry = CacheEntry(tmp_path / "cafe")
+    payload = {"x": np.arange(5), "y": 1.5}
+    entry.store("circuit", payload)
+    loaded = entry.load("circuit")
+    assert loaded["y"] == 1.5
+    assert np.array_equal(loaded["x"], payload["x"])
+    assert entry.stages_present() == ["circuit"]
+    # No temp files left behind.
+    leftovers = [p for p in (tmp_path / "cafe").iterdir() if p.name.startswith(".")]
+    assert not leftovers
