@@ -1,0 +1,130 @@
+"""Experiment-service load benchmark: M clients, N workers, dedup gate.
+
+M client threads each submit the same mix of scenario configurations
+(reduced ``fast-smoke`` / ``vco-sweep-*`` variants) over HTTP against a
+worker pool of N processes.  Two properties are checked:
+
+* **dedup** -- submissions coalesce on the config hash, so however many
+  clients race, the service executes at most one job per *unique*
+  configuration (and each exactly once: every job finishes with
+  ``attempts == 1``);
+* **throughput** -- the run reports jobs accepted per second at the API
+  and jobs completed per second end to end, recorded into the merged
+  benchmark JSON via ``extra_info`` (no ``speedup_`` gate: this is a
+  capacity number, not a vectorisation ratio).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.conftest import print_header
+from repro.service.api import make_server
+from repro.service.client import ServiceClient
+from repro.service.store import JobStore
+from repro.service.worker import WorkerPool
+
+#: Client threads hammering the API.
+N_CLIENTS = 8
+#: Worker processes draining the queue.
+N_WORKERS = 2
+
+#: The submitted mix: (scenario, overrides) pairs.  Budgets are reduced to
+#: seconds-scale so the benchmark measures service machinery, not the
+#: optimiser; distinct seeds/topologies make four unique configurations.
+TINY_BUDGET = {
+    "circuit_population": 10,
+    "circuit_generations": 2,
+    "system_population": 8,
+    "system_generations": 2,
+    "mc_samples_per_point": 4,
+    "yield_samples": 10,
+    "max_model_points": 6,
+    "evaluation": "vectorised",
+}
+JOB_MIX = [
+    ("fast-smoke", dict(TINY_BUDGET, seed=301)),
+    ("fast-smoke", dict(TINY_BUDGET, seed=302)),
+    ("vco-sweep-3", dict(TINY_BUDGET, seed=303)),
+    ("vco-sweep-7", dict(TINY_BUDGET, seed=304)),
+]
+
+
+def test_service_throughput_with_dedup(benchmark, tmp_path):
+    db = tmp_path / "service.db"
+    cache = tmp_path / "cache"
+    store = JobStore(db, lease_ttl=30.0)
+    server = make_server("127.0.0.1", 0, store, cache)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    client = ServiceClient(url)
+    client.wait_until_ready()
+
+    submissions: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(N_CLIENTS)
+
+    def client_session() -> None:
+        session = ServiceClient(url)
+        barrier.wait()
+        for scenario, overrides in JOB_MIX:
+            job = session.submit(scenario, overrides)
+            with lock:
+                submissions.append(job)
+
+    try:
+        with WorkerPool(db, cache, n_workers=N_WORKERS, lease_ttl=30.0):
+            started = time.perf_counter()
+            threads = [threading.Thread(target=client_session) for _ in range(N_CLIENTS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            submit_seconds = time.perf_counter() - started
+
+            job_ids = sorted({job["id"] for job in submissions})
+            for job_id in job_ids:
+                finished = client.wait(job_id, timeout=300.0)
+                assert finished["state"] == "done", finished
+            drain_seconds = time.perf_counter() - started
+
+        total_submitted = N_CLIENTS * len(JOB_MIX)
+        assert len(submissions) == total_submitted
+
+        # Dedup gate: at most one execution per unique configuration.
+        unique_configs = len({(name, tuple(sorted(o.items()))) for name, o in JOB_MIX})
+        assert len(job_ids) == unique_configs
+        assert sum(1 for job in submissions if job["created"]) == unique_configs
+        for job_id in job_ids:
+            record = store.get(job_id)
+            assert record.attempts == 1, f"job {job_id} executed more than once"
+
+        accepted_per_second = total_submitted / submit_seconds
+        completed_per_second = len(job_ids) / drain_seconds
+        print_header(
+            f"Experiment service throughput: {N_CLIENTS} clients x {len(JOB_MIX)} "
+            f"submissions against {N_WORKERS} workers"
+        )
+        print(
+            f"submissions accepted : {total_submitted} in {submit_seconds:.3f}s "
+            f"({accepted_per_second:.1f} jobs/s)"
+        )
+        print(f"unique executions    : {len(job_ids)} (of {total_submitted} submitted)")
+        print(
+            f"queue drained        : {drain_seconds:.3f}s "
+            f"({completed_per_second:.2f} completed jobs/s)"
+        )
+
+        benchmark.extra_info["service_jobs_accepted_per_second"] = accepted_per_second
+        benchmark.extra_info["service_jobs_completed_per_second"] = completed_per_second
+        benchmark.extra_info["service_unique_executions"] = len(job_ids)
+        benchmark.extra_info["service_submissions"] = total_submitted
+        # The timed benchmark body: a warm status poll, the request the
+        # service answers most often under load.
+        benchmark.pedantic(
+            lambda: client.jobs(state="done"), rounds=3, iterations=1, warmup_rounds=0
+        )
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -31,7 +31,7 @@ from repro.process.technology import TECH_012UM, Technology
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.config import ScenarioConfig
 
-__all__ = ["FlowReport", "HierarchicalFlow", "StageHook"]
+__all__ = ["FlowReport", "HierarchicalFlow", "StageHook", "summarise_stage"]
 
 #: Signature of the per-stage checkpoint hook accepted by
 #: :meth:`HierarchicalFlow.run`: ``hook(stage_name, artefact)`` is invoked
@@ -39,6 +39,53 @@ __all__ = ["FlowReport", "HierarchicalFlow", "StageHook"]
 #: ``"circuit"``, ``"system"``, ``"yield"`` or ``"verification"`` and the
 #: artefact that stage produced.
 StageHook = Callable[[str, object], None]
+
+#: Unit scalings of the selected design's headline objectives, shared by
+#: :meth:`FlowReport.summary` and :func:`summarise_stage` so both report
+#: the same quantities under the same keys.
+_SELECTED_OBJECTIVES = (
+    ("lock_time", 1e6, "us"),
+    ("jitter", 1e12, "ps"),
+    ("current", 1e3, "ma"),
+)
+
+
+def summarise_stage(stage: str, artefact: object) -> Dict[str, float]:
+    """Small JSON-compatible progress payload for one stage artefact.
+
+    ``stage_hook`` consumers that persist or transmit progress (the
+    experiment service records one event per completed stage) need a flat
+    numbers-only view of the artefact rather than the pickled object; this
+    is the one place that knows how to produce it for every stage.  Unknown
+    stages and artefacts without the expected attributes yield an empty
+    payload instead of raising -- progress reporting must never break a run.
+    """
+    payload: Dict[str, float] = {}
+
+    def put(key: str, value: object) -> None:
+        if value is not None:
+            payload[key] = float(value)
+
+    if stage == "circuit":
+        put("front_size", getattr(artefact, "front_size", None))
+        put("evaluations", getattr(artefact, "evaluations", None))
+    elif stage == "system":
+        put("front_size", getattr(artefact, "front_size", None))
+        selected = getattr(artefact, "selected", None)
+        if selected is not None:
+            put("selected_feasible", selected.is_feasible)
+            for objective, scale, suffix in _SELECTED_OBJECTIVES:
+                value = selected.raw_objectives.get(objective)
+                if value is not None:
+                    put(f"selected_{objective}_{suffix}", value * scale)
+    elif stage == "yield":
+        put("yield_percent", getattr(artefact, "yield_percent", None))
+        put("n_samples", getattr(artefact, "n_samples", None))
+    elif stage == "verification":
+        worst = getattr(artefact, "worst_error", None)
+        if callable(worst):
+            put("worst_error", worst())
+    return payload
 
 
 @dataclass
@@ -71,9 +118,10 @@ class FlowReport:
         }
         selected = self.system_stage.selected
         if selected is not None:
-            summary["selected_lock_time_us"] = selected.raw_objectives["lock_time"] * 1e6
-            summary["selected_jitter_ps"] = selected.raw_objectives["jitter"] * 1e12
-            summary["selected_current_ma"] = selected.raw_objectives["current"] * 1e3
+            for objective, scale, suffix in _SELECTED_OBJECTIVES:
+                summary[f"selected_{objective}_{suffix}"] = (
+                    selected.raw_objectives[objective] * scale
+                )
             summary["selected_feasible"] = float(selected.is_feasible)
         if self.yield_report is not None:
             summary["yield_percent"] = self.yield_report.yield_percent
@@ -251,8 +299,15 @@ class HierarchicalFlow:
         self,
         model: CombinedPerformanceVariationModel,
         selected_values: Dict[str, float],
+        checkpoint: Optional[object] = None,
+        batch_size: Optional[int] = None,
     ) -> YieldReport:
-        """Monte Carlo yield verification of the selected design."""
+        """Monte Carlo yield verification of the selected design.
+
+        ``checkpoint`` / ``batch_size`` enable mid-stage checkpointing of
+        the Monte Carlo batches (see :meth:`YieldAnalysis.run`); the batch
+        size never changes the result, only how often progress persists.
+        """
         analysis = YieldAnalysis(
             model,
             evaluator=self.evaluator,
@@ -261,7 +316,7 @@ class HierarchicalFlow:
             seed=self.seed + 1,
             use_batch=self._use_batch_mc,
         )
-        return analysis.run(selected_values)
+        return analysis.run(selected_values, checkpoint=checkpoint, batch_size=batch_size)
 
     def verification_stage(
         self,

@@ -15,7 +15,7 @@ parametric yield.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.circuits.evaluators import RingVcoAnalyticalEvaluator, VcoEvaluator
 from repro.circuits.ring_vco import N_STAGES, VcoDesign, vco_device_geometries
 from repro.core.combined_model import CombinedPerformanceVariationModel
 from repro.core.specification import PLL_SPECIFICATIONS, SpecificationSet
-from repro.process.montecarlo import MonteCarloEngine
+from repro.process.montecarlo import MonteCarloEngine, ProcessSample
 from repro.process.statistics import summarise_samples
 
 __all__ = ["YieldReport", "YieldAnalysis"]
@@ -84,12 +84,36 @@ class YieldAnalysis:
         #: calls instead of ``2 n_samples`` Python calls).
         self.use_batch = use_batch
 
-    def run(self, selected_values: Mapping[str, float]) -> YieldReport:
+    def run(
+        self,
+        selected_values: Mapping[str, float],
+        checkpoint: Optional[object] = None,
+        batch_size: Optional[int] = None,
+    ) -> YieldReport:
         """Verify the yield of the selected system-level solution.
 
         ``selected_values`` must contain the system designables ``kvco``,
         ``ivco``, ``c1``, ``c2`` and ``r1`` (the output of the system
         stage's selection step).
+
+        Parameters
+        ----------
+        selected_values:
+            The selected system-level operating point.
+        checkpoint:
+            Optional mid-stage checkpoint store with ``load()``,
+            ``store(state)`` and ``clear()`` (duck-typed; the experiment
+            runner passes a cache-entry-backed one).  After every evaluated
+            batch the samples completed so far are persisted, and a rerun
+            resumes from them instead of restarting the stage.  Because the
+            Monte Carlo samples are drawn in one deterministic bulk RNG
+            call and evaluated independently, a resumed run is
+            bit-identical to an uninterrupted one.
+        batch_size:
+            Samples evaluated (and checkpointed) per batch.  ``None`` runs
+            the whole analysis as a single batch.  Both paths evaluate
+            sample-independent math, so the batch size never changes the
+            result -- only how often progress is persisted.
         """
         kvco = float(selected_values["kvco"])
         ivco = float(selected_values["ivco"])
@@ -105,32 +129,33 @@ class YieldAnalysis:
         # Mismatch geometries must cover exactly the evaluator's ring length
         # (the scenario subsystem runs 3/7/9-stage rings, not just 5).
         n_stages = getattr(self.evaluator, "n_stages", N_STAGES)
-        if self.use_batch:
-            mc_result = engine.run_batch(
-                self.evaluator.monte_carlo_batch_evaluator(vco_design),
-                devices=vco_device_geometries(vco_design, n_stages=n_stages),
-            )
-        else:
-            mc_result = engine.run(
-                self.evaluator.monte_carlo_evaluator(vco_design),
-                devices=vco_device_geometries(vco_design, n_stages=n_stages),
-            )
-        if self.use_batch:
-            # Lane-parallel propagation: every sampled VCO becomes one lane
-            # of a single batched transient (bit-identical to the loop).
-            plls = [
-                self._sample_pll(vco_sample, pll_design)
-                for vco_sample in mc_result.performances
-            ]
-            performances = BehaviouralPll.evaluate_batch(
-                plls, max_time=self.simulation_time
-            )
-            samples = [self._finalise(performance) for performance in performances]
-        else:
-            samples = [
-                self._system_performance(vco_sample, pll_design)
-                for vco_sample in mc_result.performances
-            ]
+        devices = vco_device_geometries(vco_design, n_stages=n_stages)
+        process_samples = engine.sample_batch(devices)
+
+        fingerprint = {
+            "n_samples": self.n_samples,
+            "seed": self.seed,
+            "selected": {key: float(selected_values[key]) for key in sorted(selected_values)},
+        }
+        samples: List[Dict[str, float]] = []
+        if checkpoint is not None:
+            state = checkpoint.load()
+            if (
+                isinstance(state, dict)
+                and state.get("fingerprint") == fingerprint
+                and len(state.get("samples", ())) <= self.n_samples
+            ):
+                samples = list(state["samples"])
+
+        chunk = self.n_samples if batch_size is None else max(1, int(batch_size))
+        while len(samples) < self.n_samples:
+            batch = process_samples[len(samples):len(samples) + chunk]
+            samples.extend(self._evaluate_batch(batch, vco_design, pll_design))
+            if checkpoint is not None and len(samples) < self.n_samples:
+                checkpoint.store({"fingerprint": fingerprint, "samples": samples})
+        if checkpoint is not None:
+            checkpoint.clear()
+
         passing = 0
         violation_counts: Dict[str, int] = {}
         for system in samples:
@@ -149,6 +174,46 @@ class YieldAnalysis:
         )
 
     # -- helpers ------------------------------------------------------------------------
+
+    def _evaluate_batch(
+        self,
+        process_samples: Sequence[ProcessSample],
+        vco_design: VcoDesign,
+        pll_design: PllDesign,
+    ) -> List[Dict[str, float]]:
+        """System performances of one batch of drawn process samples.
+
+        Every sample is independent (its own technology shift, mismatch
+        draw and behavioural-PLL lane), so evaluating in batches is
+        bit-identical to evaluating all samples at once.
+        """
+        if self.use_batch:
+            # Lane-parallel propagation: every sampled VCO becomes one lane
+            # of a single batched transient (bit-identical to the loop).
+            vco_results = self.evaluator.monte_carlo_batch_evaluator(vco_design)(
+                [sample.technology for sample in process_samples],
+                [sample.mismatch for sample in process_samples],
+            )
+            if len(vco_results) != len(process_samples):
+                raise ValueError(
+                    f"batch evaluator returned {len(vco_results)} result(s) for "
+                    f"{len(process_samples)} sample(s)"
+                )
+            if any(not result for result in vco_results):
+                raise ValueError("evaluator returned an empty performance dictionary")
+            plls = [
+                self._sample_pll(vco_sample, pll_design) for vco_sample in vco_results
+            ]
+            performances = BehaviouralPll.evaluate_batch(plls, max_time=self.simulation_time)
+            return [self._finalise(performance) for performance in performances]
+        evaluator = self.evaluator.monte_carlo_evaluator(vco_design)
+        results = []
+        for sample in process_samples:
+            vco_sample = evaluator(sample.technology, sample.mismatch)
+            if not vco_sample:
+                raise ValueError("evaluator returned an empty performance dictionary")
+            results.append(self._system_performance(vco_sample, pll_design))
+        return results
 
     def _sample_pll(
         self, vco_sample: Mapping[str, float], pll_design: PllDesign

@@ -8,6 +8,7 @@ Layout (one directory per config hash)::
             circuit.pkl         # CircuitStageResult (front + combined model)
             system.pkl          # SystemStageResult (front + selected design)
             yield.pkl           # YieldReport
+            yield.partial.pkl   # mid-stage checkpoint of an interrupted yield stage
             verification.pkl    # VerificationReport (optional stage)
             report.json         # headline summary of the last completed run
 
@@ -89,6 +90,45 @@ class CacheEntry:
     def stages_present(self) -> List[str]:
         """Checkpointed stages, in flow order."""
         return [stage for stage in STAGES if self.has(stage)]
+
+    # -- mid-stage (partial) checkpoints ------------------------------------------------
+
+    def _partial_path(self, stage: str) -> Path:
+        self._stage_path(stage)  # validates the stage name
+        return self.directory / f"{stage}.partial.pkl"
+
+    def load_partial(self, stage: str) -> Optional[Any]:
+        """The mid-stage checkpoint of ``stage``, or ``None`` when absent.
+
+        A partial checkpoint holds the work an *interrupted* stage already
+        completed (e.g. the yield stage's evaluated Monte Carlo batches) so
+        a rerun resumes mid-stage instead of restarting it.  A checkpoint
+        that cannot be unpickled (truncated by a hard crash before the
+        atomic rename, different package version) is treated as absent.
+        """
+        path = self._partial_path(stage)
+        if not path.is_file():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None
+
+    def store_partial(self, stage: str, state: Any) -> Path:
+        """Atomically persist the mid-stage checkpoint of ``stage``."""
+        path = self._partial_path(stage)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        self._atomic_write(path, payload)
+        return path
+
+    def clear_partial(self, stage: str) -> None:
+        """Drop the mid-stage checkpoint (the stage completed or restarted)."""
+        try:
+            os.unlink(self._partial_path(stage))
+        except FileNotFoundError:
+            pass
 
     # -- metadata -----------------------------------------------------------------------
 

@@ -1,7 +1,6 @@
 """The ``repro`` command-line interface.
 
-Three subcommands turn the hierarchical flow into a small experiment
-service::
+Local subcommands run the hierarchical flow in-process::
 
     repro list                         # registered scenarios
     repro run table2                   # run (or resume) a scenario
@@ -15,6 +14,14 @@ bit-identical to the cold run.  ``--evaluation`` / ``--n-workers`` /
 ``--seed`` override the registered scenario; only ``--seed`` changes the
 config hash (backends are bit-identical, so they share cache entries).
 
+Service subcommands talk to the experiment service
+(:mod:`repro.service`), which shares work between many clients::
+
+    repro serve --workers 4 --port 8321    # job store + worker pool + HTTP API
+    repro submit fast-smoke --wait         # POST /jobs, poll, print the report
+    repro status <job-id-or-scenario>      # GET /jobs/<id> (+ stage events)
+    repro jobs --state queued              # GET /jobs
+
 The module doubles as ``python -m repro.experiments.cli`` for environments
 where the console script is not installed.
 """
@@ -24,14 +31,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments.cache import ArtefactCache, STAGES
+from repro.experiments.cache import ArtefactCache, STAGES, default_cache_dir
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.registry import get_scenario, list_scenarios
+from repro.experiments.registry import SCENARIOS, get_scenario, list_scenarios
+from repro.experiments.report import report_payload
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
 
 __all__ = ["main", "build_parser"]
+
+#: Default URL the client subcommands talk to (matches ``repro serve``).
+DEFAULT_URL = "http://127.0.0.1:8321"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +93,68 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--json", action="store_true", help="print the stored summary as JSON instead of text"
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the experiment service (job store + worker pool + HTTP API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8321, help="bind port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=1, help="worker process count")
+    serve.add_argument(
+        "--cache-dir", default=None, help="artefact cache root (default: .repro-cache)"
+    )
+    serve.add_argument(
+        "--db", default=None, help="job database path (default: <cache-dir>/service.db)"
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="seconds before an unheartbeated job is reclaimed",
+    )
+
+    submit = subparsers.add_parser("submit", help="submit a scenario to a running service")
+    submit.add_argument("scenario", help="registered scenario name (see 'repro list')")
+    submit.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    submit.add_argument(
+        "--evaluation",
+        choices=("serial", "vectorised", "vectorized", "process"),
+        default=None,
+        help="batch-evaluation backend override (does not change the job id)",
+    )
+    submit.add_argument(
+        "--n-workers", type=int, default=None, help="worker count for the process backend"
+    )
+    submit.add_argument(
+        "--seed", type=int, default=None, help="seed override (changes the job id)"
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes, then print it"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait timeout in seconds"
+    )
+    submit.add_argument("--json", action="store_true", help="print the job as JSON")
+
+    status = subparsers.add_parser("status", help="show one job of a running service")
+    status.add_argument(
+        "job", help="job id (config hash) or registered scenario name to resolve"
+    )
+    status.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    status.add_argument(
+        "--seed", type=int, default=None, help="seed override used when submitting"
+    )
+    status.add_argument("--json", action="store_true", help="print the job as JSON")
+
+    jobs = subparsers.add_parser("jobs", help="list the jobs of a running service")
+    jobs.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    jobs.add_argument(
+        "--state",
+        default=None,
+        choices=("queued", "leased", "running", "done", "failed"),
+        help="only jobs in this state",
+    )
+    jobs.add_argument("--json", action="store_true", help="print the job list as JSON")
     return parser
 
 
@@ -90,18 +164,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    # Resolve the scenario up front: an unknown name is a usage error
-    # (exit 2); anything raised later is a genuine failure and propagates
-    # with its traceback.
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    # Resolve the scenario up front: an unknown name or an invalid override
+    # value is a usage error (one line on stderr, exit 2); anything raised
+    # later is a genuine failure and propagates with its traceback.
     try:
         scenario = _scenario_with_overrides(args)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    except ValueError as error:
+        print(f"error: invalid override: {error}", file=sys.stderr)
+        return 2
     if args.command == "run":
         return _cmd_run(args, scenario)
     if args.command == "report":
         return _cmd_report(args, scenario)
+    if args.command == "submit":
+        return _cmd_submit(args, scenario)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
@@ -125,8 +210,12 @@ def _cmd_list() -> int:
     return 0
 
 
-def _scenario_with_overrides(args: argparse.Namespace) -> ScenarioConfig:
-    scenario = get_scenario(args.scenario)
+def _overrides_from_args(args: argparse.Namespace) -> dict:
+    """The scenario overrides carried by the common CLI flags.
+
+    One definition for every subcommand that accepts them: ``run`` and
+    ``report`` apply them locally, ``submit`` forwards them to the server.
+    """
     overrides = {}
     if getattr(args, "evaluation", None) is not None:
         overrides["evaluation"] = args.evaluation
@@ -134,6 +223,12 @@ def _scenario_with_overrides(args: argparse.Namespace) -> ScenarioConfig:
         overrides["n_workers"] = args.n_workers
     if getattr(args, "seed", None) is not None:
         overrides["seed"] = args.seed
+    return overrides
+
+
+def _scenario_with_overrides(args: argparse.Namespace) -> ScenarioConfig:
+    scenario = get_scenario(args.scenario)
+    overrides = _overrides_from_args(args)
     return scenario.with_overrides(**overrides) if overrides else scenario
 
 
@@ -165,26 +260,23 @@ def _print_run(result: ExperimentResult) -> None:
 
 
 def _cmd_report(args: argparse.Namespace, scenario: ScenarioConfig) -> int:
-    entry = ArtefactCache(args.cache_dir).entry_for(scenario)
-    present = entry.stages_present()
-    if not present:
+    # The payload builder is shared with the service's GET /jobs/<id>/report,
+    # so both front ends report the identical JSON for one configuration.
+    payload = report_payload(scenario, args.cache_dir)
+    if payload is None:
         print(
             f"error: no cached artefacts for scenario {scenario.name!r} "
-            f"(hash {scenario.config_hash()}) under {entry.directory.parent}; "
+            f"(hash {scenario.config_hash()}) under {ArtefactCache(args.cache_dir).root}; "
             f"run 'repro run {scenario.name}' first",
             file=sys.stderr,
         )
         return 1
-    summary = entry.read_report_summary()
+    present = payload["stages_present"]
+    summary = payload["summary"]
     if args.json:
-        payload = {
-            "scenario": scenario.as_dict(),
-            "config_hash": scenario.config_hash(),
-            "stages_present": present,
-            "summary": summary,
-        }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
+    entry = ArtefactCache(args.cache_dir).entry_for(scenario)  # text path reads artefacts
     print(f"scenario     : {scenario.name}")
     print(f"config hash  : {scenario.config_hash()}")
     print(f"cache entry  : {entry.directory}")
@@ -202,6 +294,154 @@ def _cmd_report(args: argparse.Namespace, scenario: ScenarioConfig) -> int:
             print("  " + " ".join(f"{column:>16s}" for column in columns))
             for row in rows:
                 print("  " + " ".join(f"{row[column]:16.4g}" for column in columns))
+    return 0
+
+
+# -- service subcommands -----------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Service imports stay local so plain `repro run` never pays for them.
+    import signal
+
+    from repro.service.api import make_server
+    from repro.service.store import JobStore
+    from repro.service.worker import WorkerPool
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    db_path = Path(args.db) if args.db else cache_dir / "service.db"
+    store = JobStore(db_path, lease_ttl=args.lease_ttl)
+    server = make_server(args.host, args.port, store, cache_dir)
+    host, port = server.server_address[:2]
+    pool = WorkerPool(
+        db_path, cache_dir, n_workers=args.workers, lease_ttl=args.lease_ttl
+    )
+    pool.start()
+    # SIGTERM (docker stop, systemd, CI traps) must tear the worker pool
+    # down like Ctrl+C does -- the default handler would kill this process
+    # without running the finally block, orphaning the worker processes.
+    # Raising from the handler unwinds serve_forever's select loop.
+    def _sigterm(signum: int, frame: object) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    print(
+        f"repro service listening on http://{host}:{port} "
+        f"({args.workers} worker(s), db {db_path}, cache {cache_dir})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        pool.stop()
+        server.server_close()
+    return 0
+
+
+def _client(url: str):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(url)
+
+
+def _service_call(call):
+    """Run one client call, mapping service/transport errors to exit codes."""
+    from repro.service.client import ServiceError
+
+    try:
+        return call(), 0
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None, 2 if error.status == 404 else 1
+    except TimeoutError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None, 1
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach the service: {error}", file=sys.stderr)
+        return None, 1
+
+
+def _print_job(job: dict) -> None:
+    print(f"job          : {job['id']}")
+    print(f"scenario     : {job['scenario']}")
+    print(f"state        : {job['state']}")
+    print(f"attempts     : {job['attempts']}")
+    if job.get("worker"):
+        print(f"worker       : {job['worker']}")
+    if job.get("error"):
+        print(f"error        : {job['error'].strip().splitlines()[-1]}")
+    for event in job.get("events", ()):
+        payload = event.get("payload") or {}
+        numbers = ", ".join(
+            f"{key}={value:.6g}" if isinstance(value, (int, float)) else f"{key}={value}"
+            for key, value in payload.items()
+        )
+        print(f"  stage {event['stage']:<13}: {event['status']:<9} {numbers}")
+    summary = job.get("summary")
+    if summary:
+        print("--- run summary ---")
+        for key, value in sorted(summary.items()):
+            print(f"  {key:28s}: {value}")
+
+
+def _cmd_submit(args: argparse.Namespace, scenario: ScenarioConfig) -> int:
+    client = _client(args.url)
+    overrides = _overrides_from_args(args)
+    job, code = _service_call(lambda: client.submit(scenario.name, overrides))
+    if job is None:
+        return code
+    created = job.get("created")
+    if args.wait:
+        # wait() polls GET /jobs/<id>, whose payload already carries the
+        # stage events -- no re-fetch needed once it turns terminal.
+        job, code = _service_call(
+            lambda: client.wait(job["id"], timeout=args.timeout)
+        )
+        if job is None:
+            return code
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+    else:
+        if created is not None:
+            print("submitted new job" if created else "joined existing job")
+        _print_job(job)
+    return 0 if job["state"] != "failed" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    job_id = args.job
+    if args.job in SCENARIOS:
+        scenario = get_scenario(args.job)
+        if args.seed is not None:
+            scenario = scenario.with_overrides(seed=args.seed)
+        job_id = scenario.config_hash()
+    client = _client(args.url)
+    job, code = _service_call(lambda: client.job(job_id))
+    if job is None:
+        return code
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+    else:
+        _print_job(job)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    client = _client(args.url)
+    jobs, code = _service_call(lambda: client.jobs(state=args.state))
+    if jobs is None:
+        return code
+    if args.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    print(f"{'job id':<18} {'scenario':<14} {'state':<8} {'attempts':>8} worker")
+    for job in jobs:
+        print(
+            f"{job['id']:<18} {job['scenario']:<14} {job['state']:<8} "
+            f"{job['attempts']:>8} {job.get('worker') or '-'}"
+        )
     return 0
 
 

@@ -10,6 +10,8 @@ executes one entry.  The registry ships:
   suite.
 * ``vco-sweep-3`` / ``vco-sweep-5`` / ``vco-sweep-7`` / ``vco-sweep-9`` --
   the ring-topology sweep family: the same flow on 3/5/7/9-stage rings.
+* ``table2-65n`` -- the paper's budgets on the ``generic065`` 65 nm-ish
+  technology card (the scenario layer's technology axis).
 * ``low-power`` -- the paper's flow against the tightened
   ``pll_low_power`` specification set (12 mA instead of 15 mA).
 
@@ -123,6 +125,25 @@ for _n_stages in (3, 5, 7, 9):
             seed=2009,
         )
     )
+
+register(
+    ScenarioConfig(
+        name="table2-65n",
+        description=(
+            "The paper's run ported to the generic065 65 nm card: same NSGA-II "
+            "and Monte Carlo budgets, tighter design rules, thinner oxide"
+        ),
+        technology="generic065",
+        circuit_population=100,
+        circuit_generations=30,
+        system_population=40,
+        system_generations=15,
+        mc_samples_per_point=100,
+        yield_samples=500,
+        max_model_points=30,
+        seed=2009,
+    )
+)
 
 register(
     ScenarioConfig(

@@ -1,0 +1,37 @@
+"""The JSON report of a scenario's cached artefacts.
+
+One payload, two front ends: ``repro report --json`` prints it and the
+experiment service serves it as ``GET /jobs/<id>/report`` -- sharing the
+builder is what guarantees the service reports exactly what the CLI
+reports for the same configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.experiments.cache import ArtefactCache
+from repro.experiments.config import ScenarioConfig
+
+__all__ = ["report_payload"]
+
+
+def report_payload(
+    scenario: ScenarioConfig, cache_dir: Optional[os.PathLike] = None
+) -> Optional[Dict[str, Any]]:
+    """The stored report of a scenario, or ``None`` when nothing is cached.
+
+    Contains the scenario, its config hash, which stages are checkpointed
+    and the headline summary recorded by the last completed run.
+    """
+    entry = ArtefactCache(cache_dir).entry_for(scenario)
+    stages_present = entry.stages_present()
+    if not stages_present:
+        return None
+    return {
+        "scenario": scenario.as_dict(),
+        "config_hash": scenario.config_hash(),
+        "stages_present": stages_present,
+        "summary": entry.read_report_summary(),
+    }

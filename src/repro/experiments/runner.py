@@ -23,11 +23,16 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.circuits.evaluators import VcoEvaluator
-from repro.core.flow import FlowReport, HierarchicalFlow
+from repro.core.flow import FlowReport, HierarchicalFlow, StageHook
 from repro.experiments.cache import ArtefactCache, CacheEntry
 from repro.experiments.config import ScenarioConfig
 
-__all__ = ["StageOutcome", "ExperimentResult", "ExperimentRunner"]
+__all__ = ["StageOutcome", "ExperimentResult", "ExperimentRunner", "DEFAULT_YIELD_BATCH"]
+
+#: Monte Carlo samples per mid-stage yield checkpoint (see
+#: :meth:`~repro.core.yield_analysis.YieldAnalysis.run`; the batch size
+#: never changes the result, only how often progress is persisted).
+DEFAULT_YIELD_BATCH = 64
 
 #: Stage sources reported by :class:`StageOutcome`.
 COMPUTED, CACHED, SKIPPED = "computed", "cached", "skipped"
@@ -95,6 +100,11 @@ class ExperimentRunner:
         :meth:`HierarchicalFlow.from_scenario` (e.g. the SPICE engine for a
         ground-truth run).  Runs with a custom evaluator bypass the cache:
         the config hash only describes the scenario, not the evaluator.
+    yield_batch_size:
+        Monte Carlo samples per mid-stage yield checkpoint.  A yield stage
+        interrupted between batches resumes from the persisted partial
+        instead of restarting; the batch size never changes the result.
+        ``None`` disables mid-stage checkpointing (single batch).
     """
 
     def __init__(
@@ -103,11 +113,13 @@ class ExperimentRunner:
         cache_dir: Optional[Path] = None,
         force: bool = False,
         evaluator: Optional[VcoEvaluator] = None,
+        yield_batch_size: Optional[int] = DEFAULT_YIELD_BATCH,
     ) -> None:
         self.scenario = scenario
         self.cache = ArtefactCache(cache_dir)
         self.force = force
         self.evaluator = evaluator
+        self.yield_batch_size = yield_batch_size
         #: Custom evaluators produce different numbers than the scenario
         #: hash promises, so their artefacts must never enter the cache.
         self._use_cache = evaluator is None
@@ -118,6 +130,7 @@ class ExperimentRunner:
         self,
         output_directory: Optional[str] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        stage_hook: Optional[StageHook] = None,
     ) -> ExperimentResult:
         """Execute (or resume) the scenario and return all artefacts.
 
@@ -129,6 +142,12 @@ class ExperimentRunner:
         progress:
             Optional ``progress(done, total)`` callback forwarded to the
             circuit stage's Monte Carlo loop.
+        stage_hook:
+            Optional ``hook(stage_name, artefact)`` invoked right after
+            each stage is satisfied -- computed *or* loaded from the cache
+            (skipped stages fire no hook).  The same seam as
+            :meth:`HierarchicalFlow.run`; the experiment service's workers
+            use it to record per-stage progress events.
 
         Returns
         -------
@@ -145,21 +164,38 @@ class ExperimentRunner:
             entry.write_scenario(scenario)
         outcomes: List[StageOutcome] = []
 
+        def checkpoint(stage: str, artefact: object) -> None:
+            if stage_hook is not None:
+                stage_hook(stage, artefact)
+
         circuit, outcome = self._stage(
             entry, "circuit", lambda: flow.circuit_stage(progress=progress)
         )
         outcomes.append(outcome)
+        checkpoint("circuit", circuit)
 
         system, outcome = self._stage(entry, "system", lambda: flow.system_stage(circuit.model))
         outcomes.append(outcome)
+        checkpoint("system", system)
 
         yield_report = None
         if scenario.run_yield and system.selected is not None:
+            yield_partial = _StagePartial(entry, "yield") if entry is not None else None
+            if self.force and entry is not None:
+                # --force promises a full recompute: a mid-stage partial
+                # left by an interrupted run must not be resumed from.
+                entry.clear_partial("yield")
             yield_report, outcome = self._stage(
                 entry,
                 "yield",
-                lambda: flow.verify_yield(circuit.model, system.selected_values),
+                lambda: flow.verify_yield(
+                    circuit.model,
+                    system.selected_values,
+                    checkpoint=yield_partial,
+                    batch_size=self.yield_batch_size,
+                ),
             )
+            checkpoint("yield", yield_report)
         else:
             outcome = StageOutcome("yield", SKIPPED)
         outcomes.append(outcome)
@@ -169,6 +205,7 @@ class ExperimentRunner:
             verification, outcome = self._stage(
                 entry, "verification", lambda: flow.verification_stage(circuit.model)
             )
+            checkpoint("verification", verification)
         else:
             outcome = StageOutcome("verification", SKIPPED)
         outcomes.append(outcome)
@@ -210,3 +247,28 @@ class ExperimentRunner:
         if entry is not None:
             entry.store(stage, artefact)
         return artefact, StageOutcome(stage, COMPUTED, time.perf_counter() - started)
+
+
+class _StagePartial:
+    """Cache-entry-backed mid-stage checkpoint handed to stage computations.
+
+    Adapts one stage's partial-checkpoint slot of a
+    :class:`~repro.experiments.cache.CacheEntry` to the duck-typed
+    ``load() / store(state) / clear()`` interface
+    :meth:`~repro.core.yield_analysis.YieldAnalysis.run` expects.
+    """
+
+    def __init__(self, entry: CacheEntry, stage: str) -> None:
+        self.entry = entry
+        self.stage = stage
+
+    def load(self) -> Optional[Any]:
+        return self.entry.load_partial(self.stage)
+
+    def store(self, state: Any) -> None:
+        self.entry.store_partial(self.stage, state)
+
+    def clear(self) -> None:
+        self.entry.clear_partial(self.stage)
+
+

@@ -28,12 +28,19 @@ from repro.process.statistics import (
     spread_percent,
     summarise_samples,
 )
-from repro.process.technology import TECHNOLOGIES, Technology, TECH_012UM, technology
+from repro.process.technology import (
+    TECHNOLOGIES,
+    Technology,
+    TECH_012UM,
+    TECH_065NM,
+    technology,
+)
 from repro.process.variation import GlobalVariationModel, VariationSpec
 
 __all__ = [
     "Technology",
     "TECH_012UM",
+    "TECH_065NM",
     "TECHNOLOGIES",
     "technology",
     "Corner",

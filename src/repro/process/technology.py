@@ -1,4 +1,4 @@
-"""Generic 0.12 um technology description.
+"""Generic CMOS technology descriptions (0.12 um and 65 nm cards).
 
 The paper sizes its VCO in "a standard 0.12 um process" with foundry
 BSim3v3 models.  :class:`Technology` bundles everything the rest of the
@@ -19,7 +19,7 @@ from typing import Dict, Mapping
 
 from repro.spice.mosfet import MOSFETModel
 
-__all__ = ["Technology", "TECH_012UM", "TECHNOLOGIES", "technology"]
+__all__ = ["Technology", "TECH_012UM", "TECH_065NM", "TECHNOLOGIES", "technology"]
 
 
 @dataclass(frozen=True)
@@ -113,10 +113,49 @@ TECH_012UM = Technology(
     ),
 )
 
+#: A generic 65 nm-ish node: thinner oxide (higher Cox), lower threshold
+#: voltages, slightly higher mobility and a tighter design-rule window than
+#: the 0.12 um card.  Scaling follows the usual constant-field trends (the
+#: supply stays at 1.2 V, as it did for real 65 nm LP processes); the
+#: per-stage load drops with the shorter wires of a denser layout.
+TECH_065NM = Technology(
+    name="generic065",
+    vdd=1.2,
+    temperature=300.15,
+    nmos=MOSFETModel(
+        name="nmos065",
+        polarity=1,
+        vth0=0.30,
+        u0=0.038,
+        gamma=0.36,
+        tox=1.9e-9,
+        lambda_=0.12,
+        ld=5.0e-9,
+        drain_extension=0.13e-6,
+    ),
+    pmos=MOSFETModel(
+        name="pmos065",
+        polarity=-1,
+        vth0=0.32,
+        u0=0.014,
+        gamma=0.42,
+        tox=1.9e-9,
+        lambda_=0.15,
+        ld=5.0e-9,
+        drain_extension=0.13e-6,
+    ),
+    min_length=0.06e-6,
+    max_length=0.6e-6,
+    min_width=8.0e-6,
+    max_width=80.0e-6,
+    stage_load_capacitance=9.0e-15,
+)
+
 #: Named registry of process technologies.  Scenario configurations refer
 #: to a technology by key so they stay plain, hashable value objects.
 TECHNOLOGIES: Dict[str, Technology] = {
     TECH_012UM.name: TECH_012UM,
+    TECH_065NM.name: TECH_065NM,
 }
 
 
@@ -126,7 +165,7 @@ def technology(key: str) -> Technology:
     Parameters
     ----------
     key:
-        Registry key (currently only ``"generic012"``).
+        Registry key (``"generic012"``, ``"generic065"``).
 
     Returns
     -------

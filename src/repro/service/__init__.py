@@ -1,0 +1,50 @@
+"""The experiment service: a persistent job queue over the scenario runner.
+
+PR 3 made experiments declarative and resumable; this subsystem makes
+them *shared*.  A long-running service accepts scenario submissions from
+many clients, coalesces duplicate configurations onto one job (the job id
+is the scenario's config hash -- the same key as the artefact cache), and
+executes jobs on a sharded pool of worker processes, each running the
+resumable :class:`~repro.experiments.runner.ExperimentRunner`:
+
+* :mod:`repro.service.store` -- SQLite (WAL) job store: lifecycle
+  ``queued -> leased -> running -> done/failed``, lease expiry +
+  heartbeats so crashed workers' jobs are reclaimed, per-stage progress
+  events.
+* :mod:`repro.service.worker` -- the worker pool (``repro serve
+  --workers N``); workers prefer their own shard of the hash space and
+  record stage events through the runner's ``stage_hook`` seam.
+* :mod:`repro.service.api` -- threaded stdlib HTTP API: ``POST /jobs``,
+  ``GET /jobs/<id>``, ``GET /jobs/<id>/report``, ``GET /scenarios``.
+* :mod:`repro.service.client` -- thin ``urllib`` client used by ``repro
+  submit|status|jobs``.
+
+Invariant: a job executed through the service produces **bit-identical**
+artefacts to ``repro run`` of the same scenario -- both are the same
+runner writing the same content-addressed cache.
+
+Quick start::
+
+    repro serve --workers 4 --port 8321          # operator
+    repro submit fast-smoke --wait               # client (or curl)
+"""
+
+from repro.service.api import DEFAULT_PORT, ExperimentService, make_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.store import ACTIVE_STATES, JOB_STATES, Job, JobStore
+from repro.service.worker import WorkerPool, execute_job, worker_loop
+
+__all__ = [
+    "Job",
+    "JobStore",
+    "JOB_STATES",
+    "ACTIVE_STATES",
+    "WorkerPool",
+    "worker_loop",
+    "execute_job",
+    "ExperimentService",
+    "make_server",
+    "DEFAULT_PORT",
+    "ServiceClient",
+    "ServiceError",
+]

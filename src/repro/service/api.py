@@ -1,0 +1,203 @@
+"""Dependency-free HTTP front end of the experiment service.
+
+Built on :class:`http.server.ThreadingHTTPServer` -- stdlib only, one
+thread per connection, which is plenty for a queue front end whose
+requests are all sub-millisecond SQLite reads/writes (the heavy lifting
+happens in the worker processes).
+
+Routes (all JSON)::
+
+    GET  /healthz             liveness + job counts per state
+    GET  /scenarios           the scenario registry, with config hashes
+    GET  /jobs[?state=...]    all jobs, newest first
+    POST /jobs                submit {"scenario": name, "overrides": {...}}
+                              -> 201 created, or 200 with the existing job
+                              when the configuration dedups onto one
+    GET  /jobs/<id>           job status plus per-stage progress events
+    GET  /jobs/<id>/report    the cached JSON report (same payload as
+                              ``repro report --json``)
+
+Submissions deduplicate on the scenario's config hash: two clients
+posting the same configuration receive the *same* job id, and only one
+worker computes it.  ``overrides`` accepts any
+:class:`~repro.experiments.config.ScenarioConfig` field -- execution
+fields (``evaluation``, ``n_workers``) do not change the hash, so they
+also dedup onto the canonical job.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.experiments.registry import get_scenario, list_scenarios
+from repro.experiments.report import report_payload
+from repro.service.store import JobStore
+
+__all__ = ["ExperimentService", "make_server", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8321
+
+#: (status, payload) pair every service method returns.
+Response = Tuple[int, Dict[str, Any]]
+
+
+class ExperimentService:
+    """The service's request-independent application logic.
+
+    Every public method returns a ``(status, payload)`` pair; the HTTP
+    handler is a thin route-and-serialise shim around it, which keeps the
+    whole API unit-testable without sockets.
+    """
+
+    def __init__(self, store: JobStore, cache_dir: Path) -> None:
+        self.store = store
+        self.cache_dir = Path(cache_dir)
+
+    # -- routes --------------------------------------------------------------------------
+
+    def health(self) -> Response:
+        return 200, {"status": "ok", "jobs": self.store.counts()}
+
+    def scenarios(self) -> Response:
+        return 200, {
+            "scenarios": [
+                dict(scenario.as_dict(), config_hash=scenario.config_hash())
+                for scenario in list_scenarios()
+            ]
+        }
+
+    def jobs(self, state: Optional[str] = None) -> Response:
+        try:
+            jobs = self.store.jobs(state=state)
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        return 200, {"jobs": [job.as_dict() for job in jobs]}
+
+    def submit(self, body: Dict[str, Any]) -> Response:
+        if not isinstance(body, dict) or not isinstance(body.get("scenario"), str):
+            return 400, {"error": "body must be {'scenario': name, 'overrides': {...}?}"}
+        overrides = body.get("overrides") or {}
+        if not isinstance(overrides, dict):
+            return 400, {"error": "'overrides' must be an object of scenario fields"}
+        try:
+            scenario = get_scenario(body["scenario"])
+        except KeyError as error:
+            return 404, {"error": str(error.args[0])}
+        if overrides:
+            try:
+                scenario = scenario.with_overrides(**overrides)
+            except (TypeError, ValueError, KeyError) as error:
+                return 400, {"error": f"invalid overrides: {error}"}
+        job, created = self.store.submit(scenario)
+        return (201 if created else 200), dict(job.as_dict(), created=created)
+
+    def job(self, job_id: str) -> Response:
+        job = self.store.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        return 200, dict(job.as_dict(), events=self.store.events(job_id))
+
+    def report(self, job_id: str) -> Response:
+        job = self.store.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        try:
+            scenario = job.resolve_scenario()
+        except (KeyError, TypeError, ValueError) as error:
+            return 500, {"error": f"job scenario is unreadable: {error}"}
+        payload = report_payload(scenario, self.cache_dir)
+        if payload is None:
+            return 409, {
+                "error": f"job {job_id} has no cached artefacts yet",
+                "state": job.state,
+            }
+        return 200, dict(payload, job_id=job_id, state=job.state)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP shim: parse path -> ExperimentService -> JSON."""
+
+    server: "ServiceHTTPServer"
+
+    # -- plumbing ------------------------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # request logging is the operator's business, not stderr's
+
+    def _send(self, response: Response) -> None:
+        status, payload = response
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            return None
+        if length <= 0:
+            return None
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+    # -- verbs ---------------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["healthz"]:
+            self._send(service.health())
+        elif parts == ["scenarios"]:
+            self._send(service.scenarios())
+        elif parts == ["jobs"]:
+            state = (parse_qs(url.query).get("state") or [None])[0]
+            self._send(service.jobs(state=state))
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._send(service.job(parts[1]))
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "report":
+            self._send(service.report(parts[1]))
+        else:
+            self._send((404, {"error": f"no such route: GET {url.path}"}))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["jobs"]:
+            body = self._read_json_body()
+            if body is None:
+                self._send((400, {"error": "request body must be a JSON object"}))
+            else:
+                self._send(service.submit(body))
+        else:
+            self._send((404, {"error": f"no such route: POST {url.path}"}))
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the :class:`ExperimentService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: ExperimentService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def make_server(
+    host: str,
+    port: int,
+    store: JobStore,
+    cache_dir: Path,
+) -> ServiceHTTPServer:
+    """Bind the experiment service's HTTP server (``port=0`` picks a free one)."""
+    return ServiceHTTPServer((host, port), ExperimentService(store, cache_dir))

@@ -1,0 +1,140 @@
+"""Thin HTTP client of the experiment service (stdlib ``urllib`` only).
+
+Used by the ``repro submit|status|jobs`` subcommands, the service tests
+and the throughput benchmark; any HTTP client (curl included) speaks the
+same API.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: Job states a waiter treats as final.
+TERMINAL_STATES = ("done", "failed")
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service, with its parsed payload."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to one experiment service instance.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``http://127.0.0.1:8321``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=json.dumps(body).encode("utf-8") if body is not None else None,
+            headers={"Content-Type": "application/json"} if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = {"error": str(error)}
+            raise ServiceError(error.code, payload) from None
+
+    # -- API -----------------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness plus job counts per state."""
+        return self._request("GET", "/healthz")
+
+    def scenarios(self) -> List[Dict[str, Any]]:
+        """The registered scenarios, each with its config hash."""
+        return self._request("GET", "/scenarios")["scenarios"]
+
+    def submit(
+        self, scenario: str, overrides: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Submit a scenario; returns the (possibly deduplicated) job.
+
+        The returned dict is the job row plus ``created`` -- ``False``
+        means an equivalent configuration was already queued, running or
+        done, and this submission shares it.
+        """
+        body: Dict[str, Any] = {"scenario": scenario}
+        if overrides:
+            body["overrides"] = overrides
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """Job status plus its per-stage progress events."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All jobs, newest first (optionally filtered by state)."""
+        path = "/jobs" + (f"?state={state}" if state else "")
+        return self._request("GET", path)["jobs"]
+
+    def report(self, job_id: str) -> Dict[str, Any]:
+        """The job's cached JSON report (``repro report --json`` payload)."""
+        return self._request("GET", f"/jobs/{job_id}/report")
+
+    # -- conveniences --------------------------------------------------------------------
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll_interval: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the job.
+
+        Raises
+        ------
+        TimeoutError
+            If the job is still pending after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']!r} after {timeout:.0f}s"
+                )
+            time.sleep(poll_interval)
+
+    def wait_until_ready(self, timeout: float = 10.0, poll_interval: float = 0.1) -> None:
+        """Block until the server answers ``/healthz`` (startup race guard)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.health()
+                return
+            except (urllib.error.URLError, ConnectionError, OSError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"service at {self.base_url} not ready after {timeout:.0f}s"
+                    ) from None
+                time.sleep(poll_interval)

@@ -1,0 +1,439 @@
+"""Persistent job store of the experiment service (SQLite, WAL mode).
+
+One row per *unique experiment configuration*: the job id **is** the
+scenario's :meth:`~repro.experiments.config.ScenarioConfig.config_hash`,
+so concurrent submissions of the same configuration -- whatever their
+scenario name -- coalesce onto one job and therefore one computation.
+That mirrors the artefact cache, which is keyed by the same hash.
+
+Job lifecycle::
+
+    queued --claim--> leased --start--> running --+--> done
+      ^                                           |
+      +--------- lease expiry / requeue ----------+--> failed
+
+* ``queued``  -- submitted, waiting for a worker.
+* ``leased``  -- claimed by a worker (lease with an expiry timestamp).
+* ``running`` -- the worker started executing; it heartbeats to extend
+  the lease.
+* ``done`` / ``failed`` -- terminal.  Submitting a failed configuration
+  again requeues it.
+
+A worker that dies mid-job stops heartbeating; once its lease expires the
+job is atomically flipped back to ``queued`` and another worker picks it
+up.  Because workers execute jobs through the resumable
+:class:`~repro.experiments.runner.ExperimentRunner`, the reclaiming worker
+resumes from the per-stage (and mid-yield partial) checkpoints instead of
+recomputing -- crashes cost at most one stage batch, and the final
+artefacts stay bit-identical.
+
+All state lives in one SQLite database.  WAL mode plus short immediate
+transactions make the store safe for many concurrent workers and API
+threads on one host (the scale the stdlib HTTP front end targets);
+``claim`` is the only contended operation and touches one row.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.experiments.config import ScenarioConfig
+
+__all__ = ["Job", "JobStore", "JOB_STATES", "ACTIVE_STATES"]
+
+#: Every job lifecycle state, in progression order.
+JOB_STATES = ("queued", "leased", "running", "done", "failed")
+
+#: States in which a submission dedups onto the existing job.
+ACTIVE_STATES = ("queued", "leased", "running", "done")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id             TEXT PRIMARY KEY,     -- the scenario's config_hash
+    scenario       TEXT NOT NULL,        -- registry name at submission time
+    scenario_json  TEXT NOT NULL,        -- full ScenarioConfig.as_dict()
+    state          TEXT NOT NULL,
+    submitted_at   REAL NOT NULL,
+    started_at     REAL,
+    finished_at    REAL,
+    worker         TEXT,
+    lease_expires  REAL,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    error          TEXT,
+    summary_json   TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs(state, submitted_at);
+CREATE TABLE IF NOT EXISTS events (
+    job_id       TEXT NOT NULL,
+    seq          INTEGER NOT NULL,
+    created_at   REAL NOT NULL,
+    stage        TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    worker       TEXT,
+    payload_json TEXT,
+    PRIMARY KEY (job_id, seq)
+);
+"""
+
+
+@dataclass
+class Job:
+    """One row of the ``jobs`` table, as a plain value object."""
+
+    id: str
+    scenario: str
+    scenario_config: Dict[str, Any]
+    state: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    worker: Optional[str] = None
+    lease_expires: Optional[float] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    summary: Optional[Dict[str, Any]] = field(default=None)
+
+    def resolve_scenario(self) -> ScenarioConfig:
+        """Rebuild the submitted scenario (raises on foreign metadata)."""
+        return ScenarioConfig.from_dict(self.scenario_config)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible view served by the HTTP API."""
+        return {
+            "id": self.id,
+            "scenario": self.scenario,
+            "scenario_config": self.scenario_config,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "worker": self.worker,
+            "lease_expires": self.lease_expires,
+            "attempts": self.attempts,
+            "error": self.error,
+            "summary": self.summary,
+        }
+
+
+def _row_to_job(row: sqlite3.Row) -> Job:
+    return Job(
+        id=row["id"],
+        scenario=row["scenario"],
+        scenario_config=json.loads(row["scenario_json"]),
+        state=row["state"],
+        submitted_at=row["submitted_at"],
+        started_at=row["started_at"],
+        finished_at=row["finished_at"],
+        worker=row["worker"],
+        lease_expires=row["lease_expires"],
+        attempts=row["attempts"],
+        error=row["error"],
+        summary=json.loads(row["summary_json"]) if row["summary_json"] else None,
+    )
+
+
+def shard_of(job_id: str, shard_count: int) -> int:
+    """Deterministic shard index of a job id (a hex config hash)."""
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    return int(job_id[:8], 16) % shard_count
+
+
+class JobStore:
+    """SQLite-backed persistent job queue with leases and progress events.
+
+    Parameters
+    ----------
+    path:
+        Database file.  Parent directories are created; every worker
+        process and API thread opens its own :class:`JobStore` on the same
+        path.
+    lease_ttl:
+        Seconds a claim (and each subsequent heartbeat) keeps a job leased
+        before it is considered abandoned and requeued.
+    """
+
+    def __init__(self, path: os.PathLike, lease_ttl: float = 60.0) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.path = Path(path)
+        self.lease_ttl = float(lease_ttl)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._session() as connection:
+            connection.executescript(_SCHEMA)
+
+    @contextmanager
+    def _session(self, exclusive: bool = False) -> Iterator[sqlite3.Connection]:
+        """A short-lived connection, optionally wrapping one transaction.
+
+        Connections run in autocommit (``isolation_level=None``): single
+        statements are atomic on their own, and multi-statement read-
+        modify-write sections opt into an explicit ``BEGIN IMMEDIATE``
+        transaction with ``exclusive=True`` (committed on success, rolled
+        back on any exception).  One connection per call keeps the store
+        trivially safe across worker processes and API threads.
+        """
+        connection = sqlite3.connect(self.path, timeout=30.0, isolation_level=None)
+        try:
+            connection.row_factory = sqlite3.Row
+            # WAL survives crashes and lets readers proceed while a worker
+            # commits; NORMAL sync is the standard WAL pairing (durable
+            # across application crashes, the failure mode leases handle).
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute("PRAGMA busy_timeout=30000")
+            if exclusive:
+                connection.execute("BEGIN IMMEDIATE")
+                try:
+                    yield connection
+                except BaseException:
+                    connection.rollback()
+                    raise
+                connection.commit()
+            else:
+                yield connection
+        finally:
+            connection.close()
+
+    # -- submission ----------------------------------------------------------------------
+
+    def submit(self, scenario: ScenarioConfig) -> Tuple[Job, bool]:
+        """Enqueue a scenario, deduplicating on its config hash.
+
+        Returns ``(job, created)``.  ``created`` is ``False`` when an
+        active (queued / leased / running / done) job for the same
+        configuration already existed -- the caller shares that job and
+        its artefacts.  A previously *failed* configuration is requeued.
+        """
+        job_id = scenario.config_hash()
+        now = time.time()
+        with self._session(exclusive=True) as connection:
+            row = connection.execute("SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+            if row is not None and row["state"] in ACTIVE_STATES:
+                return _row_to_job(row), False
+            if row is not None:  # failed -> requeue, keeping the attempt count
+                # The resubmission's scenario replaces the stored one: the
+                # hash-excluded execution fields (evaluation, n_workers, name)
+                # may legitimately differ, and a corrective override (e.g.
+                # switching off a broken backend) must reach the worker.
+                connection.execute(
+                    "UPDATE jobs SET state='queued', scenario=?, scenario_json=?,"
+                    " submitted_at=?, started_at=NULL, finished_at=NULL,"
+                    " worker=NULL, lease_expires=NULL, error=NULL WHERE id=?",
+                    (scenario.name, json.dumps(scenario.as_dict()), now, job_id),
+                )
+                # The failed attempt's progress events would otherwise mix
+                # with (and misrepresent) the fresh attempt's.
+                connection.execute("DELETE FROM events WHERE job_id=?", (job_id,))
+            else:
+                connection.execute(
+                    "INSERT INTO jobs (id, scenario, scenario_json, state, submitted_at)"
+                    " VALUES (?, ?, ?, 'queued', ?)",
+                    (job_id, scenario.name, json.dumps(scenario.as_dict()), now),
+                )
+            return self._get(connection, job_id), True
+
+    # -- worker side ---------------------------------------------------------------------
+
+    def claim(
+        self,
+        worker: str,
+        shard_index: int = 0,
+        shard_count: int = 1,
+    ) -> Optional[Job]:
+        """Atomically lease the next runnable job for one worker.
+
+        Expired leases are reclaimed first (crashed workers' jobs return
+        to the queue).  Queued jobs whose shard
+        (:func:`shard_of` ``% shard_count``) matches ``shard_index`` are
+        preferred -- with N workers each primarily serves its own slice of
+        the hash space, spreading cache-directory churn -- but a worker
+        with an empty shard falls back to any queued job, so work never
+        starves behind a dead or slow peer.
+        """
+        now = time.time()
+        # Read-only probe first: idle workers poll frequently, and taking
+        # SQLite's single write lock on every empty poll would serialise
+        # the whole pool against real submissions and heartbeats.  A job
+        # that appears right after the probe is caught on the next poll.
+        with self._session() as connection:
+            probe = connection.execute(
+                "SELECT 1 FROM jobs WHERE state='queued'"
+                " OR (state IN ('leased', 'running') AND lease_expires < ?) LIMIT 1",
+                (now,),
+            ).fetchone()
+        if probe is None:
+            return None
+        with self._session(exclusive=True) as connection:
+            self._requeue_expired(connection, now)
+            rows = connection.execute(
+                "SELECT id FROM jobs WHERE state='queued' ORDER BY submitted_at, id"
+            ).fetchall()
+            if not rows:
+                return None
+            candidates = [row["id"] for row in rows]
+            own = [jid for jid in candidates if shard_of(jid, shard_count) == shard_index]
+            job_id = (own or candidates)[0]
+            connection.execute(
+                "UPDATE jobs SET state='leased', worker=?, lease_expires=?,"
+                " attempts=attempts+1 WHERE id=?",
+                (worker, now + self.lease_ttl, job_id),
+            )
+            return self._get(connection, job_id)
+
+    def start(self, job_id: str, worker: str) -> bool:
+        """Mark a leased job as running (the worker began executing)."""
+        now = time.time()
+        with self._session() as connection:
+            cursor = connection.execute(
+                "UPDATE jobs SET state='running', started_at=?, lease_expires=?"
+                " WHERE id=? AND worker=? AND state='leased'",
+                (now, now + self.lease_ttl, job_id, worker),
+            )
+            return cursor.rowcount == 1
+
+    def heartbeat(self, job_id: str, worker: str) -> bool:
+        """Extend the lease of a job this worker still owns.
+
+        Returns ``False`` when the job is no longer owned by the worker
+        (its lease expired and another worker reclaimed it) -- the worker
+        should stop executing the job.
+        """
+        now = time.time()
+        with self._session() as connection:
+            cursor = connection.execute(
+                "UPDATE jobs SET lease_expires=? WHERE id=? AND worker=?"
+                " AND state IN ('leased', 'running')",
+                (now + self.lease_ttl, job_id, worker),
+            )
+            return cursor.rowcount == 1
+
+    def complete(self, job_id: str, worker: str, summary: Dict[str, Any]) -> bool:
+        """Record a successful run (the ``ExperimentResult`` summary)."""
+        with self._session() as connection:
+            cursor = connection.execute(
+                "UPDATE jobs SET state='done', finished_at=?, summary_json=?,"
+                " lease_expires=NULL WHERE id=? AND worker=?"
+                " AND state IN ('leased', 'running')",
+                (time.time(), json.dumps(summary), job_id, worker),
+            )
+            return cursor.rowcount == 1
+
+    def fail(self, job_id: str, worker: str, error: str) -> bool:
+        """Record a failed run (exception text, truncated)."""
+        with self._session() as connection:
+            cursor = connection.execute(
+                "UPDATE jobs SET state='failed', finished_at=?, error=?,"
+                " lease_expires=NULL WHERE id=? AND worker=?"
+                " AND state IN ('leased', 'running')",
+                (time.time(), error[:4000], job_id, worker),
+            )
+            return cursor.rowcount == 1
+
+    def requeue_expired(self) -> int:
+        """Requeue every job whose lease expired; returns how many."""
+        with self._session(exclusive=True) as connection:
+            return self._requeue_expired(connection, time.time())
+
+    @staticmethod
+    def _requeue_expired(connection: sqlite3.Connection, now: float) -> int:
+        cursor = connection.execute(
+            "UPDATE jobs SET state='queued', worker=NULL, lease_expires=NULL"
+            " WHERE state IN ('leased', 'running') AND lease_expires < ?",
+            (now,),
+        )
+        return cursor.rowcount
+
+    # -- progress events -----------------------------------------------------------------
+
+    def record_event(
+        self,
+        job_id: str,
+        stage: str,
+        status: str,
+        worker: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append one progress event (e.g. a completed flow stage)."""
+        with self._session(exclusive=True) as connection:
+            row = connection.execute(
+                "SELECT COALESCE(MAX(seq), 0) + 1 AS seq FROM events WHERE job_id=?",
+                (job_id,),
+            ).fetchone()
+            connection.execute(
+                "INSERT INTO events (job_id, seq, created_at, stage, status, worker,"
+                " payload_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    row["seq"],
+                    time.time(),
+                    stage,
+                    status,
+                    worker,
+                    json.dumps(payload) if payload is not None else None,
+                ),
+            )
+
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        """All progress events of one job, oldest first."""
+        with self._session() as connection:
+            rows = connection.execute(
+                "SELECT * FROM events WHERE job_id=? ORDER BY seq", (job_id,)
+            ).fetchall()
+        return [
+            {
+                "seq": row["seq"],
+                "created_at": row["created_at"],
+                "stage": row["stage"],
+                "status": row["status"],
+                "worker": row["worker"],
+                "payload": json.loads(row["payload_json"]) if row["payload_json"] else None,
+            }
+            for row in rows
+        ]
+
+    # -- queries -------------------------------------------------------------------------
+
+    @staticmethod
+    def _get(connection: sqlite3.Connection, job_id: str) -> Job:
+        row = connection.execute("SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        if row is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return _row_to_job(row)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """One job by id, or ``None``."""
+        with self._session() as connection:
+            row = connection.execute("SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        return _row_to_job(row) if row is not None else None
+
+    def jobs(self, state: Optional[str] = None) -> List[Job]:
+        """All jobs (optionally filtered by state), newest first."""
+        if state is not None and state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}; expected one of {JOB_STATES}")
+        query = "SELECT * FROM jobs"
+        parameters: Tuple[Any, ...] = ()
+        if state is not None:
+            query += " WHERE state=?"
+            parameters = (state,)
+        query += " ORDER BY submitted_at DESC, id"
+        with self._session() as connection:
+            rows = connection.execute(query, parameters).fetchall()
+        return [_row_to_job(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (zero-filled for all known states)."""
+        with self._session() as connection:
+            rows = connection.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        counts.update({row["state"]: row["n"] for row in rows})
+        return counts

@@ -1,0 +1,200 @@
+"""The sharded worker pool executing queued experiment jobs.
+
+Each worker is one OS process running :func:`worker_loop`: claim a job
+from the :class:`~repro.service.store.JobStore` (preferring its own shard
+of the config-hash space), execute it through the resumable
+:class:`~repro.experiments.runner.ExperimentRunner`, and record one
+progress event per completed flow stage through the runner's
+``stage_hook`` seam.  A daemon heartbeat thread extends the job's lease
+while the flow computes, so only *dead* workers lose their lease -- and a
+reclaimed job resumes from the per-stage cache (plus the yield stage's
+mid-stage partial), which is what makes crash recovery cheap and
+bit-identical.
+
+:class:`WorkerPool` is the supervisor used by ``repro serve``: it spawns
+``n_workers`` processes (``multiprocessing`` with the ``spawn`` start
+method, so workers are independent interpreters like any production
+fleet) and restarts nothing -- a crashed worker's jobs are reclaimed by
+its peers, which is the recovery model the store is built around.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.flow import summarise_stage
+from repro.experiments.runner import ExperimentRunner
+from repro.service.store import Job, JobStore
+
+__all__ = ["execute_job", "worker_loop", "WorkerPool"]
+
+#: Seconds between queue polls when no job is claimable.
+DEFAULT_POLL_INTERVAL = 0.2
+
+
+def _heartbeat(
+    store: JobStore, job_id: str, worker: str, stop: threading.Event, interval: float
+) -> None:
+    while not stop.wait(interval):
+        if not store.heartbeat(job_id, worker):
+            # Lease lost (clock skew, operator intervention): stop beating;
+            # the terminal complete()/fail() update is ownership-checked, so
+            # a reclaimed job cannot be double-finished.
+            return
+
+
+def execute_job(
+    store: JobStore,
+    job: Job,
+    cache_dir: Path,
+    worker: str,
+    heartbeat_interval: Optional[float] = None,
+) -> Optional[bool]:
+    """Run one claimed job to completion (or failure) through the runner.
+
+    Returns ``True``/``False`` for a job that reached a terminal state
+    (``done``/``failed``), and ``None`` when it never started -- the lease
+    was lost between claim and start, so another worker owns it and it
+    must not count as executed.  The scenario executes exactly like
+    ``repro run``: same runner, same content-addressed cache -- so service
+    artefacts are bit-identical to CLI artefacts, and two jobs differing
+    only in execution fields share cache entries.
+    """
+    if not store.start(job.id, worker):
+        return None  # lost the lease between claim and start
+    try:
+        scenario = job.resolve_scenario()
+    except (KeyError, TypeError, ValueError) as error:
+        store.record_event(job.id, "submit", "rejected", worker, {"error": str(error)})
+        store.fail(job.id, worker, f"unresolvable scenario: {error}")
+        return False
+
+    interval = heartbeat_interval if heartbeat_interval is not None else store.lease_ttl / 3.0
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat,
+        args=(store, job.id, worker, stop, max(0.05, interval)),
+        daemon=True,
+    )
+    beat.start()
+    try:
+        runner = ExperimentRunner(scenario, cache_dir=cache_dir)
+        result = runner.run(
+            stage_hook=lambda stage, artefact: store.record_event(
+                job.id, stage, "completed", worker, summarise_stage(stage, artefact)
+            )
+        )
+        # The terminal updates are ownership-checked: False means the
+        # lease expired mid-run and a peer reclaimed (and will finish)
+        # the job -- this worker's result must not count as an execution.
+        return True if store.complete(job.id, worker, result.summary()) else None
+    except Exception:
+        return False if store.fail(job.id, worker, traceback.format_exc()) else None
+    finally:
+        stop.set()
+        beat.join(timeout=5.0)
+
+
+def worker_loop(
+    db_path: Path,
+    cache_dir: Path,
+    shard_index: int = 0,
+    shard_count: int = 1,
+    lease_ttl: float = 60.0,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    max_jobs: Optional[int] = None,
+) -> int:
+    """Claim-and-execute loop of one worker process; returns jobs executed.
+
+    ``max_jobs`` bounds the loop for tests and batch draining; ``None``
+    loops until the process is terminated (the supervisor sends SIGTERM).
+    """
+    store = JobStore(db_path, lease_ttl=lease_ttl)
+    worker = f"worker-{shard_index}@{os.getpid()}"
+    executed = 0
+    while max_jobs is None or executed < max_jobs:
+        job = store.claim(worker, shard_index=shard_index, shard_count=shard_count)
+        if job is None:
+            if max_jobs is not None and store.counts()["queued"] == 0:
+                break
+            time.sleep(poll_interval)
+            continue
+        if execute_job(store, job, cache_dir, worker) is not None:
+            executed += 1
+    return executed
+
+
+class WorkerPool:
+    """Supervisor of ``n_workers`` worker processes (used by ``repro serve``)."""
+
+    def __init__(
+        self,
+        db_path: Path,
+        cache_dir: Path,
+        n_workers: int = 1,
+        lease_ttl: float = 60.0,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.db_path = Path(db_path)
+        self.cache_dir = Path(cache_dir)
+        self.n_workers = n_workers
+        self.lease_ttl = lease_ttl
+        self.poll_interval = poll_interval
+        self._processes: List[multiprocessing.Process] = []
+
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent while running)."""
+        if self._processes:
+            return
+        # Spawned (not forked) workers import the package afresh -- no
+        # inherited locks or RNG state, exactly like separate containers.
+        context = multiprocessing.get_context("spawn")
+        for index in range(self.n_workers):
+            # NOT daemonic: daemonic processes cannot have children, and
+            # jobs legitimately spawn them (the "process" evaluation
+            # backend, the SPICE verification pool).  Orderly shutdown is
+            # stop()'s job; a SIGKILLed supervisor leaves workers running,
+            # which the lease model treats like any other crashed peer.
+            process = context.Process(
+                target=worker_loop,
+                args=(self.db_path, self.cache_dir, index, self.n_workers),
+                kwargs={
+                    "lease_ttl": self.lease_ttl,
+                    "poll_interval": self.poll_interval,
+                },
+                name=f"repro-worker-{index}",
+                daemon=False,
+            )
+            process.start()
+            self._processes.append(process)
+
+    def alive(self) -> int:
+        """How many worker processes are currently alive."""
+        return sum(1 for process in self._processes if process.is_alive())
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Terminate all workers and wait for them to exit."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=timeout)
+        self._processes = []
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

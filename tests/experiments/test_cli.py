@@ -40,8 +40,125 @@ def test_list_names_every_registered_scenario(capsys):
 
 
 def test_unknown_scenario_is_a_usage_error(capsys):
+    """`repro run` of an unknown name: one line on stderr, exit 2, no traceback."""
     assert cli.main(["run", "no-such-scenario"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_unknown_scenario_usage_error_in_subprocess(tmp_path):
+    """The console-script path too: clean one-liner, nonzero exit."""
+    result = run_cli("run", "no-such-scenario", cwd=str(tmp_path))
+    assert result.returncode == 2
+    assert "unknown scenario 'no-such-scenario'" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_invalid_override_value_is_a_usage_error(capsys):
+    assert cli.main(["run", "fast-smoke", "--n-workers", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "invalid override" in err
+    assert "Traceback" not in err
+
+
+def test_submit_unknown_scenario_fails_before_contacting_server(capsys):
+    # Validated against the local registry, so no server is needed.
+    assert cli.main(["submit", "no-such-scenario", "--url", "http://127.0.0.1:1"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_submit_unreachable_server_is_a_clean_error(capsys):
+    assert cli.main(["submit", "fast-smoke", "--url", "http://127.0.0.1:1"]) == 1
+    err = capsys.readouterr().err
+    assert "cannot reach the service" in err
+    assert "Traceback" not in err
+
+
+def test_jobs_unreachable_server_is_a_clean_error(capsys):
+    assert cli.main(["jobs", "--url", "http://127.0.0.1:1"]) == 1
+    assert "cannot reach the service" in capsys.readouterr().err
+
+
+# -- service subcommands against a live in-process server ---------------------------------
+
+
+@pytest.fixture()
+def live_service(tmp_path):
+    import threading
+
+    from repro.service.api import make_server
+    from repro.service.store import JobStore
+
+    store = JobStore(tmp_path / "service.db", lease_ttl=30.0)
+    server = make_server("127.0.0.1", 0, store, tmp_path / "cache")
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    yield f"http://127.0.0.1:{server.server_address[1]}", store, tmp_path / "cache"
+    server.shutdown()
+    server.server_close()
+
+
+def test_submit_status_jobs_roundtrip(live_service, capsys):
+    url, store, cache = live_service
+    assert cli.main(["submit", "fast-smoke", "--url", url, "--seed", "41"]) == 0
+    out = capsys.readouterr().out
+    assert "submitted new job" in out
+    assert "state        : queued" in out
+
+    # Re-submitting the same configuration joins the existing job.
+    assert cli.main(["submit", "fast-smoke", "--url", url, "--seed", "41"]) == 0
+    assert "joined existing job" in capsys.readouterr().out
+
+    # `repro status <scenario-name>` resolves the job id via the registry.
+    assert cli.main(["status", "fast-smoke", "--seed", "41", "--url", url]) == 0
+    assert "state        : queued" in capsys.readouterr().out
+
+    assert cli.main(["jobs", "--url", url]) == 0
+    assert "fast-smoke" in capsys.readouterr().out
+
+    # Drain with the in-process worker loop, then status shows done + events.
+    from repro.service.worker import worker_loop
+
+    assert worker_loop(store.path, cache, max_jobs=1) == 1
+    assert cli.main(["status", "fast-smoke", "--seed", "41", "--url", url]) == 0
+    out = capsys.readouterr().out
+    assert "state        : done" in out
+    assert "stage circuit" in out
+
+    assert cli.main(["jobs", "--url", url, "--state", "done", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1 and payload[0]["state"] == "done"
+
+
+def test_submit_wait_prints_summary(live_service, capsys):
+    import threading
+
+    url, store, cache = live_service
+    from repro.experiments.registry import get_scenario
+    from repro.service.worker import worker_loop
+
+    # Queue the configuration first so the bounded worker loop has work
+    # the moment it starts; the CLI submission below dedups onto it.
+    store.submit(get_scenario("fast-smoke").with_overrides(seed=43))
+    worker = threading.Thread(
+        target=worker_loop, args=(store.path, cache), kwargs={"max_jobs": 1}, daemon=True
+    )
+    worker.start()
+    code = cli.main(
+        ["submit", "fast-smoke", "--url", url, "--seed", "43", "--wait", "--timeout", "60"]
+    )
+    worker.join(timeout=60)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "state        : done" in out
+    assert "yield_percent" in out
+
+
+def test_status_unknown_job_id(live_service, capsys):
+    url, _, _ = live_service
+    assert cli.main(["status", "deadbeef", "--url", url]) == 2
+    assert "unknown job" in capsys.readouterr().err
 
 
 def test_report_before_run_fails_cleanly(tmp_path, capsys):
@@ -112,6 +229,38 @@ def test_cli_subprocess_run_resumes_from_cache(tmp_path):
     report = run_cli("report", "fast-smoke", "--cache-dir", cache)
     assert report.returncode == 0, report.stderr
     assert "stages cached" in report.stdout
+
+
+@pytest.mark.slow
+def test_serve_sigterm_tears_down_workers_cleanly(tmp_path):
+    """SIGTERM (docker stop, CI traps) must run the pool teardown, not
+    orphan the spawned worker processes."""
+    import signal
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "serve",
+            "--workers", "2", "--port", "0", "--cache-dir", str(tmp_path / "cache"),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(tmp_path),
+    )
+    try:
+        line = process.stdout.readline()
+        assert "listening" in line, line
+        process.send_signal(signal.SIGTERM)
+        # A clean exit means the finally block ran: workers terminated and
+        # joined, server socket closed.  A hang here (timeout) means the
+        # teardown never happened.
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
 
 
 @pytest.mark.slow

@@ -54,10 +54,12 @@ def test_required_pages_are_in_nav():
     for required in (
         "index.md",
         "scenarios.md",
+        "service.md",
         "batch-evaluation.md",
         "lane-parallel-transient.md",
         "paper_mapping.md",
         "api/experiments.md",
+        "api/service.md",
     ):
         assert required in entries
 

@@ -140,6 +140,25 @@ def test_odd_stage_count_scenario_through_full_flow(tmp_path):
     assert scenario.config_hash() != TINY.config_hash()
 
 
+def test_generic065_scenario_through_full_flow(tmp_path):
+    """The technology axis is real: the 65 nm card flows end to end and
+    lands in its own cache entry (the resolved card is part of the hash)."""
+    from repro.core.flow import HierarchicalFlow
+    from repro.experiments.registry import get_scenario
+
+    assert get_scenario("table2-65n").technology == "generic065"
+    scenario = TINY.with_overrides(name="tiny-65n", technology="generic065")
+    flow = HierarchicalFlow.from_scenario(scenario)
+    assert flow.technology.name == "generic065"
+    assert flow.evaluator.technology.name == "generic065"
+
+    result = ExperimentRunner(scenario, cache_dir=tmp_path).run()
+    summary = result.report.summary()
+    assert summary["circuit_front_size"] >= 1
+    assert summary["system_front_size"] >= 1
+    assert scenario.config_hash() != TINY.config_hash()
+
+
 def test_from_scenario_honours_optional_stage_selection():
     """flow.run() with no arguments executes exactly the scenario's stages."""
     from repro.core.flow import HierarchicalFlow
@@ -155,6 +174,34 @@ def test_from_scenario_honours_optional_stage_selection():
     # Explicit arguments still win over the scenario defaults.
     report = HierarchicalFlow.from_scenario(no_yield).run(run_yield=True)
     assert report.yield_report is not None
+
+
+def test_runner_stage_hook_fires_for_computed_and_cached_stages(tmp_path):
+    """The runner's stage_hook seam fires per satisfied stage, resumed or
+    not, and summarise_stage turns every artefact into a flat JSON payload."""
+    import json
+
+    from repro.core.flow import summarise_stage
+
+    seen = []
+    ExperimentRunner(TINY, cache_dir=tmp_path).run(
+        stage_hook=lambda stage, artefact: seen.append((stage, artefact))
+    )
+    assert [stage for stage, _ in seen][:2] == ["circuit", "system"]
+    for stage, artefact in seen:
+        payload = summarise_stage(stage, artefact)
+        assert json.dumps(payload)  # JSON-compatible
+        assert all(isinstance(value, float) for value in payload.values())
+        if stage == "circuit":
+            assert payload["front_size"] >= 1
+    # Cached stages fire the hook with the unpickled artefact too.
+    resumed = []
+    ExperimentRunner(TINY, cache_dir=tmp_path).run(
+        stage_hook=lambda stage, artefact: resumed.append(stage)
+    )
+    assert resumed == [stage for stage, _ in seen]
+    # Unknown stages / artefacts degrade to an empty payload, never raise.
+    assert summarise_stage("netlist", object()) == {}
 
 
 def test_stage_hook_checkpoints_through_flow_run(tmp_path):

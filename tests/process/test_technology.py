@@ -10,8 +10,11 @@ from repro.process import (
     MismatchModel,
     STANDARD_CORNERS,
     TECH_012UM,
+    TECH_065NM,
+    TECHNOLOGIES,
     Technology,
     VariationSpec,
+    technology,
 )
 from repro.process.mismatch import DeviceGeometry
 
@@ -60,6 +63,34 @@ def test_clamping_helpers():
     assert TECH_012UM.clamp_length(5e-6) == TECH_012UM.max_length
     assert TECH_012UM.clamp_width(1e-6) == TECH_012UM.min_width
     assert TECH_012UM.clamp_width(200e-6) == TECH_012UM.max_width
+
+
+def test_65nm_card_is_registered_and_scaled():
+    assert technology("generic065") is TECH_065NM
+    assert set(TECHNOLOGIES) >= {"generic012", "generic065"}
+    # Constant-field scaling trends relative to the 0.12 um card: thinner
+    # oxide (higher Cox), lower thresholds, tighter design rules.
+    assert TECH_065NM.nmos.tox < TECH_012UM.nmos.tox
+    assert TECH_065NM.nmos.vth0 < TECH_012UM.nmos.vth0
+    assert TECH_065NM.pmos.vth0 < TECH_012UM.pmos.vth0
+    assert TECH_065NM.min_length < TECH_012UM.min_length
+    assert TECH_065NM.max_length <= TECH_012UM.max_length
+    assert TECH_065NM.stage_load_capacitance < TECH_012UM.stage_load_capacitance
+    assert TECH_065NM.nmos.cox > TECH_012UM.nmos.cox
+
+
+def test_65nm_card_supports_variation_and_deltas():
+    shifted = TECH_065NM.with_deltas({"vth0": 0.02})
+    assert shifted.nmos.vth0 == pytest.approx(TECH_065NM.nmos.vth0 + 0.02)
+    rng = np.random.default_rng(8)
+    sampled = GlobalVariationModel().apply_sample(TECH_065NM, rng)
+    assert sampled.nmos.vth0 != TECH_065NM.nmos.vth0
+    assert sampled.name == TECH_065NM.name
+
+
+def test_unknown_technology_key_raises_with_known_names():
+    with pytest.raises(KeyError, match="generic065"):
+        technology("generic999")
 
 
 # -- corners -----------------------------------------------------------------------------

@@ -1,0 +1,203 @@
+"""HTTP API tests: routing, validation, and service-vs-CLI bit-identity."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import ArtefactCache
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.report import report_payload
+from repro.experiments.runner import ExperimentRunner
+from repro.service.api import ExperimentService, make_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.store import JobStore
+from repro.service.worker import worker_loop
+
+TINY = ScenarioConfig(
+    name="api-tiny",
+    circuit_population=8,
+    circuit_generations=2,
+    system_population=8,
+    system_generations=2,
+    mc_samples_per_point=4,
+    yield_samples=10,
+    max_model_points=6,
+    seed=17,
+)
+
+#: Overrides turning the registered fast-smoke into TINY's numbers, so the
+#: HTTP tests submit through the real registry path.
+TINY_OVERRIDES = {
+    "circuit_population": 8,
+    "circuit_generations": 2,
+    "system_population": 8,
+    "system_generations": 2,
+    "mc_samples_per_point": 4,
+    "yield_samples": 10,
+    "max_model_points": 6,
+    "seed": 17,
+}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    store = JobStore(tmp_path / "service.db", lease_ttl=30.0)
+    return ExperimentService(store, tmp_path / "cache")
+
+
+@pytest.fixture()
+def live(tmp_path):
+    """A real threaded HTTP server + client, torn down after the test."""
+    store = JobStore(tmp_path / "service.db", lease_ttl=30.0)
+    server = make_server("127.0.0.1", 0, store, tmp_path / "cache")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    client.wait_until_ready()
+    yield client, store, tmp_path / "cache"
+    server.shutdown()
+    server.server_close()
+
+
+# -- application-level routing (no sockets) ----------------------------------------------
+
+
+def test_scenarios_listing_includes_hashes(service):
+    status, payload = service.scenarios()
+    assert status == 200
+    by_name = {entry["name"]: entry for entry in payload["scenarios"]}
+    assert "fast-smoke" in by_name and "table2" in by_name
+    assert by_name["table2"]["config_hash"]
+
+
+def test_submit_validation_errors(service):
+    assert service.submit({})[0] == 400
+    assert service.submit({"scenario": 7})[0] == 400
+    assert service.submit({"scenario": "fast-smoke", "overrides": "seed=1"})[0] == 400
+    status, payload = service.submit({"scenario": "no-such-scenario"})
+    assert status == 404
+    assert "unknown scenario" in payload["error"]
+    status, payload = service.submit(
+        {"scenario": "fast-smoke", "overrides": {"n_stages": 4}}
+    )
+    assert status == 400 and "invalid overrides" in payload["error"]
+    status, payload = service.submit(
+        {"scenario": "fast-smoke", "overrides": {"not_a_field": 1}}
+    )
+    assert status == 400
+
+
+def test_submit_created_then_dedup(service):
+    status, job = service.submit({"scenario": "fast-smoke", "overrides": {"seed": 17}})
+    assert status == 201 and job["created"]
+    status, dup = service.submit({"scenario": "fast-smoke", "overrides": {"seed": 17}})
+    assert status == 200 and not dup["created"]
+    assert dup["id"] == job["id"]
+
+
+def test_job_and_report_unknown_id(service):
+    assert service.job("deadbeef")[0] == 404
+    assert service.report("deadbeef")[0] == 404
+
+
+def test_report_before_completion_is_409(service):
+    _, job = service.submit({"scenario": "fast-smoke", "overrides": {"seed": 17}})
+    status, payload = service.report(job["id"])
+    assert status == 409
+    assert payload["state"] == "queued"
+
+
+def test_jobs_state_filter_validation(service):
+    assert service.jobs(state="exploded")[0] == 400
+    assert service.jobs()[0] == 200
+
+
+# -- live HTTP end to end -----------------------------------------------------------------
+
+
+def test_http_routes_and_errors(live):
+    client, store, _ = live
+    assert client.health()["status"] == "ok"
+    assert any(entry["name"] == "fast-smoke" for entry in client.scenarios())
+    with pytest.raises(ServiceError) as excinfo:
+        client.job("deadbeef")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit("no-such-scenario")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", "/no/such/route")
+    assert excinfo.value.status == 404
+
+
+def test_service_execution_is_bit_identical_to_direct_run(live, tmp_path):
+    """The acceptance invariant: an HTTP-submitted job produces the same
+    report payload and bit-identical cache artefacts as a direct
+    ExperimentRunner run of the same scenario."""
+    client, store, service_cache = live
+
+    job = client.submit("fast-smoke", TINY_OVERRIDES)
+    assert job["created"] and job["state"] == "queued"
+    # Drain the queue with one in-process worker pass (the real worker
+    # code path, minus process spawning).
+    executed = worker_loop(
+        store.path, service_cache, lease_ttl=30.0, max_jobs=1
+    )
+    assert executed == 1
+
+    finished = client.wait(job["id"], timeout=10.0)
+    assert finished["state"] == "done"
+    assert [event["stage"] for event in client.job(job["id"])["events"]] == [
+        "circuit",
+        "system",
+        "yield",
+    ]
+
+    # Direct run of the same configuration into a separate cache.
+    direct_cache = tmp_path / "direct-cache"
+    direct = ExperimentRunner(TINY, cache_dir=direct_cache).run()
+
+    # 1. The HTTP report equals what `repro report --json` prints locally
+    #    (modulo the submitted scenario's name and the job fields).
+    http_report = client.report(job["id"])
+    local_report = report_payload(TINY, direct_cache)
+    assert http_report["stages_present"] == local_report["stages_present"]
+    http_summary = dict(http_report["summary"])
+    local_summary = dict(local_report["summary"])
+    for volatile in ("elapsed_seconds", "stages", "scenario"):
+        http_summary.pop(volatile, None)
+        local_summary.pop(volatile, None)
+    assert http_summary == local_summary  # exact float equality
+    assert http_report["config_hash"] == TINY.config_hash()
+
+    # 2. The cache artefacts themselves are bit-identical: exact array
+    #    equality across every stage pickle.
+    service_entry = ArtefactCache(service_cache).entry_for(TINY)
+    direct_entry = ArtefactCache(direct_cache).entry_for(TINY)
+    assert service_entry.stages_present() == direct_entry.stages_present()
+    for stage in service_entry.stages_present():
+        assert _artefacts_equal(service_entry.load(stage), direct_entry.load(stage)), stage
+
+    # 3. Front arrays, explicitly.
+    service_front = service_entry.load("system").optimisation.front
+    direct_front = direct_entry.load("system").optimisation.front
+    assert np.array_equal(
+        np.vstack([ind.objectives for ind in service_front]),
+        np.vstack([ind.objectives for ind in direct_front]),
+    )
+    assert np.array_equal(
+        np.vstack([ind.parameters for ind in service_front]),
+        np.vstack([ind.parameters for ind in direct_front]),
+    )
+    assert direct.report.summary()["yield_percent"] == http_report["summary"]["yield_percent"]
+
+
+def _artefacts_equal(a, b) -> bool:
+    """Bit-exact comparison via the pickle byte streams.
+
+    Pickle round-trips floats and numpy arrays exactly, so two artefacts
+    produced by bit-identical computations serialise to identical bytes.
+    """
+    return pickle.dumps(a, protocol=4) == pickle.dumps(b, protocol=4)

@@ -1,0 +1,179 @@
+"""Job store unit tests: lifecycle, dedup, leases, sharding, events."""
+
+import time
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.service.store import ACTIVE_STATES, JOB_STATES, JobStore, shard_of
+
+TINY = ScenarioConfig(name="store-tiny", circuit_population=8, circuit_generations=2)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return JobStore(tmp_path / "service.db", lease_ttl=60.0)
+
+
+def test_submit_creates_queued_job_keyed_by_config_hash(store):
+    job, created = store.submit(TINY)
+    assert created
+    assert job.id == TINY.config_hash()
+    assert job.state == "queued"
+    assert job.scenario == "store-tiny"
+    assert job.resolve_scenario() == TINY
+    assert store.counts()["queued"] == 1
+
+
+def test_submit_dedups_on_config_hash_across_names_and_backends(store):
+    job, created = store.submit(TINY)
+    # Different name, different backend: same numbers, same job.
+    twin = TINY.with_overrides(name="other-name", evaluation="vectorised")
+    dup, dup_created = store.submit(twin)
+    assert not dup_created
+    assert dup.id == job.id
+    assert store.counts()["queued"] == 1
+    # A genuinely different configuration is a new job.
+    other, other_created = store.submit(TINY.with_overrides(seed=99))
+    assert other_created and other.id != job.id
+
+
+def test_claim_lease_and_complete_lifecycle(store):
+    job, _ = store.submit(TINY)
+    claimed = store.claim("w1")
+    assert claimed is not None and claimed.id == job.id
+    assert claimed.state == "leased"
+    assert claimed.worker == "w1"
+    assert claimed.attempts == 1
+    assert claimed.lease_expires > time.time()
+    assert store.claim("w2") is None  # nothing else queued
+
+    assert store.start(job.id, "w1")
+    assert store.get(job.id).state == "running"
+    assert store.heartbeat(job.id, "w1")
+    assert store.complete(job.id, "w1", {"yield_percent": 100.0})
+    done = store.get(job.id)
+    assert done.state == "done"
+    assert done.summary == {"yield_percent": 100.0}
+    # Submitting a done configuration shares the finished job.
+    again, created = store.submit(TINY)
+    assert not created and again.state == "done"
+
+
+def test_failed_jobs_are_requeued_on_resubmit(store):
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    store.start(job.id, "w1")
+    assert store.fail(job.id, "w1", "boom")
+    assert store.get(job.id).state == "failed"
+    requeued, created = store.submit(TINY)
+    assert created and requeued.state == "queued"
+    assert requeued.attempts == 1  # attempt history survives the requeue
+    assert requeued.error is None
+
+
+def test_requeue_adopts_the_resubmissions_execution_fields(store):
+    """Hash-excluded fields (backend, worker count) may differ between the
+    failed submission and the corrective one; the requeue must store the
+    NEW scenario so the worker honours the fix."""
+    broken = TINY.with_overrides(evaluation="process", n_workers=64)
+    job, _ = store.submit(broken)
+    store.claim("w1")
+    store.fail(job.id, "w1", "pool cannot spawn")
+    fixed = TINY.with_overrides(evaluation="serial", name="tiny-fixed")
+    assert fixed.config_hash() == broken.config_hash()  # same job id
+    requeued, created = store.submit(fixed)
+    assert created
+    assert requeued.scenario == "tiny-fixed"
+    assert requeued.resolve_scenario().evaluation == "serial"
+    assert requeued.resolve_scenario().n_workers is None
+
+
+def test_expired_lease_is_reclaimed_by_next_claim(tmp_path):
+    store = JobStore(tmp_path / "service.db", lease_ttl=0.05)
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    store.start(job.id, "w1")
+    time.sleep(0.1)
+    # w1 died (no heartbeat): the claim path requeues and re-leases.
+    reclaimed = store.claim("w2")
+    assert reclaimed is not None and reclaimed.id == job.id
+    assert reclaimed.worker == "w2"
+    assert reclaimed.attempts == 2
+    # w1's late terminal updates are ownership-checked no-ops now.
+    assert not store.complete(job.id, "w1", {})
+    assert not store.heartbeat(job.id, "w1")
+    assert store.complete(job.id, "w2", {})
+
+
+def test_heartbeat_extends_the_lease(tmp_path):
+    store = JobStore(tmp_path / "service.db", lease_ttl=0.3)
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    for _ in range(3):
+        time.sleep(0.15)
+        assert store.heartbeat(job.id, "w1")
+    assert store.requeue_expired() == 0
+    assert store.get(job.id).state == "leased"
+
+
+def test_shard_preference_and_fallback(store):
+    jobs = []
+    for seed in range(20, 28):
+        job, _ = store.submit(TINY.with_overrides(seed=seed))
+        jobs.append(job)
+    shards = {job.id: shard_of(job.id, 2) for job in jobs}
+    assert set(shards.values()) == {0, 1}  # both shards populated
+
+    claimed = store.claim("w0", shard_index=0, shard_count=2)
+    assert shards[claimed.id] == 0  # own shard preferred
+    claimed = store.claim("w1", shard_index=1, shard_count=2)
+    assert shards[claimed.id] == 1
+    # Drain shard 1 completely; worker 1 then falls back to shard 0.
+    while any(
+        shards[job.id] == 1 and store.get(job.id).state == "queued" for job in jobs
+    ):
+        assert store.claim("w1", shard_index=1, shard_count=2) is not None
+    fallback = store.claim("w1", shard_index=1, shard_count=2)
+    assert fallback is not None and shards[fallback.id] == 0
+
+    with pytest.raises(ValueError):
+        shard_of("abcd1234", 0)
+
+
+def test_events_are_ordered_and_payloads_roundtrip(store):
+    job, _ = store.submit(TINY)
+    store.record_event(job.id, "circuit", "completed", "w1", {"front_size": 3.0})
+    store.record_event(job.id, "system", "completed", "w1", {"front_size": 8.0})
+    store.record_event(job.id, "yield", "completed", "w1", None)
+    events = store.events(job.id)
+    assert [event["seq"] for event in events] == [1, 2, 3]
+    assert [event["stage"] for event in events] == ["circuit", "system", "yield"]
+    assert events[0]["payload"] == {"front_size": 3.0}
+    assert events[2]["payload"] is None
+    assert store.events("nonexistent") == []
+
+
+def test_jobs_listing_and_state_filter(store):
+    store.submit(TINY)
+    store.submit(TINY.with_overrides(seed=99))
+    assert len(store.jobs()) == 2
+    assert len(store.jobs(state="queued")) == 2
+    assert store.jobs(state="done") == []
+    with pytest.raises(ValueError):
+        store.jobs(state="exploded")
+
+
+def test_store_validation_and_constants(tmp_path):
+    with pytest.raises(ValueError):
+        JobStore(tmp_path / "x.db", lease_ttl=0)
+    assert set(ACTIVE_STATES) < set(JOB_STATES)
+    assert store_is_persistent(tmp_path)
+
+
+def store_is_persistent(tmp_path):
+    """State written by one JobStore instance is visible to a fresh one."""
+    first = JobStore(tmp_path / "p.db")
+    job, _ = first.submit(TINY)
+    second = JobStore(tmp_path / "p.db")
+    return second.get(job.id) is not None and second.get(job.id).state == "queued"
