@@ -163,11 +163,22 @@ class CircuitLevelOptimisation:
     # -- pieces -------------------------------------------------------------------------
 
     def optimise(
-        self, callback: Optional[Callable[[int, list], None]] = None
+        self,
+        callback: Optional[Callable[[int, list], None]] = None,
+        checkpoint: Optional[object] = None,
+        cancel: Optional[object] = None,
     ) -> OptimisationResult:
-        """Run the multi-objective optimisation (steps 1-2 of figure 4)."""
+        """Run the multi-objective optimisation (steps 1-2 of figure 4).
+
+        ``checkpoint`` / ``cancel`` are forwarded to
+        :meth:`repro.optim.nsga2.NSGA2.run`: the optimiser state is
+        persisted per generation and cancellation is observed at those
+        generation boundaries.
+        """
         problem = VcoSizingProblem(self.evaluator, self.technology)
-        return NSGA2(problem, self.config).run(callback=callback)
+        return NSGA2(problem, self.config).run(
+            callback=callback, checkpoint=checkpoint, cancel=cancel
+        )
 
     def build_model(
         self,
@@ -223,9 +234,19 @@ class CircuitLevelOptimisation:
         self,
         callback: Optional[Callable[[int, list], None]] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        checkpoint: Optional[object] = None,
+        cancel: Optional[object] = None,
     ) -> CircuitStageResult:
-        """Optimise, Monte Carlo and assemble the model in one call."""
-        optimisation = self.optimise(callback=callback)
+        """Optimise, Monte Carlo and assemble the model in one call.
+
+        With a ``checkpoint``, the NSGA-II loop persists its state per
+        generation (and resumes from it); with a ``cancel`` token,
+        cancellation is observed at generation boundaries and between the
+        optimisation and the Monte Carlo model build.
+        """
+        optimisation = self.optimise(callback=callback, checkpoint=checkpoint, cancel=cancel)
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         model = self.build_model(optimisation, progress=progress)
         front = optimisation.front
         designs = [

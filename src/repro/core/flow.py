@@ -271,9 +271,18 @@ class HierarchicalFlow:
     # -- stages --------------------------------------------------------------------------
 
     def circuit_stage(
-        self, progress: Optional[Callable[[int, int], None]] = None
+        self,
+        progress: Optional[Callable[[int, int], None]] = None,
+        checkpoint: Optional[object] = None,
+        cancel: Optional[object] = None,
     ) -> CircuitStageResult:
-        """Circuit-level optimisation and combined-model extraction."""
+        """Circuit-level optimisation and combined-model extraction.
+
+        ``checkpoint`` (duck-typed ``load()/store(state)/clear()``) makes
+        the NSGA-II loop persist its state per generation and resume from
+        it; ``cancel`` (a :class:`~repro.cancel.CancelToken`) is observed
+        at those generation boundaries.
+        """
         stage = CircuitLevelOptimisation(
             evaluator=self.evaluator,
             technology=self.technology,
@@ -283,9 +292,13 @@ class HierarchicalFlow:
             max_model_points=self.max_model_points,
             mc_batch=self._use_batch_mc,
         )
-        return stage.run(progress=progress)
+        return stage.run(progress=progress, checkpoint=checkpoint, cancel=cancel)
 
-    def system_stage(self, model: CombinedPerformanceVariationModel) -> SystemStageResult:
+    def system_stage(
+        self,
+        model: CombinedPerformanceVariationModel,
+        cancel: Optional[object] = None,
+    ) -> SystemStageResult:
         """System-level optimisation on the behavioural PLL."""
         stage = SystemLevelOptimisation(
             model,
@@ -293,7 +306,7 @@ class HierarchicalFlow:
             base_design=self.base_pll_design,
             config=self.system_config,
         )
-        return stage.run()
+        return stage.run(cancel=cancel)
 
     def verify_yield(
         self,
@@ -301,12 +314,14 @@ class HierarchicalFlow:
         selected_values: Dict[str, float],
         checkpoint: Optional[object] = None,
         batch_size: Optional[int] = None,
+        cancel: Optional[object] = None,
     ) -> YieldReport:
         """Monte Carlo yield verification of the selected design.
 
         ``checkpoint`` / ``batch_size`` enable mid-stage checkpointing of
         the Monte Carlo batches (see :meth:`YieldAnalysis.run`); the batch
         size never changes the result, only how often progress persists.
+        ``cancel`` is observed at those batch boundaries.
         """
         analysis = YieldAnalysis(
             model,
@@ -316,7 +331,9 @@ class HierarchicalFlow:
             seed=self.seed + 1,
             use_batch=self._use_batch_mc,
         )
-        return analysis.run(selected_values, checkpoint=checkpoint, batch_size=batch_size)
+        return analysis.run(
+            selected_values, checkpoint=checkpoint, batch_size=batch_size, cancel=cancel
+        )
 
     def verification_stage(
         self,
@@ -364,6 +381,7 @@ class HierarchicalFlow:
         verification_evaluator: Optional[VcoEvaluator] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         stage_hook: Optional[StageHook] = None,
+        cancel: Optional[object] = None,
     ) -> FlowReport:
         """Execute the full flow and optionally export the model artefacts.
 
@@ -380,6 +398,10 @@ class HierarchicalFlow:
         about caching.  (The experiment runner drives the stages
         individually so it can also *skip* cached ones; it shares this
         class's stage methods rather than this loop.)
+
+        ``cancel`` -- a :class:`~repro.cancel.CancelToken` -- is observed
+        at stage and optimiser-generation boundaries and raises
+        :class:`~repro.cancel.JobCancelled` there.
         """
         run_yield = self.default_run_yield if run_yield is None else run_yield
         if run_verification is None:
@@ -389,13 +411,15 @@ class HierarchicalFlow:
             if stage_hook is not None:
                 stage_hook(stage, artefact)
 
-        circuit = self.circuit_stage(progress=progress)
+        circuit = self.circuit_stage(progress=progress, cancel=cancel)
         checkpoint("circuit", circuit)
-        system = self.system_stage(circuit.model)
+        system = self.system_stage(circuit.model, cancel=cancel)
         checkpoint("system", system)
         yield_report = None
         if run_yield and system.selected is not None:
-            yield_report = self.verify_yield(circuit.model, system.selected_values)
+            yield_report = self.verify_yield(
+                circuit.model, system.selected_values, cancel=cancel
+            )
             checkpoint("yield", yield_report)
         verification = None
         if run_verification:

@@ -89,6 +89,7 @@ class YieldAnalysis:
         selected_values: Mapping[str, float],
         checkpoint: Optional[object] = None,
         batch_size: Optional[int] = None,
+        cancel: Optional[object] = None,
     ) -> YieldReport:
         """Verify the yield of the selected system-level solution.
 
@@ -114,6 +115,11 @@ class YieldAnalysis:
             the whole analysis as a single batch.  Both paths evaluate
             sample-independent math, so the batch size never changes the
             result -- only how often progress is persisted.
+        cancel:
+            Optional :class:`~repro.cancel.CancelToken` observed at the
+            batch boundaries (right after the previous batch's checkpoint
+            was persisted), so a cancelled analysis always resumes from
+            the samples already evaluated.
         """
         kvco = float(selected_values["kvco"])
         ivco = float(selected_values["ivco"])
@@ -149,6 +155,8 @@ class YieldAnalysis:
 
         chunk = self.n_samples if batch_size is None else max(1, int(batch_size))
         while len(samples) < self.n_samples:
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             batch = process_samples[len(samples):len(samples) + chunk]
             samples.extend(self._evaluate_batch(batch, vco_design, pll_design))
             if checkpoint is not None and len(samples) < self.n_samples:

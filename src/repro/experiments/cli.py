@@ -18,8 +18,10 @@ Service subcommands talk to the experiment service
 (:mod:`repro.service`), which shares work between many clients::
 
     repro serve --workers 4 --port 8321    # job store + worker pool + HTTP API
+    repro serve --min-workers 1 --max-workers 8   # autoscale on queue depth
     repro submit fast-smoke --wait         # POST /jobs, poll, print the report
     repro status <job-id-or-scenario>      # GET /jobs/<id> (+ stage events)
+    repro cancel <job-id-or-scenario>      # DELETE /jobs/<id>
     repro jobs --state queued              # GET /jobs
 
 The module doubles as ``python -m repro.experiments.cli`` for environments
@@ -99,7 +101,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8321, help="bind port (0 picks a free one)")
-    serve.add_argument("--workers", type=int, default=1, help="worker process count")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fixed worker process count (ignored when --min/--max-workers is given)",
+    )
+    serve.add_argument(
+        "--min-workers",
+        type=int,
+        default=None,
+        help="autoscale: minimum worker processes (enables queue-depth autoscaling)",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help=(
+            "autoscale: maximum worker processes (enables queue-depth autoscaling;"
+            " default when only --min-workers is given: max(min-workers, 4))"
+        ),
+    )
     serve.add_argument(
         "--cache-dir", default=None, help="artefact cache root (default: .repro-cache)"
     )
@@ -146,12 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status.add_argument("--json", action="store_true", help="print the job as JSON")
 
+    cancel = subparsers.add_parser("cancel", help="cancel a job of a running service")
+    cancel.add_argument(
+        "job", help="job id (config hash) or registered scenario name to resolve"
+    )
+    cancel.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    cancel.add_argument(
+        "--seed", type=int, default=None, help="seed override used when submitting"
+    )
+    cancel.add_argument("--json", action="store_true", help="print the job as JSON")
+
     jobs = subparsers.add_parser("jobs", help="list the jobs of a running service")
     jobs.add_argument("--url", default=DEFAULT_URL, help="service URL")
     jobs.add_argument(
         "--state",
         default=None,
-        choices=("queued", "leased", "running", "done", "failed"),
+        choices=("queued", "leased", "running", "done", "failed", "cancelled"),
         help="only jobs in this state",
     )
     jobs.add_argument("--json", action="store_true", help="print the job list as JSON")
@@ -170,6 +202,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_jobs(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "cancel":
+        return _cmd_cancel(args)
     # Resolve the scenario up front: an unknown name or an invalid override
     # value is a usage error (one line on stderr, exit 2); anything raised
     # later is a genuine failure and propagates with its traceback.
@@ -306,16 +340,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.api import make_server
     from repro.service.store import JobStore
-    from repro.service.worker import WorkerPool
+    from repro.service.worker import Autoscaler, WorkerPool
 
     cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     db_path = Path(args.db) if args.db else cache_dir / "service.db"
     store = JobStore(db_path, lease_ttl=args.lease_ttl)
     server = make_server(args.host, args.port, store, cache_dir)
     host, port = server.server_address[:2]
-    pool = WorkerPool(
-        db_path, cache_dir, n_workers=args.workers, lease_ttl=args.lease_ttl
-    )
+    autoscale = args.min_workers is not None or args.max_workers is not None
+    try:
+        if autoscale:
+            # --workers is genuinely ignored here (as its help promises):
+            # the autoscale bounds come only from the autoscale flags.
+            minimum = args.min_workers if args.min_workers is not None else 1
+            maximum = (
+                args.max_workers if args.max_workers is not None else max(minimum, 4)
+            )
+            pool = Autoscaler(
+                db_path,
+                cache_dir,
+                min_workers=minimum,
+                max_workers=maximum,
+                lease_ttl=args.lease_ttl,
+            )
+            workers_label = f"{minimum}-{maximum} autoscaled worker(s)"
+        else:
+            pool = WorkerPool(
+                db_path, cache_dir, n_workers=args.workers, lease_ttl=args.lease_ttl
+            )
+            workers_label = f"{args.workers} worker(s)"
+    except ValueError as error:
+        server.server_close()
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     pool.start()
     # SIGTERM (docker stop, systemd, CI traps) must tear the worker pool
     # down like Ctrl+C does -- the default handler would kill this process
@@ -327,7 +384,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGTERM, _sigterm)
     print(
         f"repro service listening on http://{host}:{port} "
-        f"({args.workers} worker(s), db {db_path}, cache {cache_dir})",
+        f"({workers_label}, db {db_path}, cache {cache_dir})",
         flush=True,
     )
     try:
@@ -367,6 +424,8 @@ def _print_job(job: dict) -> None:
     print(f"job          : {job['id']}")
     print(f"scenario     : {job['scenario']}")
     print(f"state        : {job['state']}")
+    if job.get("cancel_requested"):
+        print("cancel       : requested (worker will stop at its next checkpoint)")
     print(f"attempts     : {job['attempts']}")
     if job.get("worker"):
         print(f"worker       : {job['worker']}")
@@ -407,24 +466,48 @@ def _cmd_submit(args: argparse.Namespace, scenario: ScenarioConfig) -> int:
         if created is not None:
             print("submitted new job" if created else "joined existing job")
         _print_job(job)
-    return 0 if job["state"] != "failed" else 1
+    # failed AND cancelled are unsuccessful outcomes: a script chaining
+    # `repro submit --wait && <use the report>` must not proceed when
+    # someone cancelled the job mid-run.
+    return 1 if job["state"] in ("failed", "cancelled") else 0
 
 
-def _cmd_status(args: argparse.Namespace) -> int:
-    job_id = args.job
+def _resolve_job_id(args: argparse.Namespace) -> str:
+    """The job id addressed by ``args.job`` (scenario names resolve to hashes)."""
     if args.job in SCENARIOS:
         scenario = get_scenario(args.job)
         if args.seed is not None:
             scenario = scenario.with_overrides(seed=args.seed)
-        job_id = scenario.config_hash()
+        return scenario.config_hash()
+    return args.job
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
     client = _client(args.url)
-    job, code = _service_call(lambda: client.job(job_id))
+    job, code = _service_call(lambda: client.job(_resolve_job_id(args)))
     if job is None:
         return code
     if args.json:
         print(json.dumps(job, indent=2, sort_keys=True))
     else:
         _print_job(job)
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    client = _client(args.url)
+    job, code = _service_call(lambda: client.cancel(_resolve_job_id(args)))
+    if job is None:
+        return code
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0
+    print(
+        "job cancelled"
+        if job["state"] == "cancelled"
+        else "cancel requested (the worker stops at its next checkpoint boundary)"
+    )
+    _print_job(job)
     return 0
 
 

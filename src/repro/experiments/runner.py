@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.cancel import CancelToken
 from repro.circuits.evaluators import VcoEvaluator
 from repro.core.flow import FlowReport, HierarchicalFlow, StageHook
 from repro.experiments.cache import ArtefactCache, CacheEntry
@@ -105,6 +106,12 @@ class ExperimentRunner:
         interrupted between batches resumes from the persisted partial
         instead of restarting; the batch size never changes the result.
         ``None`` disables mid-stage checkpointing (single batch).
+    circuit_checkpoint:
+        Persist the circuit stage's NSGA-II state per generation
+        (``circuit.partial.pkl``), so an interrupted or cancelled circuit
+        stage resumes at generation granularity.  Checkpointing never
+        changes the result (the overhead benchmark keeps it < 5 %);
+        ``False`` disables it.
     """
 
     def __init__(
@@ -114,12 +121,14 @@ class ExperimentRunner:
         force: bool = False,
         evaluator: Optional[VcoEvaluator] = None,
         yield_batch_size: Optional[int] = DEFAULT_YIELD_BATCH,
+        circuit_checkpoint: bool = True,
     ) -> None:
         self.scenario = scenario
         self.cache = ArtefactCache(cache_dir)
         self.force = force
         self.evaluator = evaluator
         self.yield_batch_size = yield_batch_size
+        self.circuit_checkpoint = circuit_checkpoint
         #: Custom evaluators produce different numbers than the scenario
         #: hash promises, so their artefacts must never enter the cache.
         self._use_cache = evaluator is None
@@ -131,6 +140,7 @@ class ExperimentRunner:
         output_directory: Optional[str] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         stage_hook: Optional[StageHook] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> ExperimentResult:
         """Execute (or resume) the scenario and return all artefacts.
 
@@ -148,6 +158,13 @@ class ExperimentRunner:
             (skipped stages fire no hook).  The same seam as
             :meth:`HierarchicalFlow.run`; the experiment service's workers
             use it to record per-stage progress events.
+        cancel:
+            Optional :class:`~repro.cancel.CancelToken` observed at every
+            checkpoint boundary (stage transitions, NSGA-II generations,
+            yield Monte Carlo batches).  A cancelled run raises
+            :class:`~repro.cancel.JobCancelled` right after the current
+            partial was persisted, so rerunning the same scenario resumes
+            from it bit-identically.
 
         Returns
         -------
@@ -168,22 +185,47 @@ class ExperimentRunner:
             if stage_hook is not None:
                 stage_hook(stage, artefact)
 
-        circuit, outcome = self._stage(
-            entry, "circuit", lambda: flow.circuit_stage(progress=progress)
+        def observe_cancel() -> None:
+            if cancel is not None:
+                cancel.raise_if_cancelled()
+
+        observe_cancel()
+        circuit_partial = (
+            _StagePartial(entry, "circuit")
+            if entry is not None and self.circuit_checkpoint
+            else None
         )
+        if self.force and entry is not None:
+            # --force promises a full recompute: a mid-stage partial left
+            # by an interrupted run must not be resumed from.
+            entry.clear_partial("circuit")
+        circuit, outcome = self._stage(
+            entry,
+            "circuit",
+            lambda: flow.circuit_stage(
+                progress=progress, checkpoint=circuit_partial, cancel=cancel
+            ),
+        )
+        if entry is not None:
+            # The stage artefact now owns the work: the per-generation
+            # NSGA-II partial (kept through the model build so a crash
+            # there never loses the optimisation) is obsolete.
+            entry.clear_partial("circuit")
         outcomes.append(outcome)
         checkpoint("circuit", circuit)
+        observe_cancel()
 
-        system, outcome = self._stage(entry, "system", lambda: flow.system_stage(circuit.model))
+        system, outcome = self._stage(
+            entry, "system", lambda: flow.system_stage(circuit.model, cancel=cancel)
+        )
         outcomes.append(outcome)
         checkpoint("system", system)
+        observe_cancel()
 
         yield_report = None
         if scenario.run_yield and system.selected is not None:
             yield_partial = _StagePartial(entry, "yield") if entry is not None else None
             if self.force and entry is not None:
-                # --force promises a full recompute: a mid-stage partial
-                # left by an interrupted run must not be resumed from.
                 entry.clear_partial("yield")
             yield_report, outcome = self._stage(
                 entry,
@@ -193,12 +235,14 @@ class ExperimentRunner:
                     system.selected_values,
                     checkpoint=yield_partial,
                     batch_size=self.yield_batch_size,
+                    cancel=cancel,
                 ),
             )
             checkpoint("yield", yield_report)
         else:
             outcome = StageOutcome("yield", SKIPPED)
         outcomes.append(outcome)
+        observe_cancel()
 
         verification = None
         if scenario.run_verification:

@@ -11,11 +11,13 @@ be carried to the next generation".
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field, fields
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.cancel import CancelToken
 from repro.optim.evaluation import BatchEvaluator, EVALUATOR_CHOICES, create_evaluator
 from repro.optim.individual import Individual
 from repro.optim.operators import PolynomialMutation, SBXCrossover, binary_tournament
@@ -175,6 +177,8 @@ class NSGA2:
     def run(
         self,
         callback: Callable[[int, List[Individual]], None] | None = None,
+        checkpoint: Optional[object] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> OptimisationResult:
         """Execute the full optimisation and return the final Pareto front.
 
@@ -183,23 +187,62 @@ class NSGA2:
         callback:
             Optional ``callback(generation, population)`` hook invoked after
             every generation (used by the benchmarks to record convergence).
+            On a resumed run it fires only for the generations actually
+            executed, not for the restored ones.
+        checkpoint:
+            Optional mid-run checkpoint store with ``load()``, ``store(state)``
+            and ``clear()`` (duck-typed; the experiment runner passes a
+            cache-entry-backed one writing ``circuit.partial.pkl``).  After
+            every generation the full optimiser state -- fingerprint,
+            generation number, ranked population, RNG bit-state, evaluation
+            count and history -- is persisted, and a rerun with the same
+            configuration resumes from it instead of restarting.  Because
+            the RNG stream is restored bit-exactly, a resumed run is
+            bit-identical to an uninterrupted one.  The final generation's
+            state is deliberately *left behind*: the caller clears it once
+            the artefact built from this result is itself persisted, so a
+            crash between the two never loses the optimisation.
+        cancel:
+            Optional :class:`~repro.cancel.CancelToken` polled right after
+            each generation's checkpoint; raises
+            :class:`~repro.cancel.JobCancelled` at that boundary, so a
+            cancelled run always leaves a resumable state behind.
         """
+        fingerprint = self._fingerprint()
         evaluations = 0
+        history: List[GenerationStats] = []
+        population: Optional[List[Individual]] = None
+        next_generation = 1
+        if checkpoint is not None:
+            state = checkpoint.load()
+            if self._state_matches(state, fingerprint):
+                population, history = self._canonicalise_state(state)
+                evaluations = int(state["evaluations"])
+                self._rng.bit_generator.state = state["rng_state"]
+                next_generation = int(state["generation"]) + 1
         try:
-            population = self._initial_population()
-            evaluations += len(population)
-            self._assign_ranks(population)
-            history: List[GenerationStats] = []
-            history.append(self._stats(0, evaluations, population))
-            if callback is not None:
-                callback(0, population)
-            for generation in range(1, self.config.generations + 1):
+            if population is None:
+                population = self._initial_population()
+                evaluations += len(population)
+                self._assign_ranks(population)
+                history.append(self._stats(0, evaluations, population))
+                if callback is not None:
+                    callback(0, population)
+                self._store_state(checkpoint, fingerprint, 0, population, evaluations, history)
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+            for generation in range(next_generation, self.config.generations + 1):
                 offspring = self._make_offspring(population)
                 evaluations += len(offspring)
                 population = self._survival(population + offspring)
                 history.append(self._stats(generation, evaluations, population))
                 if callback is not None:
                     callback(generation, population)
+                self._store_state(
+                    checkpoint, fingerprint, generation, population, evaluations, history
+                )
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
         finally:
             if self._owns_evaluator:
                 self.evaluator.close()
@@ -220,6 +263,112 @@ class NSGA2:
             self.problem.parameter_names,
             self.problem.objective_names,
             [objective.sense for objective in self.problem.objectives],
+        )
+
+    # -- generation checkpointing ----------------------------------------------
+
+    def _fingerprint(self) -> Dict[str, Any]:
+        """What a checkpointed state must have been produced by to be resumed.
+
+        Execution-only settings (``evaluator``, ``n_workers``) are excluded
+        for the same reason the scenario cache excludes them: all backends
+        are bit-identical for a fixed seed, so a run may resume another
+        backend's checkpoint.
+        """
+        settings = self.config.as_dict()
+        settings.pop("evaluator")
+        settings.pop("n_workers")
+        return {
+            "problem": self.problem.name,
+            "parameters": list(self.problem.parameter_names),
+            "objectives": list(self.problem.objective_names),
+            "config": settings,
+        }
+
+    def _state_matches(self, state: object, fingerprint: Dict[str, Any]) -> bool:
+        """Whether a loaded checkpoint state is resumable for this run."""
+        return (
+            isinstance(state, dict)
+            and state.get("fingerprint") == fingerprint
+            and isinstance(state.get("generation"), int)
+            and 0 <= state["generation"] <= self.config.generations
+            and isinstance(state.get("population"), list)
+            and len(state["population"]) == self.config.population_size
+            and state.get("rng_state") is not None
+        )
+
+    def _canonicalise_state(
+        self, state: Dict[str, Any]
+    ) -> tuple[List[Individual], List[GenerationStats]]:
+        """Rebuild a restored state from canonical Python/numpy objects.
+
+        Unpickling preserves every bit of every value, but not object
+        *identity*: restored arrays carry their own ``dtype`` instance
+        instead of numpy's interned ``float64`` singleton, and restored
+        dict keys are fresh string objects instead of the interned
+        literals a live evaluation produces.  Value-wise that is
+        invisible; byte-wise it changes the memo structure of any pickle
+        containing the resumed population -- and the project's invariant
+        is that a resumed run's *artefacts* are byte-identical to a cold
+        run's.  Rebuilding every individual and stats record exactly the
+        way a live evaluation builds them restores that identity
+        structure.
+        """
+        def text(key: object) -> str:
+            return sys.intern(str(key))
+
+        def array(values: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            # .astype (unlike np.array(..., dtype=...)) always rebuilds
+            # with the interned float64 dtype singleton, not the restored
+            # array's private dtype instance.
+            return None if values is None else np.asarray(values).astype(float)
+
+        population = [
+            Individual(
+                parameters=array(ind.parameters),
+                objectives=array(ind.objectives),
+                constraints=array(ind.constraints),
+                raw_objectives={text(k): float(v) for k, v in ind.raw_objectives.items()},
+                metrics={text(k): float(v) for k, v in ind.metrics.items()},
+                rank=int(ind.rank),
+                crowding=float(ind.crowding),
+            )
+            for ind in state["population"]
+        ]
+        history = [
+            GenerationStats(
+                generation=int(stats.generation),
+                evaluations=int(stats.evaluations),
+                front_size=int(stats.front_size),
+                best_objectives=np.asarray(stats.best_objectives).astype(float),
+                feasible_fraction=float(stats.feasible_fraction),
+            )
+            for stats in state["history"]
+        ]
+        return population, history
+
+    def _store_state(
+        self,
+        checkpoint: Optional[object],
+        fingerprint: Dict[str, Any],
+        generation: int,
+        population: List[Individual],
+        evaluations: int,
+        history: List[GenerationStats],
+    ) -> None:
+        if checkpoint is None:
+            return
+        checkpoint.store(
+            {
+                "fingerprint": fingerprint,
+                "generation": generation,
+                "population": population,
+                # The bit-exact generator state: restoring it replays the
+                # remaining generations on the identical RNG stream.
+                "rng_state": self._rng.bit_generator.state,
+                "evaluations": evaluations,
+                "history": history,
+            }
         )
 
     # -- internals -------------------------------------------------------------

@@ -8,16 +8,19 @@ executes jobs on a sharded pool of worker processes, each running the
 resumable :class:`~repro.experiments.runner.ExperimentRunner`:
 
 * :mod:`repro.service.store` -- SQLite (WAL) job store: lifecycle
-  ``queued -> leased -> running -> done/failed``, lease expiry +
-  heartbeats so crashed workers' jobs are reclaimed, per-stage progress
-  events.
-* :mod:`repro.service.worker` -- the worker pool (``repro serve
-  --workers N``); workers prefer their own shard of the hash space and
-  record stage events through the runner's ``stage_hook`` seam.
+  ``queued -> leased -> running -> done/failed/cancelled``, lease expiry
+  + heartbeats so crashed workers' jobs are reclaimed, cooperative
+  cancellation (``cancel_requested`` observed at checkpoint
+  boundaries), per-stage progress events.
+* :mod:`repro.service.worker` -- the worker pool: fixed size (``repro
+  serve --workers N``) or autoscaled on queue depth (``--min-workers /
+  --max-workers``); workers prefer their own shard of the hash space
+  and record stage events through the runner's ``stage_hook`` seam.
 * :mod:`repro.service.api` -- threaded stdlib HTTP API: ``POST /jobs``,
-  ``GET /jobs/<id>``, ``GET /jobs/<id>/report``, ``GET /scenarios``.
+  ``GET /jobs/<id>``, ``GET /jobs/<id>/report``, ``DELETE /jobs/<id>``,
+  ``GET /scenarios``.
 * :mod:`repro.service.client` -- thin ``urllib`` client used by ``repro
-  submit|status|jobs``.
+  submit|status|jobs|cancel``.
 
 Invariant: a job executed through the service produces **bit-identical**
 artefacts to ``repro run`` of the same scenario -- both are the same
@@ -31,15 +34,23 @@ Quick start::
 
 from repro.service.api import DEFAULT_PORT, ExperimentService, make_server
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.store import ACTIVE_STATES, JOB_STATES, Job, JobStore
-from repro.service.worker import WorkerPool, execute_job, worker_loop
+from repro.service.store import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobStore,
+)
+from repro.service.worker import Autoscaler, WorkerPool, execute_job, worker_loop
 
 __all__ = [
     "Job",
     "JobStore",
     "JOB_STATES",
     "ACTIVE_STATES",
+    "TERMINAL_STATES",
     "WorkerPool",
+    "Autoscaler",
     "worker_loop",
     "execute_job",
     "ExperimentService",

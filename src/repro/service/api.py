@@ -16,6 +16,11 @@ Routes (all JSON)::
     GET  /jobs/<id>           job status plus per-stage progress events
     GET  /jobs/<id>/report    the cached JSON report (same payload as
                               ``repro report --json``)
+    DELETE /jobs/<id>         cancel: 200 when a queued job parks in
+                              ``cancelled`` immediately, 202 when a
+                              running job's cancel flag was raised (the
+                              worker observes it at its next checkpoint
+                              boundary), 409 when already terminal
 
 Submissions deduplicate on the scenario's config hash: two clients
 posting the same configuration receive the *same* job id, and only one
@@ -101,6 +106,20 @@ class ExperimentService:
             return 404, {"error": f"unknown job {job_id!r}"}
         return 200, dict(job.as_dict(), events=self.store.events(job_id))
 
+    def cancel(self, job_id: str) -> Response:
+        try:
+            job = self.store.cancel(job_id)
+        except KeyError:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        except ValueError as error:
+            job = self.store.get(job_id)
+            return 409, {"error": str(error), "state": job.state if job else None}
+        self.store.record_event(job_id, "cancel", "requested")
+        # 200: parked in `cancelled` right away (it was queued).  202: the
+        # request was recorded and the executing worker will park the job
+        # at its next checkpoint boundary.
+        return (200 if job.state == "cancelled" else 202), job.as_dict()
+
     def report(self, job_id: str) -> Response:
         job = self.store.get(job_id)
         if job is None:
@@ -131,11 +150,17 @@ class _Handler(BaseHTTPRequestHandler):
     def _send(self, response: Response) -> None:
         status, payload = response
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up before (or while) reading the response.
+            # That is its prerogative -- letting the exception escape into
+            # ThreadingHTTPServer would spew a traceback per disconnect.
+            pass
 
     def _read_json_body(self) -> Optional[Dict[str, Any]]:
         try:
@@ -181,6 +206,15 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(service.submit(body))
         else:
             self._send((404, {"error": f"no such route: POST {url.path}"}))
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if len(parts) == 2 and parts[0] == "jobs":
+            self._send(service.cancel(parts[1]))
+        else:
+            self._send((404, {"error": f"no such route: DELETE {url.path}"}))
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):

@@ -10,13 +10,17 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Any, Dict, List, Optional
 
 __all__ = ["ServiceClient", "ServiceError"]
 
-#: Job states a waiter treats as final.
-TERMINAL_STATES = ("done", "failed")
+#: Job states a waiter treats as final.  Deliberately duplicated from
+#: :data:`repro.service.store.TERMINAL_STATES` (the client must stay
+#: importable without the store's dependency chain); a test in
+#: tests/service/test_api.py asserts the two stay in sync.
+TERMINAL_STATES = ("done", "failed", "cancelled")
 
 
 class ServiceError(RuntimeError):
@@ -94,9 +98,24 @@ class ServiceClient:
         return self._request("GET", f"/jobs/{job_id}")
 
     def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
-        """All jobs, newest first (optionally filtered by state)."""
-        path = "/jobs" + (f"?state={state}" if state else "")
-        return self._request("GET", path)["jobs"]
+        """All jobs, newest first (optionally filtered by state).
+
+        The filter is URL-encoded, so a state containing reserved
+        characters round-trips to the server verbatim and comes back as a
+        clean ``400`` instead of mangling the request path.
+        """
+        query = urllib.parse.urlencode({"state": state}) if state else ""
+        return self._request("GET", "/jobs" + (f"?{query}" if query else ""))["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a job (``DELETE /jobs/<id>``); returns the updated job.
+
+        A queued job comes back already ``cancelled``; for a running one
+        the returned job carries ``cancel_requested`` and parks in
+        ``cancelled`` once the worker reaches its next checkpoint
+        boundary (poll with :meth:`wait` -- ``cancelled`` is terminal).
+        """
+        return self._request("DELETE", f"/jobs/{job_id}")
 
     def report(self, job_id: str) -> Dict[str, Any]:
         """The job's cached JSON report (``repro report --json`` payload)."""

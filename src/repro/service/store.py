@@ -9,15 +9,26 @@ That mirrors the artefact cache, which is keyed by the same hash.
 Job lifecycle::
 
     queued --claim--> leased --start--> running --+--> done
-      ^                                           |
-      +--------- lease expiry / requeue ----------+--> failed
+      ^  |                                        |
+      |  +-- cancel ---------- cancel_requested --+--> failed
+      |                  (worker observes)        |
+      +--------- lease expiry / requeue ----------+--> cancelled
 
 * ``queued``  -- submitted, waiting for a worker.
 * ``leased``  -- claimed by a worker (lease with an expiry timestamp).
 * ``running`` -- the worker started executing; it heartbeats to extend
   the lease.
-* ``done`` / ``failed`` -- terminal.  Submitting a failed configuration
-  again requeues it.
+* ``done`` / ``failed`` / ``cancelled`` -- terminal.  Submitting a
+  failed or cancelled configuration again requeues it.
+
+Cancellation is cooperative: :meth:`JobStore.cancel` moves a *queued*
+job straight to ``cancelled``, while a leased/running job only gets its
+``cancel_requested`` flag raised -- the executing worker polls the flag
+(through a :class:`~repro.cancel.CancelToken`) at its checkpoint
+boundaries, persists its mid-stage partial, and then parks the job in
+``cancelled`` via :meth:`JobStore.mark_cancelled`.  Resubmitting the
+same configuration requeues it, and the worker resumes from the
+persisted generation/batch bit-identically.
 
 A worker that dies mid-job stops heartbeating; once its lease expires the
 job is atomically flipped back to ``queued`` and another worker picks it
@@ -46,13 +57,17 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.experiments.config import ScenarioConfig
 
-__all__ = ["Job", "JobStore", "JOB_STATES", "ACTIVE_STATES"]
+__all__ = ["Job", "JobStore", "JOB_STATES", "ACTIVE_STATES", "TERMINAL_STATES"]
 
 #: Every job lifecycle state, in progression order.
-JOB_STATES = ("queued", "leased", "running", "done", "failed")
+JOB_STATES = ("queued", "leased", "running", "done", "failed", "cancelled")
 
 #: States in which a submission dedups onto the existing job.
 ACTIVE_STATES = ("queued", "leased", "running", "done")
+
+#: States a job can never leave by itself (a new submission requeues
+#: ``failed`` / ``cancelled``; ``done`` is shared as-is).
+TERMINAL_STATES = ("done", "failed", "cancelled")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -67,7 +82,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     lease_expires  REAL,
     attempts       INTEGER NOT NULL DEFAULT 0,
     error          TEXT,
-    summary_json   TEXT
+    summary_json   TEXT,
+    cancel_requested INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs(state, submitted_at);
 CREATE TABLE IF NOT EXISTS events (
@@ -99,6 +115,9 @@ class Job:
     attempts: int = 0
     error: Optional[str] = None
     summary: Optional[Dict[str, Any]] = field(default=None)
+    #: Cancellation requested while leased/running; the executing worker
+    #: observes it at its next checkpoint boundary.
+    cancel_requested: bool = False
 
     def resolve_scenario(self) -> ScenarioConfig:
         """Rebuild the submitted scenario (raises on foreign metadata)."""
@@ -119,6 +138,7 @@ class Job:
             "attempts": self.attempts,
             "error": self.error,
             "summary": self.summary,
+            "cancel_requested": self.cancel_requested,
         }
 
 
@@ -136,6 +156,7 @@ def _row_to_job(row: sqlite3.Row) -> Job:
         attempts=row["attempts"],
         error=row["error"],
         summary=json.loads(row["summary_json"]) if row["summary_json"] else None,
+        cancel_requested=bool(row["cancel_requested"]),
     )
 
 
@@ -168,6 +189,17 @@ class JobStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self._session() as connection:
             connection.executescript(_SCHEMA)
+            # Databases written before cancellation existed lack the
+            # column; CREATE TABLE IF NOT EXISTS will not add it.
+            columns = {
+                row["name"]
+                for row in connection.execute("PRAGMA table_info(jobs)").fetchall()
+            }
+            if "cancel_requested" not in columns:
+                connection.execute(
+                    "ALTER TABLE jobs ADD COLUMN"
+                    " cancel_requested INTEGER NOT NULL DEFAULT 0"
+                )
 
     @contextmanager
     def _session(self, exclusive: bool = False) -> Iterator[sqlite3.Connection]:
@@ -210,7 +242,9 @@ class JobStore:
         Returns ``(job, created)``.  ``created`` is ``False`` when an
         active (queued / leased / running / done) job for the same
         configuration already existed -- the caller shares that job and
-        its artefacts.  A previously *failed* configuration is requeued.
+        its artefacts.  A previously *failed* or *cancelled* configuration
+        is requeued; a requeued cancelled job resumes from whatever
+        mid-stage partial the cancelled attempt persisted.
         """
         job_id = scenario.config_hash()
         now = time.time()
@@ -218,7 +252,7 @@ class JobStore:
             row = connection.execute("SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
             if row is not None and row["state"] in ACTIVE_STATES:
                 return _row_to_job(row), False
-            if row is not None:  # failed -> requeue, keeping the attempt count
+            if row is not None:  # failed/cancelled -> requeue, keeping the attempt count
                 # The resubmission's scenario replaces the stored one: the
                 # hash-excluded execution fields (evaluation, n_workers, name)
                 # may legitimately differ, and a corrective override (e.g.
@@ -226,7 +260,8 @@ class JobStore:
                 connection.execute(
                     "UPDATE jobs SET state='queued', scenario=?, scenario_json=?,"
                     " submitted_at=?, started_at=NULL, finished_at=NULL,"
-                    " worker=NULL, lease_expires=NULL, error=NULL WHERE id=?",
+                    " worker=NULL, lease_expires=NULL, error=NULL,"
+                    " cancel_requested=0 WHERE id=?",
                     (scenario.name, json.dumps(scenario.as_dict()), now, job_id),
                 )
                 # The failed attempt's progress events would otherwise mix
@@ -302,25 +337,33 @@ class JobStore:
     def heartbeat(self, job_id: str, worker: str) -> bool:
         """Extend the lease of a job this worker still owns.
 
-        Returns ``False`` when the job is no longer owned by the worker
-        (its lease expired and another worker reclaimed it) -- the worker
-        should stop executing the job.
+        Returns ``False`` when the job is no longer owned by the worker --
+        the worker should stop executing the job.  Expiry is
+        authoritative: a lease that has already run out cannot be revived
+        (the ``lease_expires >= now`` guard), so a worker that stalled
+        past its TTL loses the race to whichever peer reclaims the job
+        instead of resurrecting it under both workers at once.
         """
         now = time.time()
         with self._session() as connection:
             cursor = connection.execute(
                 "UPDATE jobs SET lease_expires=? WHERE id=? AND worker=?"
-                " AND state IN ('leased', 'running')",
-                (now + self.lease_ttl, job_id, worker),
+                " AND state IN ('leased', 'running') AND lease_expires >= ?",
+                (now + self.lease_ttl, job_id, worker, now),
             )
             return cursor.rowcount == 1
 
     def complete(self, job_id: str, worker: str, summary: Dict[str, Any]) -> bool:
-        """Record a successful run (the ``ExperimentResult`` summary)."""
+        """Record a successful run (the ``ExperimentResult`` summary).
+
+        A cancel that raced completion (requested after the last
+        checkpoint boundary) loses: the job finished, so the stale
+        ``cancel_requested`` flag is dropped with it.
+        """
         with self._session() as connection:
             cursor = connection.execute(
                 "UPDATE jobs SET state='done', finished_at=?, summary_json=?,"
-                " lease_expires=NULL WHERE id=? AND worker=?"
+                " lease_expires=NULL, cancel_requested=0 WHERE id=? AND worker=?"
                 " AND state IN ('leased', 'running')",
                 (time.time(), json.dumps(summary), job_id, worker),
             )
@@ -331,7 +374,7 @@ class JobStore:
         with self._session() as connection:
             cursor = connection.execute(
                 "UPDATE jobs SET state='failed', finished_at=?, error=?,"
-                " lease_expires=NULL WHERE id=? AND worker=?"
+                " lease_expires=NULL, cancel_requested=0 WHERE id=? AND worker=?"
                 " AND state IN ('leased', 'running')",
                 (time.time(), error[:4000], job_id, worker),
             )
@@ -344,12 +387,94 @@ class JobStore:
 
     @staticmethod
     def _requeue_expired(connection: sqlite3.Connection, now: float) -> int:
+        # A cancel requested while the (now dead) worker held the job wins
+        # over the requeue: the operator asked for the job to stop, so it
+        # parks in `cancelled` instead of returning to the queue.
+        connection.execute(
+            "UPDATE jobs SET state='cancelled', worker=NULL, lease_expires=NULL,"
+            " finished_at=?, cancel_requested=0"
+            " WHERE state IN ('leased', 'running') AND lease_expires < ?"
+            " AND cancel_requested=1",
+            (now, now),
+        )
         cursor = connection.execute(
             "UPDATE jobs SET state='queued', worker=NULL, lease_expires=NULL"
             " WHERE state IN ('leased', 'running') AND lease_expires < ?",
             (now,),
         )
         return cursor.rowcount
+
+    # -- cancellation --------------------------------------------------------------------
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation of a job.
+
+        A *queued* job is parked in ``cancelled`` immediately (no worker
+        holds it, there is nothing to unwind).  A *leased* or *running*
+        job only gets its ``cancel_requested`` flag raised: the executing
+        worker polls the flag at its checkpoint boundaries (NSGA-II
+        generations, yield Monte Carlo batches), persists its mid-stage
+        partial and parks the job via :meth:`mark_cancelled` -- so a
+        cancel never corrupts an artefact, and resubmitting resumes from
+        the persisted state.
+
+        Returns the updated job.  Raises ``KeyError`` for an unknown job
+        and ``ValueError`` for one already in a terminal state.
+        """
+        now = time.time()
+        with self._session(exclusive=True) as connection:
+            row = connection.execute("SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+            if row is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            state = row["state"]
+            expired = row["lease_expires"] is not None and row["lease_expires"] < now
+            if state == "queued" or (state in ("leased", "running") and expired):
+                # No live worker holds the job (never claimed, or its
+                # lease ran out) -- park it directly; there might be no
+                # worker left alive to observe a flag.  A stalled-but-
+                # alive worker's late terminal updates are state-checked
+                # no-ops against `cancelled`.
+                connection.execute(
+                    "UPDATE jobs SET state='cancelled', finished_at=?,"
+                    " worker=NULL, lease_expires=NULL, cancel_requested=0 WHERE id=?",
+                    (now, job_id),
+                )
+            elif state in ("leased", "running"):
+                connection.execute(
+                    "UPDATE jobs SET cancel_requested=1 WHERE id=?", (job_id,)
+                )
+            else:
+                raise ValueError(f"job {job_id} is already {state}")
+            return self._get(connection, job_id)
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Whether cancellation was requested for this job.
+
+        The poll workers issue (through their
+        :class:`~repro.cancel.CancelToken`) at checkpoint boundaries --
+        one indexed single-row read.
+        """
+        with self._session() as connection:
+            row = connection.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return bool(row and row["cancel_requested"])
+
+    def mark_cancelled(self, job_id: str, worker: str) -> bool:
+        """Park a job this worker observed a cancel request for.
+
+        Ownership-checked like :meth:`complete` / :meth:`fail`: ``False``
+        means the lease was lost (a peer reclaimed the job) and the
+        outcome is not this worker's to record.
+        """
+        with self._session() as connection:
+            cursor = connection.execute(
+                "UPDATE jobs SET state='cancelled', finished_at=?,"
+                " lease_expires=NULL, cancel_requested=0 WHERE id=? AND worker=?"
+                " AND state IN ('leased', 'running')",
+                (time.time(), job_id, worker),
+            )
+            return cursor.rowcount == 1
 
     # -- progress events -----------------------------------------------------------------
 
@@ -427,6 +552,23 @@ class JobStore:
         with self._session() as connection:
             rows = connection.execute(query, parameters).fetchall()
         return [_row_to_job(row) for row in rows]
+
+    def pending_count(self) -> int:
+        """Jobs a worker could run *right now*: queued plus expired leases.
+
+        Leased/running jobs whose lease has expired are reclaimable work
+        (their worker is presumed dead), so they count as pending -- this
+        is what drain-mode workers and the autoscaler consult.  A job
+        under a live lease is a healthy peer's business and does not
+        count.
+        """
+        with self._session() as connection:
+            row = connection.execute(
+                "SELECT COUNT(*) AS n FROM jobs WHERE state='queued'"
+                " OR (state IN ('leased', 'running') AND lease_expires < ?)",
+                (time.time(),),
+            ).fetchone()
+        return int(row["n"])
 
     def counts(self) -> Dict[str, int]:
         """Jobs per state (zero-filled for all known states)."""

@@ -7,32 +7,49 @@ of the config-hash space), execute it through the resumable
 progress event per completed flow stage through the runner's
 ``stage_hook`` seam.  A daemon heartbeat thread extends the job's lease
 while the flow computes, so only *dead* workers lose their lease -- and a
-reclaimed job resumes from the per-stage cache (plus the yield stage's
-mid-stage partial), which is what makes crash recovery cheap and
-bit-identical.
+reclaimed job resumes from the per-stage cache (plus the circuit stage's
+per-generation and the yield stage's per-batch partials), which is what
+makes crash recovery cheap and bit-identical.
 
-:class:`WorkerPool` is the supervisor used by ``repro serve``: it spawns
-``n_workers`` processes (``multiprocessing`` with the ``spawn`` start
-method, so workers are independent interpreters like any production
-fleet) and restarts nothing -- a crashed worker's jobs are reclaimed by
-its peers, which is the recovery model the store is built around.
+Workers also carry a :class:`~repro.cancel.CancelToken` polling the job's
+``cancel_requested`` flag: a ``DELETE /jobs/<id>`` raised mid-run is
+observed at the next checkpoint boundary, the mid-stage partial stays
+persisted, and the job parks in ``cancelled`` -- resubmitting resumes it
+bit-identically.
+
+Two supervisors sit on top, both used by ``repro serve``
+(``multiprocessing`` with the ``spawn`` start method, so workers are
+independent interpreters like any production fleet; a crashed worker's
+*jobs* are reclaimed by its peers via lease expiry, which is the
+recovery model the store is built around):
+
+* :class:`WorkerPool` -- a fixed pool of ``n_workers`` processes
+  (deliberately restarts nothing).
+* :class:`Autoscaler` -- a queue-depth-driven pool between
+  ``min_workers`` and ``max_workers`` (``repro serve --min-workers
+  --max-workers``): sustained backlog spawns workers, a sustained empty
+  queue retires them (gracefully -- a retiring worker finishes its
+  current job first), and the shard count every worker consults is
+  re-published on each resize through shared memory.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import threading
 import time
 import traceback
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro.cancel import CancelToken, JobCancelled
 from repro.core.flow import summarise_stage
 from repro.experiments.runner import ExperimentRunner
 from repro.service.store import Job, JobStore
 
-__all__ = ["execute_job", "worker_loop", "WorkerPool"]
+__all__ = ["execute_job", "worker_loop", "WorkerPool", "Autoscaler"]
 
 #: Seconds between queue polls when no job is claimable.
 DEFAULT_POLL_INTERVAL = 0.2
@@ -55,16 +72,22 @@ def execute_job(
     cache_dir: Path,
     worker: str,
     heartbeat_interval: Optional[float] = None,
+    cancel_poll_interval: Optional[float] = None,
 ) -> Optional[bool]:
-    """Run one claimed job to completion (or failure) through the runner.
+    """Run one claimed job to a terminal state through the runner.
 
-    Returns ``True``/``False`` for a job that reached a terminal state
-    (``done``/``failed``), and ``None`` when it never started -- the lease
-    was lost between claim and start, so another worker owns it and it
-    must not count as executed.  The scenario executes exactly like
-    ``repro run``: same runner, same content-addressed cache -- so service
-    artefacts are bit-identical to CLI artefacts, and two jobs differing
-    only in execution fields share cache entries.
+    Returns ``True`` for ``done``, ``False`` for ``failed``/``cancelled``,
+    and ``None`` when it never started -- the lease was lost between claim
+    and start, so another worker owns it and it must not count as
+    executed.  The scenario executes exactly like ``repro run``: same
+    runner, same content-addressed cache -- so service artefacts are
+    bit-identical to CLI artefacts, and two jobs differing only in
+    execution fields share cache entries.
+
+    ``cancel_poll_interval`` throttles the job-store ``cancel_requested``
+    poll the runner's :class:`~repro.cancel.CancelToken` issues at each
+    checkpoint boundary (default: a sixth of the lease TTL, capped at one
+    second).
     """
     if not store.start(job.id, worker):
         return None  # lost the lease between claim and start
@@ -83,17 +106,31 @@ def execute_job(
         daemon=True,
     )
     beat.start()
+    cancel = CancelToken(
+        should_cancel=lambda: store.cancel_requested(job.id),
+        poll_interval=(
+            cancel_poll_interval
+            if cancel_poll_interval is not None
+            else min(1.0, store.lease_ttl / 6.0)
+        ),
+    )
     try:
         runner = ExperimentRunner(scenario, cache_dir=cache_dir)
         result = runner.run(
             stage_hook=lambda stage, artefact: store.record_event(
                 job.id, stage, "completed", worker, summarise_stage(stage, artefact)
-            )
+            ),
+            cancel=cancel,
         )
         # The terminal updates are ownership-checked: False means the
         # lease expired mid-run and a peer reclaimed (and will finish)
         # the job -- this worker's result must not count as an execution.
         return True if store.complete(job.id, worker, result.summary()) else None
+    except JobCancelled:
+        # The cancel surfaced at a checkpoint boundary: the mid-stage
+        # partial is already persisted, so a resubmission resumes from it.
+        store.record_event(job.id, "cancel", "observed", worker)
+        return False if store.mark_cancelled(job.id, worker) else None
     except Exception:
         return False if store.fail(job.id, worker, traceback.format_exc()) else None
     finally:
@@ -109,29 +146,100 @@ def worker_loop(
     lease_ttl: float = 60.0,
     poll_interval: float = DEFAULT_POLL_INTERVAL,
     max_jobs: Optional[int] = None,
+    stop_event: Optional[object] = None,
+    shard_state: Optional[object] = None,
+    cancel_poll_interval: Optional[float] = None,
 ) -> int:
     """Claim-and-execute loop of one worker process; returns jobs executed.
 
     ``max_jobs`` bounds the loop for tests and batch draining; ``None``
     loops until the process is terminated (the supervisor sends SIGTERM).
+    A drain only exits once nothing is *pending* -- queued jobs plus
+    leased/running jobs whose lease already expired (a crashed peer's
+    reclaimable work); a job under a live lease is a healthy peer's
+    business.
+
+    ``stop_event`` (a ``multiprocessing.Event``) retires the worker
+    gracefully: it finishes its current job, observes the event between
+    jobs, and exits.  ``shard_state`` (a shared ``multiprocessing.Value``)
+    lets a supervisor re-publish the shard count as the pool resizes --
+    the worker re-reads it before every claim, falling back to the static
+    ``shard_count`` argument when absent.
     """
     store = JobStore(db_path, lease_ttl=lease_ttl)
     worker = f"worker-{shard_index}@{os.getpid()}"
     executed = 0
     while max_jobs is None or executed < max_jobs:
-        job = store.claim(worker, shard_index=shard_index, shard_count=shard_count)
+        if stop_event is not None and stop_event.is_set():
+            break
+        shards = shard_state.value if shard_state is not None else shard_count
+        job = store.claim(worker, shard_index=shard_index, shard_count=shards)
         if job is None:
-            if max_jobs is not None and store.counts()["queued"] == 0:
+            if max_jobs is not None and store.pending_count() == 0:
                 break
-            time.sleep(poll_interval)
+            if stop_event is not None:
+                if stop_event.wait(poll_interval):
+                    break
+            else:
+                time.sleep(poll_interval)
             continue
-        if execute_job(store, job, cache_dir, worker) is not None:
+        outcome = execute_job(
+            store, job, cache_dir, worker, cancel_poll_interval=cancel_poll_interval
+        )
+        if outcome is not None:
             executed += 1
     return executed
 
 
+def _spawn_worker(
+    context: multiprocessing.context.BaseContext,
+    db_path: Path,
+    cache_dir: Path,
+    index: int,
+    shard_count: int,
+    lease_ttl: float,
+    poll_interval: float,
+    stop_event: Optional[object] = None,
+    shard_state: Optional[object] = None,
+) -> multiprocessing.Process:
+    """Start one worker process (shared by both supervisors).
+
+    NOT daemonic: daemonic processes cannot have children, and jobs
+    legitimately spawn them (the "process" evaluation backend, the SPICE
+    verification pool).  Orderly shutdown is the supervisor's job; a
+    SIGKILLed supervisor leaves workers running, which the lease model
+    treats like any other crashed peer.
+    """
+    process = context.Process(
+        target=worker_loop,
+        args=(db_path, cache_dir, index, shard_count),
+        kwargs={
+            "lease_ttl": lease_ttl,
+            "poll_interval": poll_interval,
+            "stop_event": stop_event,
+            "shard_state": shard_state,
+        },
+        name=f"repro-worker-{index}",
+        daemon=False,
+    )
+    process.start()
+    return process
+
+
+def _stop_processes(processes: List[multiprocessing.Process], timeout: float) -> None:
+    """Terminate processes and wait, escalating to SIGKILL on stragglers."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=timeout)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=timeout)
+
+
 class WorkerPool:
-    """Supervisor of ``n_workers`` worker processes (used by ``repro serve``)."""
+    """Fixed-size supervisor of ``n_workers`` worker processes."""
 
     def __init__(
         self,
@@ -158,23 +266,17 @@ class WorkerPool:
         # inherited locks or RNG state, exactly like separate containers.
         context = multiprocessing.get_context("spawn")
         for index in range(self.n_workers):
-            # NOT daemonic: daemonic processes cannot have children, and
-            # jobs legitimately spawn them (the "process" evaluation
-            # backend, the SPICE verification pool).  Orderly shutdown is
-            # stop()'s job; a SIGKILLed supervisor leaves workers running,
-            # which the lease model treats like any other crashed peer.
-            process = context.Process(
-                target=worker_loop,
-                args=(self.db_path, self.cache_dir, index, self.n_workers),
-                kwargs={
-                    "lease_ttl": self.lease_ttl,
-                    "poll_interval": self.poll_interval,
-                },
-                name=f"repro-worker-{index}",
-                daemon=False,
+            self._processes.append(
+                _spawn_worker(
+                    context,
+                    self.db_path,
+                    self.cache_dir,
+                    index,
+                    self.n_workers,
+                    self.lease_ttl,
+                    self.poll_interval,
+                )
             )
-            process.start()
-            self._processes.append(process)
 
     def alive(self) -> int:
         """How many worker processes are currently alive."""
@@ -182,14 +284,7 @@ class WorkerPool:
 
     def stop(self, timeout: float = 10.0) -> None:
         """Terminate all workers and wait for them to exit."""
-        for process in self._processes:
-            if process.is_alive():
-                process.terminate()
-        for process in self._processes:
-            process.join(timeout=timeout)
-            if process.is_alive():
-                process.kill()
-                process.join(timeout=timeout)
+        _stop_processes(self._processes, timeout)
         self._processes = []
 
     def __enter__(self) -> "WorkerPool":
@@ -198,3 +293,234 @@ class WorkerPool:
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+
+class Autoscaler:
+    """Queue-depth-driven worker pool between ``min_workers`` and ``max_workers``.
+
+    A supervisor thread samples the store every ``supervisor_interval``
+    seconds:
+
+    * **scale up** -- when the outstanding demand (queued + leased +
+      running jobs; in-flight work counts, so a queued job can never
+      starve behind a pool of busy workers) exceeds the pool size for
+      ``scale_up_after`` consecutive ticks, one worker is spawned (up to
+      ``max_workers``).
+    * **scale down** -- when the store is fully drained (nothing queued,
+      leased or running) for ``scale_down_after`` consecutive ticks, the
+      newest worker is retired (down to ``min_workers``).  Retirement is
+      graceful: the worker's stop event is set, it finishes its current
+      job -- if any -- observes the event between jobs and exits; the
+      supervisor reaps it on a later tick.
+
+    Every resize re-publishes the shard count through a shared
+    ``multiprocessing.Value`` that workers re-read before each claim, so
+    the hash-space sharding follows the pool size.  Sharding is only a
+    *preference* (a worker with an empty shard falls back to any queued
+    job), which is what makes resizing it mid-flight safe.
+
+    Crashed workers are reaped out of the pool each tick -- a corpse
+    must not count toward the size the backlog is compared against --
+    and replaced at least up to ``min_workers`` (their abandoned jobs
+    come back through lease expiry as usual).
+    """
+
+    def __init__(
+        self,
+        db_path: Path,
+        cache_dir: Path,
+        min_workers: int = 1,
+        max_workers: int = 4,
+        lease_ttl: float = 60.0,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        supervisor_interval: float = 0.5,
+        scale_up_after: int = 2,
+        scale_down_after: int = 10,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if supervisor_interval <= 0:
+            raise ValueError("supervisor_interval must be positive")
+        if scale_up_after < 1 or scale_down_after < 1:
+            raise ValueError("scale_up_after / scale_down_after must be at least 1")
+        self.db_path = Path(db_path)
+        self.cache_dir = Path(cache_dir)
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.lease_ttl = lease_ttl
+        self.poll_interval = poll_interval
+        self.supervisor_interval = supervisor_interval
+        self.scale_up_after = scale_up_after
+        self.scale_down_after = scale_down_after
+        self._context = multiprocessing.get_context("spawn")
+        #: Shard count shared with every worker ("i" = C int); re-published
+        #: under its lock on every resize.
+        self._shard_state = self._context.Value("i", min_workers)
+        #: Active workers as (process, stop_event, shard_index) records.
+        #: The shard index is tracked so a replacement spawned after a
+        #: crashed worker was reaped reuses the freed index instead of
+        #: duplicating a survivor's.
+        self._workers: List[Tuple[multiprocessing.Process, object, int]] = []
+        self._retiring: List[multiprocessing.Process] = []
+        self._store = JobStore(self.db_path, lease_ttl=self.lease_ttl)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._pressure_ticks = 0
+        self._idle_ticks = 0
+
+    # -- pool introspection --------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Current target pool size (spawned minus retired workers)."""
+        return len(self._workers)
+
+    def alive(self) -> int:
+        """How many active (non-retiring) worker processes are alive."""
+        return sum(1 for process, _, _ in self._workers if process.is_alive())
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn ``min_workers`` and the supervisor thread (idempotent)."""
+        if self._thread is not None:
+            return
+        while len(self._workers) < self.min_workers:
+            self._grow()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._supervise, name="repro-autoscaler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop supervising and terminate every worker."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        for _, stop_event, _ in self._workers:
+            stop_event.set()
+        _stop_processes(
+            [process for process, _, _ in self._workers] + self._retiring, timeout
+        )
+        self._workers = []
+        self._retiring = []
+
+    def __enter__(self) -> "Autoscaler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- scaling internals ---------------------------------------------------------------
+
+    def _grow(self) -> None:
+        # The smallest free shard index: replacements for reaped crashed
+        # workers reuse the freed slot, keeping indices 0..size-1 covered
+        # (a duplicated index would leave one shard with no preferred
+        # owner for the life of the pool).
+        used = {index for _, _, index in self._workers}
+        index = next(i for i in range(len(self._workers) + 1) if i not in used)
+        stop_event = self._context.Event()
+        process = _spawn_worker(
+            self._context,
+            self.db_path,
+            self.cache_dir,
+            index,
+            len(self._workers) + 1,
+            self.lease_ttl,
+            self.poll_interval,
+            stop_event=stop_event,
+            shard_state=self._shard_state,
+        )
+        self._workers.append((process, stop_event, index))
+        self._publish_shard_count()
+
+    def _shrink(self) -> None:
+        # Retire the highest shard index so the remaining pool keeps
+        # covering the contiguous 0..size-1 shard range.
+        position = max(
+            range(len(self._workers)), key=lambda i: self._workers[i][2]
+        )
+        process, stop_event, _ = self._workers.pop(position)
+        stop_event.set()  # graceful: the worker finishes its current job
+        self._retiring.append(process)
+        self._publish_shard_count()
+
+    def _publish_shard_count(self) -> None:
+        with self._shard_state.get_lock():
+            self._shard_state.value = max(1, len(self._workers))
+
+    def _reap_retired(self) -> None:
+        still_running = []
+        for process in self._retiring:
+            if process.is_alive():
+                still_running.append(process)
+            else:
+                process.join(timeout=0)
+        self._retiring = still_running
+
+    def _reap_crashed(self) -> None:
+        """Drop dead workers from the active pool.
+
+        A crashed worker must not keep counting toward the pool size:
+        scale-up compares the backlog against ``len(self._workers)``, and
+        a corpse in that list would stall replacement spawns while its
+        abandoned job waits on lease expiry.
+        """
+        alive = []
+        for process, stop_event, index in self._workers:
+            if process.is_alive():
+                alive.append((process, stop_event, index))
+            else:
+                process.join(timeout=0)
+        if len(alive) != len(self._workers):
+            self._workers = alive
+            self._publish_shard_count()
+
+    def _supervise(self) -> None:
+        while not self._stop.wait(self.supervisor_interval):
+            try:
+                self._tick()
+            except Exception:  # noqa: BLE001 - the supervisor must survive
+                # A transient store error (SQLITE_BUSY past the timeout,
+                # disk full) or a failed spawn must not kill the
+                # supervisor thread -- that would silently freeze the
+                # pool at its current size for the life of the service.
+                print("repro autoscaler: supervision tick failed", file=sys.stderr)
+                traceback.print_exc()
+
+    def _tick(self) -> None:
+        """One supervision round (separate from the loop for testability)."""
+        self._reap_retired()
+        self._reap_crashed()
+        # Unlike the fixed WorkerPool (which deliberately restarts
+        # nothing), the autoscaler's contract is a pool *size*: crashed
+        # workers are replaced at least up to the floor.
+        while len(self._workers) < self.min_workers:
+            self._grow()
+        counts = self._store.counts()
+        # Demand counts every outstanding job -- queued AND in flight.
+        # Comparing only the *waiting* backlog against the pool size
+        # would let one long job starve a queued one forever: a busy
+        # worker contributes a job to the demand, so a queued job behind
+        # it pushes demand above the pool size and grows the pool.
+        demand = counts["queued"] + counts["leased"] + counts["running"]
+        if demand > len(self._workers) and len(self._workers) < self.max_workers:
+            self._pressure_ticks += 1
+            if self._pressure_ticks >= self.scale_up_after:
+                self._grow()
+                self._pressure_ticks = 0
+        else:
+            self._pressure_ticks = 0
+        if demand == 0 and len(self._workers) > self.min_workers:
+            self._idle_ticks += 1
+            if self._idle_ticks >= self.scale_down_after:
+                self._shrink()
+                self._idle_ticks = 0
+        else:
+            self._idle_ticks = 0

@@ -268,3 +268,32 @@ def test_cli_subprocess_list(tmp_path):
     result = run_cli("list", cwd=str(tmp_path))
     assert result.returncode == 0, result.stderr
     assert "table2" in result.stdout
+
+
+def test_submit_wait_exit_codes_for_terminal_states(monkeypatch):
+    """--wait must fail the process for both unsuccessful outcomes: a
+    cancelled job produced no result, exactly like a failed one."""
+    from repro.experiments import cli
+    from repro.experiments.registry import get_scenario
+
+    def run_with_final_state(state):
+        class FakeClient:
+            def submit(self, scenario, overrides):
+                return {
+                    "id": "abc", "scenario": scenario, "state": "queued",
+                    "attempts": 1, "created": True,
+                }
+
+            def wait(self, job_id, timeout):
+                return {
+                    "id": job_id, "scenario": "fast-smoke", "state": state,
+                    "attempts": 1,
+                }
+
+        monkeypatch.setattr(cli, "_client", lambda url: FakeClient())
+        args = cli.build_parser().parse_args(["submit", "fast-smoke", "--wait"])
+        return cli._cmd_submit(args, get_scenario("fast-smoke"))
+
+    assert run_with_final_state("done") == 0
+    assert run_with_final_state("failed") == 1
+    assert run_with_final_state("cancelled") == 1

@@ -159,3 +159,180 @@ def test_nsga2_callback_receives_population():
     NSGA2(ZDT1(), NSGA2Config(population_size=12, generations=3, seed=9)).run(callback)
     assert seen[0] == (0, 12)
     assert seen[-1][0] == 3
+
+
+# -- generation checkpointing and cancellation --------------------------------------------
+
+
+class MemoryCheckpoint:
+    """In-memory load/store/clear with a pickle round trip per store.
+
+    The round trip matters: it makes the unit test see exactly what a
+    disk-backed checkpoint would hand back (fresh dtype/str objects), the
+    situation the canonicalising restore path exists for.
+    """
+
+    def __init__(self):
+        self.state = None
+        self.stores = 0
+        self.cleared = False
+
+    def load(self):
+        return self.state
+
+    def store(self, state):
+        import pickle
+
+        self.state = pickle.loads(pickle.dumps(state))
+        self.stores += 1
+
+    def clear(self):
+        self.state = None
+        self.cleared = True
+
+
+class InterruptingCheckpoint(MemoryCheckpoint):
+    """Simulates a crash after ``fail_after`` persisted generations."""
+
+    def __init__(self, fail_after):
+        super().__init__()
+        self.fail_after = fail_after
+
+    def store(self, state):
+        super().store(state)
+        if self.stores >= self.fail_after:
+            raise KeyboardInterrupt("simulated mid-optimisation crash")
+
+
+CHECKPOINT_CONFIG = dict(population_size=16, generations=10, seed=3)
+
+
+def test_interrupted_run_resumes_bit_identically():
+    """Kill after generation 3; the resumed run must equal the cold run
+    byte for byte (same RNG stream, exact arrays, identical history)."""
+    import pickle
+
+    base = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run()
+
+    crashing = InterruptingCheckpoint(fail_after=4)  # initial + gens 1..3
+    with pytest.raises(KeyboardInterrupt):
+        NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run(checkpoint=crashing)
+    assert crashing.state["generation"] == 3
+
+    resumed_checkpoint = MemoryCheckpoint()
+    resumed_checkpoint.state = crashing.state
+    resumed = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run(
+        checkpoint=resumed_checkpoint
+    )
+    # Genuinely resumed: only generations 4..10 ran.
+    assert resumed_checkpoint.stores == 7
+    # Byte-identical result object (arrays, history, memo structure): the
+    # artefact a resumed circuit stage pickles must equal the cold run's.
+    assert pickle.dumps(resumed, protocol=4) == pickle.dumps(base, protocol=4)
+    assert np.array_equal(resumed.front.objectives, base.front.objectives)
+    assert resumed.evaluations == base.evaluations
+
+
+def test_resume_at_final_generation_skips_the_loop():
+    """A state persisted after the last generation resumes to the same
+    result without executing a single further generation (the crash-in-
+    model-build scenario)."""
+    import pickle
+
+    base = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run()
+    full = MemoryCheckpoint()
+    NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run(checkpoint=full)
+    assert full.state["generation"] == 10  # final state left for the caller
+
+    resumed_checkpoint = MemoryCheckpoint()
+    resumed_checkpoint.state = full.state
+    resumed = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run(
+        checkpoint=resumed_checkpoint
+    )
+    assert resumed_checkpoint.stores == 0
+    assert pickle.dumps(resumed, protocol=4) == pickle.dumps(base, protocol=4)
+
+
+def test_stale_checkpoint_fingerprint_is_discarded():
+    """A state written by a different configuration must not be resumed."""
+    stale = MemoryCheckpoint()
+    NSGA2(ZDT1(), NSGA2Config(population_size=16, generations=3, seed=99)).run(
+        checkpoint=stale
+    )
+    base = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run()
+    checkpoint = MemoryCheckpoint()
+    checkpoint.state = stale.state
+    restarted = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run(checkpoint=checkpoint)
+    assert np.array_equal(restarted.front.objectives, base.front.objectives)
+    assert checkpoint.stores == 11  # full restart: initial + 10 generations
+
+
+def test_checkpoint_resumes_across_backends():
+    """evaluator/n_workers are execution details: a serial run's state is
+    resumable by a vectorised run (backends are bit-identical)."""
+    crashing = InterruptingCheckpoint(fail_after=3)
+    with pytest.raises(KeyboardInterrupt):
+        NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG, evaluator="serial")).run(
+            checkpoint=crashing
+        )
+    base = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run()
+    checkpoint = MemoryCheckpoint()
+    checkpoint.state = crashing.state
+    resumed = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG, evaluator="vectorised")).run(
+        checkpoint=checkpoint
+    )
+    assert checkpoint.stores == 8  # resumed from generation 2, not restarted
+    assert np.array_equal(resumed.front.objectives, base.front.objectives)
+
+
+def test_cancel_token_raises_at_generation_boundary():
+    """Cancellation surfaces as JobCancelled right after a generation's
+    state was persisted -- never mid-generation, never losing state."""
+    from repro.cancel import CancelToken, JobCancelled
+
+    cancelled_after = 3
+
+    class CountingToken(CancelToken):
+        def __init__(self, checkpoint):
+            super().__init__(should_cancel=lambda: checkpoint.stores >= cancelled_after)
+
+    checkpoint = MemoryCheckpoint()
+    with pytest.raises(JobCancelled):
+        NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run(
+            checkpoint=checkpoint, cancel=CountingToken(checkpoint)
+        )
+    assert checkpoint.stores == cancelled_after
+    assert checkpoint.state["generation"] == cancelled_after - 1
+
+    # Resuming after the cancel equals the uninterrupted run exactly.
+    base = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run()
+    resumed = NSGA2(ZDT1(), NSGA2Config(**CHECKPOINT_CONFIG)).run(checkpoint=checkpoint)
+    assert np.array_equal(resumed.front.objectives, base.front.objectives)
+
+
+def test_cancel_token_latches_and_throttles():
+    from repro.cancel import CancelToken, JobCancelled
+
+    polls = []
+
+    def source():
+        polls.append(1)
+        return False
+
+    token = CancelToken(should_cancel=source, poll_interval=3600.0)
+    assert not token.is_cancelled()
+    assert not token.is_cancelled()  # throttled: source polled only once
+    assert len(polls) == 1
+
+    token = CancelToken(should_cancel=lambda: True)
+    assert token.is_cancelled()
+    token._should_cancel = lambda: False  # latched: source no longer consulted
+    assert token.is_cancelled()
+
+    token = CancelToken()
+    token.raise_if_cancelled()  # not cancelled: no raise
+    token.cancel()
+    with pytest.raises(JobCancelled):
+        token.raise_if_cancelled()
+    with pytest.raises(ValueError):
+        CancelToken(poll_interval=-1.0)

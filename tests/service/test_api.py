@@ -201,3 +201,126 @@ def _artefacts_equal(a, b) -> bool:
     produced by bit-identical computations serialise to identical bytes.
     """
     return pickle.dumps(a, protocol=4) == pickle.dumps(b, protocol=4)
+
+
+# -- cancellation (DELETE /jobs/<id>) -----------------------------------------------------
+
+
+def test_cancel_routes_at_application_level(service):
+    assert service.cancel("deadbeef")[0] == 404
+    status, job = service.submit({"scenario": "fast-smoke", "overrides": {"seed": 17}})
+    assert status == 201
+    status, cancelled = service.cancel(job["id"])
+    assert status == 200  # queued -> cancelled immediately
+    assert cancelled["state"] == "cancelled"
+    status, payload = service.cancel(job["id"])
+    assert status == 409  # already terminal
+    assert payload["state"] == "cancelled"
+    # A cancel event is recorded for observability.
+    status, detail = service.job(job["id"])
+    assert ("cancel", "requested") in [
+        (event["stage"], event["status"]) for event in detail["events"]
+    ]
+
+
+def test_cancel_running_job_returns_202(service):
+    _, job = service.submit({"scenario": "fast-smoke", "overrides": {"seed": 18}})
+    service.store.claim("w1")
+    service.store.start(job["id"], "w1")
+    status, flagged = service.cancel(job["id"])
+    assert status == 202
+    assert flagged["state"] == "running"
+    assert flagged["cancel_requested"]
+
+
+def test_cancel_done_job_is_409(service):
+    _, job = service.submit({"scenario": "fast-smoke", "overrides": {"seed": 19}})
+    service.store.claim("w1")
+    service.store.complete(job["id"], "w1", {})
+    status, payload = service.cancel(job["id"])
+    assert status == 409
+    assert payload["state"] == "done"
+
+
+def test_http_delete_route_and_client_cancel(live):
+    client, store, _ = live
+    with pytest.raises(ServiceError) as excinfo:
+        client.cancel("deadbeef")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("DELETE", "/no/such/route")
+    assert excinfo.value.status == 404
+
+    job = client.submit("fast-smoke", dict(TINY_OVERRIDES, seed=99))
+    cancelled = client.cancel(job["id"])
+    assert cancelled["state"] == "cancelled"
+    # cancelled is terminal for the waiter.
+    assert client.wait(job["id"], timeout=5.0)["state"] == "cancelled"
+    assert [j["id"] for j in client.jobs(state="cancelled")] == [job["id"]]
+
+
+# -- client URL-encoding regression -------------------------------------------------------
+
+
+def test_jobs_state_filter_is_url_encoded(live):
+    """Regression: the state filter used to be f-string-interpolated into
+    the path; reserved characters now round-trip and come back as the
+    server's clean 400 instead of a mangled request."""
+    client, _, _ = live
+    for hostile in ("no such/state?", "a&b=c", "exploded#frag"):
+        with pytest.raises(ServiceError) as excinfo:
+            client.jobs(state=hostile)
+        assert excinfo.value.status == 400
+        assert "unknown job state" in excinfo.value.payload["error"]
+        assert hostile.split("#")[0] in excinfo.value.payload["error"]
+
+
+# -- handler disconnect regression --------------------------------------------------------
+
+
+def test_send_swallows_client_disconnects():
+    """Regression: a client hanging up mid-response used to let
+    BrokenPipeError escape into ThreadingHTTPServer (traceback per
+    disconnect); _send now swallows client-side disconnects."""
+    from repro.service.api import _Handler
+
+    class HangupPipe:
+        def write(self, data):
+            raise BrokenPipeError("client went away")
+
+    handler = _Handler.__new__(_Handler)  # no socket plumbing
+    handler.wfile = HangupPipe()
+    handler.send_response = lambda status: None
+    handler.send_header = lambda key, value: None
+    handler.end_headers = lambda: None
+    handler._send((200, {"ok": True}))  # must not raise
+
+    class ResetHeaders:
+        def __call__(self):
+            raise ConnectionResetError("reset by peer")
+
+    handler.end_headers = ResetHeaders()
+    handler._send((200, {"ok": True}))  # must not raise either
+
+
+def test_disconnecting_socket_does_not_kill_the_server(live):
+    """A real half-closed connection: open a socket, fire a request, slam
+    it shut before reading; the server must keep answering."""
+    import socket
+
+    client, _, _ = live
+    host, port = client.base_url.replace("http://", "").split(":")
+    for _ in range(3):
+        raw = socket.create_connection((host, int(port)))
+        raw.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        raw.close()  # gone before the response is written
+    assert client.health()["status"] == "ok"
+
+
+def test_client_terminal_states_match_the_stores():
+    """client.TERMINAL_STATES is a deliberate copy (the client stays free
+    of the store's dependency chain); drift would make wait() poll
+    forever on a state the server considers finished."""
+    from repro.service import client, store
+
+    assert set(client.TERMINAL_STATES) == set(store.TERMINAL_STATES)

@@ -177,3 +177,192 @@ def store_is_persistent(tmp_path):
     job, _ = first.submit(TINY)
     second = JobStore(tmp_path / "p.db")
     return second.get(job.id) is not None and second.get(job.id).state == "queued"
+
+
+# -- lease-expiry regressions -------------------------------------------------------------
+
+
+def test_heartbeat_refuses_to_revive_an_expired_lease(tmp_path):
+    """Regression: a worker stalled past its TTL must not extend the lease
+    -- expiry is authoritative, matching the docstring's 'the worker
+    should stop executing' contract (previously the UPDATE lacked the
+    lease_expires >= now guard and revived the job, racing a reclaim)."""
+    store = JobStore(tmp_path / "service.db", lease_ttl=0.05)
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    store.start(job.id, "w1")
+    time.sleep(0.1)  # lease expired, nobody reclaimed yet
+    assert not store.heartbeat(job.id, "w1")
+    # The job is still reclaimable work for a live peer.
+    assert store.pending_count() == 1
+    reclaimed = store.claim("w2")
+    assert reclaimed is not None and reclaimed.worker == "w2"
+
+
+def test_pending_count_includes_expired_leases(tmp_path):
+    store = JobStore(tmp_path / "service.db", lease_ttl=0.05)
+    assert store.pending_count() == 0
+    job, _ = store.submit(TINY)
+    assert store.pending_count() == 1  # queued
+    store.claim("w1")
+    assert store.pending_count() == 0  # live lease: a healthy peer's business
+    time.sleep(0.1)
+    assert store.pending_count() == 1  # expired lease: reclaimable
+    second, _ = store.submit(TINY.with_overrides(seed=31))
+    assert store.pending_count() == 2  # queued + expired
+    assert second.state == "queued"
+
+
+# -- cancellation lifecycle ---------------------------------------------------------------
+
+
+def test_cancel_queued_job_is_immediate(store):
+    job, _ = store.submit(TINY)
+    cancelled = store.cancel(job.id)
+    assert cancelled.state == "cancelled"
+    assert not cancelled.cancel_requested
+    assert cancelled.finished_at is not None
+    assert store.counts()["cancelled"] == 1
+    # A cancelled job is not claimable.
+    assert store.claim("w1") is None
+
+
+def test_cancel_running_job_flags_then_worker_parks_it(store):
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    store.start(job.id, "w1")
+    flagged = store.cancel(job.id)
+    assert flagged.state == "running"  # still the worker's until it observes
+    assert flagged.cancel_requested
+    assert store.cancel_requested(job.id)
+    # The worker observes the flag at a checkpoint boundary and parks it.
+    assert store.mark_cancelled(job.id, "w1")
+    parked = store.get(job.id)
+    assert parked.state == "cancelled"
+    assert not parked.cancel_requested
+    # Late terminal updates from the (stopped) worker are no-ops.
+    assert not store.complete(job.id, "w1", {})
+    assert not store.fail(job.id, "w1", "boom")
+
+
+def test_cancel_terminal_and_unknown_jobs_are_rejected(store):
+    with pytest.raises(KeyError):
+        store.cancel("deadbeef")
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    store.complete(job.id, "w1", {})
+    with pytest.raises(ValueError):
+        store.cancel(job.id)  # done
+    requeued, _ = store.submit(TINY.with_overrides(seed=41))
+    store.cancel(requeued.id)
+    with pytest.raises(ValueError):
+        store.cancel(requeued.id)  # already cancelled
+
+
+def test_mark_cancelled_is_ownership_checked(store):
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    store.start(job.id, "w1")
+    assert not store.mark_cancelled(job.id, "w2")  # not the owner
+    assert store.get(job.id).state == "running"
+
+
+def test_resubmitting_a_cancelled_job_requeues_it(store):
+    job, _ = store.submit(TINY)
+    store.cancel(job.id)
+    requeued, created = store.submit(TINY)
+    assert created
+    assert requeued.state == "queued"
+    assert not requeued.cancel_requested
+    assert requeued.error is None
+
+
+def test_expired_lease_with_cancel_request_parks_cancelled(tmp_path):
+    """A cancel raised against a worker that then died must win over the
+    requeue: the operator asked for the job to stop."""
+    store = JobStore(tmp_path / "service.db", lease_ttl=0.05)
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    store.start(job.id, "w1")
+    store.cancel(job.id)  # flag only: the job is running
+    time.sleep(0.1)  # w1 dies, the lease expires
+    assert store.requeue_expired() == 0  # parked cancelled, not requeued
+    parked = store.get(job.id)
+    assert parked.state == "cancelled"
+    assert not parked.cancel_requested
+    assert store.claim("w2") is None
+
+
+def test_cancelled_is_a_known_state_everywhere(store):
+    job, _ = store.submit(TINY)
+    store.cancel(job.id)
+    assert "cancelled" in JOB_STATES
+    assert "cancelled" not in ACTIVE_STATES
+    assert [j.id for j in store.jobs(state="cancelled")] == [job.id]
+    assert store.counts()["cancelled"] == 1
+
+
+def test_store_migrates_pre_cancellation_databases(tmp_path):
+    """A service.db written before the cancel_requested column existed is
+    upgraded in place on open."""
+    import sqlite3
+
+    path = tmp_path / "old.db"
+    connection = sqlite3.connect(path)
+    connection.executescript(
+        """
+        CREATE TABLE jobs (
+            id TEXT PRIMARY KEY, scenario TEXT NOT NULL,
+            scenario_json TEXT NOT NULL, state TEXT NOT NULL,
+            submitted_at REAL NOT NULL, started_at REAL, finished_at REAL,
+            worker TEXT, lease_expires REAL,
+            attempts INTEGER NOT NULL DEFAULT 0, error TEXT, summary_json TEXT
+        );
+        CREATE TABLE events (
+            job_id TEXT NOT NULL, seq INTEGER NOT NULL, created_at REAL NOT NULL,
+            stage TEXT NOT NULL, status TEXT NOT NULL, worker TEXT,
+            payload_json TEXT, PRIMARY KEY (job_id, seq)
+        );
+        """
+    )
+    connection.execute(
+        "INSERT INTO jobs (id, scenario, scenario_json, state, submitted_at)"
+        " VALUES ('abc123', 'legacy', '{}', 'queued', 1.0)"
+    )
+    connection.commit()
+    connection.close()
+
+    store = JobStore(path)
+    legacy = store.get("abc123")
+    assert legacy is not None
+    assert legacy.cancel_requested is False
+
+
+def test_completion_clears_a_raced_cancel_flag(store):
+    """A cancel requested after the job's last checkpoint boundary loses
+    the race: the job completes and the stale flag is dropped with it."""
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    store.start(job.id, "w1")
+    store.cancel(job.id)
+    assert store.complete(job.id, "w1", {"yield_percent": 100.0})
+    finished = store.get(job.id)
+    assert finished.state == "done"
+    assert not finished.cancel_requested
+
+
+def test_cancel_parks_an_expired_lease_job_immediately(tmp_path):
+    """Cancelling a job whose worker is dead (lease expired) must not
+    wait for a worker that may never come: it parks in `cancelled` right
+    away instead of merely raising the flag."""
+    store = JobStore(tmp_path / "service.db", lease_ttl=0.05)
+    job, _ = store.submit(TINY)
+    store.claim("w1")
+    store.start(job.id, "w1")
+    time.sleep(0.1)  # w1 died; nobody is polling cancel_requested
+    cancelled = store.cancel(job.id)
+    assert cancelled.state == "cancelled"
+    assert not cancelled.cancel_requested
+    # The dead worker's late updates bounce off the terminal state.
+    assert not store.complete(job.id, "w1", {})
+    assert not store.mark_cancelled(job.id, "w1")
