@@ -46,7 +46,7 @@ from repro.core.variation_model import VariationModel
 from repro.experiments import ExperimentRunner, ScenarioConfig, get_scenario
 
 #: Kept in sync with ``[project] version`` in pyproject.toml.
-__version__ = "0.3.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "HierarchicalFlow",

@@ -31,7 +31,14 @@ from repro.process.technology import TECH_012UM, Technology
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.config import ScenarioConfig
 
-__all__ = ["FlowReport", "HierarchicalFlow", "StageHook", "summarise_stage"]
+__all__ = [
+    "FlowReport",
+    "HierarchicalFlow",
+    "StageHook",
+    "summarise_stage",
+    "summarise_generation",
+    "summarise_yield_partial",
+]
 
 #: Signature of the per-stage checkpoint hook accepted by
 #: :meth:`HierarchicalFlow.run`: ``hook(stage_name, artefact)`` is invoked
@@ -86,6 +93,63 @@ def summarise_stage(stage: str, artefact: object) -> Dict[str, float]:
         if callable(worst):
             put("worst_error", worst())
     return payload
+
+
+#: Pareto-front points included in one generation's progress payload; live
+#: dashboards need the shape of the front, not every individual of a huge
+#: population, and SSE payloads should stay small.
+_MAX_FRONT_POINTS = 64
+
+
+def summarise_generation(state: Dict[str, object]) -> Dict[str, object]:
+    """Progress payload for one persisted NSGA-II generation checkpoint.
+
+    Built from the optimiser's checkpoint state (generation number,
+    ranked population, evaluation count -- see :meth:`NSGA2.run`), this is
+    what the experiment service streams to live subscribers after every
+    generation: enough to draw the current Pareto front without shipping
+    the population.  ``front`` holds the rank-0 individuals' raw
+    objectives (natural units and sense), feasible ones first, capped at
+    ``_MAX_FRONT_POINTS``.  Defensive like :func:`summarise_stage`:
+    malformed state yields a minimal payload instead of raising.
+    """
+    payload: Dict[str, object] = {
+        "generation": int(state.get("generation", 0)),
+        "evaluations": int(state.get("evaluations", 0)),
+    }
+    population = state.get("population") or []
+    front = [ind for ind in population if getattr(ind, "rank", None) == 0]
+    front.sort(key=lambda ind: not ind.is_feasible)  # stable: feasible first
+    payload["front_size"] = len(front)
+    payload["feasible"] = sum(1 for ind in front if ind.is_feasible)
+    payload["front"] = [
+        {name: float(value) for name, value in ind.raw_objectives.items()}
+        for ind in front[:_MAX_FRONT_POINTS]
+    ]
+    return payload
+
+
+def summarise_yield_partial(
+    state: Dict[str, object],
+    n_samples: int,
+    specifications: SpecificationSet,
+) -> Dict[str, object]:
+    """Progress payload for one persisted Monte Carlo batch checkpoint.
+
+    The yield stage's checkpoint state carries the performance samples
+    drawn so far (see :meth:`YieldAnalysis.run`); the running yield
+    estimate over those samples is what the dashboard's convergence plot
+    streams.  ``yield_percent_so_far`` is ``None`` until the first sample
+    lands.
+    """
+    samples = state.get("samples") or []
+    passed = sum(1 for sample in samples if not specifications.violations(sample))
+    done = len(samples)
+    return {
+        "samples_done": done,
+        "n_samples": int(n_samples),
+        "yield_percent_so_far": (100.0 * passed / done) if done else None,
+    }
 
 
 @dataclass

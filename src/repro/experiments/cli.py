@@ -19,10 +19,15 @@ Service subcommands talk to the experiment service
 
     repro serve --workers 4 --port 8321    # job store + worker pool + HTTP API
     repro serve --min-workers 1 --max-workers 8   # autoscale on queue depth
-    repro submit fast-smoke --wait         # POST /jobs, poll, print the report
-    repro status <job-id-or-scenario>      # GET /jobs/<id> (+ stage events)
-    repro cancel <job-id-or-scenario>      # DELETE /jobs/<id>
-    repro jobs --state queued              # GET /jobs
+    repro submit fast-smoke --wait         # POST /v1/jobs, poll, print the report
+    repro status <job-id-or-scenario>      # GET /v1/jobs/<id> (+ stage events)
+    repro cancel <job-id-or-scenario>      # DELETE /v1/jobs/<id>
+    repro jobs --state queued              # GET /v1/jobs (paginated underneath)
+    repro events <job-id-or-scenario>      # live SSE stream of progress events
+
+``serve`` boots the asyncio front end (keep-alive, SSE streaming, the
+dashboard at ``/``); the dashboard is plain static files, so a browser
+pointed at the service URL needs no extra setup.
 
 The module doubles as ``python -m repro.experiments.cli`` for environments
 where the console script is not installed.
@@ -187,6 +192,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="only jobs in this state",
     )
     jobs.add_argument("--json", action="store_true", help="print the job list as JSON")
+
+    events = subparsers.add_parser(
+        "events", help="stream a job's progress events live (SSE)"
+    )
+    events.add_argument(
+        "job", help="job id (config hash) or registered scenario name to resolve"
+    )
+    events.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    events.add_argument(
+        "--seed", type=int, default=None, help="seed override used when submitting"
+    )
+    events.add_argument(
+        "--after", type=int, default=None, help="resume after this event sequence number"
+    )
+    events.add_argument(
+        "--json", action="store_true", help="print each event as one JSON line"
+    )
     return parser
 
 
@@ -204,6 +226,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_status(args)
     if args.command == "cancel":
         return _cmd_cancel(args)
+    if args.command == "events":
+        return _cmd_events(args)
     # Resolve the scenario up front: an unknown name or an invalid override
     # value is a usage error (one line on stderr, exit 2); anything raised
     # later is a genuine failure and propagates with its traceback.
@@ -338,15 +362,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Service imports stay local so plain `repro run` never pays for them.
     import signal
 
-    from repro.service.api import make_server
+    from repro.service.api import make_async_server
     from repro.service.store import JobStore
     from repro.service.worker import Autoscaler, WorkerPool
 
     cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     db_path = Path(args.db) if args.db else cache_dir / "service.db"
     store = JobStore(db_path, lease_ttl=args.lease_ttl)
-    server = make_server(args.host, args.port, store, cache_dir)
-    host, port = server.server_address[:2]
+    # The asyncio front end: one event loop serves every connection
+    # (keep-alive, SSE streams, the dashboard) and bridges store calls to
+    # a thread pool, so the API stays responsive under hundreds of clients.
+    server = make_async_server(args.host, args.port, store, cache_dir)
+    try:
+        host, port = server.start()
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
     autoscale = args.min_workers is not None or args.max_workers is not None
     try:
         if autoscale:
@@ -370,7 +401,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             workers_label = f"{args.workers} worker(s)"
     except ValueError as error:
-        server.server_close()
+        server.shutdown()
         print(f"error: {error}", file=sys.stderr)
         return 2
     pool.start()
@@ -393,7 +424,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         pool.stop()
-        server.server_close()
+        server.shutdown()
     return 0
 
 
@@ -431,8 +462,23 @@ def _print_job(job: dict) -> None:
         print(f"worker       : {job['worker']}")
     if job.get("error"):
         print(f"error        : {job['error'].strip().splitlines()[-1]}")
-    for event in job.get("events", ()):
+    # Mid-stage progress events (one per NSGA-II generation / MC batch)
+    # would flood the status view; show only the newest one per stage,
+    # in sequence order, alongside every non-progress event.
+    events = list(job.get("events", ()))
+    last_progress = {}
+    for event in events:
+        if event.get("status") == "progress":
+            last_progress[event["stage"]] = event.get("seq")
+    for event in events:
+        if (
+            event.get("status") == "progress"
+            and last_progress.get(event["stage"]) != event.get("seq")
+        ):
+            continue
         payload = event.get("payload") or {}
+        if "front" in payload:  # the Pareto points are chart data, not text
+            payload = {key: value for key, value in payload.items() if key != "front"}
         numbers = ", ".join(
             f"{key}={value:.6g}" if isinstance(value, (int, float)) else f"{key}={value}"
             for key, value in payload.items()
@@ -513,7 +559,9 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
     client = _client(args.url)
-    jobs, code = _service_call(lambda: client.jobs(state=args.state))
+    # client.jobs is a transparently-paginating iterator; materialise it
+    # inside _service_call so pagination errors map to exit codes too.
+    jobs, code = _service_call(lambda: list(client.jobs(state=args.state)))
     if jobs is None:
         return code
     if args.json:
@@ -526,6 +574,41 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             f"{job['attempts']:>8} {job.get('worker') or '-'}"
         )
     return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    """Stream one job's events to stdout until it reaches a terminal state."""
+    client = _client(args.url)
+    job_id = _resolve_job_id(args)
+
+    def stream() -> Optional[str]:
+        final_state = None
+        for event in client.stream_events(job_id, last_event_id=args.after):
+            if event.get("event") == "end":
+                final_state = event.get("state")
+                break
+            if args.json:
+                print(json.dumps(event, sort_keys=True), flush=True)
+                continue
+            payload = event.get("payload") or {}
+            if "front" in payload:
+                payload = {k: v for k, v in payload.items() if k != "front"}
+            numbers = ", ".join(
+                f"{key}={value:.6g}" if isinstance(value, (int, float)) else f"{key}={value}"
+                for key, value in payload.items()
+            )
+            print(
+                f"#{event['seq']:<4} {event['stage']:<13} {event['status']:<9} {numbers}",
+                flush=True,
+            )
+        return final_state
+
+    final_state, code = _service_call(stream)
+    if code:
+        return code
+    if not args.json:
+        print(f"job finished: {final_state}")
+    return 1 if final_state in ("failed", "cancelled") else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests

@@ -24,7 +24,13 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.cancel import CancelToken
 from repro.circuits.evaluators import VcoEvaluator
-from repro.core.flow import FlowReport, HierarchicalFlow, StageHook
+from repro.core.flow import (
+    FlowReport,
+    HierarchicalFlow,
+    StageHook,
+    summarise_generation,
+    summarise_yield_partial,
+)
 from repro.experiments.cache import ArtefactCache, CacheEntry
 from repro.experiments.config import ScenarioConfig
 
@@ -141,6 +147,7 @@ class ExperimentRunner:
         progress: Optional[Callable[[int, int], None]] = None,
         stage_hook: Optional[StageHook] = None,
         cancel: Optional[CancelToken] = None,
+        progress_hook: Optional[Callable[[str, Dict[str, Any]], None]] = None,
     ) -> ExperimentResult:
         """Execute (or resume) the scenario and return all artefacts.
 
@@ -165,6 +172,18 @@ class ExperimentRunner:
             :class:`~repro.cancel.JobCancelled` right after the current
             partial was persisted, so rerunning the same scenario resumes
             from it bit-identically.
+        progress_hook:
+            Optional ``hook(stage_name, payload)`` invoked at every
+            *mid-stage* checkpoint: once per NSGA-II generation of the
+            circuit stage (payload from
+            :func:`~repro.core.flow.summarise_generation`, with the
+            current Pareto front) and once per yield Monte Carlo batch
+            (:func:`~repro.core.flow.summarise_yield_partial`, with the
+            running yield estimate).  The service workers feed these to
+            the job store's event log for live SSE streaming.  Fires only
+            when the corresponding checkpointing is active (a cache entry
+            exists), and never for stages satisfied from the cache; hook
+            failures are swallowed -- progress must never break a run.
 
         Returns
         -------
@@ -195,6 +214,11 @@ class ExperimentRunner:
             if entry is not None and self.circuit_checkpoint
             else None
         )
+        if circuit_partial is not None and progress_hook is not None:
+            circuit_partial = _ObservedPartial(
+                circuit_partial,
+                lambda state: progress_hook("circuit", summarise_generation(state)),
+            )
         if self.force and entry is not None:
             # --force promises a full recompute: a mid-stage partial left
             # by an interrupted run must not be resumed from.
@@ -225,6 +249,16 @@ class ExperimentRunner:
         yield_report = None
         if scenario.run_yield and system.selected is not None:
             yield_partial = _StagePartial(entry, "yield") if entry is not None else None
+            if yield_partial is not None and progress_hook is not None:
+                yield_partial = _ObservedPartial(
+                    yield_partial,
+                    lambda state: progress_hook(
+                        "yield",
+                        summarise_yield_partial(
+                            state, scenario.yield_samples, flow.specifications
+                        ),
+                    ),
+                )
             if self.force and entry is not None:
                 entry.clear_partial("yield")
             yield_report, outcome = self._stage(
@@ -314,5 +348,34 @@ class _StagePartial:
 
     def clear(self) -> None:
         self.entry.clear_partial(self.stage)
+
+
+class _ObservedPartial:
+    """A checkpoint wrapper that reports every persisted state.
+
+    Wraps a :class:`_StagePartial` and calls ``observe(state)`` after each
+    successful ``store`` -- the seam that turns mid-stage checkpoints
+    (NSGA-II generations, yield Monte Carlo batches) into live progress
+    events.  The observer runs *after* the persist (the checkpoint is the
+    source of truth) and its failures are swallowed: progress reporting
+    must never corrupt or abort a run.
+    """
+
+    def __init__(self, partial: _StagePartial, observe: Callable[[Any], None]) -> None:
+        self._partial = partial
+        self._observe = observe
+
+    def load(self) -> Optional[Any]:
+        return self._partial.load()
+
+    def store(self, state: Any) -> None:
+        self._partial.store(state)
+        try:
+            self._observe(state)
+        except Exception:  # noqa: BLE001 - progress must never break a run
+            pass
+
+    def clear(self) -> None:
+        self._partial.clear()
 
 

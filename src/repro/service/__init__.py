@@ -11,16 +11,27 @@ resumable :class:`~repro.experiments.runner.ExperimentRunner`:
   ``queued -> leased -> running -> done/failed/cancelled``, lease expiry
   + heartbeats so crashed workers' jobs are reclaimed, cooperative
   cancellation (``cancel_requested`` observed at checkpoint
-  boundaries), per-stage progress events.
+  boundaries), and a per-job event log with gapless monotonic sequence
+  numbers -- the backbone of live SSE streaming.
 * :mod:`repro.service.worker` -- the worker pool: fixed size (``repro
   serve --workers N``) or autoscaled on queue depth (``--min-workers /
   --max-workers``); workers prefer their own shard of the hash space
-  and record stage events through the runner's ``stage_hook`` seam.
-* :mod:`repro.service.api` -- threaded stdlib HTTP API: ``POST /jobs``,
-  ``GET /jobs/<id>``, ``GET /jobs/<id>/report``, ``DELETE /jobs/<id>``,
-  ``GET /scenarios``.
+  and record stage-completed *and* mid-stage progress events (one per
+  NSGA-II generation, one per yield Monte Carlo batch) through the
+  runner's hook seams.
+* :mod:`repro.service.http` -- the stdlib-asyncio HTTP/1.1 core: route
+  table, keep-alive, SSE framing, and the thread-pool bridge that keeps
+  the event loop clear of blocking SQLite work.
+* :mod:`repro.service.api` -- the versioned ``/v1`` API on two front
+  ends: :func:`~repro.service.api.make_async_server` (production:
+  asyncio, SSE streaming at ``GET /v1/jobs/<id>/events``, the static
+  dashboard at ``/``) and :func:`~repro.service.api.make_server` (the
+  legacy threaded baseline, same JSON routes).  Unversioned paths stay
+  as deprecated aliases.
 * :mod:`repro.service.client` -- thin ``urllib`` client used by ``repro
-  submit|status|jobs|cancel``.
+  submit|status|jobs|cancel|events``: typed
+  :class:`~repro.service.client.ServiceError`, transparent pagination,
+  ``stream_events`` for SSE.
 
 Invariant: a job executed through the service produces **bit-identical**
 artefacts to ``repro run`` of the same scenario -- both are the same
@@ -30,10 +41,18 @@ Quick start::
 
     repro serve --workers 4 --port 8321          # operator
     repro submit fast-smoke --wait               # client (or curl)
+    repro events <job-id>                        # live progress stream
 """
 
-from repro.service.api import DEFAULT_PORT, ExperimentService, make_server
+from repro.service.api import (
+    DEFAULT_PORT,
+    AsyncServiceServer,
+    ExperimentService,
+    make_async_server,
+    make_server,
+)
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import AsyncHTTPServer, Request, Response, Router
 from repro.service.store import (
     ACTIVE_STATES,
     JOB_STATES,
@@ -54,7 +73,13 @@ __all__ = [
     "worker_loop",
     "execute_job",
     "ExperimentService",
+    "AsyncServiceServer",
+    "AsyncHTTPServer",
+    "Request",
+    "Response",
+    "Router",
     "make_server",
+    "make_async_server",
     "DEFAULT_PORT",
     "ServiceClient",
     "ServiceError",

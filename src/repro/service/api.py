@@ -1,26 +1,42 @@
-"""Dependency-free HTTP front end of the experiment service.
+"""HTTP API of the experiment service: versioned routes, SSE streaming.
 
-Built on :class:`http.server.ThreadingHTTPServer` -- stdlib only, one
-thread per connection, which is plenty for a queue front end whose
-requests are all sub-millisecond SQLite reads/writes (the heavy lifting
-happens in the worker processes).
+Two front ends share one application core and one route table:
 
-Routes (all JSON)::
+* :func:`make_async_server` -- the production server, built on the
+  stdlib-asyncio :class:`~repro.service.http.AsyncHTTPServer`: one event
+  loop, HTTP/1.1 keep-alive, hundreds of concurrent connections, live
+  Server-Sent-Events streams, and the static dashboard.  All blocking
+  :class:`~repro.service.store.JobStore` work crosses its thread-pool
+  bridge, so the loop never blocks on SQLite.
+* :func:`make_server` -- the legacy thread-per-connection server
+  (``http.server.ThreadingHTTPServer``), kept as the baseline the
+  connection-scaling benchmark compares against.  It serves the same
+  JSON routes byte-for-byte (SSE and the dashboard are asyncio-only).
 
-    GET  /healthz             liveness + job counts per state
-    GET  /scenarios           the scenario registry, with config hashes
-    GET  /jobs[?state=...]    all jobs, newest first
-    POST /jobs                submit {"scenario": name, "overrides": {...}}
-                              -> 201 created, or 200 with the existing job
-                              when the configuration dedups onto one
-    GET  /jobs/<id>           job status plus per-stage progress events
-    GET  /jobs/<id>/report    the cached JSON report (same payload as
-                              ``repro report --json``)
-    DELETE /jobs/<id>         cancel: 200 when a queued job parks in
-                              ``cancelled`` immediately, 202 when a
-                              running job's cancel flag was raised (the
-                              worker observes it at its next checkpoint
-                              boundary), 409 when already terminal
+Routes live under ``/v1``; the unversioned paths of PRs 4-5 keep working
+as deprecated aliases answering with a ``Deprecation`` header::
+
+    GET    /v1/healthz                 liveness, job counts, pool size, version
+    GET    /v1/scenarios               the scenario registry, with config hashes
+    GET    /v1/jobs?state=&limit=&offset=
+                                       paginated job listing, newest first
+    POST   /v1/jobs                    submit {"scenario": ..., "overrides": ...}
+    GET    /v1/jobs/<id>               job status + all progress events
+    GET    /v1/jobs/<id>/events       live SSE stream (asyncio server only)
+    GET    /v1/jobs/<id>/report       the cached JSON report
+    DELETE /v1/jobs/<id>               cancel (200 parked / 202 flagged / 409)
+    GET    /                           the dashboard (asyncio server only)
+
+Every error answers the uniform envelope ``{"error": {"code":
+"<machine_code>", "message": "<human text>"}}`` (plus occasional
+top-level context fields such as the job ``state`` on a 409).
+
+The SSE stream replays the job's persisted events (monotonic per-job
+``seq`` as the SSE ``id:``) and then tails new ones -- per-NSGA-II-
+generation Pareto fronts and per-Monte-Carlo-batch yield estimates --
+until the job reaches a terminal state, which it announces as an
+``event: end`` frame.  Reconnecting with ``Last-Event-ID`` (or
+``?after=<seq>``) resumes gap-free and duplicate-free.
 
 Submissions deduplicate on the scenario's config hash: two clients
 posting the same configuration receive the *same* job id, and only one
@@ -32,30 +48,96 @@ also dedup onto the canonical job.
 
 from __future__ import annotations
 
+import asyncio
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, AsyncIterator, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro import __version__
 from repro.experiments.registry import get_scenario, list_scenarios
 from repro.experiments.report import report_payload
-from repro.service.store import JobStore
+from repro.service.http import (
+    AsyncHTTPServer,
+    Request,
+    Response,
+    Router,
+    error_payload,
+    error_response,
+    sse_comment,
+    sse_event,
+)
+from repro.service.store import TERMINAL_STATES, JobStore
 
-__all__ = ["ExperimentService", "make_server", "DEFAULT_PORT"]
+__all__ = [
+    "ExperimentService",
+    "AsyncServiceServer",
+    "ServiceHTTPServer",
+    "make_server",
+    "make_async_server",
+    "DEFAULT_PORT",
+]
 
 DEFAULT_PORT = 8321
 
+#: Default / maximum page size of ``GET /v1/jobs``.
+DEFAULT_PAGE_SIZE = 100
+MAX_PAGE_SIZE = 1000
+
+#: Seconds between store polls while tailing an SSE stream.
+SSE_POLL_INTERVAL = 0.2
+
+#: Idle seconds between SSE keep-alive comments (defeats proxy timeouts).
+SSE_KEEPALIVE_INTERVAL = 15.0
+
 #: (status, payload) pair every service method returns.
-Response = Tuple[int, Dict[str, Any]]
+ServiceResponse = Tuple[int, Dict[str, Any]]
+
+#: The JSON route table shared by both servers: (method, pattern,
+#: endpoint).  Patterns are unversioned; each server registers them under
+#: ``/v1`` and -- as deprecated aliases -- at the bare path.
+JSON_ROUTES: Tuple[Tuple[str, str, str], ...] = (
+    ("GET", "/healthz", "health"),
+    ("GET", "/scenarios", "scenarios"),
+    ("GET", "/jobs", "jobs"),
+    ("POST", "/jobs", "submit"),
+    ("GET", "/jobs/{job_id}", "job"),
+    ("DELETE", "/jobs/{job_id}", "cancel"),
+    ("GET", "/jobs/{job_id}/report", "report"),
+)
+
+_STATIC_DIR = Path(__file__).parent / "static"
+
+_STATIC_TYPES = {
+    ".html": "text/html; charset=utf-8",
+    ".js": "application/javascript; charset=utf-8",
+    ".css": "text/css; charset=utf-8",
+    ".svg": "image/svg+xml",
+    ".png": "image/png",
+    ".ico": "image/x-icon",
+}
+
+
+def _error(status: int, code: str, message: str, **extra: Any) -> ServiceResponse:
+    """(status, envelope) -- the service-method flavour of the envelope."""
+    return status, error_payload(code, message, **extra)
+
+
+def deprecation_headers(path: str) -> List[Tuple[str, str]]:
+    """Headers a legacy unversioned alias answers with."""
+    return [
+        ("Deprecation", "true"),
+        ("Link", f'</v1{path}>; rel="successor-version"'),
+    ]
 
 
 class ExperimentService:
     """The service's request-independent application logic.
 
-    Every public method returns a ``(status, payload)`` pair; the HTTP
-    handler is a thin route-and-serialise shim around it, which keeps the
-    whole API unit-testable without sockets.
+    Every public method returns a ``(status, payload)`` pair; both HTTP
+    front ends are thin route-and-serialise shims around it, which keeps
+    the whole API unit-testable without sockets.
     """
 
     def __init__(self, store: JobStore, cache_dir: Path) -> None:
@@ -64,10 +146,18 @@ class ExperimentService:
 
     # -- routes --------------------------------------------------------------------------
 
-    def health(self) -> Response:
-        return 200, {"status": "ok", "jobs": self.store.counts()}
+    def health(self) -> ServiceResponse:
+        """Liveness plus the numbers probes and autoscalers assert on."""
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "jobs": self.store.counts(),
+            "pending": self.store.pending_count(),
+            "workers": int(self.store.get_meta("workers", 0)),
+            "shards": int(self.store.get_meta("shards", 0)),
+        }
 
-    def scenarios(self) -> Response:
+    def scenarios(self) -> ServiceResponse:
         return 200, {
             "scenarios": [
                 dict(scenario.as_dict(), config_hash=scenario.config_hash())
@@ -75,66 +165,329 @@ class ExperimentService:
             ]
         }
 
-    def jobs(self, state: Optional[str] = None) -> Response:
-        try:
-            jobs = self.store.jobs(state=state)
-        except ValueError as error:
-            return 400, {"error": str(error)}
-        return 200, {"jobs": [job.as_dict() for job in jobs]}
+    def jobs(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[object] = None,
+        offset: Optional[object] = None,
+    ) -> ServiceResponse:
+        """Paginated job listing, newest first.
 
-    def submit(self, body: Dict[str, Any]) -> Response:
+        ``limit`` / ``offset`` arrive as raw query strings; the envelope
+        carries ``total`` and ``next_offset`` (``None`` once exhausted) so
+        clients can page without counting.
+        """
+        try:
+            limit = DEFAULT_PAGE_SIZE if limit is None else int(limit)
+            offset = 0 if offset is None else int(offset)
+        except (TypeError, ValueError):
+            return _error(
+                400, "invalid_pagination", "limit and offset must be integers"
+            )
+        if not (1 <= limit <= MAX_PAGE_SIZE) or offset < 0:
+            return _error(
+                400,
+                "invalid_pagination",
+                f"limit must be 1..{MAX_PAGE_SIZE} and offset >= 0",
+            )
+        try:
+            jobs = self.store.jobs(state=state, limit=limit, offset=offset)
+            total = self.store.count(state=state)
+        except ValueError as error:
+            return _error(400, "invalid_state_filter", str(error))
+        return 200, {
+            "jobs": [job.as_dict() for job in jobs],
+            "total": total,
+            "limit": limit,
+            "offset": offset,
+            "next_offset": offset + limit if offset + limit < total else None,
+        }
+
+    def submit(self, body: Dict[str, Any]) -> ServiceResponse:
         if not isinstance(body, dict) or not isinstance(body.get("scenario"), str):
-            return 400, {"error": "body must be {'scenario': name, 'overrides': {...}?}"}
+            return _error(
+                400,
+                "malformed_body",
+                "body must be {'scenario': name, 'overrides': {...}?}",
+            )
         overrides = body.get("overrides") or {}
         if not isinstance(overrides, dict):
-            return 400, {"error": "'overrides' must be an object of scenario fields"}
+            return _error(
+                400, "malformed_body", "'overrides' must be an object of scenario fields"
+            )
         try:
             scenario = get_scenario(body["scenario"])
         except KeyError as error:
-            return 404, {"error": str(error.args[0])}
+            return _error(404, "unknown_scenario", str(error.args[0]))
         if overrides:
             try:
                 scenario = scenario.with_overrides(**overrides)
             except (TypeError, ValueError, KeyError) as error:
-                return 400, {"error": f"invalid overrides: {error}"}
+                return _error(400, "invalid_overrides", f"invalid overrides: {error}")
         job, created = self.store.submit(scenario)
         return (201 if created else 200), dict(job.as_dict(), created=created)
 
-    def job(self, job_id: str) -> Response:
+    def job(self, job_id: str) -> ServiceResponse:
         job = self.store.get(job_id)
         if job is None:
-            return 404, {"error": f"unknown job {job_id!r}"}
+            return _error(404, "unknown_job", f"unknown job {job_id!r}")
         return 200, dict(job.as_dict(), events=self.store.events(job_id))
 
-    def cancel(self, job_id: str) -> Response:
+    def cancel(self, job_id: str) -> ServiceResponse:
         try:
             job = self.store.cancel(job_id)
         except KeyError:
-            return 404, {"error": f"unknown job {job_id!r}"}
+            return _error(404, "unknown_job", f"unknown job {job_id!r}")
         except ValueError as error:
             job = self.store.get(job_id)
-            return 409, {"error": str(error), "state": job.state if job else None}
-        self.store.record_event(job_id, "cancel", "requested")
+            return _error(
+                409,
+                "already_terminal",
+                str(error),
+                state=job.state if job else None,
+            )
         # 200: parked in `cancelled` right away (it was queued).  202: the
-        # request was recorded and the executing worker will park the job
-        # at its next checkpoint boundary.
+        # request was recorded (in-transaction with a cancel event) and
+        # the executing worker will park the job at its next checkpoint
+        # boundary.
         return (200 if job.state == "cancelled" else 202), job.as_dict()
 
-    def report(self, job_id: str) -> Response:
+    def report(self, job_id: str) -> ServiceResponse:
         job = self.store.get(job_id)
         if job is None:
-            return 404, {"error": f"unknown job {job_id!r}"}
+            return _error(404, "unknown_job", f"unknown job {job_id!r}")
         try:
             scenario = job.resolve_scenario()
         except (KeyError, TypeError, ValueError) as error:
-            return 500, {"error": f"job scenario is unreadable: {error}"}
-        payload = report_payload(scenario, self.cache_dir)
+            return _error(500, "scenario_unreadable", f"job scenario is unreadable: {error}")
+        payload = report_payload(
+            scenario, self.cache_dir, events=self.store.events(job_id)
+        )
         if payload is None:
-            return 409, {
-                "error": f"job {job_id} has no cached artefacts yet",
-                "state": job.state,
-            }
+            return _error(
+                409,
+                "report_not_ready",
+                f"job {job_id} has no cached artefacts yet",
+                state=job.state,
+            )
         return 200, dict(payload, job_id=job_id, state=job.state)
+
+    # -- shared dispatch -----------------------------------------------------------------
+
+    def call_endpoint(
+        self,
+        endpoint: str,
+        params: Dict[str, str],
+        query: Dict[str, str],
+        body: Optional[Dict[str, Any]],
+    ) -> ServiceResponse:
+        """Invoke one :data:`JSON_ROUTES` endpoint from parsed request parts.
+
+        The single place that maps route names to method signatures, so
+        the asyncio and the threaded server cannot drift apart.
+        """
+        if endpoint == "health":
+            return self.health()
+        if endpoint == "scenarios":
+            return self.scenarios()
+        if endpoint == "jobs":
+            return self.jobs(
+                state=query.get("state"),
+                limit=query.get("limit"),
+                offset=query.get("offset"),
+            )
+        if endpoint == "submit":
+            if body is None:
+                return _error(400, "malformed_body", "request body must be a JSON object")
+            return self.submit(body)
+        if endpoint == "job":
+            return self.job(params["job_id"])
+        if endpoint == "cancel":
+            return self.cancel(params["job_id"])
+        if endpoint == "report":
+            return self.report(params["job_id"])
+        raise ValueError(f"unknown endpoint {endpoint!r}")  # pragma: no cover
+
+
+# -- the asyncio front end ---------------------------------------------------------------
+
+
+class AsyncServiceServer(AsyncHTTPServer):
+    """The asyncio front end: JSON routes, SSE streaming, the dashboard.
+
+    JSON endpoints run the blocking :class:`ExperimentService` methods on
+    the thread-pool bridge; the SSE endpoint holds its connection inside
+    the event loop and polls the store (also through the bridge) for new
+    events, so hundreds of subscribers cost no threads.
+    """
+
+    def __init__(self, host: str, port: int, service: ExperimentService) -> None:
+        self.service = service
+        router = Router()
+        for method, pattern, endpoint in JSON_ROUTES:
+            router.add(method, f"/v1{pattern}", self._json_handler(endpoint, pattern))
+            router.add(
+                method, pattern, self._json_handler(endpoint, pattern, legacy=True)
+            )
+        router.add("GET", "/v1/jobs/{job_id}/events", self._events_handler())
+        router.add("GET", "/jobs/{job_id}/events", self._events_handler(legacy=True))
+        router.add("GET", "/", self._static_handler("index.html"))
+        router.add("GET", "/static/{name}", self._static_handler())
+        super().__init__(host, port, router)
+
+    # -- JSON ----------------------------------------------------------------------------
+
+    def _json_handler(self, endpoint: str, pattern: str, legacy: bool = False):
+        async def handle(request: Request) -> Response:
+            body: Optional[Dict[str, Any]] = None
+            if request.method == "POST":
+                try:
+                    body = json.loads(request.body.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    body = None
+                if not isinstance(body, dict):
+                    body = None
+            status, payload = await self.call(
+                self.service.call_endpoint,
+                endpoint,
+                request.params,
+                request.query,
+                body,
+            )
+            headers = self._alias_headers(pattern, request.params) if legacy else ()
+            return Response.json(status, payload, headers=headers)
+
+        return handle
+
+    @staticmethod
+    def _alias_headers(
+        pattern: str, params: Dict[str, str]
+    ) -> Sequence[Tuple[str, str]]:
+        path = pattern
+        for name, value in params.items():
+            path = path.replace("{" + name + "}", value)
+        return deprecation_headers(path)
+
+    # -- SSE -----------------------------------------------------------------------------
+
+    def _events_handler(self, legacy: bool = False):
+        async def handle(request: Request) -> Response:
+            job_id = request.params["job_id"]
+            job = await self.call(self.service.store.get, job_id)
+            if job is None:
+                return error_response(404, "unknown_job", f"unknown job {job_id!r}")
+            raw = request.headers.get("last-event-id") or request.query.get("after") or "0"
+            try:
+                after = int(raw)
+            except ValueError:
+                return error_response(
+                    400, "invalid_last_event_id", f"not an event sequence: {raw!r}"
+                )
+            headers = (
+                self._alias_headers("/jobs/{job_id}/events", request.params)
+                if legacy
+                else ()
+            )
+            return Response.event_stream(self._event_stream(job_id, after), headers)
+
+        return handle
+
+    async def _event_stream(self, job_id: str, after: int) -> AsyncIterator[bytes]:
+        """Replay events past ``after``, then tail until the job ends.
+
+        Every frame's ``id:`` is the event's per-job ``seq``, which is
+        what makes ``Last-Event-ID`` reconnection gap-free and duplicate-
+        free: the store's sequences are gapless and strictly monotonic,
+        and the replay query is simply ``seq > after``.
+        """
+        last = after
+        idle = 0.0
+        while True:
+            events = await self.call(self.service.store.events_since, job_id, last)
+            for event in events:
+                last = event["seq"]
+                yield sse_event(json.dumps(event, sort_keys=True), event_id=last)
+            job = await self.call(self.service.store.get, job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                # Terminal-state events (the worker's final stage event,
+                # the in-transaction cancel event) are persisted *before*
+                # the state flips, so one more fetch drains everything.
+                for event in await self.call(
+                    self.service.store.events_since, job_id, last
+                ):
+                    last = event["seq"]
+                    yield sse_event(json.dumps(event, sort_keys=True), event_id=last)
+                state = job.state if job is not None else "unknown"
+                yield sse_event(
+                    json.dumps({"state": state}), event="end", event_id=last
+                )
+                return
+            if events:
+                idle = 0.0
+            elif idle >= SSE_KEEPALIVE_INTERVAL:
+                yield sse_comment()
+                idle = 0.0
+            await asyncio.sleep(SSE_POLL_INTERVAL)
+            idle += SSE_POLL_INTERVAL
+
+    # -- the dashboard -------------------------------------------------------------------
+
+    def _static_handler(self, fixed_name: Optional[str] = None):
+        async def handle(request: Request) -> Response:
+            name = fixed_name or request.params.get("name", "")
+            # {name} matches one path segment only; dot-names are rejected
+            # outright so no traversal or hidden file can ever resolve.
+            if name.startswith(".") or "/" in name or "\\" in name:
+                return error_response(404, "unknown_route", f"no such asset: {name!r}")
+            path = _STATIC_DIR / name
+            suffix = path.suffix.lower()
+            if suffix not in _STATIC_TYPES or not path.is_file():
+                return error_response(404, "unknown_route", f"no such asset: {name!r}")
+            body = await self.call(path.read_bytes)
+            return Response(200, body, content_type=_STATIC_TYPES[suffix])
+
+        return handle
+
+
+def make_async_server(
+    host: str,
+    port: int,
+    store: JobStore,
+    cache_dir: Path,
+) -> AsyncServiceServer:
+    """Build the asyncio server (``port=0`` picks a free one on start)."""
+    return AsyncServiceServer(host, port, ExperimentService(store, cache_dir))
+
+
+# -- the legacy threaded front end (benchmark baseline) ----------------------------------
+
+
+def match_json_route(
+    method: str, path: str
+) -> Optional[Tuple[str, Dict[str, str], bool]]:
+    """Match a path against :data:`JSON_ROUTES` (both prefixes).
+
+    Returns ``(endpoint, params, legacy)`` or ``None``.  Shared helper so
+    the threaded server resolves exactly the routes the asyncio one does.
+    """
+    parts = [part for part in path.split("/") if part]
+    legacy = True
+    if parts and parts[0] == "v1":
+        parts = parts[1:]
+        legacy = False
+    for route_method, pattern, endpoint in JSON_ROUTES:
+        expected = [segment for segment in pattern.split("/") if segment]
+        if route_method != method.upper() or len(expected) != len(parts):
+            continue
+        params: Dict[str, str] = {}
+        for segment, actual in zip(expected, parts):
+            if segment.startswith("{") and segment.endswith("}"):
+                params[segment[1:-1]] = actual
+            elif segment != actual:
+                break
+        else:
+            return endpoint, params, legacy
+    return None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -147,13 +500,19 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         pass  # request logging is the operator's business, not stderr's
 
-    def _send(self, response: Response) -> None:
+    def _send(
+        self,
+        response: ServiceResponse,
+        extra_headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
         status, payload = response
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for key, value in extra_headers:
+                self.send_header(key, value)
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
@@ -170,51 +529,50 @@ class _Handler(BaseHTTPRequestHandler):
         if length <= 0:
             return None
         try:
-            return json.loads(self.rfile.read(length).decode("utf-8"))
+            body = json.loads(self.rfile.read(length).decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
             return None
+        return body if isinstance(body, dict) else None
 
-    # -- verbs ---------------------------------------------------------------------------
+    # -- dispatch ------------------------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        path = url.path
+        if method == "GET" and path.rstrip("/").endswith("/events"):
+            # SSE needs the event loop; the threaded baseline declines.
+            self._send(
+                _error(
+                    501,
+                    "streaming_unsupported",
+                    "event streaming requires the asyncio server (repro serve)",
+                )
+            )
+            return
+        matched = match_json_route(method, path)
+        if matched is None:
+            self._send(
+                _error(404, "unknown_route", f"no such route: {method} {url.path}")
+            )
+            return
+        endpoint, params, legacy = matched
+        query = {
+            key: values[0]
+            for key, values in parse_qs(url.query, keep_blank_values=True).items()
+        }
+        body = self._read_json_body() if method == "POST" else None
+        response = self.server.service.call_endpoint(endpoint, params, query, body)
+        headers = deprecation_headers(path) if legacy else ()
+        self._send(response, headers)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        service = self.server.service
-        url = urlparse(self.path)
-        parts = [part for part in url.path.split("/") if part]
-        if parts == ["healthz"]:
-            self._send(service.health())
-        elif parts == ["scenarios"]:
-            self._send(service.scenarios())
-        elif parts == ["jobs"]:
-            state = (parse_qs(url.query).get("state") or [None])[0]
-            self._send(service.jobs(state=state))
-        elif len(parts) == 2 and parts[0] == "jobs":
-            self._send(service.job(parts[1]))
-        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "report":
-            self._send(service.report(parts[1]))
-        else:
-            self._send((404, {"error": f"no such route: GET {url.path}"}))
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        service = self.server.service
-        url = urlparse(self.path)
-        parts = [part for part in url.path.split("/") if part]
-        if parts == ["jobs"]:
-            body = self._read_json_body()
-            if body is None:
-                self._send((400, {"error": "request body must be a JSON object"}))
-            else:
-                self._send(service.submit(body))
-        else:
-            self._send((404, {"error": f"no such route: POST {url.path}"}))
+        self._dispatch("POST")
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
-        service = self.server.service
-        url = urlparse(self.path)
-        parts = [part for part in url.path.split("/") if part]
-        if len(parts) == 2 and parts[0] == "jobs":
-            self._send(service.cancel(parts[1]))
-        else:
-            self._send((404, {"error": f"no such route: DELETE {url.path}"}))
+        self._dispatch("DELETE")
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -233,5 +591,5 @@ def make_server(
     store: JobStore,
     cache_dir: Path,
 ) -> ServiceHTTPServer:
-    """Bind the experiment service's HTTP server (``port=0`` picks a free one)."""
+    """Bind the *threaded* server (the benchmark baseline; same JSON API)."""
     return ServiceHTTPServer((host, port), ExperimentService(store, cache_dir))

@@ -1,8 +1,12 @@
 """Thin HTTP client of the experiment service (stdlib ``urllib`` only).
 
-Used by the ``repro submit|status|jobs`` subcommands, the service tests
-and the throughput benchmark; any HTTP client (curl included) speaks the
-same API.
+Speaks the versioned ``/v1`` API: typed errors
+(:class:`ServiceError` with the server's machine-readable ``code``),
+transparent pagination of the job listing, and live Server-Sent-Events
+streaming via :meth:`ServiceClient.stream_events`.  Used by the ``repro
+submit|status|jobs|events`` subcommands, the service tests and the
+throughput benchmark; any HTTP client (curl included) speaks the same
+API.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -24,13 +28,49 @@ TERMINAL_STATES = ("done", "failed", "cancelled")
 
 
 class ServiceError(RuntimeError):
-    """An HTTP error response from the service, with its parsed payload."""
+    """An HTTP error response from the service.
 
-    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
-        message = payload.get("error") if isinstance(payload, dict) else None
-        super().__init__(f"HTTP {status}: {message or payload}")
+    Attributes
+    ----------
+    code:
+        The machine-readable error code from the ``{"error": {"code",
+        "message"}}`` envelope (``"unknown"`` when the body carried none
+        -- e.g. a proxy's HTML error page).
+    status:
+        The HTTP status.
+    message:
+        The human-readable message from the envelope.
+    payload:
+        The full parsed response body.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        status: int,
+        message: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message or payload}")
+        self.code = code
         self.status = status
-        self.payload = payload
+        self.message = message
+        self.payload = payload if payload is not None else {}
+
+    @classmethod
+    def from_response(cls, status: int, payload: Any) -> "ServiceError":
+        """Build from a parsed error body (envelope or anything else)."""
+        code, message = "unknown", None
+        if isinstance(payload, dict):
+            error = payload.get("error")
+            if isinstance(error, dict):  # the /v1 envelope
+                code = str(error.get("code", "unknown"))
+                message = error.get("message")
+            elif error is not None:  # pre-/v1 {"error": "text"} bodies
+                message = str(error)
+        if not isinstance(payload, dict):
+            payload = {"error": payload}
+        return cls(code, status, message, payload)
 
 
 class ServiceClient:
@@ -41,7 +81,9 @@ class ServiceClient:
     base_url:
         Server root, e.g. ``http://127.0.0.1:8321``.
     timeout:
-        Per-request socket timeout in seconds.
+        Per-request socket timeout in seconds.  Also bounds how long an
+        SSE stream may go completely silent; the server's keep-alive
+        comments arrive well inside the default.
     """
 
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
@@ -67,17 +109,17 @@ class ServiceClient:
                 payload = json.loads(error.read().decode("utf-8"))
             except (json.JSONDecodeError, UnicodeDecodeError):
                 payload = {"error": str(error)}
-            raise ServiceError(error.code, payload) from None
+            raise ServiceError.from_response(error.code, payload) from None
 
     # -- API -----------------------------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
-        """Liveness plus job counts per state."""
-        return self._request("GET", "/healthz")
+        """Liveness plus job counts, pool size and server version."""
+        return self._request("GET", "/v1/healthz")
 
     def scenarios(self) -> List[Dict[str, Any]]:
         """The registered scenarios, each with its config hash."""
-        return self._request("GET", "/scenarios")["scenarios"]
+        return self._request("GET", "/v1/scenarios")["scenarios"]
 
     def submit(
         self, scenario: str, overrides: Optional[Dict[str, Any]] = None
@@ -91,35 +133,104 @@ class ServiceClient:
         body: Dict[str, Any] = {"scenario": scenario}
         if overrides:
             body["overrides"] = overrides
-        return self._request("POST", "/jobs", body)
+        return self._request("POST", "/v1/jobs", body)
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """Job status plus its per-stage progress events."""
-        return self._request("GET", f"/jobs/{job_id}")
+        return self._request("GET", f"/v1/jobs/{job_id}")
 
-    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
-        """All jobs, newest first (optionally filtered by state).
+    def jobs(
+        self, state: Optional[str] = None, page_size: int = 100
+    ) -> Iterator[Dict[str, Any]]:
+        """Iterate all jobs, newest first (optionally filtered by state).
 
-        The filter is URL-encoded, so a state containing reserved
-        characters round-trips to the server verbatim and comes back as a
-        clean ``400`` instead of mangling the request path.
+        A generator that pages through ``GET /v1/jobs`` transparently,
+        following the envelope's ``next_offset`` until exhausted -- the
+        caller never sees the pagination.  The filter is URL-encoded, so a
+        state containing reserved characters round-trips to the server
+        verbatim and comes back as a clean ``400`` instead of mangling the
+        request path.
         """
-        query = urllib.parse.urlencode({"state": state}) if state else ""
-        return self._request("GET", "/jobs" + (f"?{query}" if query else ""))["jobs"]
+        offset: Optional[int] = 0
+        while offset is not None:
+            parameters: Dict[str, Any] = {"limit": page_size, "offset": offset}
+            if state:
+                parameters["state"] = state
+            query = urllib.parse.urlencode(parameters)
+            page = self._request("GET", f"/v1/jobs?{query}")
+            yield from page["jobs"]
+            offset = page.get("next_offset")
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
-        """Cancel a job (``DELETE /jobs/<id>``); returns the updated job.
+        """Cancel a job (``DELETE /v1/jobs/<id>``); returns the updated job.
 
         A queued job comes back already ``cancelled``; for a running one
         the returned job carries ``cancel_requested`` and parks in
         ``cancelled`` once the worker reaches its next checkpoint
         boundary (poll with :meth:`wait` -- ``cancelled`` is terminal).
         """
-        return self._request("DELETE", f"/jobs/{job_id}")
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
 
     def report(self, job_id: str) -> Dict[str, Any]:
         """The job's cached JSON report (``repro report --json`` payload)."""
-        return self._request("GET", f"/jobs/{job_id}/report")
+        return self._request("GET", f"/v1/jobs/{job_id}/report")
+
+    # -- streaming -----------------------------------------------------------------------
+
+    def stream_events(
+        self, job_id: str, last_event_id: Optional[int] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a job's progress events live (``GET /v1/jobs/<id>/events``).
+
+        Yields each event as a dict (the job-store event record: ``seq``,
+        ``stage``, ``status``, ``payload``...), starting with the full
+        replayed history (or everything after ``last_event_id``) and
+        continuing with live events as the worker emits them.  When the
+        job reaches a terminal state the server sends an ``end`` frame --
+        yielded as ``{"event": "end", "state": <terminal state>}`` -- and
+        the generator returns.
+
+        Reconnection is the caller's loop: on a dropped connection, call
+        again with ``last_event_id`` set to the last seen ``seq`` and the
+        sequence continues without gaps or duplicates.
+        """
+        headers: Dict[str, str] = {"Accept": "text/event-stream"}
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events", headers=headers
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = {"error": str(error)}
+            raise ServiceError.from_response(error.code, payload) from None
+        with response:
+            event_type = None
+            data_lines: List[str] = []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                if line == "":  # frame boundary
+                    if data_lines:
+                        data = json.loads("\n".join(data_lines))
+                        if event_type == "end":
+                            yield {"event": "end", "state": data.get("state")}
+                            return
+                        yield data
+                    event_type, data_lines = None, []
+                    continue
+                field, _, value = line.partition(":")
+                value = value[1:] if value.startswith(" ") else value
+                if field == "event":
+                    event_type = value
+                elif field == "data":
+                    data_lines.append(value)
+                # "id" is implicit in each event's "seq"; "retry" ignored.
 
     # -- conveniences --------------------------------------------------------------------
 

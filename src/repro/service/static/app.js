@@ -1,0 +1,262 @@
+/* repro experiment-service dashboard.
+ *
+ * Vanilla JS against the /v1 API: fetch() for the JSON routes and a
+ * native EventSource on /v1/jobs/<id>/events for live streaming.  The
+ * browser's EventSource reconnects on its own and resends Last-Event-ID,
+ * so the charts survive server restarts and dropped connections without
+ * any code here.  SVG is drawn by hand -- no chart library, no build.
+ */
+"use strict";
+
+const PAGE_SIZE = 15;
+let pageOffset = 0;
+let nextOffset = null;
+let eventSource = null;
+let currentJob = null;
+let yieldHistory = [];
+
+const $ = (id) => document.getElementById(id);
+
+async function api(path, options) {
+  const response = await fetch(path, options);
+  const body = await response.json();
+  if (!response.ok) {
+    const error = body && body.error ? body.error : {};
+    throw new Error(`${error.code || response.status}: ${error.message || "request failed"}`);
+  }
+  return body;
+}
+
+/* -- health header ---------------------------------------------------- */
+
+async function refreshHealth() {
+  try {
+    const health = await api("/v1/healthz");
+    const jobs = health.jobs || {};
+    $("health").innerHTML =
+      `v${health.version} &middot; workers <b>${health.workers}</b>` +
+      ` &middot; queued <b>${jobs.queued || 0}</b>` +
+      ` &middot; running <b>${(jobs.running || 0) + (jobs.leased || 0)}</b>` +
+      ` &middot; done <b>${jobs.done || 0}</b>` +
+      ` &middot; failed <b>${jobs.failed || 0}</b>`;
+  } catch (error) {
+    $("health").textContent = `unreachable (${error.message})`;
+  }
+}
+
+/* -- submit form ------------------------------------------------------ */
+
+async function loadScenarios() {
+  const payload = await api("/v1/scenarios");
+  const select = $("scenario-select");
+  select.innerHTML = "";
+  for (const scenario of payload.scenarios) {
+    const option = document.createElement("option");
+    option.value = scenario.name;
+    option.textContent = `${scenario.name} (${scenario.config_hash.slice(0, 8)})`;
+    select.appendChild(option);
+  }
+}
+
+$("submit-form").addEventListener("submit", async (event) => {
+  event.preventDefault();
+  const body = { scenario: $("scenario-select").value };
+  const seed = $("seed-input").value;
+  if (seed !== "") body.overrides = { seed: Number(seed) };
+  try {
+    const job = await api("/v1/jobs", {
+      method: "POST",
+      headers: { "Content-Type": "application/json" },
+      body: JSON.stringify(body),
+    });
+    $("submit-result").textContent = job.created
+      ? `created ${job.id.slice(0, 12)}`
+      : `deduplicated onto ${job.id.slice(0, 12)}`;
+    await refreshJobs();
+    openJob(job.id);
+  } catch (error) {
+    $("submit-result").textContent = error.message;
+  }
+});
+
+/* -- job table -------------------------------------------------------- */
+
+async function refreshJobs() {
+  const page = await api(`/v1/jobs?limit=${PAGE_SIZE}&offset=${pageOffset}`);
+  nextOffset = page.next_offset;
+  const tbody = $("jobs-table").querySelector("tbody");
+  tbody.innerHTML = "";
+  for (const job of page.jobs) {
+    const row = document.createElement("tr");
+    row.className = "selectable";
+    row.innerHTML =
+      `<td class="mono">${job.id.slice(0, 12)}</td>` +
+      `<td>${job.scenario}</td>` +
+      `<td class="state-${job.state}">${job.state}` +
+      `${job.cancel_requested ? " (cancelling)" : ""}</td>` +
+      `<td>${job.attempts}</td>` +
+      `<td class="muted">open &rsaquo;</td>`;
+    row.addEventListener("click", () => openJob(job.id));
+    tbody.appendChild(row);
+  }
+  $("page-info").textContent =
+    `${page.total ? pageOffset + 1 : 0}-${pageOffset + page.jobs.length} of ${page.total}`;
+  $("prev-page").disabled = pageOffset === 0;
+  $("next-page").disabled = nextOffset === null;
+}
+
+$("prev-page").addEventListener("click", () => {
+  pageOffset = Math.max(0, pageOffset - PAGE_SIZE);
+  refreshJobs();
+});
+$("next-page").addEventListener("click", () => {
+  if (nextOffset !== null) { pageOffset = nextOffset; refreshJobs(); }
+});
+
+/* -- job detail + live stream ----------------------------------------- */
+
+function openJob(jobId) {
+  if (eventSource) eventSource.close();
+  currentJob = jobId;
+  yieldHistory = [];
+  $("detail-panel").hidden = false;
+  $("detail-id").textContent = jobId;
+  $("detail-state").textContent = "streaming…";
+  $("event-log").textContent = "";
+  drawFront([]);
+  drawYield();
+
+  // Replays the whole persisted history first, then tails live events;
+  // on reconnect the browser resends Last-Event-ID and the server
+  // resumes exactly after it.
+  eventSource = new EventSource(`/v1/jobs/${jobId}/events`);
+  eventSource.onmessage = (message) => handleEvent(JSON.parse(message.data));
+  eventSource.addEventListener("end", (message) => {
+    const data = JSON.parse(message.data);
+    $("detail-state").textContent = `finished: ${data.state}`;
+    eventSource.close();
+    refreshJobs();
+  });
+  eventSource.onerror = () => {
+    $("detail-state").textContent = "stream interrupted — retrying…";
+  };
+}
+
+function handleEvent(event) {
+  logEvent(event);
+  const payload = event.payload || {};
+  if (event.stage === "circuit" && event.status === "progress" && payload.front) {
+    $("detail-state").textContent =
+      `circuit generation ${payload.generation} — front ${payload.front_size}, ` +
+      `${payload.evaluations} evaluations`;
+    drawFront(payload.front);
+  } else if (event.stage === "yield" && event.status === "progress") {
+    $("detail-state").textContent =
+      `yield sampling ${payload.samples_done}/${payload.n_samples}`;
+    yieldHistory.push(payload);
+    drawYield();
+  } else if (event.status === "completed") {
+    $("detail-state").textContent = `stage ${event.stage} completed`;
+    if (event.stage === "yield" && payload.yield_percent !== undefined) {
+      yieldHistory.push({
+        samples_done: payload.n_samples,
+        n_samples: payload.n_samples,
+        yield_percent_so_far: payload.yield_percent,
+      });
+      drawYield();
+    }
+  }
+}
+
+function logEvent(event) {
+  const log = $("event-log");
+  const summary = event.payload ? JSON.stringify(event.payload) : "";
+  log.textContent += `#${event.seq} ${event.stage}/${event.status} ${summary}\n`;
+  log.scrollTop = log.scrollHeight;
+}
+
+$("cancel-button").addEventListener("click", async () => {
+  if (!currentJob) return;
+  try {
+    await api(`/v1/jobs/${currentJob}`, { method: "DELETE" });
+    $("detail-state").textContent = "cancel requested…";
+  } catch (error) {
+    $("detail-state").textContent = error.message;
+  }
+  refreshJobs();
+});
+
+/* -- SVG charts ------------------------------------------------------- */
+
+const SVG_NS = "http://www.w3.org/2000/svg";
+const W = 360, H = 240, PAD = 28;
+
+function clearChart(svg) {
+  while (svg.firstChild) svg.removeChild(svg.firstChild);
+}
+
+function scale(value, lo, hi, outLo, outHi) {
+  if (hi === lo) return (outLo + outHi) / 2;
+  return outLo + ((value - lo) / (hi - lo)) * (outHi - outLo);
+}
+
+function drawFront(points) {
+  const svg = $("front-chart");
+  clearChart(svg);
+  if (!points.length) {
+    $("front-axes").textContent = "waiting for the first generation…";
+    return;
+  }
+  // The first two objective keys span the scatter; every point carries
+  // the same keys (they come from one optimiser population).
+  const keys = Object.keys(points[0]).slice(0, 2);
+  if (keys.length < 2) return;
+  const xs = points.map((p) => p[keys[0]]);
+  const ys = points.map((p) => p[keys[1]]);
+  const [xLo, xHi] = [Math.min(...xs), Math.max(...xs)];
+  const [yLo, yHi] = [Math.min(...ys), Math.max(...ys)];
+  for (const point of points) {
+    const dot = document.createElementNS(SVG_NS, "circle");
+    dot.setAttribute("cx", scale(point[keys[0]], xLo, xHi, PAD, W - PAD));
+    dot.setAttribute("cy", scale(point[keys[1]], yLo, yHi, H - PAD, PAD));
+    dot.setAttribute("r", 3);
+    dot.setAttribute("fill", "#4da3ff");
+    dot.setAttribute("fill-opacity", "0.8");
+    svg.appendChild(dot);
+  }
+  $("front-axes").textContent =
+    `x: ${keys[0]} [${xLo.toExponential(2)} … ${xHi.toExponential(2)}]  ` +
+    `y: ${keys[1]} [${yLo.toExponential(2)} … ${yHi.toExponential(2)}]`;
+}
+
+function drawYield() {
+  const svg = $("yield-chart");
+  clearChart(svg);
+  const points = yieldHistory.filter((p) => p.yield_percent_so_far !== null);
+  if (!points.length) {
+    $("yield-info").textContent = "waiting for Monte Carlo batches…";
+    return;
+  }
+  const maxSamples = points[points.length - 1].n_samples;
+  const coords = points.map((p) => [
+    scale(p.samples_done, 0, maxSamples, PAD, W - PAD),
+    scale(p.yield_percent_so_far, 0, 100, H - PAD, PAD),
+  ]);
+  const line = document.createElementNS(SVG_NS, "polyline");
+  line.setAttribute("points", coords.map((c) => c.join(",")).join(" "));
+  line.setAttribute("fill", "none");
+  line.setAttribute("stroke", "#46c28e");
+  line.setAttribute("stroke-width", "2");
+  svg.appendChild(line);
+  const last = points[points.length - 1];
+  $("yield-info").textContent =
+    `${last.yield_percent_so_far.toFixed(1)} % after ${last.samples_done}/${last.n_samples} samples`;
+}
+
+/* -- boot ------------------------------------------------------------- */
+
+refreshHealth();
+loadScenarios().catch(() => { $("submit-result").textContent = "scenario list unavailable"; });
+refreshJobs().catch(() => {});
+setInterval(refreshHealth, 5000);
+setInterval(() => { refreshJobs().catch(() => {}); }, 5000);

@@ -96,6 +96,10 @@ CREATE TABLE IF NOT EXISTS events (
     payload_json TEXT,
     PRIMARY KEY (job_id, seq)
 );
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 """
 
 
@@ -445,6 +449,9 @@ class JobStore:
                 )
             else:
                 raise ValueError(f"job {job_id} is already {state}")
+            # Recorded inside the same transaction as the state change, so
+            # SSE subscribers never see a terminal job grow events later.
+            self._append_event(connection, job_id, "cancel", "requested")
             return self._get(connection, job_id)
 
     def cancel_requested(self, job_id: str) -> bool:
@@ -478,6 +485,41 @@ class JobStore:
 
     # -- progress events -----------------------------------------------------------------
 
+    @staticmethod
+    def _append_event(
+        connection: sqlite3.Connection,
+        job_id: str,
+        stage: str,
+        status: str,
+        worker: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Append one event inside the caller's open transaction.
+
+        The per-job sequence is allocated with ``MAX(seq)+1`` under the
+        caller's write lock, so sequences are gapless and strictly
+        monotonic per job -- the contract ``Last-Event-ID`` SSE resumption
+        relies on.  Returns the allocated sequence number.
+        """
+        row = connection.execute(
+            "SELECT COALESCE(MAX(seq), 0) + 1 AS seq FROM events WHERE job_id=?",
+            (job_id,),
+        ).fetchone()
+        connection.execute(
+            "INSERT INTO events (job_id, seq, created_at, stage, status, worker,"
+            " payload_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                job_id,
+                row["seq"],
+                time.time(),
+                stage,
+                status,
+                worker,
+                json.dumps(payload) if payload is not None else None,
+            ),
+        )
+        return int(row["seq"])
+
     def record_event(
         self,
         job_id: str,
@@ -485,44 +527,40 @@ class JobStore:
         status: str,
         worker: Optional[str] = None,
         payload: Optional[Dict[str, Any]] = None,
-    ) -> None:
-        """Append one progress event (e.g. a completed flow stage)."""
+    ) -> int:
+        """Append one progress event (e.g. a completed flow stage or one
+        NSGA-II generation); returns its per-job sequence number."""
         with self._session(exclusive=True) as connection:
-            row = connection.execute(
-                "SELECT COALESCE(MAX(seq), 0) + 1 AS seq FROM events WHERE job_id=?",
-                (job_id,),
-            ).fetchone()
-            connection.execute(
-                "INSERT INTO events (job_id, seq, created_at, stage, status, worker,"
-                " payload_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                (
-                    job_id,
-                    row["seq"],
-                    time.time(),
-                    stage,
-                    status,
-                    worker,
-                    json.dumps(payload) if payload is not None else None,
-                ),
-            )
+            return self._append_event(connection, job_id, stage, status, worker, payload)
+
+    @staticmethod
+    def _row_to_event(row: sqlite3.Row) -> Dict[str, Any]:
+        return {
+            "seq": row["seq"],
+            "created_at": row["created_at"],
+            "stage": row["stage"],
+            "status": row["status"],
+            "worker": row["worker"],
+            "payload": json.loads(row["payload_json"]) if row["payload_json"] else None,
+        }
 
     def events(self, job_id: str) -> List[Dict[str, Any]]:
         """All progress events of one job, oldest first."""
+        return self.events_since(job_id, 0)
+
+    def events_since(self, job_id: str, after_seq: int = 0) -> List[Dict[str, Any]]:
+        """Events with ``seq > after_seq``, oldest first.
+
+        The SSE tail loop: replay everything after the client's
+        ``Last-Event-ID``, then poll with the last delivered sequence.
+        Sequences are gapless per job, so this can never skip an event.
+        """
         with self._session() as connection:
             rows = connection.execute(
-                "SELECT * FROM events WHERE job_id=? ORDER BY seq", (job_id,)
+                "SELECT * FROM events WHERE job_id=? AND seq>? ORDER BY seq",
+                (job_id, int(after_seq)),
             ).fetchall()
-        return [
-            {
-                "seq": row["seq"],
-                "created_at": row["created_at"],
-                "stage": row["stage"],
-                "status": row["status"],
-                "worker": row["worker"],
-                "payload": json.loads(row["payload_json"]) if row["payload_json"] else None,
-            }
-            for row in rows
-        ]
+        return [self._row_to_event(row) for row in rows]
 
     # -- queries -------------------------------------------------------------------------
 
@@ -539,8 +577,17 @@ class JobStore:
             row = connection.execute("SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
         return _row_to_job(row) if row is not None else None
 
-    def jobs(self, state: Optional[str] = None) -> List[Job]:
-        """All jobs (optionally filtered by state), newest first."""
+    def jobs(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> List[Job]:
+        """Jobs (optionally filtered by state), newest first.
+
+        ``limit`` / ``offset`` page through the newest-first ordering;
+        pair with :meth:`count` for the pagination envelope.
+        """
         if state is not None and state not in JOB_STATES:
             raise ValueError(f"unknown job state {state!r}; expected one of {JOB_STATES}")
         query = "SELECT * FROM jobs"
@@ -549,9 +596,25 @@ class JobStore:
             query += " WHERE state=?"
             parameters = (state,)
         query += " ORDER BY submitted_at DESC, id"
+        if limit is not None:
+            query += " LIMIT ? OFFSET ?"
+            parameters = parameters + (int(limit), int(offset))
         with self._session() as connection:
             rows = connection.execute(query, parameters).fetchall()
         return [_row_to_job(row) for row in rows]
+
+    def count(self, state: Optional[str] = None) -> int:
+        """Total number of jobs, optionally in one state."""
+        if state is not None and state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}; expected one of {JOB_STATES}")
+        query = "SELECT COUNT(*) AS n FROM jobs"
+        parameters: Tuple[Any, ...] = ()
+        if state is not None:
+            query += " WHERE state=?"
+            parameters = (state,)
+        with self._session() as connection:
+            row = connection.execute(query, parameters).fetchone()
+        return int(row["n"])
 
     def pending_count(self) -> int:
         """Jobs a worker could run *right now*: queued plus expired leases.
@@ -579,3 +642,23 @@ class JobStore:
         counts = {state: 0 for state in JOB_STATES}
         counts.update({row["state"]: row["n"] for row in rows})
         return counts
+
+    # -- shared metadata -----------------------------------------------------------------
+
+    def set_meta(self, key: str, value: Any) -> None:
+        """Publish one JSON-encoded metadata value (e.g. the worker pool
+        size) for other processes -- the API server -- to read."""
+        with self._session() as connection:
+            connection.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)"
+                " ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                (key, json.dumps(value)),
+            )
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        """Read one metadata value, or ``default`` when unset."""
+        with self._session() as connection:
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key=?", (key,)
+            ).fetchone()
+        return json.loads(row["value"]) if row is not None else default

@@ -46,13 +46,27 @@ from typing import List, Optional, Tuple
 
 from repro.cancel import CancelToken, JobCancelled
 from repro.core.flow import summarise_stage
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import DEFAULT_YIELD_BATCH, ExperimentRunner
 from repro.service.store import Job, JobStore
 
 __all__ = ["execute_job", "worker_loop", "WorkerPool", "Autoscaler"]
 
 #: Seconds between queue polls when no job is claimable.
 DEFAULT_POLL_INTERVAL = 0.2
+
+
+def _publish_pool_meta(store: JobStore, workers: int, shards: int) -> None:
+    """Record the live pool size in the store for ``GET /healthz``.
+
+    The API server and the workers are separate processes; the shared
+    SQLite ``meta`` table is how external probes learn the pool size.
+    Best-effort -- a health gauge must never take down a supervisor.
+    """
+    try:
+        store.set_meta("workers", int(workers))
+        store.set_meta("shards", int(shards))
+    except Exception:  # noqa: BLE001
+        pass
 
 
 def _heartbeat(
@@ -64,6 +78,18 @@ def _heartbeat(
             # the terminal complete()/fail() update is ownership-checked, so
             # a reclaimed job cannot be double-finished.
             return
+
+
+def _yield_batch_for(n_samples: int) -> int:
+    """Yield Monte Carlo batch size for a service-executed job.
+
+    Service jobs stream their progress, so even a tiny scenario should
+    emit a handful of per-batch yield events rather than finishing in one
+    silent batch.  The batch size never changes the result (sample math
+    is batch-invariant -- see :meth:`YieldAnalysis.run`), only how often
+    progress is persisted and streamed.
+    """
+    return max(1, min(DEFAULT_YIELD_BATCH, n_samples // 4))
 
 
 def execute_job(
@@ -114,13 +140,27 @@ def execute_job(
             else min(1.0, store.lease_ttl / 6.0)
         ),
     )
+    def record_progress(stage: str, payload) -> None:
+        # Mid-stage progress (one NSGA-II generation, one MC batch) feeds
+        # the SSE stream; losing an event to a transient SQLITE_BUSY must
+        # not abort the computation itself.
+        try:
+            store.record_event(job.id, stage, "progress", worker, payload)
+        except Exception:  # noqa: BLE001 - progress must never break a run
+            pass
+
     try:
-        runner = ExperimentRunner(scenario, cache_dir=cache_dir)
+        runner = ExperimentRunner(
+            scenario,
+            cache_dir=cache_dir,
+            yield_batch_size=_yield_batch_for(scenario.yield_samples),
+        )
         result = runner.run(
             stage_hook=lambda stage, artefact: store.record_event(
                 job.id, stage, "completed", worker, summarise_stage(stage, artefact)
             ),
             cancel=cancel,
+            progress_hook=record_progress,
         )
         # The terminal updates are ownership-checked: False means the
         # lease expired mid-run and a peer reclaimed (and will finish)
@@ -277,6 +317,11 @@ class WorkerPool:
                     self.poll_interval,
                 )
             )
+        _publish_pool_meta(
+            JobStore(self.db_path, lease_ttl=self.lease_ttl),
+            self.n_workers,
+            self.n_workers,
+        )
 
     def alive(self) -> int:
         """How many worker processes are currently alive."""
@@ -286,6 +331,7 @@ class WorkerPool:
         """Terminate all workers and wait for them to exit."""
         _stop_processes(self._processes, timeout)
         self._processes = []
+        _publish_pool_meta(JobStore(self.db_path, lease_ttl=self.lease_ttl), 0, 0)
 
     def __enter__(self) -> "WorkerPool":
         self.start()
@@ -408,6 +454,7 @@ class Autoscaler:
         )
         self._workers = []
         self._retiring = []
+        _publish_pool_meta(self._store, 0, 0)
 
     def __enter__(self) -> "Autoscaler":
         self.start()
@@ -454,6 +501,7 @@ class Autoscaler:
     def _publish_shard_count(self) -> None:
         with self._shard_state.get_lock():
             self._shard_state.value = max(1, len(self._workers))
+        _publish_pool_meta(self._store, len(self._workers), max(1, len(self._workers)))
 
     def _reap_retired(self) -> None:
         still_running = []

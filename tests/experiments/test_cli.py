@@ -86,17 +86,14 @@ def test_jobs_unreachable_server_is_a_clean_error(capsys):
 
 @pytest.fixture()
 def live_service(tmp_path):
-    import threading
-
-    from repro.service.api import make_server
+    from repro.service.api import make_async_server
     from repro.service.store import JobStore
 
     store = JobStore(tmp_path / "service.db", lease_ttl=30.0)
-    server = make_server("127.0.0.1", 0, store, tmp_path / "cache")
-    threading.Thread(target=server.serve_forever, daemon=True).start()
-    yield f"http://127.0.0.1:{server.server_address[1]}", store, tmp_path / "cache"
+    server = make_async_server("127.0.0.1", 0, store, tmp_path / "cache")
+    host, port = server.start()
+    yield f"http://{host}:{port}", store, tmp_path / "cache"
     server.shutdown()
-    server.server_close()
 
 
 def test_submit_status_jobs_roundtrip(live_service, capsys):
@@ -158,6 +155,41 @@ def test_submit_wait_prints_summary(live_service, capsys):
 def test_status_unknown_job_id(live_service, capsys):
     url, _, _ = live_service
     assert cli.main(["status", "deadbeef", "--url", url]) == 2
+    assert "unknown job" in capsys.readouterr().err
+
+
+def test_events_streams_until_terminal(live_service, capsys):
+    """`repro events` replays the persisted trail, follows the live
+    stream, and exits 1 for an unsuccessful terminal state."""
+    url, store, _ = live_service
+    assert cli.main(["submit", "fast-smoke", "--url", url, "--seed", "44"]) == 0
+    capsys.readouterr()
+    job_id = store.jobs()[0].id
+    store.record_event(
+        job_id, "circuit", "progress", "w1",
+        {"generation": 0, "front_size": 3, "evaluations": 16, "front": [{"power": 1.0}]},
+    )
+    store.cancel(job_id)
+
+    assert cli.main(["events", "fast-smoke", "--seed", "44", "--url", url]) == 1
+    out = capsys.readouterr().out
+    assert "circuit" in out and "generation=0" in out
+    assert "front=" not in out  # the raw front array is chart data, not CLI text
+    assert "job finished: cancelled" in out
+
+    # --json prints one machine-readable line per event; --after resumes
+    # mid-stream (only the cancel marker remains after seq 1).
+    assert cli.main(
+        ["events", job_id, "--url", url, "--json", "--after", "1"]
+    ) == 1
+    lines = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
+    assert [event["seq"] for event in lines] == [2]
+    assert lines[0]["stage"] == "cancel"
+
+
+def test_events_unknown_job_id(live_service, capsys):
+    url, _, _ = live_service
+    assert cli.main(["events", "deadbeef", "--url", url]) == 2
     assert "unknown job" in capsys.readouterr().err
 
 

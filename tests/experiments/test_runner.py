@@ -252,3 +252,59 @@ def test_cache_store_is_atomic_and_loadable(tmp_path):
     # No temp files left behind.
     leftovers = [p for p in (tmp_path / "cafe").iterdir() if p.name.startswith(".")]
     assert not leftovers
+
+
+# -- mid-stage progress hook --------------------------------------------------------------
+
+
+def test_progress_hook_fires_per_generation_and_batch(tmp_path):
+    """The progress seam reports every persisted mid-stage checkpoint:
+    NSGA-II generations with the live Pareto front, Monte Carlo batches
+    with the running yield estimate -- and observing them never changes
+    the result."""
+    seen = []
+    observed = ExperimentRunner(TINY, cache_dir=tmp_path, yield_batch_size=3).run(
+        progress_hook=lambda stage, payload: seen.append((stage, payload))
+    )
+
+    circuit = [payload for stage, payload in seen if stage == "circuit"]
+    assert circuit, "no per-generation circuit progress"
+    assert [p["generation"] for p in circuit] == sorted(p["generation"] for p in circuit)
+    last = circuit[-1]
+    assert last["front"], "final generation reported an empty front"
+    assert all(
+        isinstance(value, float) for point in last["front"] for value in point.values()
+    )
+    assert last["front_size"] > 0
+    assert last["evaluations"] > 0
+
+    mc = [payload for stage, payload in seen if stage == "yield"]
+    assert mc, "no per-batch yield progress"
+    assert [p["samples_done"] for p in mc] == sorted(p["samples_done"] for p in mc)
+    assert all(p["n_samples"] == TINY.yield_samples for p in mc)
+    assert mc[-1]["yield_percent_so_far"] is not None
+
+    # Observation does not perturb the computation.
+    plain = ExperimentRunner(TINY, cache_dir=tmp_path / "plain").run()
+    assert_bit_identical(observed, plain)
+
+
+def test_progress_hook_is_silent_on_cached_stages(tmp_path):
+    ExperimentRunner(TINY, cache_dir=tmp_path).run()
+    seen = []
+    warm = ExperimentRunner(TINY, cache_dir=tmp_path).run(
+        progress_hook=lambda stage, payload: seen.append(stage)
+    )
+    assert warm.resumed
+    assert seen == []  # cached stages never re-execute the optimiser
+
+
+def test_progress_hook_failures_never_break_the_run(tmp_path):
+    def explode(stage, payload):
+        raise RuntimeError("observer crashed")
+
+    result = ExperimentRunner(TINY, cache_dir=tmp_path, yield_batch_size=3).run(
+        progress_hook=explode
+    )
+    assert result.stage_sources["circuit"] == "computed"
+    assert result.report.yield_report is not None

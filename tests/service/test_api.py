@@ -1,7 +1,6 @@
 """HTTP API tests: routing, validation, and service-vs-CLI bit-identity."""
 
 import pickle
-import threading
 
 import numpy as np
 import pytest
@@ -10,7 +9,7 @@ from repro.experiments.cache import ArtefactCache
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import report_payload
 from repro.experiments.runner import ExperimentRunner
-from repro.service.api import ExperimentService, make_server
+from repro.service.api import ExperimentService, make_async_server
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.store import JobStore
 from repro.service.worker import worker_loop
@@ -49,16 +48,14 @@ def service(tmp_path):
 
 @pytest.fixture()
 def live(tmp_path):
-    """A real threaded HTTP server + client, torn down after the test."""
+    """A real asyncio HTTP server + client, torn down after the test."""
     store = JobStore(tmp_path / "service.db", lease_ttl=30.0)
-    server = make_server("127.0.0.1", 0, store, tmp_path / "cache")
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    server = make_async_server("127.0.0.1", 0, store, tmp_path / "cache")
+    host, port = server.start()
+    client = ServiceClient(f"http://{host}:{port}")
     client.wait_until_ready()
     yield client, store, tmp_path / "cache"
     server.shutdown()
-    server.server_close()
 
 
 # -- application-level routing (no sockets) ----------------------------------------------
@@ -78,11 +75,14 @@ def test_submit_validation_errors(service):
     assert service.submit({"scenario": "fast-smoke", "overrides": "seed=1"})[0] == 400
     status, payload = service.submit({"scenario": "no-such-scenario"})
     assert status == 404
-    assert "unknown scenario" in payload["error"]
+    assert payload["error"]["code"] == "unknown_scenario"
+    assert "unknown scenario" in payload["error"]["message"]
     status, payload = service.submit(
         {"scenario": "fast-smoke", "overrides": {"n_stages": 4}}
     )
-    assert status == 400 and "invalid overrides" in payload["error"]
+    assert status == 400
+    assert payload["error"]["code"] == "invalid_overrides"
+    assert "invalid overrides" in payload["error"]["message"]
     status, payload = service.submit(
         {"scenario": "fast-smoke", "overrides": {"not_a_field": 1}}
     )
@@ -149,11 +149,15 @@ def test_service_execution_is_bit_identical_to_direct_run(live, tmp_path):
 
     finished = client.wait(job["id"], timeout=10.0)
     assert finished["state"] == "done"
-    assert [event["stage"] for event in client.job(job["id"])["events"]] == [
+    events = client.job(job["id"])["events"]
+    # Completed stage markers in order; progress events (one per NSGA-II
+    # generation / Monte Carlo batch) ride alongside them.
+    assert [e["stage"] for e in events if e["status"] == "completed"] == [
         "circuit",
         "system",
         "yield",
     ]
+    assert any(e["status"] == "progress" for e in events)
 
     # Direct run of the same configuration into a separate cache.
     direct_cache = tmp_path / "direct-cache"
@@ -269,10 +273,12 @@ def test_jobs_state_filter_is_url_encoded(live):
     client, _, _ = live
     for hostile in ("no such/state?", "a&b=c", "exploded#frag"):
         with pytest.raises(ServiceError) as excinfo:
-            client.jobs(state=hostile)
+            list(client.jobs(state=hostile))
         assert excinfo.value.status == 400
-        assert "unknown job state" in excinfo.value.payload["error"]
-        assert hostile.split("#")[0] in excinfo.value.payload["error"]
+        assert excinfo.value.code == "invalid_state_filter"
+        message = excinfo.value.payload["error"]["message"]
+        assert "unknown job state" in message
+        assert hostile.split("#")[0] in message
 
 
 # -- handler disconnect regression --------------------------------------------------------

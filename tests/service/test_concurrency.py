@@ -150,6 +150,8 @@ def test_killed_worker_job_is_reclaimed_and_finishes_bit_identically(tmp_path):
     # before the kill landed -- the checkpoint write precedes the event.
     events = store.events(job.id)
     b_stages = [
-        event["stage"] for event in events if event["worker"] == finished.worker
+        event["stage"]
+        for event in events
+        if event["worker"] == finished.worker and event["status"] == "completed"
     ]
     assert b_stages == ["circuit", "system", "yield"]

@@ -366,3 +366,86 @@ def test_cancel_parks_an_expired_lease_job_immediately(tmp_path):
     # The dead worker's late updates bounce off the terminal state.
     assert not store.complete(job.id, "w1", {})
     assert not store.mark_cancelled(job.id, "w1")
+
+
+# -- event streaming primitives (SSE backbone) --------------------------------------------
+
+
+def test_events_since_resumes_after_a_sequence_number(store):
+    job, _ = store.submit(TINY)
+    for generation in range(5):
+        store.record_event(job.id, "circuit", "progress", "w1", {"generation": generation})
+    assert [e["seq"] for e in store.events_since(job.id)] == [1, 2, 3, 4, 5]
+    tail = store.events_since(job.id, after_seq=3)
+    assert [e["seq"] for e in tail] == [4, 5]
+    assert [e["payload"]["generation"] for e in tail] == [3, 4]
+    assert store.events_since(job.id, after_seq=5) == []
+    assert store.events_since("nonexistent") == []
+
+
+def test_record_event_returns_the_assigned_seq(store):
+    job, _ = store.submit(TINY)
+    assert store.record_event(job.id, "circuit", "progress", "w1", None) == 1
+    assert store.record_event(job.id, "circuit", "completed", "w1", None) == 2
+
+
+def test_cancel_records_its_event_atomically(store):
+    """The cancel event is written inside store.cancel()'s transaction, so
+    no event can ever be appended after a job turns terminal -- the
+    invariant SSE end-of-stream detection rests on."""
+    job, _ = store.submit(TINY)
+    store.cancel(job.id)
+    events = store.events(job.id)
+    assert [(e["stage"], e["status"]) for e in events] == [("cancel", "requested")]
+    # Flag-raise path (running job) records the request event too.
+    other, _ = store.submit(TINY.with_overrides(seed=77))
+    store.claim("w1")
+    store.start(other.id, "w1")
+    store.cancel(other.id)
+    assert ("cancel", "requested") in [
+        (e["stage"], e["status"]) for e in store.events(other.id)
+    ]
+
+
+# -- pagination and counts ----------------------------------------------------------------
+
+
+def test_jobs_pagination_windows(store):
+    for seed in range(5):
+        store.submit(TINY.with_overrides(seed=1000 + seed))
+    assert len(store.jobs()) == 5
+    first = store.jobs(limit=2, offset=0)
+    second = store.jobs(limit=2, offset=2)
+    third = store.jobs(limit=2, offset=4)
+    assert [len(first), len(second), len(third)] == [2, 2, 1]
+    ids = [j.id for j in first + second + third]
+    assert len(set(ids)) == 5  # disjoint windows cover everything
+    assert store.jobs(limit=2, offset=10) == []
+
+
+def test_count_matches_listing(store):
+    for seed in range(3):
+        store.submit(TINY.with_overrides(seed=2000 + seed))
+    store.cancel(store.jobs()[0].id)
+    assert store.count() == 3
+    assert store.count(state="queued") == 2
+    assert store.count(state="cancelled") == 1
+    with pytest.raises(ValueError):
+        store.count(state="exploded")
+
+
+# -- meta key-value store -----------------------------------------------------------------
+
+
+def test_meta_roundtrip_and_cross_instance_visibility(store, tmp_path):
+    assert store.get_meta("workers") is None
+    assert store.get_meta("workers", default=0) == 0
+    store.set_meta("workers", 4)
+    store.set_meta("shards", 4)
+    assert store.get_meta("workers") == 4
+    store.set_meta("workers", 0)  # upsert overwrites
+    assert store.get_meta("workers") == 0
+    # Visible from a second instance on the same path (the healthz reader
+    # is a different process than the worker pool that publishes).
+    twin = JobStore(tmp_path / "service.db", lease_ttl=60.0)
+    assert twin.get_meta("shards") == 4

@@ -380,3 +380,55 @@ def test_scale_up_counts_in_flight_jobs_as_demand(tmp_path, monkeypatch):
     scaler._tick()
     scaler._tick()
     assert scaler.size == 2  # grew: demand (2) exceeded the pool (1)
+
+
+# -- mid-stage progress events (SSE backbone) ---------------------------------------------
+
+
+def test_execute_job_records_per_generation_progress(tmp_path):
+    """A worker-executed job leaves a progress trail: one event per
+    NSGA-II generation (with the live Pareto front) and per Monte Carlo
+    batch, interleaved with the stage-completed markers, all on one
+    gapless monotonic sequence."""
+    store = JobStore(tmp_path / "service.db", lease_ttl=30.0)
+    job, _ = store.submit(TINY)
+    assert worker_loop(store.path, tmp_path / "cache", lease_ttl=30.0, max_jobs=1) == 1
+    assert store.get(job.id).state == "done"
+
+    events = store.events(job.id)
+    seqs = [event["seq"] for event in events]
+    assert seqs == list(range(1, len(events) + 1))  # gapless, monotonic
+
+    circuit_progress = [
+        e for e in events if e["stage"] == "circuit" and e["status"] == "progress"
+    ]
+    assert circuit_progress, "no per-generation circuit events"
+    generations = [e["payload"]["generation"] for e in circuit_progress]
+    assert generations == sorted(generations)
+    front = circuit_progress[-1]["payload"]["front"]
+    assert front and all(isinstance(point, dict) for point in front)
+    assert circuit_progress[-1]["payload"]["front_size"] >= len(front) > 0
+
+    yield_progress = [
+        e for e in events if e["stage"] == "yield" and e["status"] == "progress"
+    ]
+    assert yield_progress, "no per-batch yield events"
+    done_counts = [e["payload"]["samples_done"] for e in yield_progress]
+    assert done_counts == sorted(done_counts)
+    assert all(e["payload"]["n_samples"] == TINY.yield_samples for e in yield_progress)
+
+    completed = [e["stage"] for e in events if e["status"] == "completed"]
+    assert completed == ["circuit", "system", "yield"]
+
+
+def test_worker_pool_publishes_size_to_meta(tmp_path):
+    """healthz reads worker/shard counts from the store's meta table; the
+    pool publishes on start and zeroes on stop."""
+    from repro.service.worker import WorkerPool
+
+    store = JobStore(tmp_path / "service.db", lease_ttl=30.0)
+    with WorkerPool(store.path, tmp_path / "cache", n_workers=2, lease_ttl=30.0):
+        assert store.get_meta("workers") == 2
+        assert store.get_meta("shards") == 2
+    assert store.get_meta("workers") == 0
+    assert store.get_meta("shards") == 0
