@@ -757,6 +757,14 @@ def _evaluate_spice_in_worker(
     )
 
 
+def _evaluate_spice_lanes_in_worker(
+    tasks: Sequence[Tuple[VcoDesign, Technology, Optional[MismatchSample]]],
+) -> List[VcoPerformance]:
+    if _SPICE_WORKER_EVALUATOR is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process was not initialised with an evaluator")
+    return _SPICE_WORKER_EVALUATOR.evaluate_lane_chunk(tasks)
+
+
 class RingVcoSpiceEvaluator(VcoEvaluator):
     """Transistor-level evaluator running the MNA test bench.
 
@@ -767,6 +775,17 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
         (the default) applies the same rule as the optimiser's ``process``
         backend (:func:`repro.optim.evaluation.default_worker_count`), and
         ``HierarchicalFlow(n_workers=...)`` fills it in when unset.
+    engine:
+        ``"reference"`` (per-element Python engine, byte-stable default),
+        ``"compiled"`` (vectorised stamp plan per transient) or ``"lanes"``
+        (compiled plus lane-parallel batching: :meth:`evaluate_batch`
+        advances ``lane_width`` tasks per in-process batch, and chunks of
+        lanes still fan out over the process pool).  The compiled engines
+        are tolerance-equivalent to the reference, not byte-identical.
+    lane_width:
+        Number of (design, technology, mismatch) tasks simulated together
+        per lane batch when ``engine="lanes"`` (each task contributes two
+        transient lanes, one per control voltage).
     """
 
     def __init__(
@@ -778,9 +797,17 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
         dt: float = 4e-12,
         sim_cycles: float = 8.0,
         n_workers: Optional[int] = None,
+        engine: str = "reference",
+        lane_width: int = 8,
     ) -> None:
+        from repro.spice.plan import ENGINES
+
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        if lane_width < 1:
+            raise ValueError("lane_width must be at least 1")
         self.technology = technology
         self.vctrl_min = vctrl_min
         self.vctrl_max = technology.vdd if vctrl_max is None else vctrl_max
@@ -788,6 +815,8 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
         self.dt = dt
         self.sim_cycles = sim_cycles
         self.n_workers = n_workers
+        self.engine = engine
+        self.lane_width = lane_width
 
     def _testbench(self, technology: Technology) -> VcoTestbench:
         return VcoTestbench(
@@ -797,6 +826,7 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
             n_stages=self.n_stages,
             dt=self.dt,
             sim_cycles=self.sim_cycles,
+            engine=self.engine,
         )
 
     def evaluate(
@@ -834,14 +864,16 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
         designs_b, techs, mms = _broadcast_batch(
             designs, technology or self.technology, technologies, mismatches
         )
-        n_tasks = len(designs_b)
+        tasks = list(zip(designs_b, techs, mms))
+        n_tasks = len(tasks)
+        if self.engine == "lanes":
+            return self._evaluate_batch_lanes(tasks)
         n_workers = min(self.pool_size(), n_tasks)
         if n_workers < 2 or n_tasks < 2:
             return [
                 self.evaluate(design, technology=tech, mismatch=mismatch)
-                for design, tech, mismatch in zip(designs_b, techs, mms)
+                for design, tech, mismatch in tasks
             ]
-        tasks = list(zip(designs_b, techs, mms))
         chunksize = max(1, -(-n_tasks // (n_workers * 4)))
         with ProcessPoolExecutor(
             max_workers=n_workers,
@@ -851,6 +883,52 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
             return list(
                 executor.map(_evaluate_spice_in_worker, tasks, chunksize=chunksize)
             )
+
+    def evaluate_lane_chunk(
+        self, tasks: Sequence[Tuple[VcoDesign, Technology, Optional[MismatchSample]]]
+    ) -> List[VcoPerformance]:
+        """Evaluate one chunk of tasks through the lane-parallel test bench."""
+        prepared = []
+        for design, technology, mismatch in tasks:
+            tech = technology or self.technology
+            design = design.clamped(tech)
+            overrides = None
+            if mismatch is not None and mismatch.devices():
+                overrides = {name: mismatch.for_device(name) for name in mismatch.devices()}
+            prepared.append((design, tech, overrides))
+        return self._testbench(self.technology).run_batch(prepared)
+
+    def _evaluate_batch_lanes(
+        self, tasks: List[Tuple[VcoDesign, Technology, Optional[MismatchSample]]]
+    ) -> List[VcoPerformance]:
+        """Lane-parallel batch path: in-process lane batches, pooled chunks.
+
+        The batch is cut into ``lane_width``-sized chunks; each chunk is one
+        :meth:`VcoTestbench.run_batch` call (a single lane-parallel
+        transient).  When there are several chunks and more than one worker
+        the chunks fan out over the existing process pool, composing the
+        two levels of parallelism (vectorised lanes inside a process, pool
+        across processes).
+        """
+        chunks = [
+            tasks[start : start + self.lane_width]
+            for start in range(0, len(tasks), self.lane_width)
+        ]
+        n_workers = min(self.pool_size(), len(chunks))
+        if n_workers < 2 or len(chunks) < 2:
+            results: List[VcoPerformance] = []
+            for chunk in chunks:
+                results.extend(self.evaluate_lane_chunk(chunk))
+            return results
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_initialise_spice_worker,
+            initargs=(self,),
+        ) as executor:
+            results = []
+            for chunk_result in executor.map(_evaluate_spice_lanes_in_worker, chunks):
+                results.extend(chunk_result)
+            return results
 
     def pool_size(self) -> int:
         """Worker count of the batch pool (configured or the shared default)."""

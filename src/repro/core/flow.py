@@ -15,7 +15,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.behavioural.pll import PllDesign
-from repro.circuits.evaluators import RingVcoAnalyticalEvaluator, VcoEvaluator
+from repro.circuits.evaluators import (
+    RingVcoAnalyticalEvaluator,
+    RingVcoSpiceEvaluator,
+    VcoEvaluator,
+)
 from repro.core.circuit_stage import CircuitLevelOptimisation, CircuitStageResult
 from repro.core.combined_model import CombinedPerformanceVariationModel
 from repro.core.datafile import write_model_directory
@@ -237,9 +241,15 @@ class HierarchicalFlow:
         evaluation: str = "serial",
         n_workers: Optional[int] = None,
         n_stages: int = N_STAGES,
+        spice_engine: str = "reference",
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+        from repro.spice.plan import ENGINES
+
+        if spice_engine not in ENGINES:
+            raise ValueError(f"unknown spice_engine {spice_engine!r}; choose from {ENGINES}")
+        self.spice_engine = spice_engine
         self.technology = technology
         self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology, n_stages=n_stages)
         # An explicitly passed evaluator carries its own ring length.
@@ -322,6 +332,7 @@ class HierarchicalFlow:
             evaluation=scenario.evaluation,
             n_workers=scenario.n_workers,
             n_stages=scenario.n_stages,
+            spice_engine=scenario.spice_engine,
         )
         flow.default_run_yield = scenario.run_yield
         flow.default_run_verification = scenario.run_verification
@@ -397,6 +408,23 @@ class HierarchicalFlow:
         )
         return analysis.run(
             selected_values, checkpoint=checkpoint, batch_size=batch_size, cancel=cancel
+        )
+
+    def spice_evaluator(self) -> RingVcoSpiceEvaluator:
+        """A transistor-level evaluator matching this flow's configuration.
+
+        Carries the flow's technology, ring length, worker count and the
+        configured :attr:`spice_engine` -- pass it to
+        :meth:`verification_stage` (or :meth:`run`) as the
+        ``verification_evaluator`` to verify against the MNA test bench
+        instead of the analytical evaluator.  Kept out of the default
+        verification path so existing artefacts stay byte-identical.
+        """
+        return RingVcoSpiceEvaluator(
+            self.technology,
+            n_stages=self.n_stages,
+            n_workers=self.n_workers,
+            engine=self.spice_engine,
         )
 
     def verification_stage(

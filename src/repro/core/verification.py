@@ -92,9 +92,10 @@ class BottomUpVerification:
         self,
         model: CombinedPerformanceVariationModel,
         reference_evaluator: Optional[VcoEvaluator] = None,
+        engine: str = "reference",
     ) -> None:
         self.model = model
-        self.reference_evaluator = reference_evaluator or RingVcoSpiceEvaluator()
+        self.reference_evaluator = reference_evaluator or RingVcoSpiceEvaluator(engine=engine)
 
     def _make_point(
         self, kvco: float, ivco: float, design: VcoDesign, measured: Mapping[str, float]

@@ -11,8 +11,9 @@ Local subcommands run the hierarchical flow in-process::
 scenario's config hash (see :mod:`repro.experiments.cache`), so a second
 invocation of the same scenario loads the cached stages and is
 bit-identical to the cold run.  ``--evaluation`` / ``--n-workers`` /
-``--seed`` override the registered scenario; only ``--seed`` changes the
-config hash (backends are bit-identical, so they share cache entries).
+``--spice-engine`` / ``--seed`` override the registered scenario; only
+``--seed`` changes the config hash (backends are bit-identical, so they
+share cache entries).
 
 Service subcommands talk to the experiment service
 (:mod:`repro.service`), which shares work between many clients::
@@ -73,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--n-workers", type=int, default=None, help="worker count for the process backend"
+    )
+    run.add_argument(
+        "--spice-engine",
+        choices=("reference", "compiled", "lanes"),
+        default=None,
+        help="transistor-level verification backend (does not change the cache key)",
     )
     run.add_argument(
         "--seed", type=int, default=None, help="seed override (changes the cache key)"
@@ -151,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--n-workers", type=int, default=None, help="worker count for the process backend"
+    )
+    submit.add_argument(
+        "--spice-engine",
+        choices=("reference", "compiled", "lanes"),
+        default=None,
+        help="transistor-level verification backend (does not change the job id)",
     )
     submit.add_argument(
         "--seed", type=int, default=None, help="seed override (changes the job id)"
@@ -279,6 +292,8 @@ def _overrides_from_args(args: argparse.Namespace) -> dict:
         overrides["evaluation"] = args.evaluation
     if getattr(args, "n_workers", None) is not None:
         overrides["n_workers"] = args.n_workers
+    if getattr(args, "spice_engine", None) is not None:
+        overrides["spice_engine"] = args.spice_engine
     if getattr(args, "seed", None) is not None:
         overrides["seed"] = args.seed
     return overrides

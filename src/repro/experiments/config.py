@@ -32,6 +32,7 @@ from repro.core.specification import SpecificationSet, specification_set
 from repro.optim.evaluation import EVALUATOR_CHOICES
 from repro.optim.nsga2 import NSGA2Config
 from repro.process.technology import Technology, technology
+from repro.spice.plan import ENGINES as SPICE_ENGINES
 
 __all__ = ["ScenarioConfig", "HASH_EXCLUDED_FIELDS"]
 
@@ -44,6 +45,7 @@ HASH_EXCLUDED_FIELDS = (
     "n_workers",
     "run_yield",
     "run_verification",
+    "spice_engine",
 )
 
 
@@ -85,6 +87,12 @@ class ScenarioConfig:
         Worker count for the ``process`` backend and the SPICE batch pool.
     run_yield / run_verification:
         Which optional stages the runner executes.
+    spice_engine:
+        Backend of the transistor-level verification simulations
+        (``reference`` / ``compiled`` / ``lanes``).  Excluded from the
+        config hash: the engines agree to solver tolerance (not to the
+        bit), and the numbers an experiment *selects and reports* come
+        from the analytical evaluator either way.
     """
 
     name: str
@@ -104,6 +112,7 @@ class ScenarioConfig:
     n_workers: Optional[int] = None
     run_yield: bool = True
     run_verification: bool = False
+    spice_engine: str = "reference"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -129,6 +138,11 @@ class ScenarioConfig:
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+        if self.spice_engine not in SPICE_ENGINES:
+            raise ValueError(
+                f"spice_engine must be one of {', '.join(SPICE_ENGINES)}; "
+                f"got {self.spice_engine!r}"
+            )
         # Fail fast on unknown registry keys instead of at run time.
         self.resolve_technology()
         self.resolve_specifications()

@@ -45,7 +45,8 @@ from repro.spice.exceptions import (
 from repro.spice.mosfet import MOSFET, MOSFETModel, NMOS_DEFAULT, PMOS_DEFAULT
 from repro.spice.netlist import Circuit, GROUND
 from repro.spice.parser import parse_netlist
-from repro.spice.transient import TransientAnalysis, TransientResult
+from repro.spice.plan import CircuitPlan, ENGINES, LaneSystem, compile_circuits
+from repro.spice.transient import LaneTransientAnalysis, TransientAnalysis, TransientResult
 from repro.spice.waveform import Waveform
 
 __all__ = [
@@ -68,6 +69,11 @@ __all__ = [
     "DCResult",
     "TransientAnalysis",
     "TransientResult",
+    "LaneTransientAnalysis",
+    "CircuitPlan",
+    "LaneSystem",
+    "compile_circuits",
+    "ENGINES",
     "ACAnalysis",
     "ACResult",
     "Waveform",

@@ -171,18 +171,27 @@ class ACAnalysis:
         self._newton_options = newton_options
 
     def run(self) -> ACResult:
-        """Linearise at the DC operating point and sweep the frequencies."""
+        """Linearise at the DC operating point and sweep the frequencies.
+
+        Every ``ac_contribute`` stamp is either a real constant or a pure
+        ``jω × real`` term, so stamping once at ``ω = 1`` separates the
+        system into ``G = Re(M)`` and ``C = Im(M)``; each frequency then
+        only needs a solve of ``(G + jωC) x = b`` instead of a re-stamp.
+        """
         op = self._op or DCOperatingPoint(self.circuit, self._newton_options).run()
         n = self.circuit.n_unknowns
+        ctx = ACStampContext(self.circuit, op, 1.0)
+        for element in self.circuit:
+            element.ac_contribute(ctx)
+        conductance = ctx.matrix.real.copy()
+        capacitance = ctx.matrix.imag.copy()
+        # Tiny shunt keeps nodes with only capacitive paths well-posed.
+        conductance[np.diag_indices(self.circuit.n_nodes)] += 1e-12
         solution = np.zeros((self.frequencies.size, n), dtype=complex)
         for i, frequency in enumerate(self.frequencies):
-            ctx = ACStampContext(self.circuit, op, 2.0 * np.pi * frequency)
-            for element in self.circuit:
-                element.ac_contribute(ctx)
-            # Tiny shunt keeps nodes with only capacitive paths well-posed.
-            ctx.matrix[np.diag_indices(self.circuit.n_nodes)] += 1e-12
+            matrix = conductance + (2.0j * np.pi * frequency) * capacitance
             try:
-                solution[i] = np.linalg.solve(ctx.matrix, ctx.rhs)
+                solution[i] = np.linalg.solve(matrix, ctx.rhs)
             except np.linalg.LinAlgError as exc:
                 raise SingularMatrixError(
                     f"singular AC matrix at {frequency:.3e} Hz: {exc}"

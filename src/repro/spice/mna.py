@@ -159,9 +159,10 @@ class StampContext:
         """Apply the gmin conductance from every node to ground."""
         if self.gmin <= 0.0:
             return
-        for index in range(self.circuit.n_nodes):
-            self.residual[index] += self.gmin * self.x[index]
-            self.jacobian[index, index] += self.gmin
+        n_nodes = self.circuit.n_nodes
+        self.residual[:n_nodes] += self.gmin * self.x[:n_nodes]
+        diag = np.arange(n_nodes)
+        self.jacobian[diag, diag] += self.gmin
 
 
 @dataclass

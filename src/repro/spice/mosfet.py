@@ -22,12 +22,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 from repro.spice.exceptions import NetlistError
 from repro.spice.netlist import Element
 
-__all__ = ["MOSFETModel", "MOSFET", "NMOS_DEFAULT", "PMOS_DEFAULT"]
+__all__ = ["MOSFETModel", "MOSFET", "MOSFETArrays", "NMOS_DEFAULT", "PMOS_DEFAULT"]
 
 _BOLTZMANN = 1.380649e-23
 _ELECTRON_CHARGE = 1.602176634e-19
@@ -326,3 +328,109 @@ class MOSFET(Element):
         omega = ctx.omega
         for (node_a, node_b), capacitance in self.gate_capacitances().items():
             ctx.stamp_admittance(node_a, node_b, 1j * omega * capacitance)
+
+
+@dataclass
+class MOSFETArrays:
+    """Per-lane, per-device MOSFET parameters for array-wise evaluation.
+
+    Used by the compiled stamp-plan engine (:mod:`repro.spice.plan`): one
+    row of devices per lane, all lanes sharing the same topology, so that
+    the whole ``(n_lanes, n_devices)`` block of drain currents and
+    derivatives is evaluated with numpy ufuncs instead of per-device
+    Python.  The expressions transcribe :meth:`MOSFET._channel_current` /
+    :meth:`MOSFET.drain_current`; results are tolerance-equivalent (not
+    bit-identical) to the scalar model because numpy's transcendentals may
+    differ from libm by an ulp.
+    """
+
+    polarity: np.ndarray  # (n_devices,) -- +1 NMOS, -1 PMOS
+    beta: np.ndarray  # all remaining fields have shape (n_lanes, n_devices)
+    vth0: np.ndarray
+    gamma: np.ndarray
+    phi: np.ndarray
+    sqrt_phi: np.ndarray
+    n_vt: np.ndarray
+    theta: np.ndarray
+    lambda_: np.ndarray
+
+    @classmethod
+    def from_devices(cls, devices_by_lane: Sequence[Sequence["MOSFET"]]) -> "MOSFETArrays":
+        """Stack the devices of every lane into parameter matrices.
+
+        ``devices_by_lane[l][m]`` must be the lane-``l`` instance of the
+        same topological device ``m`` (identical name, nodes and polarity
+        across lanes; parameter values may differ).
+        """
+
+        def stack(getter) -> np.ndarray:
+            return np.array(
+                [[getter(device) for device in lane] for lane in devices_by_lane], dtype=float
+            )
+
+        phi = stack(lambda dev: dev.model.phi)
+        return cls(
+            polarity=np.array([device.model.polarity for device in devices_by_lane[0]]),
+            beta=stack(lambda dev: dev.beta),
+            vth0=stack(lambda dev: dev.model.vth0),
+            gamma=stack(lambda dev: dev.model.gamma),
+            phi=phi,
+            sqrt_phi=np.sqrt(phi),
+            n_vt=stack(lambda dev: dev.model.n_sub * dev.model.thermal_voltage),
+            theta=stack(lambda dev: 1.0 / (dev.model.e_crit * dev.effective_length)),
+            lambda_=stack(lambda dev: dev.model.lambda_),
+        )
+
+    def _channel_current(
+        self, vgs: np.ndarray, vds: np.ndarray, vbs: np.ndarray
+    ) -> np.ndarray:
+        """Array transcription of :meth:`MOSFET._channel_current` (vds >= 0)."""
+        phi_minus_vbs = np.maximum(self.phi - vbs, 1e-6)
+        vth = self.vth0 + self.gamma * (np.sqrt(phi_minus_vbs) - self.sqrt_phi)
+        vov = vgs - vth
+        ratio = vov / self.n_vt
+        # Clip before exponentiating so extreme lanes cannot overflow; the
+        # np.where selections reproduce the scalar model's three branches.
+        ratio_clipped = np.clip(ratio, -745.0, 40.0)
+        exp_ratio = np.exp(ratio_clipped)
+        vov_eff = np.where(
+            ratio > 40.0,
+            vov,
+            np.where(ratio < -40.0, self.n_vt * exp_ratio, self.n_vt * np.log1p(exp_ratio)),
+        )
+        vov_eff = vov_eff / (1.0 + self.theta * vov_eff)
+        vdsat = np.maximum(vov_eff, 1e-9)
+        clm = 1.0 + self.lambda_ * vds
+        triode = self.beta * (vov_eff * vds - 0.5 * vds * vds) * clm
+        saturation = 0.5 * self.beta * vov_eff * vov_eff * clm
+        ids = np.where(vds < vdsat, triode, saturation)
+        return np.maximum(ids, 0.0)
+
+    def drain_current(
+        self, vd: np.ndarray, vg: np.ndarray, vs: np.ndarray, vb: np.ndarray
+    ) -> np.ndarray:
+        """Array transcription of :meth:`MOSFET.drain_current`."""
+        p = self.polarity
+        nvd, nvg, nvs, nvb = p * vd, p * vg, p * vs, p * vb
+        forward = nvd >= nvs
+        # Source and drain swap roles when vds < 0 (NMOS-normalised frame).
+        vref = np.where(forward, nvs, nvd)
+        ids = self._channel_current(nvg - vref, np.abs(nvd - nvs), nvb - vref)
+        return np.where(forward, p * ids, -p * ids)
+
+    def currents_and_derivatives(
+        self, vd: np.ndarray, vg: np.ndarray, vs: np.ndarray, vb: np.ndarray
+    ):
+        """Drain currents plus the four finite-difference derivatives.
+
+        Mirrors the ``delta = 1e-6`` finite differences of
+        :meth:`MOSFET.contribute` so the compiled Jacobian matches the
+        reference engine's linearisation.
+        """
+        delta = 1e-6
+        ids = self.drain_current(vd, vg, vs, vb)
+        did_dvd = (self.drain_current(vd + delta, vg, vs, vb) - ids) / delta
+        did_dvg = (self.drain_current(vd, vg + delta, vs, vb) - ids) / delta
+        did_dvs = (self.drain_current(vd, vg, vs + delta, vb) - ids) / delta
+        did_dvb = (self.drain_current(vd, vg, vs, vb + delta) - ids) / delta
+        return ids, did_dvd, did_dvg, did_dvs, did_dvb

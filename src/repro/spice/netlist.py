@@ -85,6 +85,9 @@ class Circuit:
         self.title = title
         self._elements: List[Element] = []
         self._element_index: Dict[str, Element] = {}
+        #: Cached (nodes, node_index, branch_index, n_branches) tuple;
+        #: invalidated whenever the element list changes.
+        self._topology: Optional[Tuple[List[str], Dict[str, int], Dict[str, int], int]] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -95,6 +98,7 @@ class Circuit:
             raise NetlistError(f"duplicate element name {element.name!r}")
         self._elements.append(element)
         self._element_index[key] = element
+        self._topology = None
         return element
 
     def extend(self, elements: Iterable[Element]) -> None:
@@ -109,6 +113,7 @@ class Circuit:
         if element is None:
             raise NetlistError(f"no element named {name!r}")
         self._elements.remove(element)
+        self._topology = None
 
     # -- lookup -----------------------------------------------------------------
 
@@ -139,29 +144,50 @@ class Circuit:
 
     # -- node bookkeeping --------------------------------------------------------
 
+    def _topology_maps(self) -> Tuple[List[str], Dict[str, int], Dict[str, int], int]:
+        """Node list and index maps, built once and cached until the circuit
+        changes (``add`` / ``remove`` invalidate).  The analyses construct a
+        stamp context on every Newton iteration, so rebuilding these dicts
+        from scratch each time dominated reference-engine assembly cost."""
+        if self._topology is None:
+            seen: Dict[str, None] = {}
+            for element in self._elements:
+                for node in element.nodes:
+                    if node != GROUND and node not in seen:
+                        seen[node] = None
+            nodes = list(seen)
+            node_index = {node: i for i, node in enumerate(nodes)}
+            branch_index: Dict[str, int] = {}
+            offset = len(nodes)
+            for element in self._elements:
+                if element.n_branches:
+                    branch_index[element.name] = offset
+                    offset += element.n_branches
+            self._topology = (nodes, node_index, branch_index, offset - len(nodes))
+        return self._topology
+
     @property
     def nodes(self) -> List[str]:
         """All non-ground node names in first-appearance order."""
-        seen: Dict[str, None] = {}
-        for element in self._elements:
-            for node in element.nodes:
-                if node != GROUND and node not in seen:
-                    seen[node] = None
-        return list(seen)
+        return list(self._topology_maps()[0])
 
     def node_index(self) -> Dict[str, int]:
-        """Mapping from non-ground node name to unknown index."""
-        return {node: i for i, node in enumerate(self.nodes)}
+        """Mapping from non-ground node name to unknown index.
+
+        The returned dictionary is cached on the circuit; treat it as
+        read-only.
+        """
+        return self._topology_maps()[1]
 
     @property
     def n_nodes(self) -> int:
         """Number of non-ground nodes."""
-        return len(self.nodes)
+        return len(self._topology_maps()[0])
 
     @property
     def n_branches(self) -> int:
         """Total number of extra branch-current unknowns."""
-        return sum(element.n_branches for element in self._elements)
+        return self._topology_maps()[3]
 
     @property
     def n_unknowns(self) -> int:
@@ -169,14 +195,12 @@ class Circuit:
         return self.n_nodes + self.n_branches
 
     def branch_index(self) -> Dict[str, int]:
-        """Mapping from element name to its first branch-unknown index."""
-        mapping: Dict[str, int] = {}
-        offset = self.n_nodes
-        for element in self._elements:
-            if element.n_branches:
-                mapping[element.name] = offset
-                offset += element.n_branches
-        return mapping
+        """Mapping from element name to its first branch-unknown index.
+
+        The returned dictionary is cached on the circuit; treat it as
+        read-only.
+        """
+        return self._topology_maps()[2]
 
     # -- validation ---------------------------------------------------------------
 

@@ -141,3 +141,71 @@ def test_spice_pool_rejects_bad_worker_count():
 
     with pytest.raises(ValueError):
         RingVcoSpiceEvaluator(n_workers=0)
+
+
+# -- SPICE lane-parallel batch path ----------------------------------------------------
+
+
+def test_spice_lanes_batch_matches_reference():
+    """The lane engine is tolerance-equivalent to the per-element engine."""
+    from repro.circuits.evaluators import RingVcoSpiceEvaluator
+
+    rng = np.random.default_rng(13)
+    designs = [random_design(rng) for _ in range(2)]
+    reference = RingVcoSpiceEvaluator(TECH_012UM, dt=60e-12, sim_cycles=2, n_workers=1)
+    lanes = RingVcoSpiceEvaluator(
+        TECH_012UM, dt=60e-12, sim_cycles=2, n_workers=1, engine="lanes"
+    )
+    for ref, lane in zip(reference.evaluate_batch(designs), lanes.evaluate_batch(designs)):
+        for key, value in ref.as_dict().items():
+            assert lane.as_dict()[key] == pytest.approx(value, rel=1e-6), key
+
+
+def test_spice_lanes_pool_matches_in_process():
+    """Fanning lane chunks over the pool must not change the numbers.
+
+    ``lane_width=1`` forces one chunk per design so ``n_workers=2``
+    engages the process pool; a lane's trajectory is independent of its
+    batch, so the pooled chunks reproduce the in-process batch exactly.
+    """
+    from repro.circuits.evaluators import RingVcoSpiceEvaluator
+
+    rng = np.random.default_rng(17)
+    designs = [random_design(rng) for _ in range(2)]
+    in_process = RingVcoSpiceEvaluator(
+        TECH_012UM, dt=60e-12, sim_cycles=2, n_workers=1, engine="lanes"
+    ).evaluate_batch(designs)
+    pooled = RingVcoSpiceEvaluator(
+        TECH_012UM, dt=60e-12, sim_cycles=2, n_workers=2, engine="lanes", lane_width=1
+    ).evaluate_batch(designs)
+    assert len(pooled) == 2
+    for a, b in zip(in_process, pooled):
+        assert a.as_dict() == b.as_dict()
+
+
+def test_spice_lanes_handles_mismatch_samples():
+    """Device overrides flow through the lane path like the scalar path."""
+    from repro.circuits import vco_device_geometries
+    from repro.circuits.evaluators import RingVcoSpiceEvaluator
+
+    rng = np.random.default_rng(19)
+    design = random_design(rng)
+    devices = vco_device_geometries(design)
+    mismatch = MismatchModel().sample(devices, rng)
+    reference = RingVcoSpiceEvaluator(TECH_012UM, dt=60e-12, sim_cycles=2, n_workers=1)
+    lanes = RingVcoSpiceEvaluator(
+        TECH_012UM, dt=60e-12, sim_cycles=2, n_workers=1, engine="lanes"
+    )
+    scalar = reference.evaluate(design, mismatch=mismatch)
+    (batched,) = lanes.evaluate_batch([design], mismatches=[mismatch])
+    for key, value in scalar.as_dict().items():
+        assert batched.as_dict()[key] == pytest.approx(value, rel=1e-6), key
+
+
+def test_spice_engine_validation():
+    from repro.circuits.evaluators import RingVcoSpiceEvaluator
+
+    with pytest.raises(ValueError):
+        RingVcoSpiceEvaluator(engine="nope")
+    with pytest.raises(ValueError):
+        RingVcoSpiceEvaluator(lane_width=0)

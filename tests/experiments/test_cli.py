@@ -56,6 +56,15 @@ def test_unknown_scenario_usage_error_in_subprocess(tmp_path):
     assert "Traceback" not in result.stderr
 
 
+def test_spice_engine_override_reaches_the_scenario():
+    args = cli.build_parser().parse_args(["run", "fast-smoke", "--spice-engine", "lanes"])
+    scenario = cli._scenario_with_overrides(args)
+    assert scenario.spice_engine == "lanes"
+    # An execution detail: the cache key must not move.
+    base = cli._scenario_with_overrides(cli.build_parser().parse_args(["run", "fast-smoke"]))
+    assert scenario.config_hash() == base.config_hash()
+
+
 def test_invalid_override_value_is_a_usage_error(capsys):
     assert cli.main(["run", "fast-smoke", "--n-workers", "0"]) == 2
     err = capsys.readouterr().err
