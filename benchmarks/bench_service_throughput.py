@@ -1,6 +1,6 @@
 """Experiment-service load benchmarks: dedup gate + connection scaling.
 
-Two benchmarks against the same service stack:
+Three benchmarks against the same service stack:
 
 * **dedup throughput** -- M client threads each submit the same mix of
   scenario configurations (reduced ``fast-smoke`` / ``vco-sweep-*``
@@ -17,6 +17,14 @@ Two benchmarks against the same service stack:
   which the merged-benchmark CI gate requires to be >= 1.0x; at every
   level the asyncio server must serve the full load without a single
   connection error.
+* **remote-worker drain** -- the same job mix against a
+  coordinator-only service drained by *remote* workers
+  (:func:`~repro.service.worker.remote_worker_loop`): every claim,
+  heartbeat, outcome and artifact checkpoint crosses the loopback
+  ``/v1`` API instead of touching SQLite and the cache directly.  The
+  dedup/single-execution gate must hold unchanged, and the run records
+  the distributed configuration's completion rate into ``extra_info``
+  next to the local pool's numbers.
 """
 
 from __future__ import annotations
@@ -29,8 +37,9 @@ from typing import Dict, List, Tuple
 from benchmarks.conftest import print_header
 from repro.service.api import make_async_server, make_server
 from repro.service.client import ServiceClient
+from repro.service.remote import RemoteJobStore
 from repro.service.store import JobStore
-from repro.service.worker import WorkerPool
+from repro.service.worker import WorkerPool, remote_worker_loop
 
 #: Client threads hammering the API in the dedup benchmark.
 N_CLIENTS = 8
@@ -139,6 +148,86 @@ def test_service_throughput_with_dedup(benchmark, tmp_path):
             rounds=3,
             iterations=1,
             warmup_rounds=0,
+        )
+    finally:
+        server.shutdown()
+
+
+def test_remote_worker_throughput(benchmark, tmp_path):
+    """The distributed configuration: coordinator-only service, remote
+    workers over loopback HTTP.  Same mix, same dedup gate -- the wire
+    must change the economics, never the semantics."""
+    db = tmp_path / "service.db"
+    cache = tmp_path / "cache"
+    store = JobStore(db, lease_ttl=30.0)
+    server = make_async_server("127.0.0.1", 0, store, cache)
+    host, port = server.start()
+    url = f"http://{host}:{port}"
+    client = ServiceClient(url)
+    client.wait_until_ready()
+
+    try:
+        job_ids = sorted(
+            {client.submit(scenario, overrides)["id"] for scenario, overrides in JOB_MIX}
+        )
+        started = time.perf_counter()
+        # Each remote worker drains until nothing is pending; its store
+        # and artefact checkpoints all speak the coordinator's /v1 API.
+        workers = [
+            threading.Thread(
+                target=remote_worker_loop,
+                args=(url, tmp_path / f"worker-cache-{index}"),
+                kwargs={
+                    "shard_index": index,
+                    "shard_count": N_WORKERS,
+                    "poll_interval": 0.05,
+                    "max_jobs": len(JOB_MIX),
+                    "worker_name": f"bench-remote-{index}",
+                },
+            )
+            for index in range(N_WORKERS)
+        ]
+        for worker in workers:
+            worker.start()
+        for job_id in job_ids:
+            finished = client.wait(job_id, timeout=300.0)
+            assert finished["state"] == "done", finished
+        drain_seconds = time.perf_counter() - started
+        for worker in workers:
+            worker.join(timeout=60.0)
+
+        # The dedup/single-execution gate holds across the wire.
+        assert len(job_ids) == len(
+            {(name, tuple(sorted(o.items()))) for name, o in JOB_MIX}
+        )
+        for job_id in job_ids:
+            record = store.get(job_id)
+            assert record.attempts == 1, f"job {job_id} executed more than once"
+            assert record.worker.startswith("bench-remote-")
+
+        completed_per_second = len(job_ids) / drain_seconds
+        print_header(
+            f"Remote-worker drain: {len(job_ids)} unique jobs across "
+            f"{N_WORKERS} loopback HTTP workers"
+        )
+        print(
+            f"queue drained        : {drain_seconds:.3f}s "
+            f"({completed_per_second:.2f} completed jobs/s)"
+        )
+        benchmark.extra_info["service_remote_workers"] = N_WORKERS
+        benchmark.extra_info["service_remote_jobs_completed_per_second"] = (
+            completed_per_second
+        )
+        benchmark.extra_info["service_remote_unique_executions"] = len(job_ids)
+        # The timed body: the claim-poll a remote worker issues most --
+        # the wire cost the distributed deployment adds to every idle
+        # loop iteration.
+        remote = RemoteJobStore(url)
+        benchmark.pedantic(
+            lambda: remote.pending_count(),
+            rounds=3,
+            iterations=20,
+            warmup_rounds=1,
         )
     finally:
         server.shutdown()

@@ -117,7 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="fixed worker process count (ignored when --min/--max-workers is given)",
+        help=(
+            "fixed worker process count; 0 runs a coordinator-only service"
+            " for remote workers (ignored when --min/--max-workers is given)"
+        ),
     )
     serve.add_argument(
         "--min-workers",
@@ -145,6 +148,42 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="seconds before an unheartbeated job is reclaimed",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="run a remote worker against a coordinator's /v1 API"
+    )
+    worker.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator base URL, e.g. http://host:8321",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="local read-through artefact cache root (default: .repro-cache)",
+    )
+    worker.add_argument(
+        "--shard-index", type=int, default=0, help="this worker's shard of the hash space"
+    )
+    worker.add_argument(
+        "--shard-count", type=int, default=1, help="total shards across the worker fleet"
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between claim attempts when the queue is empty",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after executing this many jobs (default: run until terminated)",
+    )
+    worker.add_argument(
+        "--name", default=None, help="worker name reported to the coordinator"
     )
 
     submit = subparsers.add_parser("submit", help="submit a scenario to a running service")
@@ -233,6 +272,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "jobs":
         return _cmd_jobs(args)
     if args.command == "status":
@@ -410,6 +451,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 lease_ttl=args.lease_ttl,
             )
             workers_label = f"{minimum}-{maximum} autoscaled worker(s)"
+        elif args.workers == 0:
+            # Coordinator-only: no local pool -- execution is delegated to
+            # `repro worker --coordinator` processes on this or other hosts.
+            pool = None
+            workers_label = "coordinator-only, remote workers"
         else:
             pool = WorkerPool(
                 db_path, cache_dir, n_workers=args.workers, lease_ttl=args.lease_ttl
@@ -419,7 +465,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.shutdown()
         print(f"error: {error}", file=sys.stderr)
         return 2
-    pool.start()
+    if pool is not None:
+        pool.start()
     # SIGTERM (docker stop, systemd, CI traps) must tear the worker pool
     # down like Ctrl+C does -- the default handler would kill this process
     # without running the finally block, orphaning the worker processes.
@@ -438,8 +485,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        pool.stop()
+        if pool is not None:
+            pool.stop()
         server.shutdown()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.worker import remote_worker_loop
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    if not 0 <= args.shard_index < max(1, args.shard_count):
+        print(
+            f"error: shard index {args.shard_index} outside 0..{args.shard_count - 1}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def _sigterm(signum: int, frame: object) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    print(
+        f"repro worker polling {args.coordinator} "
+        f"(shard {args.shard_index}/{args.shard_count}, cache {cache_dir})",
+        flush=True,
+    )
+    try:
+        executed = remote_worker_loop(
+            args.coordinator,
+            cache_dir,
+            shard_index=args.shard_index,
+            shard_count=args.shard_count,
+            poll_interval=args.poll_interval,
+            max_jobs=args.max_jobs,
+            worker_name=args.name,
+        )
+    except KeyboardInterrupt:
+        return 0
+    print(f"repro worker done ({executed} job(s) executed)", flush=True)
     return 0
 
 

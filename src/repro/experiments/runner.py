@@ -118,6 +118,15 @@ class ExperimentRunner:
         stage resumes at generation granularity.  Checkpointing never
         changes the result (the overhead benchmark keeps it < 5 %);
         ``False`` disables it.
+    artifacts:
+        Optional :class:`~repro.experiments.artifacts.ArtifactStore`
+        overriding the local disk cache -- the distributed seam.  A
+        remote worker passes an
+        :class:`~repro.experiments.artifacts.HttpArtifactStore` here so
+        stage checkpoints are read through from (and published to) the
+        coordinator; the checkpoint protocol is identical, so the run
+        stays bit-identical to a local one.  When given, ``cache_dir``
+        is ignored.
     """
 
     def __init__(
@@ -128,9 +137,10 @@ class ExperimentRunner:
         evaluator: Optional[VcoEvaluator] = None,
         yield_batch_size: Optional[int] = DEFAULT_YIELD_BATCH,
         circuit_checkpoint: bool = True,
+        artifacts: Optional[Any] = None,
     ) -> None:
         self.scenario = scenario
-        self.cache = ArtefactCache(cache_dir)
+        self.cache = artifacts if artifacts is not None else ArtefactCache(cache_dir)
         self.force = force
         self.evaluator = evaluator
         self.yield_batch_size = yield_batch_size

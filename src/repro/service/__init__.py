@@ -7,12 +7,20 @@ is the scenario's config hash -- the same key as the artefact cache), and
 executes jobs on a sharded pool of worker processes, each running the
 resumable :class:`~repro.experiments.runner.ExperimentRunner`:
 
-* :mod:`repro.service.store` -- SQLite (WAL) job store: lifecycle
-  ``queued -> leased -> running -> done/failed/cancelled``, lease expiry
-  + heartbeats so crashed workers' jobs are reclaimed, cooperative
-  cancellation (``cancel_requested`` observed at checkpoint
-  boundaries), and a per-job event log with gapless monotonic sequence
-  numbers -- the backbone of live SSE streaming.
+* :mod:`repro.service.base` -- the abstract :class:`JobStore` seam every
+  backend implements, plus the :class:`Job` record and state constants.
+* :mod:`repro.service.store` -- :class:`SqliteJobStore`, the
+  coordinator's authority: lifecycle ``queued -> leased -> running ->
+  done/failed/cancelled``, lease expiry + heartbeats so crashed
+  workers' jobs are reclaimed, cooperative cancellation
+  (``cancel_requested`` observed at checkpoint boundaries), and a
+  per-job event log with gapless monotonic sequence numbers -- the
+  backbone of live SSE streaming.
+* :mod:`repro.service.remote` -- :class:`RemoteJobStore`, the same seam
+  over the coordinator's ``/v1`` API: ``repro worker --coordinator
+  http://host:port`` runs the identical claim/heartbeat/outcome loop
+  from another machine, with artefacts travelling as exact pickle bytes
+  through :class:`~repro.experiments.artifacts.HttpArtifactStore`.
 * :mod:`repro.service.worker` -- the worker pool: fixed size (``repro
   serve --workers N``) or autoscaled on queue depth (``--min-workers /
   --max-workers``); workers prefer their own shard of the hash space
@@ -51,26 +59,41 @@ from repro.service.api import (
     make_async_server,
     make_server,
 )
-from repro.service.client import ServiceClient, ServiceError
-from repro.service.http import AsyncHTTPServer, Request, Response, Router
-from repro.service.store import (
+from repro.service.base import (
     ACTIVE_STATES,
     JOB_STATES,
     TERMINAL_STATES,
     Job,
-    JobStore,
 )
-from repro.service.worker import Autoscaler, WorkerPool, execute_job, worker_loop
+from repro.service.base import JobStore as BaseJobStore
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import AsyncHTTPServer, Request, Response, Router
+from repro.service.remote import RemoteJobStore, RemoteStoreError
+from repro.service.store import JobStore, SqliteJobStore
+from repro.service.worker import (
+    Autoscaler,
+    WorkerPool,
+    execute_job,
+    remote_worker_loop,
+    run_worker,
+    worker_loop,
+)
 
 __all__ = [
     "Job",
     "JobStore",
+    "BaseJobStore",
+    "SqliteJobStore",
+    "RemoteJobStore",
+    "RemoteStoreError",
     "JOB_STATES",
     "ACTIVE_STATES",
     "TERMINAL_STATES",
     "WorkerPool",
     "Autoscaler",
     "worker_loop",
+    "remote_worker_loop",
+    "run_worker",
     "execute_job",
     "ExperimentService",
     "AsyncServiceServer",

@@ -27,6 +27,22 @@ as deprecated aliases answering with a ``Deprecation`` header::
     DELETE /v1/jobs/<id>               cancel (200 parked / 202 flagged / 409)
     GET    /                           the dashboard (asyncio server only)
 
+The distributed worker protocol (PR 8) rides the same ``/v1`` surface --
+these are what :class:`~repro.service.remote.RemoteJobStore` speaks, and
+the coordinator's store (and therefore the coordinator's *clock*) stays
+authoritative for lease expiry::
+
+    POST   /v1/claim                   lease the next runnable job
+    POST   /v1/jobs/<id>/lease         leased -> running (ownership-checked)
+    POST   /v1/jobs/<id>/heartbeat     extend the lease; returns cancel flag
+    POST   /v1/jobs/<id>/events        append one progress event
+    POST   /v1/jobs/<id>/outcome       record done / failed / cancelled
+    GET    /v1/jobs/<id>/flags         lightweight state + cancel flag poll
+    POST   /v1/requeue-expired         requeue every expired lease
+    GET    /v1/artifacts/<hash>/<name> download one artifact (raw bytes)
+    PUT    /v1/artifacts/<hash>/<name> upload (atomic replace; idempotent)
+    DELETE /v1/artifacts/<hash>/<name> drop (mid-stage partials on completion)
+
 Every error answers the uniform envelope ``{"error": {"code":
 "<machine_code>", "message": "<human text>"}}`` (plus occasional
 top-level context fields such as the job ``state`` on a 409).
@@ -50,12 +66,16 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, AsyncIterator, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
+from repro.experiments.artifacts import ARTIFACT_NAME_RE
+from repro.experiments.cache import CacheEntry
+from repro.experiments.config import ScenarioConfig
 from repro.experiments.registry import get_scenario, list_scenarios
 from repro.experiments.report import report_payload
 from repro.service.http import (
@@ -105,7 +125,19 @@ JSON_ROUTES: Tuple[Tuple[str, str, str], ...] = (
     ("GET", "/jobs/{job_id}", "job"),
     ("DELETE", "/jobs/{job_id}", "cancel"),
     ("GET", "/jobs/{job_id}/report", "report"),
+    # The distributed worker protocol (RemoteJobStore's wire surface).
+    ("POST", "/claim", "claim"),
+    ("POST", "/requeue-expired", "requeue_expired"),
+    ("POST", "/jobs/{job_id}/lease", "lease"),
+    ("POST", "/jobs/{job_id}/heartbeat", "heartbeat"),
+    ("POST", "/jobs/{job_id}/events", "record_event"),
+    ("POST", "/jobs/{job_id}/outcome", "outcome"),
+    ("GET", "/jobs/{job_id}/flags", "flags"),
 )
+
+#: config hashes are lowercase hex (the scenario hash is 16 chars today;
+#: the range tolerates future widening without accepting path garbage).
+_HASH_RE = re.compile(r"^[0-9a-f]{8,64}$")
 
 _STATIC_DIR = Path(__file__).parent / "static"
 
@@ -155,6 +187,7 @@ class ExperimentService:
             "pending": self.store.pending_count(),
             "workers": int(self.store.get_meta("workers", 0)),
             "shards": int(self.store.get_meta("shards", 0)),
+            "lease_ttl": self.store.lease_ttl,
         }
 
     def scenarios(self) -> ServiceResponse:
@@ -204,6 +237,16 @@ class ExperimentService:
         }
 
     def submit(self, body: Dict[str, Any]) -> ServiceResponse:
+        if isinstance(body, dict) and isinstance(body.get("config"), dict):
+            # Full-configuration submission (the RemoteJobStore path): the
+            # worker-side store holds a ScenarioConfig, not a registry
+            # name, so it ships the complete as_dict() serialisation.
+            try:
+                scenario = ScenarioConfig.from_dict(body["config"])
+            except (KeyError, TypeError, ValueError) as error:
+                return _error(400, "invalid_config", f"invalid scenario config: {error}")
+            job, created = self.store.submit(scenario)
+            return (201 if created else 200), dict(job.as_dict(), created=created)
         if not isinstance(body, dict) or not isinstance(body.get("scenario"), str):
             return _error(
                 400,
@@ -272,6 +315,103 @@ class ExperimentService:
             )
         return 200, dict(payload, job_id=job_id, state=job.state)
 
+    # -- the distributed worker protocol -------------------------------------------------
+    #
+    # Remote workers never evaluate lease expiry themselves: every check
+    # below runs against the coordinator store's clock, so there is
+    # exactly one authority for "this worker still owns this job".
+
+    @staticmethod
+    def _worker_name(body: Optional[Dict[str, Any]]) -> Optional[str]:
+        worker = (body or {}).get("worker")
+        return worker if isinstance(worker, str) and worker else None
+
+    def claim(self, body: Optional[Dict[str, Any]]) -> ServiceResponse:
+        """Lease the next runnable job for a (remote) worker."""
+        worker = self._worker_name(body)
+        if worker is None:
+            return _error(400, "malformed_body", "body must carry a 'worker' name")
+        try:
+            shard_index = int((body or {}).get("shard_index", 0))
+            shard_count = int((body or {}).get("shard_count", 1))
+        except (TypeError, ValueError):
+            return _error(400, "malformed_body", "shard_index/shard_count must be integers")
+        if shard_count < 1 or not (0 <= shard_index < shard_count):
+            return _error(400, "malformed_body", "need 0 <= shard_index < shard_count")
+        job = self.store.claim(worker, shard_index=shard_index, shard_count=shard_count)
+        return 200, {
+            "job": job.as_dict() if job is not None else None,
+            "lease_ttl": self.store.lease_ttl,
+        }
+
+    def lease(self, job_id: str, body: Optional[Dict[str, Any]]) -> ServiceResponse:
+        """Flip a leased job to running (the worker began executing)."""
+        worker = self._worker_name(body)
+        if worker is None:
+            return _error(400, "malformed_body", "body must carry a 'worker' name")
+        return 200, {"ok": self.store.start(job_id, worker)}
+
+    def heartbeat(self, job_id: str, body: Optional[Dict[str, Any]]) -> ServiceResponse:
+        """Extend a lease; piggybacks the cancel flag so one round trip
+        serves both the lease renewal and the cancellation poll."""
+        worker = self._worker_name(body)
+        if worker is None:
+            return _error(400, "malformed_body", "body must carry a 'worker' name")
+        ok = self.store.heartbeat(job_id, worker)
+        return 200, {"ok": ok, "cancel_requested": self.store.cancel_requested(job_id)}
+
+    def record_event(self, job_id: str, body: Optional[Dict[str, Any]]) -> ServiceResponse:
+        """Append one progress event on behalf of a remote worker."""
+        body = body or {}
+        stage, status = body.get("stage"), body.get("status")
+        if not (isinstance(stage, str) and stage and isinstance(status, str) and status):
+            return _error(400, "malformed_body", "body must carry 'stage' and 'status'")
+        payload = body.get("payload")
+        if payload is not None and not isinstance(payload, dict):
+            return _error(400, "malformed_body", "'payload' must be an object")
+        try:
+            seq = self.store.record_event(
+                job_id, stage, status, worker=body.get("worker"), payload=payload
+            )
+        except KeyError:
+            return _error(404, "unknown_job", f"unknown job {job_id!r}")
+        return 201, {"seq": seq}
+
+    def outcome(self, job_id: str, body: Optional[Dict[str, Any]]) -> ServiceResponse:
+        """Record a terminal outcome (ownership-checked by the store)."""
+        worker = self._worker_name(body)
+        if worker is None:
+            return _error(400, "malformed_body", "body must carry a 'worker' name")
+        outcome = (body or {}).get("outcome")
+        if outcome == "done":
+            summary = (body or {}).get("summary")
+            if not isinstance(summary, dict):
+                return _error(400, "malformed_body", "'done' needs a 'summary' object")
+            ok = self.store.complete(job_id, worker, summary)
+        elif outcome == "failed":
+            error = (body or {}).get("error")
+            if not isinstance(error, str):
+                return _error(400, "malformed_body", "'failed' needs an 'error' string")
+            ok = self.store.fail(job_id, worker, error)
+        elif outcome == "cancelled":
+            ok = self.store.mark_cancelled(job_id, worker)
+        else:
+            return _error(
+                400, "malformed_body", "outcome must be done, failed or cancelled"
+            )
+        return 200, {"ok": ok}
+
+    def flags(self, job_id: str) -> ServiceResponse:
+        """The cheap poll: current state plus the cancel flag."""
+        job = self.store.get(job_id)
+        if job is None:
+            return _error(404, "unknown_job", f"unknown job {job_id!r}")
+        return 200, {"state": job.state, "cancel_requested": job.cancel_requested}
+
+    def requeue_expired(self) -> ServiceResponse:
+        """Requeue every expired lease (maintenance; claim also does this)."""
+        return 200, {"requeued": self.store.requeue_expired()}
+
     # -- shared dispatch -----------------------------------------------------------------
 
     def call_endpoint(
@@ -306,6 +446,20 @@ class ExperimentService:
             return self.cancel(params["job_id"])
         if endpoint == "report":
             return self.report(params["job_id"])
+        if endpoint == "claim":
+            return self.claim(body)
+        if endpoint == "lease":
+            return self.lease(params["job_id"], body)
+        if endpoint == "heartbeat":
+            return self.heartbeat(params["job_id"], body)
+        if endpoint == "record_event":
+            return self.record_event(params["job_id"], body)
+        if endpoint == "outcome":
+            return self.outcome(params["job_id"], body)
+        if endpoint == "flags":
+            return self.flags(params["job_id"])
+        if endpoint == "requeue_expired":
+            return self.requeue_expired()
         raise ValueError(f"unknown endpoint {endpoint!r}")  # pragma: no cover
 
 
@@ -331,9 +485,18 @@ class AsyncServiceServer(AsyncHTTPServer):
             )
         router.add("GET", "/v1/jobs/{job_id}/events", self._events_handler())
         router.add("GET", "/jobs/{job_id}/events", self._events_handler(legacy=True))
+        for method in ("GET", "PUT", "DELETE"):
+            router.add(
+                method,
+                "/v1/artifacts/{config_hash}/{name}",
+                self._artifact_handler(method),
+            )
         router.add("GET", "/", self._static_handler("index.html"))
         router.add("GET", "/static/{name}", self._static_handler())
         super().__init__(host, port, router)
+        # Stage pickles are megabytes; only the artifact routes may
+        # exceed the JSON body cap.
+        self.large_body_prefixes = ("/v1/artifacts/",)
 
     # -- JSON ----------------------------------------------------------------------------
 
@@ -367,6 +530,63 @@ class AsyncServiceServer(AsyncHTTPServer):
         for name, value in params.items():
             path = path.replace("{" + name + "}", value)
         return deprecation_headers(path)
+
+    # -- artifacts -----------------------------------------------------------------------
+
+    def _artifact_handler(self, method: str):
+        """Raw-bytes artifact exchange against the coordinator's cache.
+
+        The on-disk layout *is* the artefact cache's
+        (``<cache_dir>/<config_hash>/<name>``), so the coordinator's
+        cache directory serves double duty: local workers write it
+        directly, remote workers read and write the same files over
+        these routes, and the byte-identity comparison between the two
+        is a plain file compare.  PUT replaces atomically (temp file +
+        rename), which makes duplicated or retried uploads of the same
+        content-addressed artifact harmless.
+        """
+
+        async def handle(request: Request) -> Response:
+            config_hash = request.params["config_hash"]
+            name = request.params["name"]
+            if not _HASH_RE.match(config_hash) or not ARTIFACT_NAME_RE.match(name):
+                return error_response(
+                    404, "unknown_artifact", f"no such artifact: {config_hash}/{name}"
+                )
+            path = self.service.cache_dir / config_hash / name
+            if method == "GET":
+                payload = await self.call(self._read_file, path)
+                if payload is None:
+                    return error_response(
+                        404, "unknown_artifact", f"no such artifact: {config_hash}/{name}"
+                    )
+                return Response(200, payload, content_type="application/octet-stream")
+            if method == "PUT":
+                await self.call(self._write_file, path, request.body)
+                return Response(204)
+            await self.call(self._delete_file, path)
+            return Response(204)
+
+        return handle
+
+    @staticmethod
+    def _read_file(path: Path) -> Optional[bytes]:
+        try:
+            return path.read_bytes()
+        except (FileNotFoundError, IsADirectoryError):
+            return None
+
+    @staticmethod
+    def _write_file(path: Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        CacheEntry._atomic_write(path, payload)
+
+    @staticmethod
+    def _delete_file(path: Path) -> None:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
 
     # -- SSE -----------------------------------------------------------------------------
 

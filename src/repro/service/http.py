@@ -67,6 +67,10 @@ __all__ = [
 #: bigger is a client bug (or abuse) and is rejected with 413.
 MAX_BODY_BYTES = 1 << 20
 
+#: Cap for routes registered in :attr:`AsyncHTTPServer.large_body_prefixes`
+#: (artifact uploads: stage pickles are megabytes, not kilobytes).
+MAX_LARGE_BODY_BYTES = 256 << 20
+
 #: Seconds an idle keep-alive connection is held open before the server
 #: closes it (generous: clients polling every few seconds reuse sockets).
 KEEPALIVE_TIMEOUT = 75.0
@@ -303,6 +307,10 @@ class AsyncHTTPServer:
         self.host = host
         self.requested_port = port
         self.router = router
+        #: Path prefixes whose bodies may grow to
+        #: :data:`MAX_LARGE_BODY_BYTES` (e.g. ``/v1/artifacts/`` stage
+        #: pickle uploads); everything else stays JSON-sized.
+        self.large_body_prefixes: Tuple[str, ...] = ()
         self.server_address: Optional[Tuple[str, int]] = None
         self._executor = ThreadPoolExecutor(
             max_workers=executor_threads, thread_name_prefix="repro-http"
@@ -449,11 +457,14 @@ class AsyncHTTPServer:
                 keep_alive=False,
             )
             return False
-        if length > MAX_BODY_BYTES:
+        limit = MAX_BODY_BYTES
+        if any(request.path.startswith(prefix) for prefix in self.large_body_prefixes):
+            limit = MAX_LARGE_BODY_BYTES
+        if length > limit:
             await self._write(
                 writer,
                 error_response(
-                    413, "body_too_large", f"request body exceeds {MAX_BODY_BYTES} bytes"
+                    413, "body_too_large", f"request body exceeds {limit} bytes"
                 ),
                 keep_alive=False,
             )

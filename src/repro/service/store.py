@@ -1,4 +1,5 @@
-"""Persistent job store of the experiment service (SQLite, WAL mode).
+"""SQLite (WAL) implementation of the :class:`~repro.service.base.JobStore`
+interface -- the coordinator-side (and single-host) job store.
 
 One row per *unique experiment configuration*: the job id **is** the
 scenario's :meth:`~repro.experiments.config.ScenarioConfig.config_hash`,
@@ -51,23 +52,28 @@ import os
 import sqlite3
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.experiments.config import ScenarioConfig
+from repro.service import base
+from repro.service.base import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    shard_of,
+)
 
-__all__ = ["Job", "JobStore", "JOB_STATES", "ACTIVE_STATES", "TERMINAL_STATES"]
-
-#: Every job lifecycle state, in progression order.
-JOB_STATES = ("queued", "leased", "running", "done", "failed", "cancelled")
-
-#: States in which a submission dedups onto the existing job.
-ACTIVE_STATES = ("queued", "leased", "running", "done")
-
-#: States a job can never leave by itself (a new submission requeues
-#: ``failed`` / ``cancelled``; ``done`` is shared as-is).
-TERMINAL_STATES = ("done", "failed", "cancelled")
+__all__ = [
+    "Job",
+    "JobStore",
+    "SqliteJobStore",
+    "JOB_STATES",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "shard_of",
+]
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -103,49 +109,6 @@ CREATE TABLE IF NOT EXISTS meta (
 """
 
 
-@dataclass
-class Job:
-    """One row of the ``jobs`` table, as a plain value object."""
-
-    id: str
-    scenario: str
-    scenario_config: Dict[str, Any]
-    state: str
-    submitted_at: float
-    started_at: Optional[float] = None
-    finished_at: Optional[float] = None
-    worker: Optional[str] = None
-    lease_expires: Optional[float] = None
-    attempts: int = 0
-    error: Optional[str] = None
-    summary: Optional[Dict[str, Any]] = field(default=None)
-    #: Cancellation requested while leased/running; the executing worker
-    #: observes it at its next checkpoint boundary.
-    cancel_requested: bool = False
-
-    def resolve_scenario(self) -> ScenarioConfig:
-        """Rebuild the submitted scenario (raises on foreign metadata)."""
-        return ScenarioConfig.from_dict(self.scenario_config)
-
-    def as_dict(self) -> Dict[str, Any]:
-        """JSON-compatible view served by the HTTP API."""
-        return {
-            "id": self.id,
-            "scenario": self.scenario,
-            "scenario_config": self.scenario_config,
-            "state": self.state,
-            "submitted_at": self.submitted_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "worker": self.worker,
-            "lease_expires": self.lease_expires,
-            "attempts": self.attempts,
-            "error": self.error,
-            "summary": self.summary,
-            "cancel_requested": self.cancel_requested,
-        }
-
-
 def _row_to_job(row: sqlite3.Row) -> Job:
     return Job(
         id=row["id"],
@@ -164,14 +127,7 @@ def _row_to_job(row: sqlite3.Row) -> Job:
     )
 
 
-def shard_of(job_id: str, shard_count: int) -> int:
-    """Deterministic shard index of a job id (a hex config hash)."""
-    if shard_count < 1:
-        raise ValueError("shard_count must be at least 1")
-    return int(job_id[:8], 16) % shard_count
-
-
-class JobStore:
+class SqliteJobStore(base.JobStore):
     """SQLite-backed persistent job queue with leases and progress events.
 
     Parameters
@@ -529,8 +485,16 @@ class JobStore:
         payload: Optional[Dict[str, Any]] = None,
     ) -> int:
         """Append one progress event (e.g. a completed flow stage or one
-        NSGA-II generation); returns its per-job sequence number."""
+        NSGA-II generation); returns its per-job sequence number.
+
+        Raises ``KeyError`` for an unknown job -- matching the API's 404
+        so both backends honour the same contract (no orphan events)."""
         with self._session(exclusive=True) as connection:
+            row = connection.execute(
+                "SELECT 1 FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"unknown job {job_id!r}")
             return self._append_event(connection, job_id, stage, status, worker, payload)
 
     @staticmethod
@@ -662,3 +626,10 @@ class JobStore:
                 "SELECT value FROM meta WHERE key=?", (key,)
             ).fetchone()
         return json.loads(row["value"]) if row is not None else default
+
+
+#: Backward-compatible alias: ``JobStore`` named the SQLite store before
+#: the interface extraction (PR 8); existing imports keep constructing
+#: the local backend.  New code should name :class:`SqliteJobStore` (or
+#: program against :class:`repro.service.base.JobStore`).
+JobStore = SqliteJobStore

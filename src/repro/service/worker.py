@@ -37,22 +37,43 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import socket
 import sys
 import threading
 import time
 import traceback
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.cancel import CancelToken, JobCancelled
 from repro.core.flow import summarise_stage
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    ArtifactTransportError,
+    HttpArtifactStore,
+    LocalArtifactStore,
+)
 from repro.experiments.runner import DEFAULT_YIELD_BATCH, ExperimentRunner
-from repro.service.store import Job, JobStore
+from repro.service import base
+from repro.service.base import Job
+from repro.service.remote import RemoteJobStore, RemoteStoreError
+from repro.service.store import JobStore
 
-__all__ = ["execute_job", "worker_loop", "WorkerPool", "Autoscaler"]
+__all__ = [
+    "execute_job",
+    "worker_loop",
+    "remote_worker_loop",
+    "run_worker",
+    "WorkerPool",
+    "Autoscaler",
+]
 
 #: Seconds between queue polls when no job is claimable.
 DEFAULT_POLL_INTERVAL = 0.2
+
+#: Exceptions a remote worker treats as "the coordinator is unreachable
+#: right now" -- survivable turbulence, not a programming error.
+TRANSIENT_STORE_ERRORS = (ArtifactTransportError, RemoteStoreError, ConnectionError)
 
 
 def _publish_pool_meta(store: JobStore, workers: int, shards: int) -> None:
@@ -70,11 +91,20 @@ def _publish_pool_meta(store: JobStore, workers: int, shards: int) -> None:
 
 
 def _heartbeat(
-    store: JobStore, job_id: str, worker: str, stop: threading.Event, interval: float
+    store: base.JobStore, job_id: str, worker: str, stop: threading.Event, interval: float
 ) -> None:
     while not stop.wait(interval):
-        if not store.heartbeat(job_id, worker):
-            # Lease lost (clock skew, operator intervention): stop beating;
+        try:
+            alive = store.heartbeat(job_id, worker)
+        except Exception:  # noqa: BLE001 - a dropped beat must not kill the thread
+            # Transient turbulence (SQLITE_BUSY past the timeout, a
+            # network partition on the remote store): keep beating.  If
+            # the partition outlives the TTL the *coordinator* expires
+            # the lease -- expiry authority is server-side -- and the
+            # next successful beat answers False.
+            continue
+        if not alive:
+            # Lease lost (expiry, operator intervention): stop beating;
             # the terminal complete()/fail() update is ownership-checked, so
             # a reclaimed job cannot be double-finished.
             return
@@ -93,9 +123,9 @@ def _yield_batch_for(n_samples: int) -> int:
 
 
 def execute_job(
-    store: JobStore,
+    store: base.JobStore,
     job: Job,
-    cache_dir: Path,
+    cache_dir: Union[Path, ArtifactStore],
     worker: str,
     heartbeat_interval: Optional[float] = None,
     cancel_poll_interval: Optional[float] = None,
@@ -110,17 +140,42 @@ def execute_job(
     bit-identical to CLI artefacts, and two jobs differing only in
     execution fields share cache entries.
 
+    ``cache_dir`` may be a plain path (wrapped in a
+    :class:`~repro.experiments.artifacts.LocalArtifactStore`) or any
+    :class:`~repro.experiments.artifacts.ArtifactStore` -- a remote
+    worker passes an
+    :class:`~repro.experiments.artifacts.HttpArtifactStore`, so its
+    checkpoints read through from (and publish to) the coordinator.
+
     ``cancel_poll_interval`` throttles the job-store ``cancel_requested``
     poll the runner's :class:`~repro.cancel.CancelToken` issues at each
     checkpoint boundary (default: a sixth of the lease TTL, capped at one
     second).
     """
-    if not store.start(job.id, worker):
-        return None  # lost the lease between claim and start
+    artifacts = (
+        cache_dir
+        if isinstance(cache_dir, ArtifactStore)
+        else LocalArtifactStore(cache_dir)
+    )
+
+    def record_event(stage: str, status: str, payload=None) -> None:
+        # Events are advisory (they feed the SSE stream); a transient
+        # SQLITE_BUSY or a network blip on the remote store must not
+        # abort the computation itself.
+        try:
+            store.record_event(job.id, stage, status, worker, payload)
+        except Exception:  # noqa: BLE001 - progress must never break a run
+            pass
+
+    try:
+        if not store.start(job.id, worker):
+            return None  # lost the lease between claim and start
+    except TRANSIENT_STORE_ERRORS:
+        return None  # coordinator unreachable: the lease will expire
     try:
         scenario = job.resolve_scenario()
     except (KeyError, TypeError, ValueError) as error:
-        store.record_event(job.id, "submit", "rejected", worker, {"error": str(error)})
+        record_event("submit", "rejected", {"error": str(error)})
         store.fail(job.id, worker, f"unresolvable scenario: {error}")
         return False
 
@@ -132,65 +187,91 @@ def execute_job(
         daemon=True,
     )
     beat.start()
+    def should_cancel() -> bool:
+        try:
+            return store.cancel_requested(job.id)
+        except TRANSIENT_STORE_ERRORS:
+            # Can't reach the store: assume not cancelled and keep
+            # computing -- if the partition persists, lease expiry (the
+            # coordinator's authority) parks or requeues the job anyway.
+            return False
+
     cancel = CancelToken(
-        should_cancel=lambda: store.cancel_requested(job.id),
+        should_cancel=should_cancel,
         poll_interval=(
             cancel_poll_interval
             if cancel_poll_interval is not None
             else min(1.0, store.lease_ttl / 6.0)
         ),
     )
-    def record_progress(stage: str, payload) -> None:
-        # Mid-stage progress (one NSGA-II generation, one MC batch) feeds
-        # the SSE stream; losing an event to a transient SQLITE_BUSY must
-        # not abort the computation itself.
-        try:
-            store.record_event(job.id, stage, "progress", worker, payload)
-        except Exception:  # noqa: BLE001 - progress must never break a run
-            pass
-
     try:
         runner = ExperimentRunner(
             scenario,
-            cache_dir=cache_dir,
+            artifacts=artifacts,
             yield_batch_size=_yield_batch_for(scenario.yield_samples),
         )
         result = runner.run(
-            stage_hook=lambda stage, artefact: store.record_event(
-                job.id, stage, "completed", worker, summarise_stage(stage, artefact)
+            stage_hook=lambda stage, artefact: record_event(
+                stage, "completed", summarise_stage(stage, artefact)
             ),
             cancel=cancel,
-            progress_hook=record_progress,
+            progress_hook=lambda stage, payload: record_event(stage, "progress", payload),
         )
         # The terminal updates are ownership-checked: False means the
         # lease expired mid-run and a peer reclaimed (and will finish)
         # the job -- this worker's result must not count as an execution.
-        return True if store.complete(job.id, worker, result.summary()) else None
+        try:
+            return True if store.complete(job.id, worker, result.summary()) else None
+        except TRANSIENT_STORE_ERRORS:
+            # The outcome could not be delivered: the artefacts are
+            # persisted, the lease will expire, and whoever reclaims the
+            # job completes it instantly from the cache.
+            return None
     except JobCancelled:
         # The cancel surfaced at a checkpoint boundary: the mid-stage
         # partial is already persisted, so a resubmission resumes from it.
-        store.record_event(job.id, "cancel", "observed", worker)
-        return False if store.mark_cancelled(job.id, worker) else None
+        record_event("cancel", "observed")
+        try:
+            return False if store.mark_cancelled(job.id, worker) else None
+        except TRANSIENT_STORE_ERRORS:
+            return None
+    except TRANSIENT_STORE_ERRORS:
+        # The store vanished mid-run (not a computation error): leave the
+        # job to lease expiry rather than recording a phantom failure.
+        return None
     except Exception:
-        return False if store.fail(job.id, worker, traceback.format_exc()) else None
+        error_text = traceback.format_exc()
+        try:
+            return False if store.fail(job.id, worker, error_text) else None
+        except TRANSIENT_STORE_ERRORS:
+            return None
     finally:
         stop.set()
         beat.join(timeout=5.0)
 
 
-def worker_loop(
-    db_path: Path,
-    cache_dir: Path,
+def run_worker(
+    store: base.JobStore,
+    artifacts: Union[Path, ArtifactStore],
+    worker: str,
     shard_index: int = 0,
     shard_count: int = 1,
-    lease_ttl: float = 60.0,
     poll_interval: float = DEFAULT_POLL_INTERVAL,
     max_jobs: Optional[int] = None,
     stop_event: Optional[object] = None,
     shard_state: Optional[object] = None,
     cancel_poll_interval: Optional[float] = None,
 ) -> int:
-    """Claim-and-execute loop of one worker process; returns jobs executed.
+    """Backend-agnostic claim-and-execute loop; returns jobs executed.
+
+    The same loop serves both deployments -- only the backends differ:
+    a local worker passes a :class:`~repro.service.store.SqliteJobStore`
+    plus a cache path, a remote one a
+    :class:`~repro.service.remote.RemoteJobStore` plus an
+    :class:`~repro.experiments.artifacts.HttpArtifactStore`.  Transient
+    store errors (a coordinator restart, a network partition) are
+    survived by polling on: the lease model already treats an unreachable
+    worker and an unreachable coordinator identically.
 
     ``max_jobs`` bounds the loop for tests and batch draining; ``None``
     loops until the process is terminated (the supervisor sends SIGTERM).
@@ -206,16 +287,21 @@ def worker_loop(
     the worker re-reads it before every claim, falling back to the static
     ``shard_count`` argument when absent.
     """
-    store = JobStore(db_path, lease_ttl=lease_ttl)
-    worker = f"worker-{shard_index}@{os.getpid()}"
     executed = 0
     while max_jobs is None or executed < max_jobs:
         if stop_event is not None and stop_event.is_set():
             break
         shards = shard_state.value if shard_state is not None else shard_count
-        job = store.claim(worker, shard_index=shard_index, shard_count=shards)
+        try:
+            job = store.claim(worker, shard_index=shard_index, shard_count=shards)
+        except TRANSIENT_STORE_ERRORS:
+            job = None
         if job is None:
-            if max_jobs is not None and store.pending_count() == 0:
+            try:
+                drained = max_jobs is not None and store.pending_count() == 0
+            except TRANSIENT_STORE_ERRORS:
+                drained = False
+            if drained:
                 break
             if stop_event is not None:
                 if stop_event.wait(poll_interval):
@@ -224,11 +310,84 @@ def worker_loop(
                 time.sleep(poll_interval)
             continue
         outcome = execute_job(
-            store, job, cache_dir, worker, cancel_poll_interval=cancel_poll_interval
+            store, job, artifacts, worker, cancel_poll_interval=cancel_poll_interval
         )
         if outcome is not None:
             executed += 1
     return executed
+
+
+def worker_loop(
+    db_path: Path,
+    cache_dir: Path,
+    shard_index: int = 0,
+    shard_count: int = 1,
+    lease_ttl: float = 60.0,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    max_jobs: Optional[int] = None,
+    stop_event: Optional[object] = None,
+    shard_state: Optional[object] = None,
+    cancel_poll_interval: Optional[float] = None,
+) -> int:
+    """A local worker: SQLite store + local artefact cache (see
+    :func:`run_worker` for loop semantics)."""
+    store = JobStore(db_path, lease_ttl=lease_ttl)
+    worker = f"worker-{shard_index}@{os.getpid()}"
+    return run_worker(
+        store,
+        LocalArtifactStore(cache_dir),
+        worker,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        poll_interval=poll_interval,
+        max_jobs=max_jobs,
+        stop_event=stop_event,
+        shard_state=shard_state,
+        cancel_poll_interval=cancel_poll_interval,
+    )
+
+
+def remote_worker_loop(
+    coordinator_url: str,
+    cache_dir: Path,
+    shard_index: int = 0,
+    shard_count: int = 1,
+    poll_interval: float = 0.5,
+    max_jobs: Optional[int] = None,
+    stop_event: Optional[object] = None,
+    cancel_poll_interval: Optional[float] = None,
+    worker_name: Optional[str] = None,
+    store: Optional[base.JobStore] = None,
+    artifacts: Optional[ArtifactStore] = None,
+) -> int:
+    """A remote worker: jobs and artefacts speak the coordinator's API.
+
+    ``repro worker --coordinator http://host:port`` lands here.  The
+    lease TTL is the *coordinator's* (learned from ``/v1/healthz``), and
+    expiry is evaluated on the coordinator's clock only -- this process
+    merely heartbeats and accepts the verdicts.  ``store`` / ``artifacts``
+    are injectable for the fault-injection harness.
+    """
+    store = store if store is not None else RemoteJobStore(coordinator_url)
+    artifacts = (
+        artifacts
+        if artifacts is not None
+        else HttpArtifactStore(coordinator_url, cache_dir)
+    )
+    worker = worker_name or (
+        f"worker-{shard_index}@{socket.gethostname()}:{os.getpid()}"
+    )
+    return run_worker(
+        store,
+        artifacts,
+        worker,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        poll_interval=poll_interval,
+        max_jobs=max_jobs,
+        stop_event=stop_event,
+        cancel_poll_interval=cancel_poll_interval,
+    )
 
 
 def _spawn_worker(

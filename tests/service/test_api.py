@@ -5,26 +5,16 @@ import pickle
 import numpy as np
 import pytest
 
+from conftest import tiny_scenario
 from repro.experiments.cache import ArtefactCache
-from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import report_payload
 from repro.experiments.runner import ExperimentRunner
-from repro.service.api import ExperimentService, make_async_server
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.api import ExperimentService
+from repro.service.client import ServiceError
 from repro.service.store import JobStore
 from repro.service.worker import worker_loop
 
-TINY = ScenarioConfig(
-    name="api-tiny",
-    circuit_population=8,
-    circuit_generations=2,
-    system_population=8,
-    system_generations=2,
-    mc_samples_per_point=4,
-    yield_samples=10,
-    max_model_points=6,
-    seed=17,
-)
+TINY = tiny_scenario("api-tiny", seed=17)
 
 #: Overrides turning the registered fast-smoke into TINY's numbers, so the
 #: HTTP tests submit through the real registry path.
@@ -46,16 +36,7 @@ def service(tmp_path):
     return ExperimentService(store, tmp_path / "cache")
 
 
-@pytest.fixture()
-def live(tmp_path):
-    """A real asyncio HTTP server + client, torn down after the test."""
-    store = JobStore(tmp_path / "service.db", lease_ttl=30.0)
-    server = make_async_server("127.0.0.1", 0, store, tmp_path / "cache")
-    host, port = server.start()
-    client = ServiceClient(f"http://{host}:{port}")
-    client.wait_until_ready()
-    yield client, store, tmp_path / "cache"
-    server.shutdown()
+# The ``live`` fixture (asyncio server + ready client) comes from conftest.
 
 
 # -- application-level routing (no sockets) ----------------------------------------------

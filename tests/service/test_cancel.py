@@ -5,14 +5,13 @@ reclaimed and finished bit-identically (the ISSUE's acceptance
 invariants)."""
 
 import multiprocessing
-import pickle
 import threading
 import time
 
 import pytest
 
+from conftest import assert_artefacts_byte_identical, tiny_scenario
 from repro.experiments.cache import ArtefactCache
-from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import ExperimentRunner
 from repro.service.store import JobStore
 from repro.service.worker import worker_loop
@@ -20,16 +19,8 @@ from repro.service.worker import worker_loop
 #: Enough NSGA-II generations (~1.5 s serial) that a cancel or SIGKILL
 #: reliably lands mid-optimisation, with tiny later stages so the tail of
 #: the test stays fast.
-SLOW_CIRCUIT = ScenarioConfig(
-    name="cancel-e2e",
-    circuit_population=40,
-    circuit_generations=60,
-    system_population=8,
-    system_generations=2,
-    mc_samples_per_point=4,
-    yield_samples=10,
-    max_model_points=6,
-    seed=77,
+SLOW_CIRCUIT = tiny_scenario(
+    "cancel-e2e", seed=77, circuit_population=40, circuit_generations=60
 )
 
 
@@ -42,14 +33,6 @@ def wait_for_partial_generation(entry, generation, timeout=60.0):
             return state
         assert time.monotonic() < deadline, "worker never reached the target generation"
         time.sleep(0.002)
-
-
-def assert_artefacts_byte_identical(entry_a, entry_b):
-    assert entry_a.stages_present() == entry_b.stages_present()
-    for stage in entry_a.stages_present():
-        assert pickle.dumps(entry_a.load(stage), protocol=4) == pickle.dumps(
-            entry_b.load(stage), protocol=4
-        ), f"stage {stage} diverged"
 
 
 @pytest.mark.slow

@@ -2,17 +2,15 @@
 and still finishes bit-identically (resume via the per-stage cache)."""
 
 import multiprocessing
-import pickle
 import threading
 import time
 
 import pytest
 
+from conftest import assert_artefacts_byte_identical, tiny_scenario
 from repro.experiments.cache import ArtefactCache
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import ExperimentRunner
-from repro.service.api import make_server
-from repro.service.client import ServiceClient
 from repro.service.store import JobStore
 from repro.service.worker import worker_loop
 
@@ -31,34 +29,27 @@ SLOW = ScenarioConfig(
 )
 
 
-def test_concurrent_submissions_coalesce_to_one_job(tmp_path):
-    """Many clients posting the same scenario race into a single job."""
-    store = JobStore(tmp_path / "service.db")
-    server = make_server("127.0.0.1", 0, store, tmp_path / "cache")
-    threading.Thread(target=server.serve_forever, daemon=True).start()
-    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
-    client.wait_until_ready()
-    try:
-        results = []
-        barrier = threading.Barrier(8)
+def test_concurrent_submissions_coalesce_to_one_job(threaded_live):
+    """Many clients posting the same scenario race into a single job
+    (via the threaded front end, keeping that code path covered)."""
+    client, store, _ = threaded_live
+    results = []
+    barrier = threading.Barrier(8)
 
-        def submit():
-            barrier.wait()
-            results.append(client.submit("fast-smoke", {"seed": 404}))
+    def submit():
+        barrier.wait()
+        results.append(client.submit("fast-smoke", {"seed": 404}))
 
-        threads = [threading.Thread(target=submit) for _ in range(8)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+    threads = [threading.Thread(target=submit) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
 
-        assert len(results) == 8
-        assert len({job["id"] for job in results}) == 1  # one job id for all
-        assert sum(1 for job in results if job["created"]) == 1  # created once
-        assert store.counts()["queued"] == 1  # one execution pending
-    finally:
-        server.shutdown()
-        server.server_close()
+    assert len(results) == 8
+    assert len({job["id"] for job in results}) == 1  # one job id for all
+    assert sum(1 for job in results if job["created"]) == 1  # created once
+    assert store.counts()["queued"] == 1  # one execution pending
 
 
 @pytest.mark.slow
@@ -71,19 +62,7 @@ def test_process_backend_job_runs_through_spawned_workers(tmp_path):
     db = tmp_path / "service.db"
     cache = tmp_path / "cache"
     store = JobStore(db, lease_ttl=30.0)
-    tiny = ScenarioConfig(
-        name="proc-tiny",
-        circuit_population=8,
-        circuit_generations=2,
-        system_population=8,
-        system_generations=2,
-        mc_samples_per_point=4,
-        yield_samples=10,
-        max_model_points=6,
-        seed=29,
-        evaluation="process",
-        n_workers=2,
-    )
+    tiny = tiny_scenario("proc-tiny", seed=29, evaluation="process", n_workers=2)
     job, _ = store.submit(tiny)
     with WorkerPool(db, cache, n_workers=1, lease_ttl=30.0):
         deadline = time.monotonic() + 120.0
@@ -139,12 +118,9 @@ def test_killed_worker_job_is_reclaimed_and_finishes_bit_identically(tmp_path):
     # Bit-identity with an uninterrupted direct run of the same scenario.
     direct_cache = tmp_path / "direct"
     ExperimentRunner(SLOW, cache_dir=direct_cache).run()
-    direct_entry = ArtefactCache(direct_cache).entry_for(SLOW)
-    assert entry.stages_present() == direct_entry.stages_present()
-    for stage in entry.stages_present():
-        assert pickle.dumps(entry.load(stage), protocol=4) == pickle.dumps(
-            direct_entry.load(stage), protocol=4
-        ), f"stage {stage} diverged after the crash-resume"
+    assert_artefacts_byte_identical(
+        entry, ArtefactCache(direct_cache).entry_for(SLOW)
+    )
     # The resumed run reports every stage (cached circuit included) from
     # worker B.  Worker A may or may not have recorded its circuit event
     # before the kill landed -- the checkpoint write precedes the event.

@@ -1,4 +1,11 @@
-"""Job store unit tests: lifecycle, dedup, leases, sharding, events."""
+"""Job store unit tests: lifecycle, dedup, leases, sharding, events.
+
+Contract tests here run against **both** backends (the ``any_store``
+fixture: SQLite directly, and RemoteJobStore over a loopback
+coordinator), proving wire parity of the whole JobStore surface.
+Timing-sensitive lease tests and SQLite internals (meta table,
+migrations) stay pinned to the local backend.
+"""
 
 import time
 
@@ -11,8 +18,9 @@ TINY = ScenarioConfig(name="store-tiny", circuit_population=8, circuit_generatio
 
 
 @pytest.fixture()
-def store(tmp_path):
-    return JobStore(tmp_path / "service.db", lease_ttl=60.0)
+def store(any_store):
+    """The JobStore contract under test, parametrised over backends."""
+    return any_store
 
 
 def test_submit_creates_queued_job_keyed_by_config_hash(store):
@@ -437,7 +445,8 @@ def test_count_matches_listing(store):
 # -- meta key-value store -----------------------------------------------------------------
 
 
-def test_meta_roundtrip_and_cross_instance_visibility(store, tmp_path):
+def test_meta_roundtrip_and_cross_instance_visibility(sqlite_store, tmp_path):
+    store = sqlite_store  # the meta table is a SQLite-backend internal
     assert store.get_meta("workers") is None
     assert store.get_meta("workers", default=0) == 0
     store.set_meta("workers", 4)
