@@ -9,11 +9,14 @@ entries -- tagging each with its source file -- and keeps one copy of the
 machine/commit metadata, producing the single ``BENCH_ci.json`` artifact
 described in the README.
 
-It is also the vectorisation regression gate: benchmarks record their
-measured vectorised-vs-serial ratios as ``extra_info`` keys starting with
+It is also the perf regression gate: benchmarks record their measured
+vectorised-vs-serial ratios as ``extra_info`` keys starting with
 ``speedup``, and the merge FAILS (non-zero exit) if any recorded ratio
 drops below 1.0 -- i.e. if a change makes a batched path slower than the
-serial loop it is supposed to replace.
+serial loop it is supposed to replace.  Likewise the observability
+benchmark records its composed tracing overhead as ``overhead_obs``
+(percent), and the merge fails if it reaches 3 % -- observability must
+stay effectively free.
 """
 
 from __future__ import annotations
@@ -25,15 +28,24 @@ from pathlib import Path
 #: ``extra_info`` keys with this prefix are speedup ratios gated at >= 1.0.
 SPEEDUP_PREFIX = "speedup"
 
+#: ``extra_info`` key holding the tracing overhead percent, gated below this.
+OBS_OVERHEAD_KEY = "overhead_obs"
+MAX_OBS_OVERHEAD_PERCENT = 3.0
 
-def collect_speedups(merged: dict) -> list:
-    """All ``(benchmark_name, key, ratio)`` speedup records in the report."""
+
+def collect_extra_info(merged: dict, matches) -> list:
+    """All ``(benchmark_name, key, value)`` records whose key matches."""
     records = []
     for entry in merged["benchmarks"]:
         for key, value in (entry.get("extra_info") or {}).items():
-            if key.startswith(SPEEDUP_PREFIX):
+            if matches(key):
                 records.append((entry.get("name", "?"), key, float(value)))
     return records
+
+
+def collect_speedups(merged: dict) -> list:
+    """All ``(benchmark_name, key, ratio)`` speedup records in the report."""
+    return collect_extra_info(merged, lambda key: key.startswith(SPEEDUP_PREFIX))
 
 
 def merge(input_directory: str, output_file: str) -> dict:
@@ -71,6 +83,19 @@ def main(input_directory: str, output_file: str) -> None:
         raise SystemExit(
             f"vectorised-vs-serial speedup regression: {details} -- a batched "
             "path is now slower than the serial loop it replaces"
+        )
+    overheads = collect_extra_info(merged, lambda key: key == OBS_OVERHEAD_KEY)
+    blown = []
+    for name, key, percent in overheads:
+        status = "ok" if percent < MAX_OBS_OVERHEAD_PERCENT else "REGRESSION"
+        print(f"  {key}: {percent:.3f} % ({name}) [{status}]")
+        if percent >= MAX_OBS_OVERHEAD_PERCENT:
+            blown.append((name, key, percent))
+    if blown:
+        details = ", ".join(f"{key}={percent:.3f}%" for _, key, percent in blown)
+        raise SystemExit(
+            f"observability overhead regression: {details} -- tracing costs "
+            f">= {MAX_OBS_OVERHEAD_PERCENT} % of a fast-smoke run"
         )
 
 

@@ -1,0 +1,129 @@
+"""Observability overhead: tracing a ``fast-smoke`` run must cost < 3 %.
+
+The tracer exists to explain where a job's time goes; it must never be
+a meaningful part of that time.  As with the checkpoint benchmark the
+gated metric is composed from independently stable measurements -- the
+real cost of recording one span (min over many) times the number of
+spans a run actually emits, plus the one ``trace.jsonl`` persist at the
+end, over the untraced run's wall clock -- because a direct wall-clock
+A/B diff of two ~200 ms runs is dominated by scheduler noise on shared
+CI machines.  The raw A/B diff is still measured and reported as
+``extra_info`` for the curious.
+
+The two variants must also stay bit-identical: spans only read clocks,
+they never perturb the values or RNG streams they observe.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import print_header
+from repro.experiments.cache import ArtefactCache
+from repro.experiments.registry import get_scenario
+from repro.experiments.runner import ExperimentRunner
+from repro.obs import trace as obs_trace
+
+from tests.experiments.test_runner import assert_bit_identical
+
+#: Best-of rounds per timed quantity (min: robust against CI noise).
+ROUNDS = 5
+
+#: Hard gate on the relative cost of end-to-end tracing.
+MAX_OVERHEAD_PERCENT = 3.0
+
+
+def _run(scenario, cache_dir, traced: bool):
+    os.environ["REPRO_OBS"] = "1" if traced else "0"
+    runner = ExperimentRunner(scenario, cache_dir=cache_dir)
+    started = time.perf_counter()
+    result = runner.run()
+    return time.perf_counter() - started, result
+
+
+def test_observability_overhead(benchmark, tmp_path):
+    scenario = get_scenario("fast-smoke")
+    times = {True: [], False: []}
+    results = {}
+    caches = {}
+    previous = os.environ.get("REPRO_OBS")
+    try:
+        for traced in (False, True):  # warm caches untimed
+            _run(scenario, tmp_path / f"warmup-{traced}", traced)
+        for round_index in range(ROUNDS):
+            # Alternate the order so drift (thermal, page cache) cancels out.
+            for traced in ((True, False) if round_index % 2 else (False, True)):
+                cache_dir = tmp_path / f"{'traced' if traced else 'dark'}-{round_index}"
+                seconds, result = _run(scenario, cache_dir, traced)
+                times[traced].append(seconds)
+                results[traced] = result
+                caches[traced] = cache_dir
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_OBS", None)
+        else:
+            os.environ["REPRO_OBS"] = previous
+
+    # Tracing must not change a single bit of the results.
+    assert_bit_identical(results[False], results[True])
+
+    # How many spans does a real run emit, and what does one cost?  The
+    # per-span price is measured hot (trace active, two clock reads, one
+    # dict, one locked append), the persist price against the run's own
+    # trace through the real atomic cache-entry write.
+    entry = ArtefactCache(caches[True]).entry_for(scenario)
+    spans = entry.read_trace() or []
+    assert spans, "traced run recorded no spans"
+
+    span_times = []
+    with obs_trace.start_trace("bench-span-cost"):
+        for _ in range(50):
+            started = time.perf_counter()
+            for _ in range(200):
+                with obs_trace.span("bench.tick", i=1):
+                    pass
+            span_times.append((time.perf_counter() - started) / 200)
+    persist_times = []
+    for _ in range(20):
+        started = time.perf_counter()
+        entry.write_trace(spans)
+        persist_times.append(time.perf_counter() - started)
+
+    best_dark = min(times[False])
+    best_traced = min(times[True])
+    span_seconds = min(span_times)
+    persist_seconds = min(persist_times)
+    overhead_seconds = len(spans) * span_seconds + persist_seconds
+    overhead_percent = 100.0 * overhead_seconds / best_dark
+    ab_diff_percent = 100.0 * (best_traced - best_dark) / best_dark
+
+    print_header("Observability overhead on fast-smoke")
+    print(f"run without tracing     : {best_dark * 1e3:9.2f} ms (best of {ROUNDS})")
+    print(f"run with tracing        : {best_traced * 1e3:9.2f} ms (best of {ROUNDS})")
+    print(f"one span                : {span_seconds * 1e6:9.3f} us ({len(spans)} spans/run)")
+    print(f"trace.jsonl persist     : {persist_seconds * 1e3:9.3f} ms")
+    print(
+        f"overhead (composed)     : {overhead_percent:9.3f} %  "
+        f"(gate: < {MAX_OVERHEAD_PERCENT} %)"
+    )
+    print(f"raw A/B wall-clock diff : {ab_diff_percent:9.2f} %  (informational)")
+
+    assert overhead_percent < MAX_OVERHEAD_PERCENT, (
+        f"tracing costs {overhead_percent:.3f} % on fast-smoke "
+        f"(gate: {MAX_OVERHEAD_PERCENT} %)"
+    )
+    benchmark.extra_info["overhead_obs"] = overhead_percent
+    benchmark.extra_info["obs_span_us"] = span_seconds * 1e6
+    benchmark.extra_info["obs_spans_per_run"] = len(spans)
+    benchmark.extra_info["obs_persist_ms"] = persist_seconds * 1e3
+    benchmark.extra_info["obs_ab_diff_percent"] = ab_diff_percent
+
+    # The timed body: one span record into a hot trace (the unit price
+    # every instrumented region pays).
+    def record_span():
+        with obs_trace.span("bench.tick", i=1):
+            pass
+
+    with obs_trace.start_trace("bench-timed-body"):
+        benchmark.pedantic(record_span, rounds=20, iterations=200, warmup_rounds=2)

@@ -34,6 +34,8 @@ import numpy as np
 from repro.circuits.performance import VcoPerformance
 from repro.circuits.ring_vco import N_STAGES, VcoDesign
 from repro.circuits.testbench import VcoTestbench
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.process.mismatch import MismatchSample
 from repro.process.technology import TECH_012UM, Technology
 from repro.spice.mosfet import _ELECTRON_CHARGE, _EPS_OX, MOSFET
@@ -41,6 +43,13 @@ from repro.spice.mosfet import _ELECTRON_CHARGE, _EPS_OX, MOSFET
 __all__ = ["VcoEvaluator", "RingVcoAnalyticalEvaluator", "RingVcoSpiceEvaluator"]
 
 _BOLTZMANN = 1.380649e-23
+
+#: VCO evaluations performed, labelled by evaluator backend.
+EVALUATIONS = obs_metrics.get_registry().counter(
+    "repro_evaluations_total",
+    "VCO evaluations performed, by evaluator backend",
+    ("backend",),
+)
 
 #: Batch adapter signature used by ``MonteCarloEngine.run_batch``: lists of
 #: per-sample technologies and mismatch samples in, one performance
@@ -597,6 +606,7 @@ class RingVcoAnalyticalEvaluator(VcoEvaluator):
         base_tech = technology or self.technology
         designs_b, techs, mms = _broadcast_batch(designs, base_tech, technologies, mismatches)
         n = len(designs_b)
+        EVALUATIONS.inc(n, backend="analytical")
         reference = techs[0]
         if any(
             tech.vdd != reference.vdd or tech.temperature != reference.temperature
@@ -757,12 +767,52 @@ def _evaluate_spice_in_worker(
     )
 
 
+def _evaluate_spice_chunk_traced(
+    payload: Tuple[
+        Sequence[Tuple[VcoDesign, Technology, Optional[MismatchSample]]],
+        Optional[dict],
+        int,
+    ],
+) -> Tuple[List[VcoPerformance], List[dict]]:
+    """Traced chunk evaluation inside a pool worker.
+
+    The child process cannot see the parent's trace, so it records its
+    chunk span into a throwaway trace (seeded from the shipped
+    :func:`~repro.obs.trace.trace_context`) and returns the span records
+    with the results; the parent merges them.  Evaluation itself is the
+    same scalar :meth:`RingVcoSpiceEvaluator.evaluate` loop -- spans
+    never touch the numbers.
+    """
+    tasks, context, chunk_index = payload
+    if _SPICE_WORKER_EVALUATOR is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process was not initialised with an evaluator")
+    with obs_trace.collect_spans(context) as spans:
+        with obs_trace.span("spice.chunk", chunk=chunk_index, n_tasks=len(tasks)):
+            results = [_evaluate_spice_in_worker(task) for task in tasks]
+    return results, spans
+
+
 def _evaluate_spice_lanes_in_worker(
     tasks: Sequence[Tuple[VcoDesign, Technology, Optional[MismatchSample]]],
 ) -> List[VcoPerformance]:
     if _SPICE_WORKER_EVALUATOR is None:  # pragma: no cover - defensive
         raise RuntimeError("worker process was not initialised with an evaluator")
     return _SPICE_WORKER_EVALUATOR.evaluate_lane_chunk(tasks)
+
+
+def _evaluate_spice_lanes_traced(
+    payload: Tuple[
+        Sequence[Tuple[VcoDesign, Technology, Optional[MismatchSample]]],
+        Optional[dict],
+        int,
+    ],
+) -> Tuple[List[VcoPerformance], List[dict]]:
+    """Traced lane-chunk evaluation inside a pool worker (see above)."""
+    tasks, context, chunk_index = payload
+    with obs_trace.collect_spans(context) as spans:
+        with obs_trace.span("spice.lane_chunk", chunk=chunk_index, n_tasks=len(tasks)):
+            results = _evaluate_spice_lanes_in_worker(tasks)
+    return results, spans
 
 
 class RingVcoSpiceEvaluator(VcoEvaluator):
@@ -866,6 +916,7 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
         )
         tasks = list(zip(designs_b, techs, mms))
         n_tasks = len(tasks)
+        EVALUATIONS.inc(n_tasks, backend=f"spice-{self.engine}")
         if self.engine == "lanes":
             return self._evaluate_batch_lanes(tasks)
         n_workers = min(self.pool_size(), n_tasks)
@@ -874,15 +925,38 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
                 self.evaluate(design, technology=tech, mismatch=mismatch)
                 for design, tech, mismatch in tasks
             ]
-        chunksize = max(1, -(-n_tasks // (n_workers * 4)))
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_initialise_spice_worker,
-            initargs=(self,),
-        ) as executor:
-            return list(
-                executor.map(_evaluate_spice_in_worker, tasks, chunksize=chunksize)
-            )
+        with obs_trace.span(
+            "spice.evaluate_batch", n_tasks=n_tasks, n_workers=n_workers
+        ) as attrs:
+            context = obs_trace.trace_context()
+            chunksize = max(1, -(-n_tasks // (n_workers * 4)))
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_initialise_spice_worker,
+                initargs=(self,),
+            ) as executor:
+                if context is None:
+                    return list(
+                        executor.map(
+                            _evaluate_spice_in_worker, tasks, chunksize=chunksize
+                        )
+                    )
+                # Traced runs ship the chunks explicitly so each pool
+                # worker can hand its chunk span back with the results.
+                chunks = [
+                    tasks[start : start + chunksize]
+                    for start in range(0, n_tasks, chunksize)
+                ]
+                if attrs is not None:
+                    attrs["n_chunks"] = len(chunks)
+                results: List[VcoPerformance] = []
+                for chunk_results, spans in executor.map(
+                    _evaluate_spice_chunk_traced,
+                    [(chunk, context, index) for index, chunk in enumerate(chunks)],
+                ):
+                    results.extend(chunk_results)
+                    obs_trace.merge_spans(spans)
+                return results
 
     def evaluate_lane_chunk(
         self, tasks: Sequence[Tuple[VcoDesign, Technology, Optional[MismatchSample]]]
@@ -920,15 +994,32 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
             for chunk in chunks:
                 results.extend(self.evaluate_lane_chunk(chunk))
             return results
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_initialise_spice_worker,
-            initargs=(self,),
-        ) as executor:
-            results = []
-            for chunk_result in executor.map(_evaluate_spice_lanes_in_worker, chunks):
-                results.extend(chunk_result)
-            return results
+        with obs_trace.span(
+            "spice.evaluate_batch",
+            n_tasks=len(tasks),
+            n_workers=n_workers,
+            n_chunks=len(chunks),
+        ):
+            context = obs_trace.trace_context()
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_initialise_spice_worker,
+                initargs=(self,),
+            ) as executor:
+                results = []
+                if context is None:
+                    for chunk_result in executor.map(
+                        _evaluate_spice_lanes_in_worker, chunks
+                    ):
+                        results.extend(chunk_result)
+                    return results
+                for chunk_result, spans in executor.map(
+                    _evaluate_spice_lanes_traced,
+                    [(chunk, context, index) for index, chunk in enumerate(chunks)],
+                ):
+                    results.extend(chunk_result)
+                    obs_trace.merge_spans(spans)
+                return results
 
     def pool_size(self) -> int:
         """Worker count of the batch pool (configured or the shared default)."""

@@ -25,6 +25,7 @@ from repro.circuits.evaluators import RingVcoAnalyticalEvaluator, VcoEvaluator
 from repro.circuits.ring_vco import N_STAGES, VcoDesign, vco_device_geometries
 from repro.core.combined_model import CombinedPerformanceVariationModel
 from repro.core.specification import PLL_SPECIFICATIONS, SpecificationSet
+from repro.obs import trace as obs_trace
 from repro.process.montecarlo import MonteCarloEngine, ProcessSample
 from repro.process.statistics import summarise_samples
 
@@ -158,9 +159,15 @@ class YieldAnalysis:
             if cancel is not None:
                 cancel.raise_if_cancelled()
             batch = process_samples[len(samples):len(samples) + chunk]
-            samples.extend(self._evaluate_batch(batch, vco_design, pll_design))
-            if checkpoint is not None and len(samples) < self.n_samples:
-                checkpoint.store({"fingerprint": fingerprint, "samples": samples})
+            with obs_trace.span(
+                "yield.mc_batch",
+                first_sample=len(samples),
+                batch_size=len(batch),
+                total=self.n_samples,
+            ):
+                samples.extend(self._evaluate_batch(batch, vco_design, pll_design))
+                if checkpoint is not None and len(samples) < self.n_samples:
+                    checkpoint.store({"fingerprint": fingerprint, "samples": samples})
         if checkpoint is not None:
             checkpoint.clear()
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import abc
 import http.client
+import logging
 import os
 import pickle
 import re
@@ -37,8 +38,9 @@ import urllib.request
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.experiments.cache import STAGES, ArtefactCache, CacheEntry
+from repro.experiments.cache import STAGES, TRACE_FILE, ArtefactCache, CacheEntry
 from repro.experiments.config import ScenarioConfig
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "ARTIFACT_NAME_RE",
@@ -51,9 +53,11 @@ __all__ = [
 ]
 
 #: Every file name the artifact protocol may move: the four stage
-#: pickles, their mid-stage partials, and the two JSON metadata files.
+#: pickles, their mid-stage partials, the two JSON metadata files and
+#: the per-job span trace.
 ARTIFACT_NAME_RE = re.compile(
-    r"^(?:(?:circuit|system|yield|verification)(?:\.partial)?\.pkl|(?:scenario|report)\.json)$"
+    r"^(?:(?:circuit|system|yield|verification)(?:\.partial)?\.pkl"
+    r"|(?:scenario|report)\.json|trace\.jsonl)$"
 )
 
 
@@ -61,8 +65,30 @@ def artifact_names() -> List[str]:
     """All transferable artifact file names (for docs and validation)."""
     names = [f"{stage}.pkl" for stage in STAGES]
     names += [f"{stage}.partial.pkl" for stage in STAGES]
-    names += ["scenario.json", "report.json"]
+    names += ["scenario.json", "report.json", TRACE_FILE]
     return names
+
+
+_log = logging.getLogger("repro.service.artifacts")
+
+_registry = obs_metrics.get_registry()
+#: Bytes moved over the artifact protocol, by direction (``up``/``down``).
+ARTIFACT_BYTES = _registry.counter(
+    "repro_artifact_bytes_total",
+    "Artifact bytes transferred over the /v1/artifacts protocol",
+    ("direction",),
+)
+#: Transport-level retries the bounded retry loop performed.
+ARTIFACT_RETRIES = _registry.counter(
+    "repro_artifact_retries_total",
+    "Artifact transport retries after a transient network failure",
+)
+#: Previously-silent best-effort push/delete failures, now counted.
+ARTIFACT_PUSH_FAILURES = _registry.counter(
+    "repro_artifact_push_failures_total",
+    "Best-effort artifact uploads/deletes that failed after retries",
+    ("name",),
+)
 
 
 class ArtifactTransportError(OSError):
@@ -114,6 +140,10 @@ class HttpTransport:
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        #: Response headers of the most recent exchange (lower-cased
+        #: keys).  The trace-context propagation on ``/v1/claim`` reads
+        #: the coordinator's ``X-Repro-Trace`` header from here.
+        self.last_response_headers: Dict[str, str] = {}
 
     def request(
         self,
@@ -143,8 +173,14 @@ class HttpTransport:
                         f"short read: got {len(payload)} of {declared} bytes"
                         f" for {method} {path}"
                     )
+                self.last_response_headers = {
+                    key.lower(): value for key, value in response.headers.items()
+                }
                 return response.status, payload
         except urllib.error.HTTPError as error:
+            self.last_response_headers = {
+                key.lower(): value for key, value in error.headers.items()
+            }
             return error.code, error.read()
         except (
             urllib.error.URLError,
@@ -209,6 +245,7 @@ class HttpArtifactStore(ArtifactStore):
             except ArtifactTransportError as error:
                 last_error = error
                 if attempt + 1 < self.retries:
+                    ARTIFACT_RETRIES.inc()
                     time.sleep(self.retry_delay * (attempt + 1))
         assert last_error is not None
         raise last_error
@@ -222,6 +259,7 @@ class HttpArtifactStore(ArtifactStore):
             raise ArtifactTransportError(
                 f"GET /v1/artifacts/{config_hash}/{name} -> HTTP {status}"
             )
+        ARTIFACT_BYTES.inc(len(payload), direction="down")
         return payload
 
     def push(self, config_hash: str, name: str, payload: bytes) -> None:
@@ -233,6 +271,7 @@ class HttpArtifactStore(ArtifactStore):
             raise ArtifactTransportError(
                 f"PUT /v1/artifacts/{config_hash}/{name} -> HTTP {status}"
             )
+        ARTIFACT_BYTES.inc(len(payload), direction="up")
 
     def delete(self, config_hash: str, name: str) -> None:
         """Remove one artifact on the coordinator (absent is fine)."""
@@ -284,6 +323,25 @@ class HttpArtifactEntry:
         """Upload the local file's exact bytes (no re-serialisation)."""
         payload = (self.directory / name).read_bytes()
         self.remote.push(self.config_hash, name, payload)
+
+    def _push_best_effort(self, name: str) -> None:
+        """Upload where failure only costs a recompute on reclaim.
+
+        Never silent: every swallowed transport failure is counted
+        (``repro_artifact_push_failures_total``) and logged with the
+        job id so a flaky coordinator link shows up in metrics instead
+        of vanishing.
+        """
+        try:
+            self._push_file(name)
+        except ArtifactTransportError as error:
+            ARTIFACT_PUSH_FAILURES.inc(name=name)
+            _log.warning(
+                "job %s: best-effort push of %s failed: %s",
+                self.config_hash,
+                name,
+                error,
+            )
 
     # -- artefacts -----------------------------------------------------------------------
 
@@ -338,10 +396,7 @@ class HttpArtifactEntry:
         """Checkpoint locally, then publish (best effort -- a partial
         that fails to upload only costs recomputation on reclaim)."""
         path = self.local.store_partial(stage, state)
-        try:
-            self._push_file(f"{stage}.partial.pkl")
-        except ArtifactTransportError:
-            pass
+        self._push_best_effort(f"{stage}.partial.pkl")
         return path
 
     def clear_partial(self, stage: str) -> None:
@@ -349,17 +404,20 @@ class HttpArtifactEntry:
         self.local.clear_partial(stage)
         try:
             self.remote.delete(self.config_hash, f"{stage}.partial.pkl")
-        except ArtifactTransportError:
-            pass
+        except ArtifactTransportError as error:
+            ARTIFACT_PUSH_FAILURES.inc(name=f"{stage}.partial.pkl")
+            _log.warning(
+                "job %s: best-effort delete of %s.partial.pkl failed: %s",
+                self.config_hash,
+                stage,
+                error,
+            )
 
     # -- metadata ------------------------------------------------------------------------
 
     def write_scenario(self, scenario: ScenarioConfig) -> Path:
         path = self.local.write_scenario(scenario)
-        try:
-            self._push_file("scenario.json")
-        except ArtifactTransportError:
-            pass
+        self._push_best_effort("scenario.json")
         return path
 
     def read_scenario(self) -> Optional[ScenarioConfig]:
@@ -382,3 +440,21 @@ class HttpArtifactEntry:
             except ArtifactTransportError:
                 pass
         return self.local.read_report_summary()
+
+    def write_trace(self, records: List[Dict[str, Any]]) -> Path:
+        """Persist the span trace locally, then ship it to the coordinator.
+
+        Best effort like the partials: a trace that fails to upload
+        costs visibility, never correctness.
+        """
+        path = self.local.write_trace(records)
+        self._push_best_effort(TRACE_FILE)
+        return path
+
+    def read_trace(self) -> Optional[List[Dict[str, Any]]]:
+        if not (self.directory / TRACE_FILE).is_file():
+            try:
+                self._pull(TRACE_FILE)
+            except ArtifactTransportError:
+                pass
+        return self.local.read_trace()

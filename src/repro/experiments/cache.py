@@ -33,11 +33,15 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.experiments.config import ScenarioConfig
+from repro.obs.trace import spans_from_jsonl, spans_to_jsonl
 
-__all__ = ["STAGES", "ArtefactCache", "CacheEntry", "default_cache_dir"]
+__all__ = ["STAGES", "TRACE_FILE", "ArtefactCache", "CacheEntry", "default_cache_dir"]
 
 #: Stage checkpoint names, in flow order.
 STAGES = ("circuit", "system", "yield", "verification")
+
+#: The per-job span trace, one JSON span per line (see :mod:`repro.obs.trace`).
+TRACE_FILE = "trace.jsonl"
 
 #: Environment variable overriding the default cache root.
 _CACHE_ENV = "REPRO_CACHE_DIR"
@@ -162,6 +166,27 @@ class CacheEntry:
     def read_report_summary(self) -> Optional[Dict[str, Any]]:
         """The last recorded run summary, or ``None``."""
         return self._read_json("report.json")
+
+    def write_trace(self, records: List[Dict[str, Any]]) -> Path:
+        """Persist the run's span records as ``trace.jsonl`` (atomically).
+
+        The trace is observational metadata -- like ``report.json`` it
+        never participates in resume decisions or artefact bytes.
+        """
+        path = self.directory / TRACE_FILE
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, spans_to_jsonl(records).encode("utf-8"))
+        return path
+
+    def read_trace(self) -> Optional[List[Dict[str, Any]]]:
+        """The recorded span trace, or ``None`` when absent/unreadable."""
+        path = self.directory / TRACE_FILE
+        if not path.is_file():
+            return None
+        try:
+            return spans_from_jsonl(path.read_text(encoding="utf-8"))
+        except OSError:
+            return None
 
     # -- low level ----------------------------------------------------------------------
 

@@ -25,6 +25,7 @@ Service subcommands talk to the experiment service
     repro cancel <job-id-or-scenario>      # DELETE /v1/jobs/<id>
     repro jobs --state queued              # GET /v1/jobs (paginated underneath)
     repro events <job-id-or-scenario>      # live SSE stream of progress events
+    repro trace <job-id-or-scenario>       # per-job timing profile (span tree)
 
 ``serve`` boots the asyncio front end (keep-alive, SSE streaming, the
 dashboard at ``/``); the dashboard is plain static files, so a browser
@@ -107,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--json", action="store_true", help="print the stored summary as JSON instead of text"
     )
+    report.add_argument(
+        "--timing",
+        action="store_true",
+        help="also print per-stage timings from the recorded trace (if any)",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="run the experiment service (job store + worker pool + HTTP API)"
@@ -149,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=60.0,
         help="seconds before an unheartbeated job is reclaimed",
     )
+    serve.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="stdlib logging level of the repro.service.* loggers",
+    )
 
     worker = subparsers.add_parser(
         "worker", help="run a remote worker against a coordinator's /v1 API"
@@ -184,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument(
         "--name", default=None, help="worker name reported to the coordinator"
+    )
+    worker.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="stdlib logging level of the repro.service.* loggers",
     )
 
     submit = subparsers.add_parser("submit", help="submit a scenario to a running service")
@@ -261,6 +279,28 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument(
         "--json", action="store_true", help="print each event as one JSON line"
     )
+
+    trace = subparsers.add_parser(
+        "trace", help="show a job's timing profile as an indented span tree"
+    )
+    trace.add_argument(
+        "job", help="job id (config hash) or registered scenario name to resolve"
+    )
+    trace.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    trace.add_argument(
+        "--seed", type=int, default=None, help="seed override used when submitting"
+    )
+    trace.add_argument(
+        "--local",
+        action="store_true",
+        help="read trace.jsonl from the local cache instead of the service",
+    )
+    trace.add_argument(
+        "--cache-dir", default=None, help="cache root for --local (default: .repro-cache)"
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="print the span records as JSON"
+    )
     return parser
 
 
@@ -282,6 +322,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cancel(args)
     if args.command == "events":
         return _cmd_events(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     # Resolve the scenario up front: an unknown name or an invalid override
     # value is a usage error (one line on stderr, exit 2); anything raised
     # later is a genuine failure and propagates with its traceback.
@@ -387,10 +429,12 @@ def _cmd_report(args: argparse.Namespace, scenario: ScenarioConfig) -> int:
         return 1
     present = payload["stages_present"]
     summary = payload["summary"]
+    entry = ArtefactCache(args.cache_dir).entry_for(scenario)
     if args.json:
+        if args.timing:
+            payload = dict(payload, trace_spans=entry.read_trace() or [])
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    entry = ArtefactCache(args.cache_dir).entry_for(scenario)  # text path reads artefacts
     print(f"scenario     : {scenario.name}")
     print(f"config hash  : {scenario.config_hash()}")
     print(f"cache entry  : {entry.directory}")
@@ -408,10 +452,23 @@ def _cmd_report(args: argparse.Namespace, scenario: ScenarioConfig) -> int:
             print("  " + " ".join(f"{column:>16s}" for column in columns))
             for row in rows:
                 print("  " + " ".join(f"{row[column]:16.4g}" for column in columns))
+    if args.timing:
+        _print_stage_timings(entry.read_trace() or [])
     return 0
 
 
 # -- service subcommands -----------------------------------------------------------------
+
+
+def _configure_logging(level_name: str) -> None:
+    """Wire the ``repro.service.*`` loggers to stderr at the given level."""
+    import logging
+
+    logging.basicConfig(
+        level=getattr(logging, level_name.upper(), logging.INFO),
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -422,6 +479,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.store import JobStore
     from repro.service.worker import Autoscaler, WorkerPool
 
+    _configure_logging(args.log_level)
     cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     db_path = Path(args.db) if args.db else cache_dir / "service.db"
     store = JobStore(db_path, lease_ttl=args.lease_ttl)
@@ -496,6 +554,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     from repro.service.worker import remote_worker_loop
 
+    _configure_logging(args.log_level)
     cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     if not 0 <= args.shard_index < max(1, args.shard_count):
         print(
@@ -710,6 +769,93 @@ def _cmd_events(args: argparse.Namespace) -> int:
     if not args.json:
         print(f"job finished: {final_state}")
     return 1 if final_state in ("failed", "cancelled") else 0
+
+
+def _span_tree_lines(spans: List[dict]) -> List[str]:
+    """Render span records as an indented duration tree.
+
+    Spans whose parent is missing from the record set (e.g. a child
+    process's spans whose parent was re-parented across a merge gap)
+    print as roots rather than disappearing.
+    """
+    ids = {span["span_id"] for span in spans}
+    children: dict = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        children.setdefault(parent if parent in ids else None, []).append(span)
+    lines: List[str] = []
+
+    def walk(parent: Optional[str], depth: int) -> None:
+        ordered = sorted(
+            children.get(parent, ()),
+            key=lambda span: (span.get("start", 0.0), span["span_id"]),
+        )
+        for span in ordered:
+            attrs = span.get("attrs") or {}
+            detail = " ".join(
+                f"{key}={value}" for key, value in sorted(attrs.items())
+            )
+            duration_ms = float(span.get("duration", 0.0)) * 1000.0
+            line = f"{duration_ms:>10.1f} ms  {'  ' * depth}{span['name']}"
+            lines.append(line + (f"  [{detail}]" if detail else ""))
+            walk(span["span_id"], depth + 1)
+
+    walk(None, 0)
+    return lines
+
+
+def _print_stage_timings(spans: List[dict]) -> None:
+    """The per-stage timing table ``repro report --timing`` prints."""
+    stages = [span for span in spans if str(span.get("name", "")).startswith("stage.")]
+    if not stages:
+        print("no stage spans recorded (run with REPRO_OBS enabled to collect them)")
+        return
+    checkpoint_seconds = sum(
+        float(span.get("duration", 0.0))
+        for span in spans
+        if span.get("name") == "checkpoint.store"
+    )
+    print("--- stage timings (from trace.jsonl) ---")
+    for span in sorted(stages, key=lambda record: record.get("start", 0.0)):
+        attrs = span.get("attrs") or {}
+        source = attrs.get("source", "?")
+        name = str(span["name"])[len("stage."):]
+        print(f"  {name:<13}: {float(span.get('duration', 0.0)):>9.3f} s  ({source})")
+    print(f"  {'checkpoints':<13}: {checkpoint_seconds:>9.3f} s  (all stores)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    job_id = _resolve_job_id(args)
+    if args.local:
+        from repro.experiments.cache import CacheEntry
+
+        entry = CacheEntry(ArtefactCache(args.cache_dir).root / job_id)
+        spans = entry.read_trace()
+        if not spans:
+            print(
+                f"error: no trace recorded for job {job_id}"
+                f" under {entry.directory}",
+                file=sys.stderr,
+            )
+            return 1
+        payload = {"job_id": job_id, "spans": spans, "span_count": len(spans)}
+    else:
+        client = _client(args.url)
+        payload, code = _service_call(lambda: client.trace(job_id))
+        if payload is None:
+            return code
+        spans = payload["spans"]
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"job          : {payload.get('job_id', job_id)}")
+    if payload.get("state"):
+        print(f"state        : {payload['state']}")
+    print(f"trace id     : {payload.get('trace_id', spans[0].get('trace_id', job_id))}")
+    print(f"spans        : {len(spans)}")
+    for line in _span_tree_lines(spans):
+        print(line)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.cancel import CancelToken
 from repro.circuits.evaluators import VcoEvaluator
+from repro.obs import trace as obs_trace
 from repro.core.flow import (
     FlowReport,
     HierarchicalFlow,
@@ -202,10 +203,42 @@ class ExperimentRunner:
             every stage, whether it was computed, loaded from cache or
             skipped.
         """
+        scenario = self.scenario
+        entry = self.cache.entry_for(scenario) if self._use_cache else None
+        # Tracing wraps the run but never feeds back into it: spans only
+        # read clocks, so artefact bytes are identical with or without
+        # observability (asserted by tests and the overhead benchmark).
+        # When a worker already activated the job's trace, start_trace
+        # yields None and our spans join the outer trace (which the
+        # owner persists); otherwise this runner owns trace + persist.
+        with obs_trace.start_trace(scenario.config_hash()) as trace:
+            with obs_trace.span(
+                "runner.run", scenario=scenario.name, config_hash=scenario.config_hash()
+            ):
+                result = self._execute(
+                    entry,
+                    output_directory=output_directory,
+                    progress=progress,
+                    stage_hook=stage_hook,
+                    cancel=cancel,
+                    progress_hook=progress_hook,
+                )
+            if trace is not None and entry is not None:
+                entry.write_trace(trace.spans)
+        return result
+
+    def _execute(
+        self,
+        entry: Optional[CacheEntry],
+        output_directory: Optional[str],
+        progress: Optional[Callable[[int, int], None]],
+        stage_hook: Optional[StageHook],
+        cancel: Optional[CancelToken],
+        progress_hook: Optional[Callable[[str, Dict[str, Any]], None]],
+    ) -> ExperimentResult:
         started = time.perf_counter()
         scenario = self.scenario
         flow = HierarchicalFlow.from_scenario(scenario, evaluator=self.evaluator)
-        entry = self.cache.entry_for(scenario) if self._use_cache else None
         if entry is not None:
             entry.write_scenario(scenario)
         outcomes: List[StageOutcome] = []
@@ -327,14 +360,22 @@ class ExperimentRunner:
 
     def _stage(self, entry: Optional[CacheEntry], stage: str, compute: Callable[[], Any]):
         """Satisfy one stage from the cache or by computing it."""
-        started = time.perf_counter()
-        if entry is not None and not self.force and entry.has(stage):
-            artefact = entry.load(stage)
-            return artefact, StageOutcome(stage, CACHED, time.perf_counter() - started)
-        artefact = compute()
-        if entry is not None:
-            entry.store(stage, artefact)
-        return artefact, StageOutcome(stage, COMPUTED, time.perf_counter() - started)
+        with obs_trace.span(f"stage.{stage}") as attrs:
+            started = time.perf_counter()
+            if entry is not None and not self.force and entry.has(stage):
+                artefact = entry.load(stage)
+                if attrs is not None:
+                    attrs["source"] = CACHED
+                return artefact, StageOutcome(
+                    stage, CACHED, time.perf_counter() - started
+                )
+            artefact = compute()
+            if entry is not None:
+                with obs_trace.span("checkpoint.store", stage=stage, kind="stage"):
+                    entry.store(stage, artefact)
+            if attrs is not None:
+                attrs["source"] = COMPUTED
+            return artefact, StageOutcome(stage, COMPUTED, time.perf_counter() - started)
 
 
 class _StagePartial:
@@ -354,7 +395,8 @@ class _StagePartial:
         return self.entry.load_partial(self.stage)
 
     def store(self, state: Any) -> None:
-        self.entry.store_partial(self.stage, state)
+        with obs_trace.span("checkpoint.store", stage=self.stage, kind="partial"):
+            self.entry.store_partial(self.stage, state)
 
     def clear(self) -> None:
         self.entry.clear_partial(self.stage)

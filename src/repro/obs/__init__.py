@@ -1,0 +1,58 @@
+"""Observability substrate: span tracing and a metrics registry.
+
+Two stdlib-only pillars shared by every layer of the project:
+
+* :mod:`repro.obs.trace` -- context-manager spans recorded under a job's
+  trace (trace id = the scenario's config hash), safe across threads and
+  :class:`~concurrent.futures.ProcessPoolExecutor` workers, persisted as
+  ``trace.jsonl`` next to the stage pickles.
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms with
+  Prometheus text exposition, served at ``GET /v1/metrics``.
+
+Hard invariant: observability on or off never changes artefact bytes.
+Spans and metrics only *observe* the flow -- they never feed back into
+any computation, RNG stream or pickled artefact (enforced by tests and
+by the ``bench_obs_overhead`` benchmark's < 3 % gate).
+
+Everything is disabled in one move with ``REPRO_OBS=0``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    Trace,
+    collect_spans,
+    current_trace,
+    enabled,
+    merge_spans,
+    span,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    start_trace,
+    trace_context,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Trace",
+    "collect_spans",
+    "current_trace",
+    "enabled",
+    "get_registry",
+    "merge_spans",
+    "render_prometheus",
+    "span",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "start_trace",
+    "trace_context",
+]

@@ -1,0 +1,265 @@
+"""Counter / gauge / histogram registry with Prometheus text exposition.
+
+A deliberately small, stdlib-only subset of the Prometheus client data
+model -- enough to answer "how many", "how big right now" and "how is
+the latency distributed" for every layer of the service:
+
+* :class:`Counter` -- monotonically increasing (claims, outcomes,
+  retries, swallowed errors, bytes moved, evaluations per backend).
+* :class:`Gauge` -- a value that goes both ways (queue depths, pool
+  sizes, job-state counts).
+* :class:`Histogram` -- cumulative buckets plus ``_sum``/``_count``
+  (route latencies, artifact transfer sizes).
+
+Metrics are **per process**: each worker process and the coordinator
+own a private registry, and ``GET /v1/metrics`` exposes the serving
+process's registry combined with store-derived job-state gauges (the
+SQLite store is the cross-process source of truth).  Registration is
+idempotent -- asking for an existing name returns the same instance --
+so call sites just declare what they need at import time.
+
+Exposition follows the Prometheus text format, version 0.0.4:
+``# HELP`` / ``# TYPE`` headers, one sample per line, labels sorted.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "render_prometheus",
+]
+
+#: Default histogram buckets (seconds), tuned for route/stage latencies.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+_VALID_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+
+
+class _Metric:
+    """Shared labelled-sample storage for all three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str] = ()) -> None:
+        if not name or name[0] not in _VALID_FIRST:
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._samples: Dict[Tuple[str, ...], Any] = {}
+
+    def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """A sorted snapshot of ``(label_values, value)`` pairs."""
+        with self._lock:
+            return sorted(self._samples.items())
+
+
+class Counter(_Metric):
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._samples.get(self._key(labels), 0.0))
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._samples.get(self._key(labels), 0.0))
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with ``_sum`` and ``_count``."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        self.buckets = tuple(sorted(float(edge) for edge in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket edge")
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        index = bisect_right(self.buckets, float(value))
+        with self._lock:
+            state = self._samples.get(key)
+            if state is None:
+                state = self._samples[key] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            state["counts"][index] += 1
+            state["sum"] += float(value)
+            state["count"] += 1
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            state = self._samples.get(self._key(labels))
+            return int(state["count"]) if state else 0
+
+
+class MetricsRegistry:
+    """A named collection of metrics; registration is idempotent."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, cls, name: str, help_text: str, label_names, **kwargs) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help_text, label_names, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "", label_names: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help_text, label_names)
+
+    def gauge(self, name: str, help_text: str = "", label_names: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help_text, label_names, buckets=buckets)
+
+    def metrics(self) -> List[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation only)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide default registry.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))
+
+
+def _label_string(names: Iterable[str], values: Iterable[str], extra: str = "") -> str:
+    pairs = [f'{name}="{_escape_label(value)}"' for name, value in zip(names, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    registry = registry or _REGISTRY
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for values, state in metric.samples():
+                cumulative = 0
+                for edge, bucket_count in zip(metric.buckets, state["counts"]):
+                    cumulative += bucket_count
+                    labels = _label_string(
+                        metric.label_names, values, f'le="{_format_value(edge)}"'
+                    )
+                    lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                labels = _label_string(metric.label_names, values, 'le="+Inf"')
+                lines.append(f"{metric.name}_bucket{labels} {state['count']}")
+                labels = _label_string(metric.label_names, values)
+                lines.append(f"{metric.name}_sum{labels} {_format_value(state['sum'])}")
+                lines.append(f"{metric.name}_count{labels} {state['count']}")
+        else:
+            for values, value in metric.samples():
+                labels = _label_string(metric.label_names, values)
+                lines.append(f"{metric.name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,271 @@
+"""Stdlib-only span tracer for the hierarchical flow.
+
+A *trace* is the set of spans recorded while one job executes; its id is
+the job's config hash, so the trace is content-addressed exactly like
+the stage artefacts it describes.  A *span* is one timed region -- a
+flow stage, an NSGA-II generation, a Monte Carlo batch, a SPICE chunk,
+a checkpoint write, a coordinator round-trip -- with a name, a wall
+clock start, a monotonic duration, free-form attributes and a parent
+span id (``None`` for roots).
+
+Design constraints, in decreasing order of importance:
+
+* **Zero interference**: tracing must never change artefact bytes.
+  Spans only read clocks; they never touch the values or RNG streams
+  they observe.  With no active trace (or ``REPRO_OBS=0``)
+  :func:`span` is a no-op costing one attribute read.
+* **Thread safety**: the runner's heartbeat and server threads record
+  into the same active trace; parentage is tracked per thread.
+* **Process safety**: a ``ProcessPoolExecutor`` worker has no access to
+  the parent's trace.  The parent captures :func:`trace_context` and
+  ships it with the task; the child records into a throwaway trace via
+  :func:`collect_spans` and returns the span records alongside its
+  results; the parent folds them back with :func:`merge_spans`.
+* **Wire format**: one JSON object per line (``trace.jsonl``), sorted
+  by start time -- trivially greppable, streamable and mergeable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "Trace",
+    "collect_spans",
+    "current_trace",
+    "enabled",
+    "merge_spans",
+    "span",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "start_trace",
+    "trace_context",
+]
+
+#: Environment kill switch: ``REPRO_OBS=0`` disables all tracing.
+_OBS_ENV = "REPRO_OBS"
+
+#: Module-global active trace (one job at a time per process -- the
+#: worker model) plus per-thread span stacks for parentage.
+_active_lock = threading.Lock()
+_active_trace: Optional["Trace"] = None
+_thread_state = threading.local()
+
+
+def enabled() -> bool:
+    """Whether observability is enabled (``REPRO_OBS`` not falsy)."""
+    return os.environ.get(_OBS_ENV, "1") not in ("", "0", "false", "False")
+
+
+class Trace:
+    """A mutable collection of span records under one trace id."""
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = str(trace_id)
+        #: Owning process: a forked pool worker inherits the parent's
+        #: active trace object, and the pid is how it tells the copy
+        #: apart from a trace it activated itself.
+        self.pid = os.getpid()
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        self._next_id = 0
+
+    def new_span_id(self) -> str:
+        """A process-unique span id (``<pid>-<counter>``)."""
+        with self._lock:
+            self._next_id += 1
+            return f"{os.getpid():x}-{self._next_id:x}"
+
+    def add(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def extend(self, records: Iterable[Dict[str, Any]]) -> None:
+        with self._lock:
+            self._records.extend(records)
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        """A snapshot of the recorded spans, sorted by wall start."""
+        with self._lock:
+            return sorted(self._records, key=lambda r: (r.get("start", 0.0), r["span_id"]))
+
+
+def current_trace() -> Optional[Trace]:
+    """The process's active trace, or ``None``."""
+    return _active_trace
+
+
+def _span_stack() -> List[str]:
+    stack = getattr(_thread_state, "stack", None)
+    if stack is None:
+        stack = _thread_state.stack = []
+    return stack
+
+
+@contextmanager
+def start_trace(trace_id: str) -> Iterator[Optional[Trace]]:
+    """Activate a trace for the duration of the ``with`` block.
+
+    Yields the :class:`Trace` (or ``None`` when observability is
+    disabled or another trace is already active -- nested activations
+    are ignored so e.g. a locally-run runner inside an already-traced
+    worker contributes to the outer trace instead of clobbering it).
+    """
+    global _active_trace
+    if not enabled():
+        yield None
+        return
+    with _active_lock:
+        if _active_trace is not None:
+            owned = False
+        else:
+            _active_trace = Trace(trace_id)
+            owned = True
+    try:
+        yield _active_trace if owned else None
+    finally:
+        if owned:
+            with _active_lock:
+                _active_trace = None
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Optional[Dict[str, Any]]]:
+    """Record one timed span into the active trace (no-op without one).
+
+    Yields the span's attribute dict so the body can attach facts it
+    only learns while running (``attrs["source"] = "cached"``); with no
+    active trace it yields ``None`` and records nothing.
+    """
+    trace = _active_trace
+    if trace is None:
+        yield None
+        return
+    stack = _span_stack()
+    span_id = trace.new_span_id()
+    parent_id = stack[-1] if stack else None
+    stack.append(span_id)
+    wall_start = time.time()
+    started = time.perf_counter()
+    try:
+        yield attrs
+    finally:
+        duration = time.perf_counter() - started
+        stack.pop()
+        record: Dict[str, Any] = {
+            "trace_id": trace.trace_id,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "name": name,
+            "start": wall_start,
+            "duration": duration,
+            "pid": os.getpid(),
+            "thread": threading.current_thread().name,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        trace.add(record)
+
+
+def current_span_id() -> Optional[str]:
+    """The innermost open span's id in this thread, or ``None``."""
+    trace = _active_trace
+    if trace is None:
+        return None
+    stack = _span_stack()
+    return stack[-1] if stack else None
+
+
+def trace_context() -> Optional[Dict[str, Any]]:
+    """The propagation context to ship to another process (or host).
+
+    ``None`` when no trace is active, else a JSON-compatible dict the
+    receiving side feeds to :func:`collect_spans`.
+    """
+    trace = _active_trace
+    if trace is None:
+        return None
+    return {"trace_id": trace.trace_id, "parent_id": current_span_id()}
+
+
+@contextmanager
+def collect_spans(context: Optional[Dict[str, Any]]) -> Iterator[List[Dict[str, Any]]]:
+    """Record spans in a child process and hand them back as records.
+
+    Activates a throwaway trace built from a parent's
+    :func:`trace_context`; on exit the yielded list holds the recorded
+    span dicts (re-parented under ``context["parent_id"]``) for the
+    child to return with its results.  With ``context=None`` the block
+    records nothing and yields an empty list.
+    """
+    global _active_trace
+    records: List[Dict[str, Any]] = []
+    if not context or not enabled():
+        yield records
+        return
+    with _active_lock:
+        if _active_trace is not None and _active_trace.pid == os.getpid():
+            # Already tracing in this very process (in-process executor):
+            # spans record directly into the active trace, nothing to
+            # hand back.
+            yield records
+            return
+        # A fresh child (spawn) or a forked child that inherited the
+        # parent's active trace object: collect into a private trace --
+        # records added to the inherited copy would never travel back.
+        trace = _active_trace = Trace(str(context["trace_id"]))
+    # A forked child also inherits the forking thread's open-span stack;
+    # clear it so the child's roots re-parent under the shipped context.
+    _thread_state.stack = []
+    parent_id = context.get("parent_id")
+    try:
+        yield records
+    finally:
+        with _active_lock:
+            _active_trace = None
+        for record in trace.spans:
+            if record.get("parent_id") is None:
+                record["parent_id"] = parent_id
+            records.append(record)
+
+
+def merge_spans(records: Optional[Iterable[Dict[str, Any]]]) -> None:
+    """Fold child-process span records into the active trace."""
+    trace = _active_trace
+    if trace is None or not records:
+        return
+    trace.extend(records)
+
+
+# -- wire format -------------------------------------------------------------------------
+
+
+def spans_to_jsonl(records: Iterable[Dict[str, Any]]) -> str:
+    """Serialise span records as one compact JSON object per line."""
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+        for record in records
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_from_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse a ``trace.jsonl`` payload, skipping unparseable lines."""
+    records: List[Dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "span_id" in record:
+            records.append(record)
+    return records

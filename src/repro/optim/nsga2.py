@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from repro.cancel import CancelToken
+from repro.obs import trace as obs_trace
 from repro.optim.evaluation import BatchEvaluator, EVALUATOR_CHOICES, create_evaluator
 from repro.optim.individual import Individual
 from repro.optim.operators import PolynomialMutation, SBXCrossover, binary_tournament
@@ -232,15 +233,20 @@ class NSGA2:
                 if cancel is not None:
                     cancel.raise_if_cancelled()
             for generation in range(next_generation, self.config.generations + 1):
-                offspring = self._make_offspring(population)
-                evaluations += len(offspring)
-                population = self._survival(population + offspring)
-                history.append(self._stats(generation, evaluations, population))
-                if callback is not None:
-                    callback(generation, population)
-                self._store_state(
-                    checkpoint, fingerprint, generation, population, evaluations, history
-                )
+                with obs_trace.span(
+                    "nsga2.generation",
+                    problem=self.problem.name,
+                    generation=generation,
+                ):
+                    offspring = self._make_offspring(population)
+                    evaluations += len(offspring)
+                    population = self._survival(population + offspring)
+                    history.append(self._stats(generation, evaluations, population))
+                    if callback is not None:
+                        callback(generation, population)
+                    self._store_state(
+                        checkpoint, fingerprint, generation, population, evaluations, history
+                    )
                 if cancel is not None:
                     cancel.raise_if_cancelled()
         finally:

@@ -24,7 +24,9 @@ as deprecated aliases answering with a ``Deprecation`` header::
     GET    /v1/jobs/<id>               job status + all progress events
     GET    /v1/jobs/<id>/events       live SSE stream (asyncio server only)
     GET    /v1/jobs/<id>/report       the cached JSON report
+    GET    /v1/jobs/<id>/trace        the job's span trace (timing profile)
     DELETE /v1/jobs/<id>               cancel (200 parked / 202 flagged / 409)
+    GET    /v1/metrics                 Prometheus text exposition (asyncio only)
     GET    /                           the dashboard (asyncio server only)
 
 The distributed worker protocol (PR 8) rides the same ``/v1`` surface --
@@ -78,6 +80,7 @@ from repro.experiments.cache import CacheEntry
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.registry import get_scenario, list_scenarios
 from repro.experiments.report import report_payload
+from repro.obs import metrics as obs_metrics
 from repro.service.http import (
     AsyncHTTPServer,
     Request,
@@ -125,6 +128,7 @@ JSON_ROUTES: Tuple[Tuple[str, str, str], ...] = (
     ("GET", "/jobs/{job_id}", "job"),
     ("DELETE", "/jobs/{job_id}", "cancel"),
     ("GET", "/jobs/{job_id}/report", "report"),
+    ("GET", "/jobs/{job_id}/trace", "trace"),
     # The distributed worker protocol (RemoteJobStore's wire surface).
     ("POST", "/claim", "claim"),
     ("POST", "/requeue-expired", "requeue_expired"),
@@ -138,6 +142,39 @@ JSON_ROUTES: Tuple[Tuple[str, str, str], ...] = (
 #: config hashes are lowercase hex (the scenario hash is 16 chars today;
 #: the range tolerates future widening without accepting path garbage).
 _HASH_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+#: Response header carrying the job's trace id on a successful claim, so
+#: remote workers join their spans to the coordinator-known trace.
+TRACE_HEADER = "X-Repro-Trace"
+
+def _claim_trace_headers(
+    endpoint: str, status: int, payload: Dict[str, Any]
+) -> List[Tuple[str, str]]:
+    """``X-Repro-Trace`` for claim responses that actually carry a job.
+
+    The trace id *is* the job id (the scenario's config hash), so the
+    header costs nothing to compute -- but sending it explicitly keeps
+    the wire contract honest if the two ever diverge.
+    """
+    if endpoint != "claim" or status != 200:
+        return []
+    job = payload.get("job") if isinstance(payload, dict) else None
+    if not isinstance(job, dict) or not job.get("id"):
+        return []
+    return [(TRACE_HEADER, str(job["id"]))]
+
+
+_registry = obs_metrics.get_registry()
+#: Successful claims handed out through this service, by worker.
+WORKER_CLAIMS = _registry.counter(
+    "repro_worker_claims_total", "Jobs leased to workers", ("worker",)
+)
+#: Terminal outcomes accepted through this service.
+WORKER_OUTCOMES = _registry.counter(
+    "repro_worker_outcomes_total",
+    "Accepted terminal job outcomes, by kind",
+    ("outcome",),
+)
 
 _STATIC_DIR = Path(__file__).parent / "static"
 
@@ -315,6 +352,52 @@ class ExperimentService:
             )
         return 200, dict(payload, job_id=job_id, state=job.state)
 
+    def trace(self, job_id: str) -> ServiceResponse:
+        """The job's span trace (``trace.jsonl``), as JSON.
+
+        The trace lands next to the stage pickles -- written directly by
+        local workers, shipped over ``PUT /v1/artifacts`` by remote
+        ones -- so serving it is one file read.
+        """
+        job = self.store.get(job_id)
+        if job is None:
+            return _error(404, "unknown_job", f"unknown job {job_id!r}")
+        spans = CacheEntry(self.cache_dir / job_id).read_trace()
+        if not spans:
+            return _error(
+                409,
+                "trace_not_ready",
+                f"job {job_id} has no recorded trace yet",
+                state=job.state,
+            )
+        return 200, {
+            "job_id": job_id,
+            "state": job.state,
+            "trace_id": spans[0].get("trace_id", job_id),
+            "span_count": len(spans),
+            "spans": spans,
+        }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition: process registry + store gauges.
+
+        Counters and histograms describe *this* process (the
+        coordinator: route latencies, artifact transfers, claims).
+        Job-state counts and pool metadata live in the store -- the
+        cross-process source of truth -- and are refreshed into gauges
+        at scrape time.
+        """
+        registry = obs_metrics.get_registry()
+        job_states = registry.gauge(
+            "repro_jobs", "Jobs currently in each lifecycle state", ("state",)
+        )
+        for state, count in self.store.counts().items():
+            job_states.set(count, state=state)
+        registry.gauge("repro_workers", "Local worker pool size").set(
+            int(self.store.get_meta("workers", 0))
+        )
+        return obs_metrics.render_prometheus(registry)
+
     # -- the distributed worker protocol -------------------------------------------------
     #
     # Remote workers never evaluate lease expiry themselves: every check
@@ -339,6 +422,8 @@ class ExperimentService:
         if shard_count < 1 or not (0 <= shard_index < shard_count):
             return _error(400, "malformed_body", "need 0 <= shard_index < shard_count")
         job = self.store.claim(worker, shard_index=shard_index, shard_count=shard_count)
+        if job is not None:
+            WORKER_CLAIMS.inc(worker=worker)
         return 200, {
             "job": job.as_dict() if job is not None else None,
             "lease_ttl": self.store.lease_ttl,
@@ -399,6 +484,8 @@ class ExperimentService:
             return _error(
                 400, "malformed_body", "outcome must be done, failed or cancelled"
             )
+        if ok:
+            WORKER_OUTCOMES.inc(outcome=outcome)
         return 200, {"ok": ok}
 
     def flags(self, job_id: str) -> ServiceResponse:
@@ -446,6 +533,8 @@ class ExperimentService:
             return self.cancel(params["job_id"])
         if endpoint == "report":
             return self.report(params["job_id"])
+        if endpoint == "trace":
+            return self.trace(params["job_id"])
         if endpoint == "claim":
             return self.claim(body)
         if endpoint == "lease":
@@ -485,6 +574,7 @@ class AsyncServiceServer(AsyncHTTPServer):
             )
         router.add("GET", "/v1/jobs/{job_id}/events", self._events_handler())
         router.add("GET", "/jobs/{job_id}/events", self._events_handler(legacy=True))
+        router.add("GET", "/v1/metrics", self._metrics_handler())
         for method in ("GET", "PUT", "DELETE"):
             router.add(
                 method,
@@ -517,8 +607,22 @@ class AsyncServiceServer(AsyncHTTPServer):
                 request.query,
                 body,
             )
-            headers = self._alias_headers(pattern, request.params) if legacy else ()
+            headers: Sequence[Tuple[str, str]] = (
+                self._alias_headers(pattern, request.params) if legacy else ()
+            )
+            headers = list(headers) + _claim_trace_headers(endpoint, status, payload)
             return Response.json(status, payload, headers=headers)
+
+        return handle
+
+    def _metrics_handler(self):
+        async def handle(request: Request) -> Response:
+            text = await self.call(self.service.metrics_text)
+            return Response(
+                200,
+                text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
 
         return handle
 
@@ -782,7 +886,8 @@ class _Handler(BaseHTTPRequestHandler):
         }
         body = self._read_json_body() if method == "POST" else None
         response = self.server.service.call_endpoint(endpoint, params, query, body)
-        headers = deprecation_headers(path) if legacy else ()
+        headers: Sequence[Tuple[str, str]] = deprecation_headers(path) if legacy else ()
+        headers = list(headers) + _claim_trace_headers(endpoint, *response)
         self._send(response, headers)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API

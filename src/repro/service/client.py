@@ -175,6 +175,10 @@ class ServiceClient:
         """The job's cached JSON report (``repro report --json`` payload)."""
         return self._request("GET", f"/v1/jobs/{job_id}/report")
 
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's span trace (``GET /v1/jobs/<id>/trace``)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")
+
     # -- streaming -----------------------------------------------------------------------
 
     def stream_events(

@@ -33,8 +33,9 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
-import sys
+import logging
 import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import suppress
@@ -51,6 +52,8 @@ from typing import (
     Tuple,
 )
 from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "Request",
@@ -97,6 +100,29 @@ _REASONS = {
 
 #: Signature of an async route handler.
 Handler = Callable[["Request"], Awaitable["Response"]]
+
+_log = logging.getLogger("repro.service.http")
+
+_registry = obs_metrics.get_registry()
+#: Per-route request latency/status; the route label is the registered
+#: pattern (``/v1/jobs/{job_id}``), never the raw path, so cardinality
+#: stays bounded by the route table.
+REQUEST_LATENCY = _registry.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency, by route pattern and status",
+    ("method", "route", "status"),
+)
+#: Clients that hung up mid-exchange (previously swallowed silently).
+CLIENT_DISCONNECTS = _registry.counter(
+    "repro_http_client_disconnects_total",
+    "Connections dropped by the client mid-exchange",
+)
+#: Route handlers that raised (each also answers a 500 envelope).
+HANDLER_ERRORS = _registry.counter(
+    "repro_http_handler_errors_total",
+    "Unhandled exceptions raised by route handlers",
+    ("route",),
+)
 
 
 def error_payload(code: str, message: str, **extra: Any) -> Dict[str, Any]:
@@ -215,7 +241,7 @@ class Router:
     """
 
     def __init__(self) -> None:
-        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+        self._routes: List[Tuple[str, str, Tuple[str, ...], Handler]] = []
 
     @staticmethod
     def _segments(path: str) -> Tuple[str, ...]:
@@ -223,12 +249,25 @@ class Router:
 
     def add(self, method: str, pattern: str, handler: Handler) -> None:
         """Register ``handler`` for ``method`` + ``pattern``."""
-        self._routes.append((method.upper(), self._segments(pattern), handler))
+        self._routes.append(
+            (method.upper(), pattern, self._segments(pattern), handler)
+        )
 
     def match(self, method: str, path: str) -> Optional[Tuple[Handler, Dict[str, str]]]:
         """The handler and captured params for a request, or ``None``."""
+        matched = self.match_route(method, path)
+        return matched[:2] if matched is not None else None
+
+    def match_route(
+        self, method: str, path: str
+    ) -> Optional[Tuple[Handler, Dict[str, str], str]]:
+        """Like :meth:`match`, plus the registered route pattern.
+
+        The pattern (not the raw path) labels the per-route metrics, so
+        metric cardinality is bounded by the route table.
+        """
         parts = self._segments(path)
-        for route_method, pattern, handler in self._routes:
+        for route_method, pattern_text, pattern, handler in self._routes:
             if route_method != method.upper() or len(pattern) != len(parts):
                 continue
             params: Dict[str, str] = {}
@@ -238,7 +277,7 @@ class Router:
                 elif expected != actual:
                     break
             else:
-                return handler, params
+                return handler, params, pattern_text
         return None
 
 
@@ -434,7 +473,11 @@ class AsyncHTTPServer:
                 if not keep_alive:
                     return
         except (ConnectionResetError, BrokenPipeError, TimeoutError):
-            return  # the client hung up mid-exchange; its prerogative
+            # The client hung up mid-exchange; its prerogative -- but
+            # never silent: flaky clients/load balancers show up here.
+            CLIENT_DISCONNECTS.inc()
+            _log.warning("client disconnected mid-exchange")
+            return
         finally:
             writer.close()
             with suppress(Exception):
@@ -494,21 +537,35 @@ class AsyncHTTPServer:
         return True
 
     async def _dispatch(self, request: Request) -> Response:
-        matched = self.router.match(request.method, request.path)
+        matched = self.router.match_route(request.method, request.path)
         if matched is None:
-            return error_response(
+            response = error_response(
                 404, "unknown_route", f"no such route: {request.method} {request.path}"
             )
-        handler, params = matched
+            REQUEST_LATENCY.observe(
+                0.0, method=request.method, route="<unmatched>", status=404
+            )
+            return response
+        handler, params, route = matched
         request.params = params
+        started = time.perf_counter()
         try:
-            return await handler(request)
+            response = await handler(request)
         except asyncio.CancelledError:
             raise
         except Exception:  # noqa: BLE001 - one request must not kill the loop
-            print("repro async api: handler failed", file=sys.stderr)
-            traceback.print_exc()
-            return error_response(500, "internal_error", "unhandled server error")
+            HANDLER_ERRORS.inc(route=route)
+            _log.exception(
+                "handler failed: %s %s (route %s)", request.method, request.path, route
+            )
+            response = error_response(500, "internal_error", "unhandled server error")
+        REQUEST_LATENCY.observe(
+            time.perf_counter() - started,
+            method=request.method,
+            route=route,
+            status=response.status,
+        )
+        return response
 
     async def _write(
         self, writer: asyncio.StreamWriter, response: Response, keep_alive: bool

@@ -31,6 +31,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.artifacts import ArtifactTransportError, HttpTransport
 from repro.experiments.config import ScenarioConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service import base
 from repro.service.base import Job
 
@@ -38,6 +40,19 @@ __all__ = ["RemoteJobStore", "RemoteStoreError"]
 
 #: Fallback lease TTL until the coordinator's value has been learned.
 DEFAULT_LEASE_TTL = 60.0
+
+_registry = obs_metrics.get_registry()
+#: Coordinator round-trips performed by this worker process.
+REMOTE_ROUNDTRIPS = _registry.counter(
+    "repro_remote_roundtrips_total",
+    "JSON exchanges with the coordinator, by method",
+    ("method",),
+)
+#: Round-trips retried after a transport-level loss.
+REMOTE_RETRIES = _registry.counter(
+    "repro_remote_retries_total",
+    "Coordinator exchanges retried after transient network failures",
+)
 
 
 class RemoteStoreError(RuntimeError):
@@ -78,6 +93,11 @@ class RemoteJobStore(base.JobStore):
         self.retries = max(1, int(retries))
         self.retry_delay = float(retry_delay)
         self._lease_ttl: Optional[float] = None
+        #: Trace id the coordinator attached to the last successful
+        #: claim (``X-Repro-Trace`` response header); the worker opens
+        #: the job's trace under this id so coordinator-side and
+        #: worker-side spans merge into one ``trace.jsonl``.
+        self.last_trace_id: Optional[str] = None
 
     # -- plumbing ------------------------------------------------------------------------
 
@@ -121,20 +141,23 @@ class RemoteJobStore(base.JobStore):
         payload = (
             json.dumps(body, sort_keys=True).encode("utf-8") if body is not None else None
         )
+        REMOTE_ROUNDTRIPS.inc(method=method)
         last_error: Optional[ArtifactTransportError] = None
-        for attempt in range(self.retries):
-            try:
-                status, raw = self.transport.request(
-                    method, path, payload, {"Content-Type": "application/json"}
-                )
-                break
-            except ArtifactTransportError as error:
-                last_error = error
-                if attempt + 1 < self.retries:
-                    time.sleep(self.retry_delay * (attempt + 1))
-        else:
-            assert last_error is not None
-            raise last_error
+        with obs_trace.span("remote.roundtrip", method=method, path=path):
+            for attempt in range(self.retries):
+                try:
+                    status, raw = self.transport.request(
+                        method, path, payload, {"Content-Type": "application/json"}
+                    )
+                    break
+                except ArtifactTransportError as error:
+                    last_error = error
+                    if attempt + 1 < self.retries:
+                        REMOTE_RETRIES.inc()
+                        time.sleep(self.retry_delay * (attempt + 1))
+            else:
+                assert last_error is not None
+                raise last_error
         try:
             data = json.loads(raw.decode("utf-8")) if raw else {}
         except (json.JSONDecodeError, UnicodeDecodeError):
@@ -165,6 +188,8 @@ class RemoteJobStore(base.JobStore):
         if data.get("lease_ttl"):
             self._lease_ttl = float(data["lease_ttl"])
         job = data.get("job")
+        headers = getattr(self.transport, "last_response_headers", None) or {}
+        self.last_trace_id = headers.get("x-repro-trace") if job else None
         return Job.from_dict(job) if job else None
 
     def start(self, job_id: str, worker: str) -> bool:

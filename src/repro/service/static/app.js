@@ -125,6 +125,7 @@ function openJob(jobId) {
   $("event-log").textContent = "";
   drawFront([]);
   drawYield();
+  refreshTrace(jobId);
 
   // Replays the whole persisted history first, then tails live events;
   // on reconnect the browser resends Last-Event-ID and the server
@@ -136,6 +137,7 @@ function openJob(jobId) {
     $("detail-state").textContent = `finished: ${data.state}`;
     eventSource.close();
     refreshJobs();
+    refreshTrace(jobId);  // the trace lands when the worker finishes
   });
   eventSource.onerror = () => {
     $("detail-state").textContent = "stream interrupted — retrying…";
@@ -251,6 +253,73 @@ function drawYield() {
   const last = points[points.length - 1];
   $("yield-info").textContent =
     `${last.yield_percent_so_far.toFixed(1)} % after ${last.samples_done}/${last.n_samples} samples`;
+}
+
+/* -- stage timeline (per-job trace) ----------------------------------- */
+
+const TW = 720, TH = 200, TPAD = 8;
+const TRACE_COLORS = [
+  ["stage.", "#4da3ff"],
+  ["nsga2.", "#46c28e"],
+  ["yield.", "#f0a94b"],
+  ["spice.", "#b48ce0"],
+  ["checkpoint.", "#9aa5b1"],
+  ["remote.", "#e06c9a"],
+];
+
+function traceColor(name) {
+  for (const [prefix, color] of TRACE_COLORS) {
+    if (name.startsWith(prefix)) return color;
+  }
+  return "#5bc6c6";
+}
+
+async function refreshTrace(jobId) {
+  try {
+    const payload = await api(`/v1/jobs/${jobId}/trace`);
+    if (jobId !== currentJob) return;  // the user clicked away meanwhile
+    drawTrace(payload.spans);
+    $("trace-info").textContent =
+      `${payload.span_count} spans — trace ${payload.trace_id}`;
+  } catch (error) {
+    if (jobId !== currentJob) return;
+    drawTrace([]);
+    $("trace-info").textContent = `no trace yet (${error.message})`;
+  }
+}
+
+function drawTrace(spans) {
+  const svg = $("trace-chart");
+  clearChart(svg);
+  const timed = spans.filter((s) => s.duration > 0 && s.start > 0);
+  if (!timed.length) return;
+  const byId = new Map(timed.map((s) => [s.span_id, s]));
+  const depthOf = (span) => {
+    let depth = 0;
+    for (let p = span.parent_id; p && byId.has(p); p = byId.get(p).parent_id) depth += 1;
+    return depth;
+  };
+  const t0 = Math.min(...timed.map((s) => s.start));
+  const t1 = Math.max(...timed.map((s) => s.start + s.duration));
+  const maxDepth = Math.max(...timed.map(depthOf));
+  const rowHeight = Math.min(28, (TH - 2 * TPAD) / (maxDepth + 1));
+  for (const span of timed) {
+    const x = scale(span.start, t0, t1, TPAD, TW - TPAD);
+    const w = Math.max(1, scale(span.start + span.duration, t0, t1, TPAD, TW - TPAD) - x);
+    const bar = document.createElementNS(SVG_NS, "rect");
+    bar.setAttribute("x", x);
+    bar.setAttribute("y", TPAD + depthOf(span) * rowHeight);
+    bar.setAttribute("width", w);
+    bar.setAttribute("height", Math.max(2, rowHeight - 3));
+    bar.setAttribute("fill", traceColor(span.name));
+    bar.setAttribute("fill-opacity", "0.85");
+    const title = document.createElementNS(SVG_NS, "title");
+    title.textContent =
+      `${span.name} — ${(span.duration * 1000).toFixed(1)} ms` +
+      (span.attrs ? ` ${JSON.stringify(span.attrs)}` : "");
+    bar.appendChild(title);
+    svg.appendChild(bar);
+  }
 }
 
 /* -- boot ------------------------------------------------------------- */

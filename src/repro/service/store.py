@@ -48,6 +48,7 @@ threads on one host (the scale the stdlib HTTP front end targets);
 from __future__ import annotations
 
 import json
+import logging
 import os
 import sqlite3
 import time
@@ -56,6 +57,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.experiments.config import ScenarioConfig
+from repro.obs import metrics as obs_metrics
 from repro.service import base
 from repro.service.base import (
     ACTIVE_STATES,
@@ -74,6 +76,15 @@ __all__ = [
     "TERMINAL_STATES",
     "shard_of",
 ]
+
+_log = logging.getLogger("repro.service.store")
+
+#: Expired leases reclaimed by :meth:`SqliteJobStore.requeue_expired`
+#: (directly, or lazily on a claim).  Each one is a worker that died --
+#: or stalled past its TTL -- mid-job; a healthy fleet holds this at 0.
+LEASE_EXPIRIES = obs_metrics.get_registry().counter(
+    "repro_lease_expiries_total", "Expired job leases requeued or parked"
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -350,18 +361,27 @@ class SqliteJobStore(base.JobStore):
         # A cancel requested while the (now dead) worker held the job wins
         # over the requeue: the operator asked for the job to stop, so it
         # parks in `cancelled` instead of returning to the queue.
-        connection.execute(
+        parked = connection.execute(
             "UPDATE jobs SET state='cancelled', worker=NULL, lease_expires=NULL,"
             " finished_at=?, cancel_requested=0"
             " WHERE state IN ('leased', 'running') AND lease_expires < ?"
             " AND cancel_requested=1",
             (now, now),
-        )
+        ).rowcount
         cursor = connection.execute(
             "UPDATE jobs SET state='queued', worker=NULL, lease_expires=NULL"
             " WHERE state IN ('leased', 'running') AND lease_expires < ?",
             (now,),
         )
+        reclaimed = parked + cursor.rowcount
+        if reclaimed:
+            LEASE_EXPIRIES.inc(reclaimed)
+            _log.warning(
+                "reclaimed %d expired lease(s): %d requeued, %d parked cancelled",
+                reclaimed,
+                cursor.rowcount,
+                parked,
+            )
         return cursor.rowcount
 
     # -- cancellation --------------------------------------------------------------------

@@ -35,10 +35,10 @@ recovery model the store is built around):
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import socket
-import sys
 import threading
 import time
 import traceback
@@ -54,6 +54,7 @@ from repro.experiments.artifacts import (
     LocalArtifactStore,
 )
 from repro.experiments.runner import DEFAULT_YIELD_BATCH, ExperimentRunner
+from repro.obs import trace as obs_trace
 from repro.service import base
 from repro.service.base import Job
 from repro.service.remote import RemoteJobStore, RemoteStoreError
@@ -67,6 +68,8 @@ __all__ = [
     "WorkerPool",
     "Autoscaler",
 ]
+
+_log = logging.getLogger("repro.service.worker")
 
 #: Seconds between queue polls when no job is claimable.
 DEFAULT_POLL_INTERVAL = 0.2
@@ -108,6 +111,24 @@ def _heartbeat(
             # the terminal complete()/fail() update is ownership-checked, so
             # a reclaimed job cannot be double-finished.
             return
+
+
+def _persist_trace(
+    runner: ExperimentRunner, scenario, trace, job_id: str
+) -> None:
+    """Write the finished trace next to the job's stage artefacts.
+
+    Best-effort: a trace is a diagnostic artefact, so an unwritable cache
+    directory (or an unreachable coordinator, for a remote worker whose
+    entry pushes over HTTP) must not turn a computed result into a
+    failure.
+    """
+    if trace is None:
+        return
+    try:
+        runner.cache.entry_for(scenario).write_trace(trace.spans)
+    except Exception as error:  # noqa: BLE001 - diagnostics only
+        _log.warning("job %s: could not persist trace: %s", job_id, error)
 
 
 def _yield_batch_for(n_samples: int) -> int:
@@ -210,13 +231,31 @@ def execute_job(
             artifacts=artifacts,
             yield_batch_size=_yield_batch_for(scenario.yield_samples),
         )
-        result = runner.run(
-            stage_hook=lambda stage, artefact: record_event(
-                stage, "completed", summarise_stage(stage, artefact)
-            ),
-            cancel=cancel,
-            progress_hook=lambda stage, payload: record_event(stage, "progress", payload),
-        )
+        # The worker owns the job's trace, so spans carry the worker
+        # identity and the runner's nested start_trace joins this one.
+        # The id defaults to the job id (== the scenario's config hash);
+        # a remote store exposes the coordinator's X-Repro-Trace header
+        # from the claim, which wins if the two ever diverge.
+        # Persistence happens in _persist_trace on *every* exit path -- a
+        # failed or cancelled job's partial trace is exactly what
+        # debugging needs.
+        trace_id = getattr(store, "last_trace_id", None) or job.id
+        with obs_trace.start_trace(trace_id) as trace:
+            try:
+                with obs_trace.span(
+                    "worker.execute_job", job_id=job.id, worker=worker
+                ):
+                    result = runner.run(
+                        stage_hook=lambda stage, artefact: record_event(
+                            stage, "completed", summarise_stage(stage, artefact)
+                        ),
+                        cancel=cancel,
+                        progress_hook=lambda stage, payload: record_event(
+                            stage, "progress", payload
+                        ),
+                    )
+            finally:
+                _persist_trace(runner, scenario, trace, job.id)
         # The terminal updates are ownership-checked: False means the
         # lease expired mid-run and a peer reclaimed (and will finish)
         # the job -- this worker's result must not count as an execution.
@@ -698,8 +737,7 @@ class Autoscaler:
                 # disk full) or a failed spawn must not kill the
                 # supervisor thread -- that would silently freeze the
                 # pool at its current size for the life of the service.
-                print("repro autoscaler: supervision tick failed", file=sys.stderr)
-                traceback.print_exc()
+                _log.exception("autoscaler supervision tick failed")
 
     def _tick(self) -> None:
         """One supervision round (separate from the loop for testability)."""

@@ -1,0 +1,113 @@
+"""The metrics registry and its Prometheus text exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+
+def test_counter_accumulates_per_label_set():
+    counter = Counter("c_total", "help", ("backend",))
+    counter.inc(backend="analytical")
+    counter.inc(3, backend="analytical")
+    counter.inc(backend="spice")
+    assert counter.value(backend="analytical") == 4
+    assert counter.value(backend="spice") == 1
+    assert counter.value(backend="never") == 0
+
+
+def test_counter_rejects_decrements_and_wrong_labels():
+    counter = Counter("c_total", "", ("a",))
+    with pytest.raises(ValueError):
+        counter.inc(-1, a="x")
+    with pytest.raises(ValueError):
+        counter.inc(b="x")
+    with pytest.raises(ValueError):
+        counter.inc()  # missing the declared label
+
+
+def test_gauge_goes_both_ways():
+    gauge = Gauge("g", "")
+    gauge.set(5)
+    gauge.inc(2)
+    gauge.dec(3)
+    assert gauge.value() == 4
+
+
+def test_histogram_buckets_are_cumulative():
+    histogram = Histogram("h_seconds", "", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    assert histogram.count() == 5
+    ((_, state),) = histogram.samples()
+    # Raw per-bucket counts: <=0.1, <=1.0, <=10.0, +Inf overflow.
+    assert state["counts"] == [1, 2, 1, 1]
+    assert state["sum"] == pytest.approx(56.05)
+
+
+def test_invalid_metric_name_rejected():
+    with pytest.raises(ValueError):
+        Counter("9starts_with_digit", "")
+    with pytest.raises(ValueError):
+        Counter("", "")
+
+
+def test_registry_registration_is_idempotent():
+    registry = MetricsRegistry()
+    first = registry.counter("x_total", "help")
+    second = registry.counter("x_total", "different help ignored")
+    assert first is second
+    with pytest.raises(ValueError):
+        registry.gauge("x_total")  # same name, different kind
+
+
+def test_render_prometheus_text_format():
+    registry = MetricsRegistry()
+    registry.counter("jobs_total", "Jobs seen", ("state",)).inc(2, state="done")
+    registry.gauge("pool_size", "Workers").set(3)
+    histogram = registry.histogram("latency_seconds", "", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.7)
+    text = render_prometheus(registry)
+    lines = text.splitlines()
+    assert "# HELP jobs_total Jobs seen" in lines
+    assert "# TYPE jobs_total counter" in lines
+    assert 'jobs_total{state="done"} 2' in lines
+    assert "pool_size 3" in lines
+    assert "# TYPE latency_seconds histogram" in lines
+    assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+    assert 'latency_seconds_bucket{le="1"} 2' in lines
+    assert 'latency_seconds_bucket{le="+Inf"} 2' in lines
+    assert "latency_seconds_count 2" in lines
+    assert text.endswith("\n")
+
+
+def test_render_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("weird_total", "", ("path",)).inc(path='a"b\\c\nd')
+    text = render_prometheus(registry)
+    assert 'path="a\\"b\\\\c\\nd"' in text
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    counter = Counter("race_total", "")
+    barrier = threading.Barrier(4)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value() == 4000

@@ -1,0 +1,164 @@
+"""The span tracer: activation, parentage, threads, processes, wire format."""
+
+import json
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_trace():
+    """Every test starts and ends with no active trace."""
+    assert obs_trace.current_trace() is None
+    yield
+    assert obs_trace.current_trace() is None
+
+
+def test_start_trace_activates_and_deactivates():
+    with obs_trace.start_trace("abc123") as trace:
+        assert trace is not None
+        assert trace.trace_id == "abc123"
+        assert obs_trace.current_trace() is trace
+    assert obs_trace.current_trace() is None
+
+
+def test_span_records_name_timing_and_attrs():
+    with obs_trace.start_trace("t1") as trace:
+        with obs_trace.span("work", kind="demo") as attrs:
+            attrs["late"] = 42  # facts learned mid-span land in the record
+    (record,) = trace.spans
+    assert record["trace_id"] == "t1"
+    assert record["name"] == "work"
+    assert record["parent_id"] is None
+    assert record["duration"] >= 0.0
+    assert record["start"] > 0.0
+    assert record["attrs"] == {"kind": "demo", "late": 42}
+
+
+def test_nested_spans_track_parentage():
+    with obs_trace.start_trace("t2") as trace:
+        with obs_trace.span("outer"):
+            with obs_trace.span("inner"):
+                pass
+    by_name = {record["name"]: record for record in trace.spans}
+    assert by_name["outer"]["parent_id"] is None
+    assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+
+
+def test_span_without_active_trace_is_a_noop():
+    with obs_trace.span("orphan") as attrs:
+        assert attrs is None  # nothing is recorded, nothing to attach to
+
+
+def test_nested_start_trace_joins_the_outer_trace():
+    with obs_trace.start_trace("outer-id") as outer:
+        with obs_trace.start_trace("inner-id") as inner:
+            assert inner is None  # the outer activation keeps ownership
+            with obs_trace.span("child"):
+                pass
+    (record,) = outer.spans
+    assert record["trace_id"] == "outer-id"
+
+
+def test_kill_switch_disables_everything(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "0")
+    assert not obs_trace.enabled()
+    with obs_trace.start_trace("t3") as trace:
+        assert trace is None
+        with obs_trace.span("dark") as attrs:
+            assert attrs is None
+
+
+def test_threads_record_into_the_same_trace_with_independent_parentage():
+    results = []
+
+    def worker(name):
+        with obs_trace.span(name):
+            pass
+        results.append(name)
+
+    with obs_trace.start_trace("t4") as trace:
+        with obs_trace.span("main"):
+            threads = [
+                threading.Thread(target=worker, args=(f"thread-{i}",))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+    spans = trace.spans
+    assert len(spans) == 4
+    # Thread spans are roots in their own threads, not children of "main"
+    # (the per-thread stack keeps parentage honest across threads).
+    for record in spans:
+        if record["name"].startswith("thread-"):
+            assert record["parent_id"] is None
+
+
+def _child_task(context):
+    with obs_trace.collect_spans(context) as records:
+        with obs_trace.span("child.work", task=1):
+            pass
+    return records
+
+
+def test_collect_spans_reparents_under_the_shipped_context():
+    with obs_trace.start_trace("t5") as trace:
+        with obs_trace.span("parent"):
+            context = obs_trace.trace_context()
+            records = _child_task(context)
+            obs_trace.merge_spans(records)
+    by_name = {record["name"]: record for record in trace.spans}
+    assert by_name["child.work"]["trace_id"] == "t5"
+    assert by_name["child.work"]["parent_id"] == by_name["parent"]["span_id"]
+
+
+def test_collect_spans_across_a_real_process_pool():
+    with obs_trace.start_trace("t6") as trace:
+        with obs_trace.span("parent"):
+            context = obs_trace.trace_context()
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                for records in pool.map(_child_task, [context, context]):
+                    obs_trace.merge_spans(records)
+    spans = trace.spans
+    children = [record for record in spans if record["name"] == "child.work"]
+    assert len(children) == 2
+    parent = next(record for record in spans if record["name"] == "parent")
+    for record in children:
+        assert record["trace_id"] == "t6"
+        assert record["parent_id"] == parent["span_id"]
+
+
+def test_collect_spans_without_context_records_nothing():
+    with obs_trace.collect_spans(None) as records:
+        with obs_trace.span("dark"):
+            pass
+    assert records == []
+
+
+def test_jsonl_round_trip_skips_garbage_lines():
+    with obs_trace.start_trace("t7") as trace:
+        with obs_trace.span("a"):
+            pass
+        with obs_trace.span("b", n=2):
+            pass
+    text = obs_trace.spans_to_jsonl(trace.spans)
+    assert text.endswith("\n")
+    for line in text.strip().splitlines():
+        json.loads(line)  # every line is one valid JSON object
+    mangled = "not json\n" + text + '{"no_span_id": true}\n'
+    parsed = obs_trace.spans_from_jsonl(mangled)
+    assert [record["name"] for record in parsed] == ["a", "b"]
+    assert parsed == obs_trace.spans_from_jsonl(text)
+
+
+def test_spans_sorted_by_start_time():
+    with obs_trace.start_trace("t8") as trace:
+        for name in ("first", "second", "third"):
+            with obs_trace.span(name):
+                pass
+    assert [record["name"] for record in trace.spans] == ["first", "second", "third"]

@@ -311,3 +311,58 @@ def test_client_terminal_states_match_the_stores():
     from repro.service import client, store
 
     assert set(client.TERMINAL_STATES) == set(store.TERMINAL_STATES)
+
+
+# -- observability (GET /v1/metrics, GET /v1/jobs/<id>/trace) -----------------------------
+
+
+def test_trace_endpoint_404_and_409(service):
+    assert service.trace("deadbeef")[0] == 404
+    _, job = service.submit({"scenario": "fast-smoke", "overrides": {"seed": 17}})
+    status, payload = service.trace(job["id"])
+    assert status == 409
+    assert payload["error"]["code"] == "trace_not_ready"
+    assert payload["state"] == "queued"
+
+
+def test_trace_endpoint_serves_executed_job(live):
+    client, store, service_cache = live
+    job = client.submit("fast-smoke", TINY_OVERRIDES)
+    assert worker_loop(store.path, service_cache, lease_ttl=30.0, max_jobs=1) == 1
+    payload = client.trace(job["id"])
+    assert payload["job_id"] == job["id"]
+    assert payload["trace_id"] == job["id"]  # trace id == config hash == job id
+    assert payload["span_count"] == len(payload["spans"]) > 0
+    names = {span["name"] for span in payload["spans"]}
+    assert "worker.execute_job" in names
+    assert "runner.run" in names
+    assert "stage.circuit" in names
+
+
+def test_metrics_exposition_end_to_end(live):
+    import urllib.request
+
+    client, store, service_cache = live
+    job = client.submit("fast-smoke", TINY_OVERRIDES)
+    assert worker_loop(store.path, service_cache, lease_ttl=30.0, max_jobs=1) == 1
+    client.wait(job["id"], timeout=10.0)
+
+    with urllib.request.urlopen(client.base_url + "/v1/metrics", timeout=10.0) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.read().decode("utf-8")
+
+    lines = text.splitlines()
+    # Store-derived gauges refresh at scrape time.
+    assert 'repro_jobs{state="done"} 1' in lines
+    assert "# TYPE repro_jobs gauge" in lines
+    # The coordinator's own route latencies are histograms with route-
+    # pattern labels (bounded cardinality, not raw paths).
+    assert "# TYPE repro_http_request_seconds histogram" in lines
+    assert any(
+        line.startswith("repro_http_request_seconds_bucket{") and 'route="/v1/jobs"' in line
+        for line in lines
+    )
+    # Every line is well-formed: comment or `name{labels} value`.
+    for line in lines:
+        assert line.startswith("#") or " " in line

@@ -76,6 +76,55 @@ def test_remote_worker_executes_bit_identically(coordinator, tmp_path):
     )
 
 
+def test_remote_worker_trace_lands_on_coordinator_under_job_trace_id(
+    coordinator, tmp_path
+):
+    """The remote worker's spans (including its process-pool children)
+    travel to the coordinator as ``trace.jsonl`` under the submitting
+    job's trace id, and the claim response advertises that id in the
+    ``X-Repro-Trace`` header."""
+    scenario = tiny_scenario("distributed-trace", seed=404)
+    remote = RemoteJobStore(coordinator.url)
+    job, _ = remote.submit(scenario)
+
+    claimed = remote.claim("w-probe")
+    assert claimed.id == job.id
+    # The coordinator stamps the job's trace id on the claim response.
+    assert remote.last_trace_id == job.id
+    # Release the probe's lease so the real worker can claim the job.
+    assert coordinator.store.requeue_expired() == 0  # lease still live
+    coordinator.store.mark_cancelled(job.id, "w-probe")
+    resubmitted, _ = remote.submit(scenario)  # requeues the parked job
+    assert resubmitted.id == job.id
+
+    executed = remote_worker_loop(
+        coordinator.url, tmp_path / "worker-cache", max_jobs=1, poll_interval=0.05
+    )
+    assert executed == 1
+    assert coordinator.store.get(job.id).state == "done"
+
+    entry = ArtefactCache(coordinator.cache_dir).entry_for(scenario)
+    spans = entry.read_trace()
+    assert spans, "no trace.jsonl reached the coordinator"
+    assert {record["trace_id"] for record in spans} == {job.id}
+    names = {record["name"] for record in spans}
+    assert "worker.execute_job" in names
+    assert "runner.run" in names and "stage.circuit" in names
+    # The worker root span carries the worker identity.
+    root = next(record for record in spans if record["name"] == "worker.execute_job")
+    assert root["parent_id"] is None
+    assert root["attrs"]["job_id"] == job.id
+    # Remote round-trips were themselves traced from the worker side.
+    assert "remote.roundtrip" in names
+
+
+def test_unclaimed_poll_has_no_trace_header(coordinator):
+    """An empty claim must not advertise a trace id."""
+    remote = RemoteJobStore(coordinator.url)
+    assert remote.claim("w-idle") is None
+    assert remote.last_trace_id is None
+
+
 # -- store-level fault injection -------------------------------------------------------
 
 

@@ -263,7 +263,7 @@ def test_autoscaler_reaps_crashed_workers_and_holds_the_floor(tmp_path, monkeypa
     assert all(process.is_alive() for process, _, _ in scaler._workers)
 
 
-def test_supervisor_thread_survives_tick_exceptions(tmp_path, monkeypatch, capsys):
+def test_supervisor_thread_survives_tick_exceptions(tmp_path, monkeypatch, caplog):
     scaler = Autoscaler(
         tmp_path / "db", tmp_path / "cache", min_workers=1, max_workers=2,
         supervisor_interval=0.01,
@@ -301,7 +301,7 @@ def test_supervisor_thread_survives_tick_exceptions(tmp_path, monkeypatch, capsy
         assert scaler._thread.is_alive()  # the failing ticks did not kill it
     finally:
         scaler.stop()
-    assert "supervision tick failed" in capsys.readouterr().err
+    assert "supervision tick failed" in caplog.text
 
 
 def test_replacement_workers_reuse_freed_shard_indices(tmp_path, monkeypatch):
