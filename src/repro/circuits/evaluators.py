@@ -340,6 +340,17 @@ class RingVcoAnalyticalEvaluator(VcoEvaluator):
         technology.
     """
 
+    #: Topology hooks consumed by :mod:`repro.circuits.topology`: the seam
+    #: resolves an evaluator back to its registered topology through
+    #: ``topology_name``, and the vectorised kernel reads the design space
+    #: from ``design_cls`` instead of hardcoding the ring parameters.
+    #: Class attributes keep pickled instances byte-identical (they never
+    #: enter ``__dict__``).
+    topology_name = "ring-vco"
+    design_cls = VcoDesign
+    _WIDTH_PARAMS = ("nmos_width", "pmos_width", "tail_nmos_width", "tail_pmos_width")
+    _LENGTH_PARAMS = ("nmos_length", "pmos_length", "tail_length")
+
     def __init__(
         self,
         technology: Technology = TECH_012UM,
@@ -566,6 +577,16 @@ class RingVcoAnalyticalEvaluator(VcoEvaluator):
 
     # -- public API -----------------------------------------------------------------------
 
+    def _finalise_performance(self, performance: VcoPerformance) -> VcoPerformance:
+        """Topology-specific post-processing of one evaluated design point.
+
+        The ring is the identity.  Subclasses (e.g. the pseudo-differential
+        topology) apply their per-topology corrections here, once, so the
+        scalar path, the vectorised path and the mixed-technology fallback
+        (which loops :meth:`evaluate`) all agree bit-exactly.
+        """
+        return performance
+
     def evaluate(
         self,
         design: VcoDesign,
@@ -581,7 +602,9 @@ class RingVcoAnalyticalEvaluator(VcoEvaluator):
         kvco = max(fmax - fmin, 0.0) / span
         current = self._supply_current(design, self.vctrl_max, fmax, tech, mismatch)
         jitter = self._jitter(design, self.vctrl_max, tech, mismatch)
-        return VcoPerformance(kvco=kvco, jitter=jitter, current=current, fmin=fmin, fmax=fmax)
+        return self._finalise_performance(
+            VcoPerformance(kvco=kvco, jitter=jitter, current=current, fmin=fmin, fmax=fmax)
+        )
 
     # -- vectorised batch evaluation ---------------------------------------------------
 
@@ -674,19 +697,21 @@ class RingVcoAnalyticalEvaluator(VcoEvaluator):
             for column in (kvco, jitter, current, fmin, fmax)
         ]
         return [
-            VcoPerformance(
-                kvco=float(columns[0][i]),
-                jitter=float(columns[1][i]),
-                current=float(columns[2][i]),
-                fmin=float(columns[3][i]),
-                fmax=float(columns[4][i]),
+            self._finalise_performance(
+                VcoPerformance(
+                    kvco=float(columns[0][i]),
+                    jitter=float(columns[1][i]),
+                    current=float(columns[2][i]),
+                    fmin=float(columns[3][i]),
+                    fmax=float(columns[4][i]),
+                )
             )
             for i in range(n)
         ]
 
     def _design_arrays(self, designs: Sequence[VcoDesign], technology: Technology) -> Dict:
         """Clamped design parameters as batch arrays (scalars when shared)."""
-        names = VcoDesign.parameter_names()
+        names = self.design_cls.parameter_names()
         if all(design is designs[0] for design in designs):
             values = {name: getattr(designs[0], name) for name in names}
         else:
@@ -694,9 +719,9 @@ class RingVcoAnalyticalEvaluator(VcoEvaluator):
                 name: np.array([getattr(design, name) for design in designs])
                 for name in names
             }
-        for name in ("nmos_width", "pmos_width", "tail_nmos_width", "tail_pmos_width"):
+        for name in self._WIDTH_PARAMS:
             values[name] = np.clip(values[name], technology.min_width, technology.max_width)
-        for name in ("nmos_length", "pmos_length", "tail_length"):
+        for name in self._LENGTH_PARAMS:
             values[name] = np.clip(values[name], technology.min_length, technology.max_length)
         return values
 
@@ -838,6 +863,13 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
         transient lanes, one per control voltage).
     """
 
+    #: Topology hooks (see :class:`RingVcoAnalyticalEvaluator`): subclasses
+    #: swap the test-bench class and design space to reuse the pooled batch
+    #: machinery for a different circuit.
+    topology_name = "ring-vco"
+    design_cls = VcoDesign
+    testbench_cls = VcoTestbench
+
     def __init__(
         self,
         technology: Technology = TECH_012UM,
@@ -869,7 +901,7 @@ class RingVcoSpiceEvaluator(VcoEvaluator):
         self.lane_width = lane_width
 
     def _testbench(self, technology: Technology) -> VcoTestbench:
-        return VcoTestbench(
+        return self.testbench_cls(
             technology=technology,
             vctrl_min=self.vctrl_min,
             vctrl_max=self.vctrl_max,

@@ -20,6 +20,7 @@ from repro.circuits.performance import VcoPerformance
 from repro.circuits.ring_vco import N_STAGES, VcoDesign, build_ring_vco
 from repro.process.technology import TECH_012UM, Technology
 from repro.spice.exceptions import AnalysisError, ConvergenceError
+from repro.spice.netlist import Circuit
 from repro.spice.plan import ENGINES
 from repro.spice.transient import LaneTransientAnalysis, TransientAnalysis, TransientResult
 
@@ -50,6 +51,10 @@ class VcoTestbench:
     or ``"lanes"`` (compiled plus lane-parallel batch transients in
     :meth:`run_batch`; single measurements use the compiled path).
     """
+
+    #: Output node whose waveform is measured; topology subclasses override
+    #: it together with :meth:`_build_circuit` (the netlist seam).
+    measure_node = "n0"
 
     def __init__(
         self,
@@ -98,7 +103,7 @@ class VcoTestbench:
         dead = VcoMeasurement(vctrl=vctrl, frequency=0.0, supply_current=0.0, oscillates=False)
         if result is None:
             return dead
-        wave = result.voltage("n0")
+        wave = result.voltage(self.measure_node)
         swing = wave.peak_to_peak()
         if swing < 0.3 * vdd:
             return dead
@@ -111,6 +116,24 @@ class VcoTestbench:
             vctrl=vctrl, frequency=frequency, supply_current=current, oscillates=True
         )
 
+    # -- netlist seam ----------------------------------------------------------------
+
+    def _build_circuit(
+        self,
+        design: VcoDesign,
+        technology: Technology,
+        vctrl: float,
+        device_overrides: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> Circuit:
+        """Netlist of one measurement -- the topology seam's override point."""
+        return build_ring_vco(
+            design,
+            technology,
+            vctrl=vctrl,
+            n_stages=self.n_stages,
+            device_overrides=device_overrides,
+        )
+
     # -- single-point measurement ----------------------------------------------------
 
     def measure_at(
@@ -120,12 +143,8 @@ class VcoTestbench:
         device_overrides: Optional[Dict[str, Dict[str, float]]] = None,
     ) -> VcoMeasurement:
         """Run one transient and measure frequency and supply current."""
-        circuit = build_ring_vco(
-            design,
-            self.technology,
-            vctrl=vctrl,
-            n_stages=self.n_stages,
-            device_overrides=device_overrides,
+        circuit = self._build_circuit(
+            design, self.technology, vctrl, device_overrides=device_overrides
         )
         vdd = self.technology.vdd
         try:
@@ -232,13 +251,7 @@ class VcoTestbench:
         for design, tech, overrides in prepared:
             for vctrl in (self.vctrl_min, self.vctrl_max):
                 circuits.append(
-                    build_ring_vco(
-                        design,
-                        tech,
-                        vctrl=vctrl,
-                        n_stages=self.n_stages,
-                        device_overrides=overrides,
-                    )
+                    self._build_circuit(design, tech, vctrl, device_overrides=overrides)
                 )
                 initial_conditions.append(self._kick_conditions(tech.vdd))
         try:

@@ -16,9 +16,9 @@ from typing import Callable, List, Mapping, Optional
 
 import numpy as np
 
-from repro.circuits.evaluators import RingVcoAnalyticalEvaluator, VcoEvaluator
+from repro.circuits.evaluators import VcoEvaluator
 from repro.circuits.performance import VcoPerformance
-from repro.circuits.ring_vco import VcoDesign
+from repro.circuits.topology import CircuitTopology, topology_for_evaluator
 from repro.core.combined_model import CombinedPerformanceVariationModel
 from repro.core.performance_model import PerformanceModel
 from repro.core.specification import SpecificationSet, VCO_RANGE_SPECIFICATIONS
@@ -31,17 +31,29 @@ __all__ = ["VcoSizingProblem", "CircuitStageResult", "CircuitLevelOptimisation"]
 
 
 class VcoSizingProblem(Problem):
-    """The paper's circuit-level multi-objective VCO sizing problem."""
+    """The paper's circuit-level multi-objective VCO sizing problem.
+
+    The design space, bounds and default evaluator all come from the
+    circuit's registered :class:`~repro.circuits.topology.CircuitTopology`
+    (resolved from the evaluator when not given explicitly), so the same
+    problem class serves every topology.  The ring keeps its historical
+    problem name ``vco_sizing`` -- NSGA-II checkpoint fingerprints include
+    it, and pre-seam checkpoints must stay resumable.
+    """
 
     def __init__(
         self,
         evaluator: Optional[VcoEvaluator] = None,
         technology: Technology = TECH_012UM,
         range_specifications: SpecificationSet = VCO_RANGE_SPECIFICATIONS,
+        topology: Optional[CircuitTopology] = None,
     ) -> None:
-        self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology)
+        if topology is None:
+            topology = topology_for_evaluator(evaluator)
+        self.topology = topology
+        self.evaluator = evaluator or topology.analytical_evaluator(technology)
         self.range_specifications = range_specifications
-        parameters = VcoDesign.optimisation_parameters(technology)
+        parameters = topology.optimisation_parameters(technology)
         senses = VcoPerformance.objective_senses()
         objectives = [
             Objective("jitter", senses["jitter"], unit="s"),
@@ -51,11 +63,16 @@ class VcoSizingProblem(Problem):
             Objective("fmax", senses["fmax"], unit="Hz"),
         ]
         constraint_names = [f"range_{spec.name}" for spec in range_specifications]
-        super().__init__(parameters, objectives, constraint_names, name="vco_sizing")
+        name = (
+            "vco_sizing"
+            if topology.name == "ring-vco"
+            else f"vco_sizing[{topology.name}]"
+        )
+        super().__init__(parameters, objectives, constraint_names, name=name)
 
     def evaluate(self, values: Mapping[str, float]) -> Evaluation:
         """Evaluate one sizing candidate with the configured evaluator."""
-        design = VcoDesign.from_dict(dict(values))
+        design = self.topology.design_from_mapping(values)
         performance = self.evaluator.evaluate(design)
         return self._to_evaluation(performance)
 
@@ -78,7 +95,8 @@ class VcoSizingProblem(Problem):
         self.evaluation_count += matrix.shape[0]
         clipped = self.clip(matrix)
         designs = [
-            VcoDesign.from_dict(dict(zip(self.parameter_names, row))) for row in clipped
+            self.topology.design_from_mapping(dict(zip(self.parameter_names, row)))
+            for row in clipped
         ]
         performances = self.evaluator.evaluate_batch(designs)
         return [self._to_evaluation(performance) for performance in performances]
@@ -99,7 +117,7 @@ class CircuitStageResult:
 
     optimisation: OptimisationResult
     model: CombinedPerformanceVariationModel
-    designs: List[VcoDesign] = field(default_factory=list)
+    designs: List[object] = field(default_factory=list)
 
     @property
     def front_size(self) -> int:
@@ -134,6 +152,9 @@ class CircuitLevelOptimisation:
         evaluator's vectorised batch path.  ``None`` (the default) enables
         it automatically whenever ``config.evaluator`` selects the
         vectorised backend, so one switch vectorises the whole stage.
+    topology:
+        The :class:`~repro.circuits.topology.CircuitTopology` optimised;
+        resolved from the evaluator (or the default ring) when omitted.
     """
 
     def __init__(
@@ -147,9 +168,11 @@ class CircuitLevelOptimisation:
         vctrl_min: float = 0.5,
         vctrl_max: Optional[float] = None,
         mc_batch: Optional[bool] = None,
+        topology: Optional[CircuitTopology] = None,
     ) -> None:
         self.technology = technology
-        self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology)
+        self.topology = topology or topology_for_evaluator(evaluator)
+        self.evaluator = evaluator or self.topology.analytical_evaluator(technology)
         self.config = config or NSGA2Config(population_size=40, generations=15)
         self.mc_samples = mc_samples
         self.mc_seed = mc_seed
@@ -175,7 +198,7 @@ class CircuitLevelOptimisation:
         persisted per generation and cancellation is observed at those
         generation boundaries.
         """
-        problem = VcoSizingProblem(self.evaluator, self.technology)
+        problem = VcoSizingProblem(self.evaluator, self.technology, topology=self.topology)
         return NSGA2(problem, self.config).run(
             callback=callback, checkpoint=checkpoint, cancel=cancel
         )
@@ -184,8 +207,17 @@ class CircuitLevelOptimisation:
         self,
         optimisation: OptimisationResult,
         progress: Optional[Callable[[int, int], None]] = None,
+        checkpoint: Optional[object] = None,
+        cancel: Optional[object] = None,
     ) -> CombinedPerformanceVariationModel:
-        """Monte Carlo every Pareto point and assemble the combined model."""
+        """Monte Carlo every Pareto point and assemble the combined model.
+
+        ``checkpoint`` is a duck-typed ``load()/store(state)/clear()``
+        store persisting the per-Pareto-point Monte Carlo rows (forwarded
+        to :meth:`VariationModel.from_monte_carlo`); each point draws its
+        own seeded RNG stream, so a resumed build is bit-identical to an
+        uninterrupted one.  ``cancel`` is observed at point boundaries.
+        """
         front = optimisation.front.non_dominated()
         if len(front) == 0:
             raise ValueError("the optimisation produced an empty Pareto front")
@@ -196,7 +228,7 @@ class CircuitLevelOptimisation:
                 : self.max_model_points
             ]
         designs = [
-            VcoDesign.from_dict(
+            self.topology.design_from_mapping(
                 dict(zip(front.parameter_names, individual.parameters))
             )
             for individual in individuals
@@ -220,6 +252,8 @@ class CircuitLevelOptimisation:
             seed=self.mc_seed,
             progress=progress,
             use_batch=self.mc_batch,
+            checkpoint=checkpoint,
+            cancel=cancel,
         )
         return CombinedPerformanceVariationModel(
             performance=performance_model,
@@ -247,10 +281,51 @@ class CircuitLevelOptimisation:
         optimisation = self.optimise(callback=callback, checkpoint=checkpoint, cancel=cancel)
         if cancel is not None:
             cancel.raise_if_cancelled()
-        model = self.build_model(optimisation, progress=progress)
+        mc_checkpoint = (
+            _ModelBuildCheckpoint(checkpoint) if checkpoint is not None else None
+        )
+        model = self.build_model(
+            optimisation, progress=progress, checkpoint=mc_checkpoint, cancel=cancel
+        )
         front = optimisation.front
         designs = [
-            VcoDesign.from_dict(dict(zip(front.parameter_names, individual.parameters)))
+            self.topology.design_from_mapping(
+                dict(zip(front.parameter_names, individual.parameters))
+            )
             for individual in front
         ]
         return CircuitStageResult(optimisation=optimisation, model=model, designs=designs)
+
+
+class _ModelBuildCheckpoint:
+    """Sub-key view of the circuit stage's partial checkpoint.
+
+    The NSGA-II loop owns the ``circuit.partial.pkl`` slot; the model
+    build's Monte Carlo progress piggybacks on the *same* state dict under
+    an ``"mc"`` key (``NSGA2._state_matches`` ignores extra keys, and a
+    finished optimiser state is never re-stored on resume, so the two
+    never fight).  A crash during the model build therefore loses neither
+    the optimisation nor the Monte Carlo points already evaluated.
+    """
+
+    def __init__(self, partial: object) -> None:
+        self._partial = partial
+
+    def load(self) -> Optional[object]:
+        state = self._partial.load()
+        if isinstance(state, dict):
+            return state.get("mc")
+        return None
+
+    def store(self, mc_state: object) -> None:
+        state = self._partial.load()
+        state = dict(state) if isinstance(state, dict) else {}
+        state["mc"] = mc_state
+        self._partial.store(state)
+
+    def clear(self) -> None:
+        state = self._partial.load()
+        if isinstance(state, dict) and "mc" in state:
+            state = dict(state)
+            del state["mc"]
+            self._partial.store(state)

@@ -15,12 +15,11 @@ Table-1-style reporting and ``.tbl``/Verilog-A export hooks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.behavioural.vco import BehaviouralVco
-from repro.circuits.ring_vco import VcoDesign
 from repro.core.performance_model import PerformanceModel
 from repro.core.variation_model import VariationModel
 
@@ -74,7 +73,7 @@ class CombinedPerformanceVariationModel:
         """Relative spread (percent) of one performance at a value."""
         return self.variation.spread(name, value)
 
-    def design_parameters_for(self, kvco: float, ivco: float) -> VcoDesign:
+    def design_parameters_for(self, kvco: float, ivco: float) -> Any:
         """Transistor sizes realising a (gain, current) operating point."""
         return self.performance.design_parameters_for(kvco, ivco)
 

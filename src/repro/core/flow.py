@@ -15,21 +15,24 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.behavioural.pll import PllDesign
-from repro.circuits.evaluators import (
-    RingVcoAnalyticalEvaluator,
-    RingVcoSpiceEvaluator,
-    VcoEvaluator,
+from repro.circuits.evaluators import VcoEvaluator
+from repro.circuits.topology import (
+    DEFAULT_TOPOLOGY,
+    CircuitTopology,
+    get_topology,
+    topology_for_evaluator,
 )
 from repro.core.circuit_stage import CircuitLevelOptimisation, CircuitStageResult
 from repro.core.combined_model import CombinedPerformanceVariationModel
+from repro.core.corner_sweep import CornerSweepAnalysis, CornerSweepReport
 from repro.core.datafile import write_model_directory
 from repro.core.codegen import write_verilog_a
 from repro.core.specification import PLL_SPECIFICATIONS, SpecificationSet
 from repro.core.system_stage import SystemLevelOptimisation, SystemStageResult
 from repro.core.verification import BottomUpVerification, VerificationReport
 from repro.core.yield_analysis import YieldAnalysis, YieldReport
-from repro.circuits.ring_vco import N_STAGES
 from repro.optim import NSGA2Config
+from repro.process.corners import corner_set
 from repro.process.technology import TECH_012UM, Technology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -89,6 +92,11 @@ def summarise_stage(stage: str, artefact: object) -> Dict[str, float]:
                 value = selected.raw_objectives.get(objective)
                 if value is not None:
                     put(f"selected_{objective}_{suffix}", value * scale)
+    elif stage == "corners":
+        summary = getattr(artefact, "summary", None)
+        if callable(summary):
+            for key, value in summary().items():
+                put(key, value)
     elif stage == "yield":
         put("yield_percent", getattr(artefact, "yield_percent", None))
         put("n_samples", getattr(artefact, "n_samples", None))
@@ -166,6 +174,7 @@ class FlowReport:
     verification: Optional[VerificationReport] = None
     model_directory: Optional[str] = None
     generated_files: List[str] = field(default_factory=list)
+    corner_report: Optional[CornerSweepReport] = None
 
     @property
     def model(self) -> CombinedPerformanceVariationModel:
@@ -196,6 +205,9 @@ class FlowReport:
             summary["yield_samples"] = float(self.yield_report.n_samples)
         if self.verification is not None:
             summary["verification_worst_error"] = self.verification.worst_error()
+        if self.corner_report is not None:
+            for key, value in self.corner_report.summary().items():
+                summary[f"corners_{key}"] = value
         return summary
 
 
@@ -240,8 +252,10 @@ class HierarchicalFlow:
         seed: int = 2009,
         evaluation: str = "serial",
         n_workers: Optional[int] = None,
-        n_stages: int = N_STAGES,
+        n_stages: Optional[int] = None,
         spice_engine: str = "reference",
+        topology: str = DEFAULT_TOPOLOGY,
+        corners: str = "",
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be at least 1")
@@ -251,9 +265,20 @@ class HierarchicalFlow:
             raise ValueError(f"unknown spice_engine {spice_engine!r}; choose from {ENGINES}")
         self.spice_engine = spice_engine
         self.technology = technology
-        self.evaluator = evaluator or RingVcoAnalyticalEvaluator(technology, n_stages=n_stages)
+        # An explicitly passed evaluator wins the topology resolution (it
+        # carries its registry key as a class attribute); otherwise the
+        # ``topology`` name selects the circuit family and its evaluator.
+        if evaluator is not None:
+            self.topology: CircuitTopology = topology_for_evaluator(evaluator)
+        else:
+            self.topology = get_topology(topology)
+        self.evaluator = evaluator or self.topology.analytical_evaluator(
+            technology, n_stages=n_stages
+        )
         # An explicitly passed evaluator carries its own ring length.
-        self.n_stages = getattr(self.evaluator, "n_stages", n_stages)
+        self.n_stages = getattr(
+            self.evaluator, "n_stages", self.topology.resolve_n_stages(n_stages)
+        )
         self.evaluation = evaluation
         self.n_workers = n_workers
         # The process backend's worker-count plumbing also sizes the SPICE
@@ -284,6 +309,9 @@ class HierarchicalFlow:
         self.yield_samples = yield_samples
         self.max_model_points = max_model_points
         self.seed = seed
+        #: Name of the corner set swept after the circuit stage ("" skips
+        #: the sweep entirely -- the historical behaviour).
+        self.corners = corners
         #: Defaults applied when :meth:`run` is called without explicit
         #: ``run_yield`` / ``run_verification`` arguments; overwritten by
         #: :meth:`from_scenario` so a scenario's stage selection is honoured.
@@ -333,6 +361,8 @@ class HierarchicalFlow:
             n_workers=scenario.n_workers,
             n_stages=scenario.n_stages,
             spice_engine=scenario.spice_engine,
+            topology=scenario.topology,
+            corners=scenario.corners,
         )
         flow.default_run_yield = scenario.run_yield
         flow.default_run_verification = scenario.run_verification
@@ -366,6 +396,7 @@ class HierarchicalFlow:
             mc_seed=self.seed,
             max_model_points=self.max_model_points,
             mc_batch=self._use_batch_mc,
+            topology=self.topology,
         )
         return stage.run(progress=progress, checkpoint=checkpoint, cancel=cancel)
 
@@ -410,22 +441,42 @@ class HierarchicalFlow:
             selected_values, checkpoint=checkpoint, batch_size=batch_size, cancel=cancel
         )
 
-    def spice_evaluator(self) -> RingVcoSpiceEvaluator:
+    def spice_evaluator(self) -> VcoEvaluator:
         """A transistor-level evaluator matching this flow's configuration.
 
-        Carries the flow's technology, ring length, worker count and the
-        configured :attr:`spice_engine` -- pass it to
+        Carries the flow's topology, technology, ring length, worker count
+        and the configured :attr:`spice_engine` -- pass it to
         :meth:`verification_stage` (or :meth:`run`) as the
         ``verification_evaluator`` to verify against the MNA test bench
         instead of the analytical evaluator.  Kept out of the default
         verification path so existing artefacts stay byte-identical.
         """
-        return RingVcoSpiceEvaluator(
+        return self.topology.spice_evaluator(
             self.technology,
             n_stages=self.n_stages,
             n_workers=self.n_workers,
             engine=self.spice_engine,
         )
+
+    def corner_stage(
+        self,
+        circuit: CircuitStageResult,
+        corners: str,
+        cancel: Optional[object] = None,
+    ) -> CornerSweepReport:
+        """Re-evaluate the circuit-stage Pareto designs across a corner set.
+
+        ``corners`` names a registered corner set (see
+        :func:`repro.process.corners.corner_set`); the report carries one
+        re-evaluated front per corner plus the worst-case-corner front.
+        """
+        analysis = CornerSweepAnalysis(
+            evaluator=self.evaluator,
+            technology=self.technology,
+            corners=corner_set(corners),
+            use_batch=self._use_batch_mc,
+        )
+        return analysis.run(circuit, cancel=cancel)
 
     def verification_stage(
         self,
@@ -505,6 +556,10 @@ class HierarchicalFlow:
 
         circuit = self.circuit_stage(progress=progress, cancel=cancel)
         checkpoint("circuit", circuit)
+        corner_report = None
+        if self.corners:
+            corner_report = self.corner_stage(circuit, self.corners, cancel=cancel)
+            checkpoint("corners", corner_report)
         system = self.system_stage(circuit.model, cancel=cancel)
         checkpoint("system", system)
         yield_report = None
@@ -530,4 +585,5 @@ class HierarchicalFlow:
             verification=verification,
             model_directory=model_directory,
             generated_files=generated,
+            corner_report=corner_report,
         )

@@ -21,12 +21,12 @@ Both services use the N-dimensional table models of
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
 from repro.circuits.performance import VcoPerformance
-from repro.circuits.ring_vco import VcoDesign
+from repro.circuits.topology import design_from_parameters
 from repro.optim.pareto import ParetoFront
 from repro.tablemodel import TableND
 
@@ -170,16 +170,19 @@ class PerformanceModel:
             records.append(record)
         return records
 
-    def design_parameters_for(self, kvco: float, ivco: float) -> VcoDesign:
+    def design_parameters_for(self, kvco: float, ivco: float) -> Any:
         """Transistor sizes realising a (gain, current) operating point.
 
         This is the Listing-1 lookup ``p1 ... p7 = $table_model(kvco, ivco,
-        ...)`` reduced to the two system-level designables.
+        ...)`` reduced to the two system-level designables.  The design
+        class is recovered from the stored parameter-name set through the
+        topology registry, so models pickled before the topology seam
+        still reconstruct ring designs.
         """
         values = {
             name: float(table(kvco, ivco)) for name, table in self._parameter_tables.items()
         }
-        return VcoDesign.from_dict(values)
+        return design_from_parameters(self.parameter_names, values)
 
     def consistency_distance(self, kvco: float, ivco: float) -> float:
         """Normalised distance from a (gain, current) query to the Pareto front.

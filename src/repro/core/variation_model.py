@@ -15,13 +15,13 @@ intermediate operating point.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.behavioural.vco import VcoVariationTables
 from repro.circuits.evaluators import VcoEvaluator
-from repro.circuits.ring_vco import N_STAGES, VcoDesign, vco_device_geometries
+from repro.circuits.topology import topology_for_evaluator
 from repro.process.montecarlo import MonteCarloEngine
 from repro.tablemodel import Table1D
 
@@ -74,7 +74,7 @@ class VariationModel:
     @classmethod
     def from_monte_carlo(
         cls,
-        designs: Sequence[VcoDesign],
+        designs: Sequence[Any],
         nominal_performances: Sequence[Mapping[str, float]],
         evaluator: VcoEvaluator,
         mc_engine_factory: Callable[[], MonteCarloEngine] | None = None,
@@ -83,6 +83,8 @@ class VariationModel:
         control: str = "3E",
         progress: Optional[Callable[[int, int], None]] = None,
         use_batch: bool = False,
+        checkpoint: Optional[Any] = None,
+        cancel: Optional[Any] = None,
     ) -> "VariationModel":
         """Run one Monte Carlo analysis per Pareto point and collect spreads.
 
@@ -110,6 +112,16 @@ class VariationModel:
             evaluator's vectorised batch path
             (:meth:`~repro.process.montecarlo.MonteCarloEngine.run_batch`).
             Results are identical for a vectorised evaluator, only faster.
+        checkpoint:
+            Optional duck-typed ``load()/store(state)/clear()`` store.  The
+            completed per-point rows are persisted after every point, so an
+            interrupted model build resumes at the first unfinished point.
+            Each point seeds its own independent Monte Carlo engine
+            (``seed + index``), so the resumed rows are bit-identical to an
+            uninterrupted run's.
+        cancel:
+            Optional cancellation token (``raise_if_cancelled()``), observed
+            at point boundaries.
         """
         if len(designs) != len(nominal_performances):
             raise ValueError("one nominal performance record per design is required")
@@ -118,10 +130,32 @@ class VariationModel:
         nominal_rows: List[List[float]] = []
         spread_rows: List[List[float]] = []
         total = len(designs)
+        topology = topology_for_evaluator(evaluator)
         # Mismatch is injected per matched transistor, so the geometry list
         # must cover exactly the evaluator's ring length (3/5/7/9 stages).
-        n_stages = getattr(evaluator, "n_stages", N_STAGES)
+        n_stages = getattr(evaluator, "n_stages", topology.default_n_stages)
+        fingerprint = {
+            "n_samples": int(n_samples),
+            "seed": int(seed),
+            "control": str(control),
+            "designs": [design.as_dict() for design in designs],
+        }
+        if checkpoint is not None:
+            state = checkpoint.load()
+            if (
+                isinstance(state, dict)
+                and state.get("fingerprint") == fingerprint
+                and len(state.get("nominal_rows", ())) == len(state.get("spread_rows", ()))
+                and len(state.get("nominal_rows", ())) <= total
+            ):
+                nominal_rows = [list(row) for row in state["nominal_rows"]]
+                spread_rows = [list(row) for row in state["spread_rows"]]
+        start = len(nominal_rows)
         for index, (design, nominal) in enumerate(zip(designs, nominal_performances)):
+            if index < start:
+                continue
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             if mc_engine_factory is not None:
                 engine = mc_engine_factory()
             else:
@@ -132,20 +166,30 @@ class VariationModel:
             if use_batch:
                 result = engine.run_batch(
                     evaluator.monte_carlo_batch_evaluator(design),
-                    devices=vco_device_geometries(design, n_stages=n_stages),
+                    devices=topology.device_geometries(design, n_stages=n_stages),
                     nominal=nominal_values,
                 )
             else:
                 result = engine.run(
                     evaluator.monte_carlo_evaluator(design),
-                    devices=vco_device_geometries(design, n_stages=n_stages),
+                    devices=topology.device_geometries(design, n_stages=n_stages),
                     nominal=nominal_values,
                 )
             spreads = result.spreads()
             nominal_rows.append([float(nominal[name]) for name in _PERFORMANCE_NAMES])
             spread_rows.append([spreads[name].spread_percent for name in _PERFORMANCE_NAMES])
+            if checkpoint is not None and len(nominal_rows) < total:
+                checkpoint.store(
+                    {
+                        "fingerprint": fingerprint,
+                        "nominal_rows": nominal_rows,
+                        "spread_rows": spread_rows,
+                    }
+                )
             if progress is not None:
                 progress(index + 1, total)
+        if checkpoint is not None:
+            checkpoint.clear()
         return cls(
             nominal=np.asarray(nominal_rows),
             spreads_percent=np.asarray(spread_rows),

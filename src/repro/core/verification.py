@@ -12,11 +12,12 @@ behavioural (table-model) prediction is reported.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.circuits.evaluators import RingVcoSpiceEvaluator, VcoEvaluator
-from repro.circuits.ring_vco import VcoDesign
+from repro.circuits.evaluators import VcoEvaluator
+from repro.circuits.topology import topology_for_parameters
 from repro.core.combined_model import CombinedPerformanceVariationModel
+from repro.process.technology import TECH_012UM
 
 __all__ = ["VerificationPoint", "VerificationReport", "BottomUpVerification"]
 
@@ -29,7 +30,7 @@ class VerificationPoint:
 
     kvco: float
     ivco: float
-    design: VcoDesign
+    design: Any
     predicted: Dict[str, float]
     measured: Dict[str, float]
 
@@ -95,10 +96,16 @@ class BottomUpVerification:
         engine: str = "reference",
     ) -> None:
         self.model = model
-        self.reference_evaluator = reference_evaluator or RingVcoSpiceEvaluator(engine=engine)
+        if reference_evaluator is None:
+            # The model knows only its design-parameter names; resolve them
+            # back to the topology whose SPICE test bench can re-measure
+            # the reconstructed design points.
+            topology = topology_for_parameters(model.performance.parameter_names)
+            reference_evaluator = topology.spice_evaluator(TECH_012UM, engine=engine)
+        self.reference_evaluator = reference_evaluator
 
     def _make_point(
-        self, kvco: float, ivco: float, design: VcoDesign, measured: Mapping[str, float]
+        self, kvco: float, ivco: float, design: Any, measured: Mapping[str, float]
     ) -> VerificationPoint:
         """Pair the model's prediction with one reference measurement."""
         predicted = self.model.interpolate(kvco, ivco)

@@ -15,15 +15,16 @@ parametric yield.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.behavioural.pll import BehaviouralPll, PllDesign, PllPerformance
 from repro.behavioural.vco import BehaviouralVco, VcoVariationTables
-from repro.circuits.evaluators import RingVcoAnalyticalEvaluator, VcoEvaluator
-from repro.circuits.ring_vco import N_STAGES, VcoDesign, vco_device_geometries
+from repro.circuits.evaluators import VcoEvaluator
+from repro.circuits.topology import DEFAULT_TOPOLOGY, get_topology, topology_for_evaluator
 from repro.core.combined_model import CombinedPerformanceVariationModel
+from repro.process.technology import TECH_012UM
 from repro.core.specification import PLL_SPECIFICATIONS, SpecificationSet
 from repro.obs import trace as obs_trace
 from repro.process.montecarlo import MonteCarloEngine, ProcessSample
@@ -38,7 +39,7 @@ class YieldReport:
 
     yield_fraction: float
     n_samples: int
-    vco_design: VcoDesign
+    vco_design: Any
     system_samples: List[Dict[str, float]] = field(default_factory=list)
     violations: Dict[str, int] = field(default_factory=dict)
 
@@ -74,7 +75,9 @@ class YieldAnalysis:
         if n_samples < 1:
             raise ValueError("n_samples must be at least 1")
         self.model = model
-        self.evaluator = evaluator or RingVcoAnalyticalEvaluator()
+        self.evaluator = evaluator or get_topology(DEFAULT_TOPOLOGY).analytical_evaluator(
+            TECH_012UM
+        )
         self.specifications = specifications
         self.n_samples = n_samples
         self.seed = seed
@@ -135,8 +138,9 @@ class YieldAnalysis:
         )
         # Mismatch geometries must cover exactly the evaluator's ring length
         # (the scenario subsystem runs 3/7/9-stage rings, not just 5).
-        n_stages = getattr(self.evaluator, "n_stages", N_STAGES)
-        devices = vco_device_geometries(vco_design, n_stages=n_stages)
+        topology = topology_for_evaluator(self.evaluator)
+        n_stages = getattr(self.evaluator, "n_stages", topology.default_n_stages)
+        devices = topology.device_geometries(vco_design, n_stages=n_stages)
         process_samples = engine.sample_batch(devices)
 
         fingerprint = {
@@ -193,7 +197,7 @@ class YieldAnalysis:
     def _evaluate_batch(
         self,
         process_samples: Sequence[ProcessSample],
-        vco_design: VcoDesign,
+        vco_design: Any,
         pll_design: PllDesign,
     ) -> List[Dict[str, float]]:
         """System performances of one batch of drawn process samples.

@@ -56,7 +56,7 @@ __all__ = [
 #: pickles, their mid-stage partials, the two JSON metadata files and
 #: the per-job span trace.
 ARTIFACT_NAME_RE = re.compile(
-    r"^(?:(?:circuit|system|yield|verification)(?:\.partial)?\.pkl"
+    r"^(?:(?:circuit|corners|system|yield|verification)(?:\.partial)?\.pkl"
     r"|(?:scenario|report)\.json|trace\.jsonl)$"
 )
 

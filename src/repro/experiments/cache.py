@@ -37,8 +37,10 @@ from repro.obs.trace import spans_from_jsonl, spans_to_jsonl
 
 __all__ = ["STAGES", "TRACE_FILE", "ArtefactCache", "CacheEntry", "default_cache_dir"]
 
-#: Stage checkpoint names, in flow order.
-STAGES = ("circuit", "system", "yield", "verification")
+#: Stage checkpoint names, in flow order.  ``corners`` runs right after the
+#: circuit stage when the scenario names a corner set and is skipped
+#: otherwise; like ``verification`` it is an optional artefact.
+STAGES = ("circuit", "corners", "system", "yield", "verification")
 
 #: The per-job span trace, one JSON span per line (see :mod:`repro.obs.trace`).
 TRACE_FILE = "trace.jsonl"

@@ -21,6 +21,10 @@ Service subcommands talk to the experiment service
     repro serve --workers 4 --port 8321    # job store + worker pool + HTTP API
     repro serve --min-workers 1 --max-workers 8   # autoscale on queue depth
     repro submit fast-smoke --wait         # POST /v1/jobs, poll, print the report
+    repro submit-sweep 'vco-sweep-*' --technology generic012,generic065
+                                           # glob x axis product, batched submits
+    repro portfolio portfolio-table2 --submit     # fan one portfolio into child jobs
+    repro portfolio portfolio-table2 --report     # merged cross-technology Pareto view
     repro status <job-id-or-scenario>      # GET /v1/jobs/<id> (+ stage events)
     repro cancel <job-id-or-scenario>      # DELETE /v1/jobs/<id>
     repro jobs --state queued              # GET /v1/jobs (paginated underneath)
@@ -45,7 +49,12 @@ from typing import List, Optional
 
 from repro.experiments.cache import ArtefactCache, STAGES, default_cache_dir
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.registry import SCENARIOS, get_scenario, list_scenarios
+from repro.experiments.registry import (
+    SCENARIOS,
+    get_scenario,
+    list_scenarios,
+    scenario_names,
+)
 from repro.experiments.report import report_payload
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
 
@@ -301,6 +310,78 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--json", action="store_true", help="print the span records as JSON"
     )
+
+    sweep = subparsers.add_parser(
+        "submit-sweep",
+        help="expand a scenario glob (x technology axis) into batched submissions",
+    )
+    sweep.add_argument(
+        "pattern", help="glob over registered scenario names, e.g. 'vco-sweep-*'"
+    )
+    sweep.add_argument(
+        "--technology",
+        default=None,
+        metavar="LIST",
+        help=(
+            "comma-separated technology axis fanned across every matched "
+            "scenario, e.g. generic012,generic065 (default: each scenario's own)"
+        ),
+    )
+    sweep.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    sweep.add_argument(
+        "--seed", type=int, default=None, help="seed override (changes every job id)"
+    )
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expansion without submitting anything",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="print the submitted jobs as JSON"
+    )
+
+    portfolio = subparsers.add_parser(
+        "portfolio",
+        help="cross-technology portfolios: list, run locally, submit, merged report",
+    )
+    portfolio.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registered portfolio name (omit to list the registry)",
+    )
+    portfolio.add_argument(
+        "--run",
+        action="store_true",
+        help="run every child scenario locally, then print the merged report",
+    )
+    portfolio.add_argument(
+        "--submit",
+        action="store_true",
+        help="fan the children out as jobs of a running service",
+    )
+    portfolio.add_argument(
+        "--report",
+        action="store_true",
+        help="print the merged cross-technology report",
+    )
+    portfolio.add_argument(
+        "--local",
+        action="store_true",
+        help="with --report: read the local cache instead of asking the service",
+    )
+    portfolio.add_argument(
+        "--url", default=DEFAULT_URL, help="service URL for --submit / --report"
+    )
+    portfolio.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root for --run / --report --local (default: .repro-cache)",
+    )
+    portfolio.add_argument(
+        "--force", action="store_true", help="with --run: recompute every stage"
+    )
+    portfolio.add_argument("--json", action="store_true", help="JSON output")
     return parser
 
 
@@ -324,6 +405,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_events(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "submit-sweep":
+        return _cmd_submit_sweep(args)
+    if args.command == "portfolio":
+        return _cmd_portfolio(args)
     # Resolve the scenario up front: an unknown name or an invalid override
     # value is a usage error (one line on stderr, exit 2); anything raised
     # later is a genuine failure and propagates with its traceback.
@@ -348,18 +433,25 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _cmd_list() -> int:
+    # One row per registered scenario with its full metadata -- topology,
+    # technology card, corner set and budgets -- not just the bare name,
+    # so `repro list` answers "what would this run?" without opening the
+    # registry source.
     scenarios = list_scenarios()
     print(
-        f"{'name':<14} {'stages':>6} {'circuit GA':>12} {'system GA':>11} "
-        f"{'MC/pt':>5} {'yield':>5} {'specs':<14} description"
+        f"{'name':<18} {'topology':<16} {'tech':<10} {'stages':>6} "
+        f"{'circuit GA':>12} {'system GA':>11} {'MC/pt':>5} {'yield':>5} "
+        f"{'corners':<8} {'specs':<14} description"
     )
     for scenario in scenarios:
         print(
-            f"{scenario.name:<14} {scenario.n_stages:>6} "
+            f"{scenario.name:<18} {scenario.topology:<16} {scenario.technology:<10} "
+            f"{scenario.n_stages:>6} "
             f"{scenario.circuit_population:>5}x{scenario.circuit_generations:<3} "
             f"{scenario.system_population:>7}x{scenario.system_generations:<3} "
             f"{scenario.mc_samples_per_point:>5} {scenario.yield_samples:>5} "
-            f"{scenario.specifications:<14} {scenario.description}"
+            f"{scenario.corners or '-':<8} {scenario.specifications:<14} "
+            f"{scenario.description}"
         )
     return 0
 
@@ -734,6 +826,190 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             f"{job['attempts']:>8} {job.get('worker') or '-'}"
         )
     return 0
+
+
+def _cmd_submit_sweep(args: argparse.Namespace) -> int:
+    """Expand a registry glob (x technology axis) into batched submissions.
+
+    ``repro submit-sweep 'vco-sweep-*' --technology generic012,generic065``
+    posts one job per (matched scenario, technology) pair and prints a
+    summary table of job ids; pairs whose config hash matches an existing
+    job report as deduplicated rather than creating duplicate work.
+    """
+    import fnmatch
+
+    matched = [
+        name for name in scenario_names() if fnmatch.fnmatchcase(name, args.pattern)
+    ]
+    if not matched:
+        print(
+            f"error: no registered scenario matches {args.pattern!r} (see 'repro list')",
+            file=sys.stderr,
+        )
+        return 2
+    if args.technology is not None:
+        technologies: List[Optional[str]] = [
+            tech.strip() for tech in args.technology.split(",") if tech.strip()
+        ]
+        if not technologies:
+            print("error: --technology must name at least one technology", file=sys.stderr)
+            return 2
+    else:
+        technologies = [None]
+    expansion = []
+    for name in matched:
+        for technology in technologies:
+            overrides: dict = {}
+            if technology is not None:
+                # The name override is hash-excluded, so a pair whose
+                # technology equals the scenario's own still dedups
+                # against the plain scenario's job.
+                overrides["technology"] = technology
+                overrides["name"] = f"{name}@{technology}"
+            if args.seed is not None:
+                overrides["seed"] = args.seed
+            expansion.append((name, technology, overrides))
+    if args.dry_run:
+        print(f"{'scenario':<18} {'technology':<12} job id")
+        for name, technology, overrides in expansion:
+            scenario = get_scenario(name)
+            if overrides:
+                scenario = scenario.with_overrides(**overrides)
+            print(f"{name:<18} {technology or '(default)':<12} {scenario.config_hash()}")
+        print(f"{len(expansion)} submission(s) (dry run, nothing posted)")
+        return 0
+    client = _client(args.url)
+    rows: List[dict] = []
+
+    def submit_all() -> List[dict]:
+        for name, technology, overrides in expansion:
+            job = client.submit(name, overrides or None)
+            rows.append(
+                dict(job, sweep_scenario=name, sweep_technology=technology)
+            )
+        return rows
+
+    result, code = _service_call(submit_all)
+    if result is None:
+        return code
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    print(f"{'scenario':<18} {'technology':<12} {'job id':<18} {'state':<8} created")
+    for row in rows:
+        print(
+            f"{row['sweep_scenario']:<18} {row['sweep_technology'] or '(default)':<12} "
+            f"{row['id']:<18} {row['state']:<8} "
+            f"{'new' if row.get('created') else 'dedup'}"
+        )
+    created = sum(1 for row in rows if row.get("created"))
+    print(f"{len(rows)} submission(s): {created} new, {len(rows) - created} deduplicated")
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    """List, locally run, submit or report a cross-technology portfolio."""
+    from repro.experiments.portfolio import (
+        get_portfolio,
+        list_portfolios,
+        merged_portfolio_report,
+    )
+
+    if args.name is None:
+        portfolios = list_portfolios()
+        if args.json:
+            print(
+                json.dumps(
+                    [portfolio.as_dict() for portfolio in portfolios],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(f"{'name':<18} {'base':<12} {'technologies':<24} description")
+        for portfolio in portfolios:
+            print(
+                f"{portfolio.name:<18} {portfolio.base_scenario:<12} "
+                f"{','.join(portfolio.technologies):<24} {portfolio.description}"
+            )
+        return 0
+    try:
+        portfolio = get_portfolio(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.submit:
+        client = _client(args.url)
+        result, code = _service_call(lambda: client.submit_portfolio(portfolio.name))
+        if result is None:
+            return code
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        print(f"{'child':<28} {'job id':<18} {'state':<8} created")
+        for job in result["jobs"]:
+            print(
+                f"{job['scenario']:<28} {job['id']:<18} {job['state']:<8} "
+                f"{'new' if job.get('created') else 'dedup'}"
+            )
+        print(
+            f"{len(result['jobs'])} child job(s): {result['created']} new, "
+            f"{result['deduplicated']} deduplicated"
+        )
+        return 0
+    if args.run:
+        for child in portfolio.child_scenarios():
+            runner = ExperimentRunner(child, cache_dir=args.cache_dir, force=args.force)
+            result = runner.run()
+            print(
+                f"child {child.name:<28} hash {result.config_hash} "
+                f"({result.elapsed:.3f} s)"
+            )
+        payload = merged_portfolio_report(portfolio, args.cache_dir)
+    elif args.report and args.local:
+        payload = merged_portfolio_report(portfolio, args.cache_dir)
+    elif args.report:
+        client = _client(args.url)
+        payload, code = _service_call(lambda: client.portfolio_report(portfolio.name))
+        if payload is None:
+            return code
+    else:
+        if args.json:
+            print(json.dumps(portfolio.as_dict(), indent=2, sort_keys=True))
+        else:
+            _print_portfolio_description(portfolio.as_dict())
+        return 0
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    _print_portfolio_report(payload)
+    return 0
+
+
+def _print_portfolio_description(info: dict) -> None:
+    print(f"portfolio    : {info['name']}")
+    print(f"base         : {info['base_scenario']}")
+    print(f"description  : {info['description']}")
+    for child in info["children"]:
+        print(f"  {child['name']:<28} {child['technology']:<12} {child['config_hash']}")
+
+
+def _print_portfolio_report(payload: dict) -> None:
+    info = payload["portfolio"]
+    print(f"portfolio    : {info['name']}")
+    print(f"base         : {info['base_scenario']}")
+    for child in payload["children"]:
+        stages = ", ".join(child["stages_present"]) or "nothing cached"
+        extras = []
+        if child.get("front_size") is not None:
+            extras.append(f"front={child['front_size']}")
+        if child.get("job_state"):
+            extras.append(f"job={child['job_state']}")
+        suffix = f"  ({', '.join(extras)})" if extras else ""
+        print(f"  {child['name']:<28} {child['config_hash']}  {stages}{suffix}")
+    print(f"merged front : {payload['merged_front_size']} point(s)")
+    for technology, count in sorted(payload["merged_front_by_technology"].items()):
+        print(f"  {technology:<12}: {count} point(s)")
 
 
 def _cmd_events(args: argparse.Namespace) -> int:

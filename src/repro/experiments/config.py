@@ -28,9 +28,11 @@ import json
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Dict, Optional
 
+from repro.circuits.topology import DEFAULT_TOPOLOGY, get_topology, topology_names
 from repro.core.specification import SpecificationSet, specification_set
 from repro.optim.evaluation import EVALUATOR_CHOICES
 from repro.optim.nsga2 import NSGA2Config
+from repro.process.corners import CornerSet, corner_set, corner_set_names
 from repro.process.technology import Technology, technology
 from repro.spice.plan import ENGINES as SPICE_ENGINES
 
@@ -93,6 +95,16 @@ class ScenarioConfig:
         config hash: the engines agree to solver tolerance (not to the
         bit), and the numbers an experiment *selects and reports* come
         from the analytical evaluator either way.
+    topology:
+        Key into :data:`repro.circuits.topology.TOPOLOGIES` selecting the
+        circuit family the flow optimises.  The default (``ring-vco``)
+        hashes identically to scenarios that predate the field, so
+        existing cache entries stay valid.
+    corners:
+        Name of a registered corner set
+        (:data:`repro.process.corners.CORNER_SETS`) to sweep the circuit
+        Pareto front across after the circuit stage; ``""`` (the default,
+        hash-neutral) skips the sweep.
     """
 
     name: str
@@ -113,12 +125,18 @@ class ScenarioConfig:
     run_yield: bool = True
     run_verification: bool = False
     spice_engine: str = "reference"
+    topology: str = DEFAULT_TOPOLOGY
+    corners: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a non-empty name")
-        if self.n_stages < 3 or self.n_stages % 2 == 0:
-            raise ValueError("n_stages must be an odd integer >= 3 (ring oscillator)")
+        if self.topology not in topology_names():
+            raise ValueError(
+                f"topology must be one of {', '.join(topology_names())}; "
+                f"got {self.topology!r}"
+            )
+        self.resolve_topology().validate_n_stages(self.n_stages)
         for field_name in (
             "circuit_population",
             "circuit_generations",
@@ -143,11 +161,24 @@ class ScenarioConfig:
                 f"spice_engine must be one of {', '.join(SPICE_ENGINES)}; "
                 f"got {self.spice_engine!r}"
             )
+        if self.corners and self.corners not in corner_set_names():
+            raise ValueError(
+                f"corners must be empty or one of {', '.join(corner_set_names())}; "
+                f"got {self.corners!r}"
+            )
         # Fail fast on unknown registry keys instead of at run time.
         self.resolve_technology()
         self.resolve_specifications()
 
     # -- registry resolution -------------------------------------------------------------
+
+    def resolve_topology(self):
+        """The :class:`~repro.circuits.topology.CircuitTopology` optimised."""
+        return get_topology(self.topology)
+
+    def resolve_corners(self) -> Optional[CornerSet]:
+        """The swept :class:`~repro.process.corners.CornerSet`, if any."""
+        return corner_set(self.corners) if self.corners else None
 
     def resolve_technology(self) -> Technology:
         """The :class:`~repro.process.technology.Technology` this scenario runs in."""
@@ -223,6 +254,19 @@ class ScenarioConfig:
             for f in fields(self)
             if f.name not in HASH_EXCLUDED_FIELDS
         }
+        # The topology and corner fields postdate the original hash layout.
+        # At their defaults they drop out of the payload entirely, so every
+        # scenario written before the fields existed keeps its hash (the
+        # golden-hash test pins this); any other value changes the results
+        # and must change the hash.
+        if self.topology == DEFAULT_TOPOLOGY:
+            payload.pop("topology")
+        if not self.corners:
+            payload.pop("corners")
+        else:
+            payload["resolved_corners"] = [
+                asdict(corner) for corner in self.resolve_corners()
+            ]
         payload["resolved_technology"] = asdict(self.resolve_technology())
         payload["resolved_specifications"] = {
             spec.name: [spec.lower, spec.upper] for spec in self.resolve_specifications()

@@ -1,0 +1,221 @@
+"""Portfolio scenarios: one submission fanned across technologies.
+
+A :class:`PortfolioConfig` names a base scenario from the registry and a
+list of technology cards; its children are the base scenario re-targeted
+at each technology.  Because the scenario hash ignores names and
+descriptions, a child whose budgets coincide with an already-registered
+scenario (e.g. ``portfolio-table2``'s ``generic065`` child vs
+``table2-65n``) shares its config hash -- submitting the portfolio to the
+experiment service therefore dedups against runs that already happened,
+and a local portfolio run reuses their cached artefacts.
+
+The merged report condenses the children into one cross-technology view:
+each child's circuit-stage Pareto records tagged with its technology plus
+the cross-technology non-dominated front over (kvco, jitter, current).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.cache import ArtefactCache
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.registry import get_scenario
+from repro.experiments.report import report_payload
+
+__all__ = [
+    "PortfolioConfig",
+    "PORTFOLIOS",
+    "register_portfolio",
+    "get_portfolio",
+    "portfolio_names",
+    "list_portfolios",
+    "merged_portfolio_report",
+]
+
+
+@dataclass(frozen=True)
+class PortfolioConfig:
+    """One base scenario fanned across several technology cards."""
+
+    name: str
+    description: str
+    base_scenario: str
+    technologies: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a portfolio needs a non-empty name")
+        if len(self.technologies) < 2:
+            raise ValueError("a portfolio needs at least two technologies")
+        # Fail fast on unknown base scenarios and technology keys.
+        self.child_scenarios()
+
+    def child_scenarios(self) -> List[ScenarioConfig]:
+        """The base scenario re-targeted at each technology.
+
+        Only ``name``/``description``/``technology`` change, so a child's
+        config hash equals that of any registered scenario with the same
+        budgets on the same card -- that is what makes service submission
+        dedup against prior runs.
+        """
+        base = get_scenario(self.base_scenario)
+        return [
+            base.with_overrides(
+                name=f"{self.name}/{technology}",
+                description=f"{self.name} member on {technology}",
+                technology=technology,
+            )
+            for technology in self.technologies
+        ]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible summary including per-child config hashes."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "base_scenario": self.base_scenario,
+            "technologies": list(self.technologies),
+            "children": [
+                {
+                    "name": child.name,
+                    "technology": child.technology,
+                    "config_hash": child.config_hash(),
+                }
+                for child in self.child_scenarios()
+            ],
+        }
+
+
+#: All registered portfolios, keyed by name.
+PORTFOLIOS: Dict[str, PortfolioConfig] = {}
+
+
+def register_portfolio(
+    portfolio: PortfolioConfig, overwrite: bool = False
+) -> PortfolioConfig:
+    """Add a portfolio to the registry and return it."""
+    if not overwrite and portfolio.name in PORTFOLIOS:
+        raise ValueError(f"portfolio {portfolio.name!r} is already registered")
+    PORTFOLIOS[portfolio.name] = portfolio
+    return portfolio
+
+
+def get_portfolio(name: str) -> PortfolioConfig:
+    """Look up a registered portfolio by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names if ``name`` is not registered.
+    """
+    try:
+        return PORTFOLIOS[name]
+    except KeyError:
+        known = ", ".join(portfolio_names())
+        raise KeyError(f"unknown portfolio {name!r}; registered portfolios: {known}") from None
+
+
+def portfolio_names() -> List[str]:
+    """Names of all registered portfolios, in registration order."""
+    return list(PORTFOLIOS)
+
+
+def list_portfolios() -> List[PortfolioConfig]:
+    """All registered portfolios in registration order."""
+    return list(PORTFOLIOS.values())
+
+
+# -- merged reporting --------------------------------------------------------------------
+
+#: Pareto objectives of the merged cross-technology view: (name, maximise).
+_MERGE_OBJECTIVES = (("kvco", True), ("jitter", False), ("current", False))
+
+
+def _dominates(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    not_worse = all(
+        (a[name] >= b[name] if maximise else a[name] <= b[name])
+        for name, maximise in _MERGE_OBJECTIVES
+    )
+    strictly_better = any(
+        (a[name] > b[name] if maximise else a[name] < b[name])
+        for name, maximise in _MERGE_OBJECTIVES
+    )
+    return not_worse and strictly_better
+
+
+def merged_portfolio_report(
+    portfolio: PortfolioConfig, cache_dir: Optional[os.PathLike] = None
+) -> Dict[str, Any]:
+    """Cross-technology merged report of a portfolio's cached children.
+
+    Children without cached artefacts appear with ``"stages_present":
+    []`` so the caller can tell pending from completed work; the merged
+    Pareto view covers the children whose circuit stage is cached.
+    """
+    cache = ArtefactCache(cache_dir)
+    children: List[Dict[str, Any]] = []
+    merged_points: List[Dict[str, Any]] = []
+    for child in portfolio.child_scenarios():
+        payload = report_payload(child, cache_dir)
+        child_entry: Dict[str, Any] = {
+            "name": child.name,
+            "technology": child.technology,
+            "config_hash": child.config_hash(),
+            "stages_present": payload["stages_present"] if payload else [],
+            "summary": payload["summary"] if payload else None,
+        }
+        entry = cache.entry_for(child)
+        if entry.has("circuit"):
+            records = entry.load("circuit").model.performance.records()
+            child_entry["front_size"] = len(records)
+            for record in records:
+                merged_points.append(dict(record, technology=child.technology))
+        children.append(child_entry)
+    front = [
+        point
+        for point in merged_points
+        if not any(
+            _dominates(other, point) for other in merged_points if other is not point
+        )
+    ]
+    per_technology: Dict[str, int] = {}
+    for point in front:
+        per_technology[point["technology"]] = per_technology.get(point["technology"], 0) + 1
+    return {
+        "portfolio": portfolio.as_dict(),
+        "children": children,
+        "merged_front": front,
+        "merged_front_size": len(front),
+        "merged_front_by_technology": per_technology,
+    }
+
+
+# -- built-in portfolios -----------------------------------------------------------------
+
+register_portfolio(
+    PortfolioConfig(
+        name="portfolio-table2",
+        description=(
+            "The paper's table2 budgets fanned across the generic012 and "
+            "generic065 technology cards, merged into one cross-technology "
+            "Pareto view"
+        ),
+        base_scenario="table2",
+        technologies=("generic012", "generic065"),
+    )
+)
+
+register_portfolio(
+    PortfolioConfig(
+        name="portfolio-smoke",
+        description=(
+            "Seconds-scale portfolio: fast-smoke budgets across both "
+            "technology cards (CI and tests)"
+        ),
+        base_scenario="fast-smoke",
+        technologies=("generic012", "generic065"),
+    )
+)

@@ -14,6 +14,12 @@ executes one entry.  The registry ships:
   technology card (the scenario layer's technology axis).
 * ``low-power`` -- the paper's flow against the tightened
   ``pll_low_power`` specification set (12 mA instead of 15 mA).
+* ``pseudodiff-smoke`` / ``pseudodiff-table2`` -- the pseudo-differential
+  multi-phase VCO through the identical flow (the topology seam's second
+  circuit family); the smoke member also runs SPICE verification.
+* ``corner-smoke`` / ``corner-pvt`` -- corner-sweep members: the circuit
+  Pareto front re-evaluated across a registered corner set, condensed
+  into a worst-case-corner front.
 
 Downstream code can :func:`register` additional scenarios (e.g. in a
 notebook) before invoking the runner.
@@ -141,6 +147,84 @@ register(
         mc_samples_per_point=100,
         yield_samples=500,
         max_model_points=30,
+        seed=2009,
+    )
+)
+
+register(
+    ScenarioConfig(
+        name="pseudodiff-smoke",
+        description=(
+            "Seconds-scale smoke of the pseudo-differential multi-phase VCO "
+            "through all four stages, including SPICE verification"
+        ),
+        topology="pseudodiff-vco",
+        n_stages=3,
+        circuit_population=16,
+        circuit_generations=4,
+        system_population=8,
+        system_generations=2,
+        mc_samples_per_point=8,
+        yield_samples=20,
+        max_model_points=8,
+        run_verification=True,
+        seed=2009,
+    )
+)
+
+register(
+    ScenarioConfig(
+        name="pseudodiff-table2",
+        description=(
+            "The paper's budgets on the pseudo-differential multi-phase VCO: "
+            "the methodology-generalisation counterpart of table2"
+        ),
+        topology="pseudodiff-vco",
+        circuit_population=100,
+        circuit_generations=30,
+        system_population=40,
+        system_generations=15,
+        mc_samples_per_point=100,
+        yield_samples=500,
+        max_model_points=30,
+        seed=2009,
+    )
+)
+
+register(
+    ScenarioConfig(
+        name="corner-smoke",
+        description=(
+            "Seconds-scale smoke of the corner sweep: the fast-smoke front "
+            "re-evaluated across the standard tt/ss/ff/sf/fs corners"
+        ),
+        corners="standard",
+        circuit_population=16,
+        circuit_generations=4,
+        system_population=8,
+        system_generations=2,
+        mc_samples_per_point=8,
+        yield_samples=20,
+        max_model_points=8,
+        seed=2009,
+    )
+)
+
+register(
+    ScenarioConfig(
+        name="corner-pvt",
+        description=(
+            "Medium-budget circuit stage swept across the pvt corner set "
+            "(process corners plus supply/temperature excursions)"
+        ),
+        corners="pvt",
+        circuit_population=40,
+        circuit_generations=10,
+        system_population=16,
+        system_generations=6,
+        mc_samples_per_point=30,
+        yield_samples=100,
+        max_model_points=16,
         seed=2009,
     )
 )

@@ -282,6 +282,19 @@ class ExperimentRunner:
         checkpoint("circuit", circuit)
         observe_cancel()
 
+        corner_report = None
+        if scenario.corners:
+            corner_report, outcome = self._stage(
+                entry,
+                "corners",
+                lambda: flow.corner_stage(circuit, scenario.corners, cancel=cancel),
+            )
+            checkpoint("corners", corner_report)
+        else:
+            outcome = StageOutcome("corners", SKIPPED)
+        outcomes.append(outcome)
+        observe_cancel()
+
         system, outcome = self._stage(
             entry, "system", lambda: flow.system_stage(circuit.model, cancel=cancel)
         )
@@ -343,6 +356,7 @@ class ExperimentRunner:
             verification=verification,
             model_directory=model_directory,
             generated_files=generated,
+            corner_report=corner_report,
         )
         result = ExperimentResult(
             scenario=scenario,

@@ -15,7 +15,15 @@ from typing import Dict, Iterator, List
 
 from repro.process.technology import Technology
 
-__all__ = ["Corner", "CornerSet", "STANDARD_CORNERS"]
+__all__ = [
+    "Corner",
+    "CornerSet",
+    "STANDARD_CORNERS",
+    "PVT_CORNERS",
+    "CORNER_SETS",
+    "corner_set",
+    "corner_set_names",
+]
 
 
 @dataclass(frozen=True)
@@ -111,3 +119,63 @@ STANDARD_CORNERS = CornerSet(
         Corner("fs", nmos_vth_shift=-0.04, pmos_vth_shift=+0.04),
     ]
 )
+
+#: The process corners crossed with supply and temperature excursions:
+#: the worst process corners rerun at -10% Vdd / +60 K and +10% Vdd / -40 K.
+PVT_CORNERS = CornerSet(
+    [
+        Corner("tt"),
+        Corner(
+            "ss", nmos_vth_shift=+0.04, pmos_vth_shift=+0.04, mobility_scale=0.92, tox_scale=1.04
+        ),
+        Corner(
+            "ff", nmos_vth_shift=-0.04, pmos_vth_shift=-0.04, mobility_scale=1.08, tox_scale=0.96
+        ),
+        Corner("sf", nmos_vth_shift=+0.04, pmos_vth_shift=-0.04),
+        Corner("fs", nmos_vth_shift=-0.04, pmos_vth_shift=+0.04),
+        Corner(
+            "ss_lv_hot",
+            nmos_vth_shift=+0.04,
+            pmos_vth_shift=+0.04,
+            mobility_scale=0.92,
+            tox_scale=1.04,
+            supply_scale=0.9,
+            temperature_shift=+60.0,
+        ),
+        Corner(
+            "ff_hv_cold",
+            nmos_vth_shift=-0.04,
+            pmos_vth_shift=-0.04,
+            mobility_scale=1.08,
+            tox_scale=0.96,
+            supply_scale=1.1,
+            temperature_shift=-40.0,
+        ),
+    ]
+)
+
+#: Registered corner sets, addressable by name from scenario configs.
+CORNER_SETS: Dict[str, CornerSet] = {
+    "standard": STANDARD_CORNERS,
+    "pvt": PVT_CORNERS,
+}
+
+
+def corner_set(name: str) -> CornerSet:
+    """Look up a registered corner set by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names if ``name`` is not registered.
+    """
+    try:
+        return CORNER_SETS[name]
+    except KeyError:
+        known = ", ".join(CORNER_SETS)
+        raise KeyError(f"unknown corner set {name!r}; registered sets: {known}") from None
+
+
+def corner_set_names() -> List[str]:
+    """Names of all registered corner sets."""
+    return list(CORNER_SETS)

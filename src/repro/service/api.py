@@ -78,6 +78,11 @@ from repro import __version__
 from repro.experiments.artifacts import ARTIFACT_NAME_RE
 from repro.experiments.cache import CacheEntry
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.portfolio import (
+    get_portfolio,
+    list_portfolios,
+    merged_portfolio_report,
+)
 from repro.experiments.registry import get_scenario, list_scenarios
 from repro.experiments.report import report_payload
 from repro.obs import metrics as obs_metrics
@@ -123,6 +128,9 @@ ServiceResponse = Tuple[int, Dict[str, Any]]
 JSON_ROUTES: Tuple[Tuple[str, str, str], ...] = (
     ("GET", "/healthz", "health"),
     ("GET", "/scenarios", "scenarios"),
+    ("GET", "/portfolios", "portfolios"),
+    ("POST", "/portfolios/{name}/jobs", "submit_portfolio"),
+    ("GET", "/portfolios/{name}/report", "portfolio_report"),
     ("GET", "/jobs", "jobs"),
     ("POST", "/jobs", "submit"),
     ("GET", "/jobs/{job_id}", "job"),
@@ -234,6 +242,47 @@ class ExperimentService:
                 for scenario in list_scenarios()
             ]
         }
+
+    def portfolios(self) -> ServiceResponse:
+        return 200, {
+            "portfolios": [portfolio.as_dict() for portfolio in list_portfolios()]
+        }
+
+    def submit_portfolio(self, name: str) -> ServiceResponse:
+        """Fan one portfolio submission out into per-technology child jobs.
+
+        Children dedup by config hash exactly like plain submissions: a
+        child whose hash matches an existing job (or a registered scenario
+        someone already ran) reports ``created: false``.
+        """
+        try:
+            portfolio = get_portfolio(name)
+        except KeyError as error:
+            return _error(404, "unknown_portfolio", str(error.args[0]))
+        jobs = []
+        created_count = 0
+        for child in portfolio.child_scenarios():
+            job, created = self.store.submit(child)
+            jobs.append(dict(job.as_dict(), created=created))
+            created_count += int(created)
+        return (201 if created_count else 200), {
+            "portfolio": portfolio.name,
+            "jobs": jobs,
+            "created": created_count,
+            "deduplicated": len(jobs) - created_count,
+        }
+
+    def portfolio_report(self, name: str) -> ServiceResponse:
+        """The merged cross-technology report of a portfolio's children."""
+        try:
+            portfolio = get_portfolio(name)
+        except KeyError as error:
+            return _error(404, "unknown_portfolio", str(error.args[0]))
+        payload = merged_portfolio_report(portfolio, self.cache_dir)
+        for child in payload["children"]:
+            job = self.store.get(child["config_hash"])
+            child["job_state"] = job.state if job is not None else None
+        return 200, payload
 
     def jobs(
         self,
@@ -517,6 +566,12 @@ class ExperimentService:
             return self.health()
         if endpoint == "scenarios":
             return self.scenarios()
+        if endpoint == "portfolios":
+            return self.portfolios()
+        if endpoint == "submit_portfolio":
+            return self.submit_portfolio(params["name"])
+        if endpoint == "portfolio_report":
+            return self.portfolio_report(params["name"])
         if endpoint == "jobs":
             return self.jobs(
                 state=query.get("state"),

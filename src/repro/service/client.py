@@ -135,6 +135,24 @@ class ServiceClient:
             body["overrides"] = overrides
         return self._request("POST", "/v1/jobs", body)
 
+    def portfolios(self) -> List[Dict[str, Any]]:
+        """The registered portfolios, each with its per-child config hashes."""
+        return self._request("GET", "/v1/portfolios")["portfolios"]
+
+    def submit_portfolio(self, name: str) -> Dict[str, Any]:
+        """Submit a portfolio's children (``POST /v1/portfolios/<name>/jobs``).
+
+        Returns ``{"portfolio", "jobs", "created", "deduplicated"}`` where
+        each job row carries ``created`` -- ``False`` meaning an
+        equivalent configuration (often a plain registered scenario with
+        the same budgets) already has a job, which this submission joins.
+        """
+        return self._request("POST", f"/v1/portfolios/{name}/jobs", {})
+
+    def portfolio_report(self, name: str) -> Dict[str, Any]:
+        """The merged cross-technology report of a portfolio's children."""
+        return self._request("GET", f"/v1/portfolios/{name}/report")
+
     def job(self, job_id: str) -> Dict[str, Any]:
         """Job status plus its per-stage progress events."""
         return self._request("GET", f"/v1/jobs/{job_id}")

@@ -39,6 +39,61 @@ def test_list_names_every_registered_scenario(capsys):
         assert name in out
 
 
+def test_list_shows_scenario_metadata(capsys):
+    """`repro list` surfaces topology/technology/corners/budgets, not
+    just the names -- the listing answers "what would this run?"."""
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    header = out.splitlines()[0]
+    for column in ("topology", "tech", "corners", "MC/pt", "yield"):
+        assert column in header
+    assert "pseudodiff-vco" in out
+    assert "generic065" in out
+    assert "standard" in out and "pvt" in out
+
+
+def test_cli_portfolio_local_run_prints_merged_report(tmp_path, capsys):
+    from repro.experiments.portfolio import (
+        PORTFOLIOS,
+        PortfolioConfig,
+        register_portfolio,
+    )
+    from repro.experiments.registry import SCENARIOS, register
+    from tests.experiments.test_runner import TINY
+
+    if "tiny-portfolio-base" not in SCENARIOS:
+        register(TINY.with_overrides(name="tiny-portfolio-base"))
+    if "tiny-portfolio-cli" not in PORTFOLIOS:
+        register_portfolio(
+            PortfolioConfig(
+                name="tiny-portfolio-cli",
+                description="cli unit test",
+                base_scenario="tiny-portfolio-base",
+                technologies=("generic012", "generic065"),
+            )
+        )
+    code = cli.main(
+        ["portfolio", "tiny-portfolio-cli", "--run", "--cache-dir", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "child tiny-portfolio-cli/generic012" in out
+    assert "child tiny-portfolio-cli/generic065" in out
+    assert "merged front :" in out
+
+    # --report --local reads the same cache without recomputing anything.
+    code = cli.main(
+        [
+            "portfolio", "tiny-portfolio-cli", "--report", "--local",
+            "--cache-dir", str(tmp_path), "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["merged_front_size"] >= 1
+    assert all(child["front_size"] >= 1 for child in payload["children"])
+
+
 def test_unknown_scenario_is_a_usage_error(capsys):
     """`repro run` of an unknown name: one line on stderr, exit 2, no traceback."""
     assert cli.main(["run", "no-such-scenario"]) == 2

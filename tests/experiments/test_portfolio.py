@@ -1,0 +1,136 @@
+"""Portfolio scenarios: hash-sharing children and the merged report."""
+
+import pytest
+
+from repro.experiments.cache import ArtefactCache
+from repro.experiments.portfolio import (
+    PortfolioConfig,
+    _dominates,
+    get_portfolio,
+    list_portfolios,
+    merged_portfolio_report,
+    portfolio_names,
+)
+from repro.experiments.registry import SCENARIOS, get_scenario, register
+from repro.experiments.runner import ExperimentRunner
+
+from tests.experiments.test_runner import TINY
+
+
+def tiny_portfolio():
+    """A portfolio over a TINY base registered once per process."""
+    if "tiny-portfolio-base" not in SCENARIOS:
+        register(TINY.with_overrides(name="tiny-portfolio-base"))
+    return PortfolioConfig(
+        name="tiny-portfolio",
+        description="unit-test portfolio",
+        base_scenario="tiny-portfolio-base",
+        technologies=("generic012", "generic065"),
+    )
+
+
+# -- config -------------------------------------------------------------------------------
+
+
+def test_builtin_portfolios_are_registered():
+    assert "portfolio-table2" in portfolio_names()
+    assert "portfolio-smoke" in portfolio_names()
+    assert [p.name for p in list_portfolios()] == portfolio_names()
+
+
+def test_children_share_hashes_with_equivalent_registered_scenarios():
+    """The dedup property the whole feature rests on: a child whose
+    budgets land on an already-registered scenario has its config hash --
+    submitting portfolio-table2 joins a table2/table2-65n job instead of
+    duplicating months of compute."""
+    children = get_portfolio("portfolio-table2").child_scenarios()
+    assert [child.technology for child in children] == ["generic012", "generic065"]
+    assert children[0].config_hash() == get_scenario("table2").config_hash()
+    assert children[1].config_hash() == get_scenario("table2-65n").config_hash()
+    smoke = get_portfolio("portfolio-smoke").child_scenarios()
+    assert smoke[0].config_hash() == get_scenario("fast-smoke").config_hash()
+
+
+def test_portfolio_needs_two_technologies_and_a_known_base():
+    with pytest.raises(ValueError):
+        PortfolioConfig(
+            name="p", description="", base_scenario="table2", technologies=("generic012",)
+        )
+    with pytest.raises(KeyError):
+        PortfolioConfig(
+            name="p",
+            description="",
+            base_scenario="no-such-scenario",
+            technologies=("generic012", "generic065"),
+        )
+
+
+def test_unknown_portfolio_lists_the_known_names():
+    with pytest.raises(KeyError) as excinfo:
+        get_portfolio("nope")
+    assert "portfolio-table2" in str(excinfo.value)
+
+
+def test_as_dict_carries_per_child_hashes():
+    info = get_portfolio("portfolio-smoke").as_dict()
+    assert info["base_scenario"] == "fast-smoke"
+    hashes = {child["technology"]: child["config_hash"] for child in info["children"]}
+    assert hashes["generic012"] == get_scenario("fast-smoke").config_hash()
+    assert len(set(hashes.values())) == 2
+
+
+# -- merged report ------------------------------------------------------------------------
+
+
+def test_merged_report_before_any_run_shows_pending_children(tmp_path):
+    payload = merged_portfolio_report(tiny_portfolio(), tmp_path)
+    assert [child["stages_present"] for child in payload["children"]] == [[], []]
+    assert payload["merged_front"] == []
+    assert payload["merged_front_size"] == 0
+
+
+def test_merged_report_combines_cached_children(tmp_path):
+    portfolio = tiny_portfolio()
+    children = portfolio.child_scenarios()
+    for child in children:
+        ExperimentRunner(child, cache_dir=tmp_path).run()
+
+    payload = merged_portfolio_report(portfolio, tmp_path)
+    for child_entry in payload["children"]:
+        assert "circuit" in child_entry["stages_present"]
+        assert child_entry["front_size"] >= 1
+        assert child_entry["summary"] is not None
+    front = payload["merged_front"]
+    assert payload["merged_front_size"] == len(front) >= 1
+    # Every merged point is tagged with its technology and non-dominated
+    # across the union of both children's fronts.
+    assert {point["technology"] for point in front} <= set(portfolio.technologies)
+    for point in front:
+        assert not any(
+            _dominates(other, point) for other in front if other is not point
+        )
+    assert sum(payload["merged_front_by_technology"].values()) == len(front)
+
+
+def test_merged_report_with_one_cached_child(tmp_path):
+    portfolio = tiny_portfolio()
+    first = portfolio.child_scenarios()[0]
+    ExperimentRunner(first, cache_dir=tmp_path).run()
+    payload = merged_portfolio_report(portfolio, tmp_path)
+    cached, pending = payload["children"]
+    assert cached["stages_present"] and not pending["stages_present"]
+    assert {point["technology"] for point in payload["merged_front"]} == {
+        first.technology
+    }
+
+
+def test_child_runs_reuse_the_plain_scenarios_cache(tmp_path):
+    """Running fast-smoke then the portfolio child on the same technology
+    must hit the same cache entry (hash equality in action)."""
+    base = get_scenario("fast-smoke")
+    cold = ExperimentRunner(base, cache_dir=tmp_path).run()
+    child = get_portfolio("portfolio-smoke").child_scenarios()[0]
+    warm = ExperimentRunner(child, cache_dir=tmp_path).run()
+    assert warm.resumed
+    assert warm.config_hash == cold.config_hash
+    assert ArtefactCache(tmp_path).entry_for(child).directory == cold.cache_dir

@@ -1,0 +1,130 @@
+"""The topology registry seam: hash stability, core decoupling, e2e runs.
+
+The refactor's contract is equivalence, not re-blessing: every scenario
+that existed before the seam keeps its config hash (hardcoded below), and
+``repro/core`` no longer imports the ring-VCO module at all -- the ring
+is just the default entry of the topology registry.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.core
+from repro.circuits.topology import DEFAULT_TOPOLOGY
+from repro.experiments.cache import ArtefactCache
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.registry import get_scenario
+from repro.experiments.runner import ExperimentRunner
+
+#: Pre-seam config hashes of every scenario that existed before the
+#: topology registry landed.  These are load-bearing: a cache or job
+#: store keyed by them must keep resolving after the refactor.  Do not
+#: re-bless -- a change here means existing artefacts were orphaned.
+GOLDEN_HASHES = {
+    "table2": "b637e5a86a5b89c5",
+    "fast-smoke": "6e95ded7ba200ae1",
+    "vco-sweep-3": "60610f76dae3838a",
+    "vco-sweep-5": "41b4bfd1d6dff51c",
+    "vco-sweep-7": "c4efebb0dcd9b93d",
+    "vco-sweep-9": "b7ffbedea2280393",
+    "table2-65n": "8aa11dc3212b2248",
+    "low-power": "89894bbd231b5172",
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_HASHES))
+def test_pre_seam_scenarios_keep_their_config_hash(name):
+    assert get_scenario(name).config_hash() == GOLDEN_HASHES[name]
+
+
+def test_default_topology_is_hash_neutral():
+    base = get_scenario("fast-smoke")
+    explicit = base.with_overrides(topology=DEFAULT_TOPOLOGY)
+    assert explicit.config_hash() == base.config_hash()
+    assert "topology" not in base.hashed_fields()
+    # A non-default topology must move the hash.
+    pseudodiff = base.with_overrides(topology="pseudodiff-vco", n_stages=3)
+    assert pseudodiff.config_hash() != base.config_hash()
+    assert pseudodiff.hashed_fields()["topology"] == "pseudodiff-vco"
+
+
+def test_empty_corner_set_is_hash_neutral():
+    base = get_scenario("fast-smoke")
+    assert "corners" not in base.hashed_fields()
+    assert "resolved_corners" not in base.hashed_fields()
+    cornered = base.with_overrides(corners="standard")
+    assert cornered.config_hash() != base.config_hash()
+    resolved = cornered.hashed_fields()["resolved_corners"]
+    assert [corner["name"] for corner in resolved] == ["tt", "ss", "ff", "sf", "fs"]
+
+
+def test_unknown_topology_or_corner_set_rejected_at_construction():
+    with pytest.raises((KeyError, ValueError)):
+        ScenarioConfig(name="bad-topology", topology="lc-tank")
+    with pytest.raises((KeyError, ValueError)):
+        ScenarioConfig(name="bad-corners", corners="mystery")
+
+
+def test_topology_validates_the_stage_count():
+    with pytest.raises(ValueError, match="odd integer"):
+        ScenarioConfig(name="even-ring", n_stages=4)
+    with pytest.raises(ValueError, match="pseudo-differential"):
+        ScenarioConfig(name="even-pair", topology="pseudodiff-vco", n_stages=4)
+
+
+def test_core_no_longer_imports_the_ring_vco_module():
+    """The tentpole's decoupling invariant, enforced as a lint: nothing
+    under repro/core mentions the concrete ring module -- circuit
+    specifics flow exclusively through the topology registry."""
+    core_dir = Path(repro.core.__file__).parent
+    offenders = [
+        path.name
+        for path in sorted(core_dir.glob("*.py"))
+        if "ring_vco" in path.read_text(encoding="utf-8")
+    ]
+    assert offenders == []
+
+
+# -- pseudo-differential topology end to end ----------------------------------------------
+
+
+def test_pseudodiff_smoke_completes_all_four_stages(tmp_path):
+    scenario = get_scenario("pseudodiff-smoke")
+    result = ExperimentRunner(scenario, cache_dir=tmp_path).run()
+    sources = result.stage_sources
+    assert sources["circuit"] == "computed"
+    assert sources["system"] == "computed"
+    assert sources["yield"] == "computed"
+    assert sources["verification"] == "computed"
+    entry = ArtefactCache(tmp_path).entry_for(scenario)
+    for stage in ("circuit", "system", "yield", "verification"):
+        assert entry.has(stage), stage
+    # The artefacts decode through the pseudodiff design space.
+    circuit = entry.load("circuit")
+    assert circuit.model.performance.n_points >= 1
+    report = result.report
+    assert report.yield_report is not None
+    assert 0.0 <= report.yield_report.yield_fraction <= 1.0
+    assert report.verification is not None
+
+
+def test_pseudodiff_resume_is_bit_identical(tmp_path):
+    scenario = get_scenario("pseudodiff-smoke").with_overrides(
+        name="pseudodiff-tiny",
+        circuit_population=8,
+        circuit_generations=2,
+        system_population=8,
+        system_generations=2,
+        mc_samples_per_point=4,
+        yield_samples=10,
+        max_model_points=6,
+        run_verification=False,
+        seed=13,
+    )
+    cold = ExperimentRunner(scenario, cache_dir=tmp_path).run()
+    warm = ExperimentRunner(scenario, cache_dir=tmp_path).run()
+    assert warm.resumed
+    from tests.experiments.test_runner import assert_bit_identical
+
+    assert_bit_identical(cold, warm)

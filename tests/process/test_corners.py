@@ -1,0 +1,94 @@
+"""Corner registry: named lookup, ordering, and the corner shifts."""
+
+import pytest
+
+from repro.process.corners import (
+    CORNER_SETS,
+    Corner,
+    CornerSet,
+    PVT_CORNERS,
+    STANDARD_CORNERS,
+    corner_set,
+    corner_set_names,
+)
+from repro.process.technology import TECH_012UM
+
+
+# -- lookup -------------------------------------------------------------------------------
+
+
+def test_corner_set_lookup_by_name():
+    assert corner_set("standard") is STANDARD_CORNERS
+    assert corner_set("pvt") is PVT_CORNERS
+
+
+def test_unknown_corner_set_lists_the_known_names():
+    with pytest.raises(KeyError) as excinfo:
+        corner_set("nope")
+    message = str(excinfo.value)
+    assert "unknown corner set 'nope'" in message
+    assert "standard" in message and "pvt" in message
+
+
+def test_corner_set_names_match_the_registry():
+    assert corner_set_names() == list(CORNER_SETS)
+    assert set(corner_set_names()) == {"standard", "pvt"}
+
+
+# -- ordering -----------------------------------------------------------------------------
+
+
+def test_standard_corner_ordering_starts_at_typical():
+    # Definition order is the sweep order; tt first means the first
+    # swept front is the nominal one.
+    assert STANDARD_CORNERS.names == ["tt", "ss", "ff", "sf", "fs"]
+
+
+def test_pvt_extends_standard_with_supply_and_temperature_excursions():
+    assert PVT_CORNERS.names[:5] == STANDARD_CORNERS.names
+    assert PVT_CORNERS.names[5:] == ["ss_lv_hot", "ff_hv_cold"]
+
+
+def test_corner_set_is_name_addressable_and_sized():
+    assert len(STANDARD_CORNERS) == 5
+    assert STANDARD_CORNERS["ss"].nmos_vth_shift == pytest.approx(+0.04)
+    assert [corner.name for corner in PVT_CORNERS] == PVT_CORNERS.names
+
+
+def test_corner_set_rejects_empty_and_duplicate_names():
+    with pytest.raises(ValueError):
+        CornerSet([])
+    with pytest.raises(ValueError):
+        CornerSet([Corner("tt"), Corner("tt")])
+
+
+# -- the shifts themselves ----------------------------------------------------------------
+
+
+def test_typical_corner_is_the_identity():
+    shifted = STANDARD_CORNERS["tt"].apply(TECH_012UM)
+    assert shifted.vdd == TECH_012UM.vdd
+    assert shifted.nmos.vth0 == pytest.approx(TECH_012UM.nmos.vth0)
+    assert shifted.pmos.u0 == pytest.approx(TECH_012UM.pmos.u0)
+    assert shifted.temperature == pytest.approx(TECH_012UM.temperature)
+
+
+def test_slow_corner_raises_thresholds_and_degrades_mobility():
+    shifted = STANDARD_CORNERS["ss"].apply(TECH_012UM)
+    assert shifted.nmos.vth0 == pytest.approx(TECH_012UM.nmos.vth0 + 0.04)
+    assert shifted.pmos.vth0 == pytest.approx(TECH_012UM.pmos.vth0 + 0.04)
+    assert shifted.nmos.u0 == pytest.approx(TECH_012UM.nmos.u0 * 0.92)
+    assert shifted.nmos.tox == pytest.approx(TECH_012UM.nmos.tox * 1.04)
+
+
+def test_supply_temperature_corner_moves_vdd_and_temperature():
+    shifted = PVT_CORNERS["ss_lv_hot"].apply(TECH_012UM)
+    assert shifted.vdd == pytest.approx(TECH_012UM.vdd * 0.9)
+    assert shifted.temperature > TECH_012UM.temperature
+    assert shifted.name.endswith(":ss_lv_hot")
+
+
+def test_apply_all_shifts_every_corner():
+    shifted = STANDARD_CORNERS.apply_all(TECH_012UM)
+    assert list(shifted) == STANDARD_CORNERS.names
+    assert shifted["ff"].nmos.vth0 < TECH_012UM.nmos.vth0

@@ -1,0 +1,155 @@
+"""Portfolio routes and scenario metadata over the /v1 API, plus the
+``submit-sweep`` / ``portfolio`` CLI against a live coordinator."""
+
+import json
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments.portfolio import get_portfolio
+from repro.experiments.registry import get_scenario
+from repro.service.client import ServiceError
+
+
+# -- scenario metadata (GET /v1/scenarios) ------------------------------------------------
+
+
+def test_scenarios_carry_topology_and_corner_metadata(live):
+    """The listing surfaces full scenario metadata, not bare names: each
+    row has the topology, technology card, corner set and budgets."""
+    client, _, _ = live
+    rows = {row["name"]: row for row in client.scenarios()}
+    assert rows["table2"]["topology"] == "ring-vco"
+    assert rows["table2"]["technology"] == "generic012"
+    assert rows["table2"]["mc_samples_per_point"] == 100
+    assert rows["pseudodiff-smoke"]["topology"] == "pseudodiff-vco"
+    assert rows["corner-smoke"]["corners"] == "standard"
+    assert rows["table2-65n"]["technology"] == "generic065"
+    for row in rows.values():
+        assert {"topology", "technology", "corners", "config_hash"} <= set(row)
+
+
+# -- portfolio routes ---------------------------------------------------------------------
+
+
+def test_portfolios_listing(live):
+    client, _, _ = live
+    portfolios = {p["name"]: p for p in client.portfolios()}
+    assert "portfolio-table2" in portfolios
+    children = portfolios["portfolio-table2"]["children"]
+    assert children[1]["config_hash"] == get_scenario("table2-65n").config_hash()
+
+
+def test_submit_portfolio_creates_then_dedups(live):
+    client, store, _ = live
+    first = client.submit_portfolio("portfolio-smoke")
+    assert first["created"] == 2 and first["deduplicated"] == 0
+    assert [job["created"] for job in first["jobs"]] == [True, True]
+    expected = [
+        child.config_hash()
+        for child in get_portfolio("portfolio-smoke").child_scenarios()
+    ]
+    assert [job["id"] for job in first["jobs"]] == expected
+
+    second = client.submit_portfolio("portfolio-smoke")
+    assert second["created"] == 0 and second["deduplicated"] == 2
+    assert store.count() == 2
+
+
+def test_portfolio_child_dedups_against_a_plain_submission(live):
+    """Submitting fast-smoke first, the portfolio's generic012 child joins
+    that job rather than queuing a second copy of the same work."""
+    client, store, _ = live
+    plain = client.submit("fast-smoke")
+    result = client.submit_portfolio("portfolio-smoke")
+    assert result["created"] == 1 and result["deduplicated"] == 1
+    assert result["jobs"][0]["id"] == plain["id"]
+    assert store.count() == 2  # fast-smoke + the generic065 child
+
+
+def test_submit_unknown_portfolio_is_404(live):
+    client, _, _ = live
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit_portfolio("no-such-portfolio")
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "unknown_portfolio"
+
+
+def test_portfolio_report_reflects_job_states(live):
+    client, _, _ = live
+    client.submit_portfolio("portfolio-smoke")
+    payload = client.portfolio_report("portfolio-smoke")
+    assert payload["portfolio"]["name"] == "portfolio-smoke"
+    for child in payload["children"]:
+        assert child["job_state"] == "queued"
+        assert child["stages_present"] == []
+    assert payload["merged_front_size"] == 0
+
+    with pytest.raises(ServiceError) as excinfo:
+        client.portfolio_report("no-such-portfolio")
+    assert excinfo.value.status == 404
+
+
+# -- CLI ----------------------------------------------------------------------------------
+
+
+def test_cli_submit_sweep_expands_and_dedups(live, capsys):
+    client, store, _ = live
+    url = client.base_url
+    args = ["submit-sweep", "vco-sweep-*", "--technology", "generic012,generic065"]
+    assert cli.main([*args, "--url", url]) == 0
+    out = capsys.readouterr().out
+    assert "8 submission(s): 8 new, 0 deduplicated" in out
+    assert store.count() == 8
+    # The default-technology pairs dedup against the plain scenarios.
+    assert cli.main([*args, "--url", url]) == 0
+    assert "8 submission(s): 0 new, 8 deduplicated" in capsys.readouterr().out
+    assert store.count() == 8
+
+
+def test_cli_submit_sweep_json_rows(live, capsys):
+    client, _, _ = live
+    code = cli.main(
+        ["submit-sweep", "vco-sweep-3", "--url", client.base_url, "--json"]
+    )
+    assert code == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 1
+    assert rows[0]["sweep_scenario"] == "vco-sweep-3"
+    assert rows[0]["id"] == get_scenario("vco-sweep-3").config_hash()
+
+
+def test_cli_submit_sweep_unknown_pattern_is_a_usage_error(capsys):
+    assert cli.main(["submit-sweep", "no-such-*"]) == 2
+    assert "no registered scenario matches" in capsys.readouterr().err
+
+
+def test_cli_submit_sweep_dry_run_posts_nothing(live, capsys):
+    client, store, _ = live
+    code = cli.main(
+        ["submit-sweep", "vco-sweep-*", "--url", client.base_url, "--dry-run"]
+    )
+    assert code == 0
+    assert "dry run" in capsys.readouterr().out
+    assert store.count() == 0
+
+
+def test_cli_portfolio_submit_and_report(live, capsys):
+    client, _, _ = live
+    url = client.base_url
+    assert cli.main(["portfolio", "portfolio-smoke", "--submit", "--url", url]) == 0
+    out = capsys.readouterr().out
+    assert "2 child job(s): 2 new, 0 deduplicated" in out
+
+    assert cli.main(["portfolio", "portfolio-smoke", "--report", "--url", url]) == 0
+    out = capsys.readouterr().out
+    assert "merged front : 0 point(s)" in out
+    assert "job=queued" in out
+
+
+def test_cli_portfolio_listing_and_unknown_name(capsys):
+    assert cli.main(["portfolio"]) == 0
+    out = capsys.readouterr().out
+    assert "portfolio-table2" in out and "portfolio-smoke" in out
+    assert cli.main(["portfolio", "nope", "--report"]) == 2
+    assert "unknown portfolio" in capsys.readouterr().err
